@@ -1,0 +1,73 @@
+//! Minimal command-line handling shared by the harness binaries.
+
+use std::process::exit;
+
+/// A run scenario: machine size, work scale, and RNG seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scenario {
+    /// Nodes in the simulated machine.
+    pub nodes: u16,
+    /// Work multiplier applied to the workload generators.
+    pub scale: f64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Emit CSV instead of aligned text.
+    pub csv: bool,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            nodes: 16,
+            scale: crate::DEFAULT_SCALE,
+            seed: 0,
+            csv: false,
+        }
+    }
+}
+
+impl Scenario {
+    /// Parses `--nodes N`, `--scale X`, `--seed N`, `--csv` from the
+    /// process arguments; prints usage and exits on anything else.
+    pub fn from_env(bin: &str, what: &str) -> Self {
+        let mut s = Scenario::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next().unwrap_or_else(|| {
+                    eprintln!("{bin}: {name} needs a value");
+                    exit(2);
+                })
+            };
+            match arg.as_str() {
+                "--nodes" => s.nodes = parse(bin, "--nodes", &value("--nodes")),
+                "--scale" => s.scale = parse(bin, "--scale", &value("--scale")),
+                "--seed" => s.seed = parse(bin, "--seed", &value("--seed")),
+                "--csv" => s.csv = true,
+                "--help" | "-h" => {
+                    println!(
+                        "{bin} — {what}\n\nUsage: {bin} [--nodes N] [--scale X] [--seed N] [--csv]\n\
+                         \n  --nodes N   simulated machine size (default 16)\
+                         \n  --scale X   workload work multiplier (default {})\
+                         \n  --seed N    workload RNG seed (default 0)\
+                         \n  --csv       emit CSV instead of aligned text",
+                        crate::DEFAULT_SCALE
+                    );
+                    exit(0);
+                }
+                other => {
+                    eprintln!("{bin}: unknown argument {other:?} (try --help)");
+                    exit(2);
+                }
+            }
+        }
+        s
+    }
+}
+
+fn parse<T: std::str::FromStr>(bin: &str, name: &str, raw: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{bin}: invalid value {raw:?} for {name}");
+        exit(2);
+    })
+}

@@ -1,0 +1,63 @@
+//! Limited-pointer directory study (extension): how a Dir-i-B directory
+//! (i sharer pointers, broadcast on overflow) interacts with the
+//! adaptive protocol. Migratory blocks never exceed two copies, so the
+//! adaptive protocol keeps limited-pointer entries precise exactly
+//! where a conventional protocol suffers broadcasts.
+
+use mcc_bench::Scenario;
+use mcc_core::{DirectoryRepr, DirectorySim, DirectorySimConfig, Protocol};
+use mcc_stats::Table;
+use mcc_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let scenario = Scenario::from_env("ablation_limited_pointers", "Dir-i-B directory study");
+    let mut table = Table::new([
+        "app",
+        "repr",
+        "conv msgs",
+        "aggr msgs",
+        "aggr %",
+        "conv broadcasts",
+        "aggr broadcasts",
+    ]);
+    table.title("Limited-pointer directories: messages (thousands) and broadcast invalidations");
+    for app in Workload::ALL {
+        let trace = app.generate(
+            &WorkloadParams::new(scenario.nodes)
+                .scale(scenario.scale)
+                .seed(scenario.seed),
+        );
+        for repr in [
+            DirectoryRepr::FullMap,
+            DirectoryRepr::LimitedPointer { pointers: 4 },
+            DirectoryRepr::LimitedPointer { pointers: 2 },
+        ] {
+            let cfg = DirectorySimConfig {
+                nodes: scenario.nodes,
+                directory: repr,
+                ..DirectorySimConfig::default()
+            };
+            let conv = DirectorySim::new(Protocol::Conventional, &cfg).run(&trace);
+            let aggr = DirectorySim::new(Protocol::Aggressive, &cfg).run(&trace);
+            table.row([
+                app.name().to_string(),
+                repr.to_string(),
+                mcc_stats::thousands(conv.total_messages()),
+                mcc_stats::thousands(aggr.total_messages()),
+                format!("{:.1}", aggr.percent_reduction_vs(&conv)),
+                conv.events.broadcast_invalidations.to_string(),
+                aggr.events.broadcast_invalidations.to_string(),
+            ]);
+        }
+    }
+    if scenario.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+        println!(
+            "Migratory blocks live with <= 2 copies, so the migratory applications are\n\
+             insensitive to the pointer limit, and adaptivity cuts the broadcast\n\
+             invalidations the remaining traffic provokes."
+        );
+    }
+}

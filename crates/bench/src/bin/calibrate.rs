@@ -1,0 +1,30 @@
+//! Quick calibration helper: one block-size section of Table 3 plus the
+//! per-app reference counts, for tuning the workload mixes.
+
+use mcc_bench::{block_size_sweep, render_message_rows, Scenario};
+use mcc_trace::BlockSize;
+use mcc_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let scenario = Scenario::from_env("calibrate", "workload calibration snapshot");
+    for w in Workload::ALL {
+        let t = w.generate(
+            &WorkloadParams::new(scenario.nodes)
+                .scale(scenario.scale)
+                .seed(scenario.seed),
+        );
+        let s = t.stats();
+        println!(
+            "{:<12} {:>9} refs  {:>5} KB footprint  {:>4.1}% writes",
+            w.name(),
+            s.refs,
+            s.footprint_bytes / 1024,
+            s.write_fraction() * 100.0
+        );
+    }
+    println!();
+    for bs in [BlockSize::B16, BlockSize::B256] {
+        let rows = block_size_sweep(bs, &scenario);
+        println!("{}", render_message_rows(&format!("{bs} blocks"), &rows));
+    }
+}

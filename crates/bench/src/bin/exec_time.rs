@@ -1,0 +1,45 @@
+//! §4.2: execution-driven timing comparison — how much execution time
+//! the basic adaptive protocol saves over the conventional protocol on a
+//! DASH-like CC-NUMA with round-robin page placement.
+
+use mcc_bench::{exec_time_comparison, Scenario};
+use mcc_stats::Table;
+
+fn main() {
+    let scenario = Scenario::from_env("exec_time", "§4.2 execution-time comparison");
+    let mut table = Table::new([
+        "app",
+        "conventional cycles",
+        "basic cycles",
+        "time reduction %",
+        "read-miss latency reduction %",
+        "p95 read-miss latency (conv/basic)",
+    ]);
+    table.title(format!(
+        "§4.2 — execution-driven simulation ({} nodes, scale {}, round-robin placement)",
+        scenario.nodes, scenario.scale
+    ));
+    for cmp in exec_time_comparison(&scenario) {
+        table.row([
+            cmp.app.name().to_string(),
+            cmp.conventional.cycles.to_string(),
+            cmp.basic.cycles.to_string(),
+            format!("{:.1}", cmp.time_reduction()),
+            format!("{:.1}", cmp.read_latency_reduction()),
+            format!(
+                "{}/{}",
+                cmp.conventional.read_miss_latency.percentile(95.0),
+                cmp.basic.read_miss_latency.percentile(95.0)
+            ),
+        ]);
+    }
+    if scenario.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+        println!(
+            "Paper: Cholesky 19.3%, MP3D 10.4%, Water 3.5% parallel-section time reduction;\n\
+             ~20% average read-miss latency reduction from eliminated invalidation contention."
+        );
+    }
+}

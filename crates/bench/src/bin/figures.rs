@@ -1,0 +1,37 @@
+//! Trend "figures": the paper's Table 2/3 trends rendered as ASCII bar
+//! charts — reduction versus cache size and versus block size, per
+//! application.
+
+use mcc_bench::{block_size_sweep, cache_size_sweep, Scenario, BLOCK_SIZES, CACHE_SIZES_KB};
+use mcc_stats::BarChart;
+use mcc_workloads::Workload;
+
+fn main() {
+    let scenario = Scenario::from_env("figures", "trend charts for Tables 2 and 3");
+
+    println!("Aggressive-protocol message reduction (%) by per-node cache size\n");
+    let by_cache: Vec<_> = CACHE_SIZES_KB
+        .iter()
+        .map(|&kb| (kb, cache_size_sweep(kb, &scenario)))
+        .collect();
+    for (i, app) in Workload::ALL.iter().enumerate() {
+        let mut chart = BarChart::new(app.name(), 40);
+        for (kb, rows) in &by_cache {
+            chart.bar(format!("{kb} KB"), rows[i].pct(3));
+        }
+        println!("{chart}");
+    }
+
+    println!("Aggressive-protocol message reduction (%) by block size (capacity-free)\n");
+    let by_block: Vec<_> = BLOCK_SIZES
+        .iter()
+        .map(|&bs| (bs, block_size_sweep(bs, &scenario)))
+        .collect();
+    for (i, app) in Workload::ALL.iter().enumerate() {
+        let mut chart = BarChart::new(app.name(), 40);
+        for (bs, rows) in &by_block {
+            chart.bar(bs.to_string(), rows[i].pct(3));
+        }
+        println!("{chart}");
+    }
+}

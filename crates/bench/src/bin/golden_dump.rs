@@ -1,0 +1,20 @@
+//! Prints the golden regression numbers used by `tests/golden_counts.rs`
+//! (exact message totals at a pinned configuration and seed). Run after
+//! any intentional workload or protocol change and update the test.
+
+use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let cfg = DirectorySimConfig::default();
+    let params = WorkloadParams::new(16).scale(0.1).seed(42);
+    for app in Workload::ALL {
+        let trace = app.generate(&params);
+        print!("        (Workload::{:?}, {}", app, trace.len());
+        for p in Protocol::PAPER_SET {
+            let r = DirectorySim::new(p, &cfg).run(&trace);
+            print!(", {}", r.total_messages());
+        }
+        println!("),");
+    }
+}

@@ -1,0 +1,54 @@
+//! Machine-size scalability study (an extension beyond the paper's
+//! fixed sixteen-processor configuration): how the adaptive advantage
+//! changes from 4 to 64 nodes.
+//!
+//! More nodes mean more distinct consecutive invalidators (migratory
+//! hand-offs stay detectable) but also wider read-sharing fan-out, so
+//! the study answers whether the 16-node conclusions generalize.
+
+use mcc_bench::Scenario;
+use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc_stats::{BarChart, Table};
+use mcc_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let scenario = Scenario::from_env("scaling_nodes", "node-count scalability study");
+    let mut table = Table::new(["app", "4", "8", "16", "32", "64"]);
+    table.title("Aggressive reduction (%) by machine size (16B blocks, capacity-free)");
+    let mut per_app: Vec<(Workload, Vec<f64>)> = Vec::new();
+    for app in Workload::ALL {
+        let mut pcts = Vec::new();
+        for nodes in [4u16, 8, 16, 32, 64] {
+            let cfg = DirectorySimConfig {
+                nodes,
+                ..DirectorySimConfig::default()
+            };
+            let trace = app.generate(
+                &WorkloadParams::new(nodes)
+                    .scale(scenario.scale)
+                    .seed(scenario.seed),
+            );
+            let conv = DirectorySim::new(Protocol::Conventional, &cfg).run(&trace);
+            let aggr = DirectorySim::new(Protocol::Aggressive, &cfg).run(&trace);
+            pcts.push(aggr.percent_reduction_vs(&conv));
+        }
+        per_app.push((app, pcts));
+    }
+    for (app, pcts) in &per_app {
+        let mut row = vec![app.name().to_string()];
+        row.extend(pcts.iter().map(|p| format!("{p:.1}")));
+        table.row(row);
+    }
+    if scenario.csv {
+        print!("{}", table.to_csv());
+        return;
+    }
+    println!("{table}");
+    for (app, pcts) in &per_app {
+        let mut chart = BarChart::new(app.name(), 40);
+        for (nodes, pct) in [4, 8, 16, 32, 64].iter().zip(pcts) {
+            chart.bar(format!("{nodes} nodes"), *pct);
+        }
+        println!("{chart}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Table 2 of the paper: message counts by per-node cache
+//! size, application, and protocol, with 16-byte blocks, finite 4-way
+//! LRU caches, and profiled static page placement.
+
+use mcc_bench::{cache_size_sweep, render_message_rows, Scenario, CACHE_SIZES_KB};
+
+fn main() {
+    let scenario = Scenario::from_env("table2", "Table 2: message counts by cache size");
+    println!(
+        "Table 2 — message counts (thousands) by cache size; 16-byte blocks; \
+         {} nodes, scale {}, seed {}\n",
+        scenario.nodes, scenario.scale, scenario.seed
+    );
+    for kb in CACHE_SIZES_KB {
+        let rows = cache_size_sweep(kb, &scenario);
+        let table = render_message_rows(&format!("{kb} Kbyte caches"), &rows);
+        if scenario.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}

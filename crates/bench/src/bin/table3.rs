@@ -1,0 +1,22 @@
+//! Regenerates Table 3 of the paper: message counts by block size,
+//! application, and protocol, with capacity-free caches.
+
+use mcc_bench::{block_size_sweep, render_message_rows, Scenario, BLOCK_SIZES};
+
+fn main() {
+    let scenario = Scenario::from_env("table3", "Table 3: message counts by block size");
+    println!(
+        "Table 3 — message counts (thousands) by block size; infinite caches; \
+         {} nodes, scale {}, seed {}\n",
+        scenario.nodes, scenario.scale, scenario.seed
+    );
+    for block in BLOCK_SIZES {
+        let rows = block_size_sweep(block, &scenario);
+        let table = render_message_rows(&format!("{block} blocks"), &rows);
+        if scenario.csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Dumps a synthetic workload trace to a file in the MCCT binary format,
+//! for use by external tools or for archiving an experiment's input.
+//!
+//! Usage: `tracegen <workload> <output.mcct> [--nodes N] [--scale X] [--seed N]`
+
+use std::process::exit;
+
+use mcc_workloads::{Workload, WorkloadParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: tracegen <cholesky|locus|mp3d|pthor|water> <output.mcct> [--nodes N] [--scale X] [--seed N]");
+        exit(2);
+    }
+    let workload: Workload = args[0].parse().unwrap_or_else(|e| {
+        eprintln!("tracegen: {e}");
+        exit(2);
+    });
+    let path = &args[1];
+    let mut params = WorkloadParams::new(16);
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        let value = rest.next().unwrap_or_else(|| {
+            eprintln!("tracegen: {flag} needs a value");
+            exit(2);
+        });
+        match flag.as_str() {
+            "--nodes" => params.nodes = value.parse().expect("node count"),
+            "--scale" => params = params.scale(value.parse().expect("scale")),
+            "--seed" => params = params.seed(value.parse().expect("seed")),
+            other => {
+                eprintln!("tracegen: unknown flag {other}");
+                exit(2);
+            }
+        }
+    }
+
+    let trace = workload.generate(&params);
+    let file = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("tracegen: cannot create {path}: {e}");
+        exit(1);
+    });
+    let mut writer = std::io::BufWriter::new(file);
+    trace.write_to(&mut writer).unwrap_or_else(|e| {
+        eprintln!("tracegen: write failed: {e}");
+        exit(1);
+    });
+    println!("{workload}: wrote {} references to {path}", trace.len());
+    println!("{}", trace.stats());
+}

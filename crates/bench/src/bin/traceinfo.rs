@@ -1,0 +1,47 @@
+//! Inspects an MCCT trace file: summary statistics plus per-protocol
+//! message counts under the default directory configuration.
+//!
+//! Usage: `traceinfo <trace.mcct> [--simulate]`
+
+use std::process::exit;
+
+use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc_trace::Trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: traceinfo <trace.mcct> [--simulate]");
+        exit(2);
+    }
+    let path = &args[0];
+    let simulate = args.iter().any(|a| a == "--simulate");
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("traceinfo: cannot open {path}: {e}");
+        exit(1);
+    });
+    let trace = Trace::read_from(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("traceinfo: {e}");
+        exit(1);
+    });
+    println!("{path}:");
+    println!("{}", trace.stats());
+    if simulate {
+        println!();
+        let nodes = trace.stats().nodes.max(1) as u16;
+        let config = DirectorySimConfig {
+            nodes,
+            ..DirectorySimConfig::default()
+        };
+        let baseline = DirectorySim::new(Protocol::Conventional, &config).run(&trace);
+        for protocol in Protocol::PAPER_SET {
+            let result = DirectorySim::new(protocol, &config).run(&trace);
+            println!(
+                "{:<14} {:>9} messages ({:>5.1}% vs conventional)",
+                protocol.to_string(),
+                result.total_messages(),
+                result.percent_reduction_vs(&baseline)
+            );
+        }
+    }
+}

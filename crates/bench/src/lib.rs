@@ -1,0 +1,24 @@
+//! The experiment harness: functions that regenerate every table and
+//! figure of the paper, shared by the `table*`/`figure*` binaries, the
+//! criterion benches, and the integration tests.
+//!
+//! Each experiment takes a [`Scenario`] (node count, work scale, seed)
+//! so the same code can run paper-scale sweeps from the binaries and
+//! quick-shape checks from the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+
+pub use args::Scenario;
+pub use experiments::{
+    block_size_sweep, bus_sweep, cache_size_sweep, cost_ratio_table, exec_time_comparison,
+    policy_ablation, render_message_rows, BusComparison, ExecComparison, MessageRow, BLOCK_SIZES,
+    CACHE_SIZES_KB,
+};
+
+/// Default work-scale used by the table binaries: large enough for
+/// stable percentages, small enough to finish a full table in minutes.
+pub const DEFAULT_SCALE: f64 = 0.1;

@@ -1,0 +1,208 @@
+//! Cache geometry: capacity, block size, associativity.
+
+use std::error::Error;
+use std::fmt;
+
+use mcc_trace::{BlockAddr, BlockSize};
+
+/// The shape of a finite set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_cache::CacheGeometry;
+/// use mcc_trace::BlockSize;
+///
+/// // The paper's default per-node cache at its smallest size:
+/// // 4 KB, 16-byte blocks, 4-way set associative (§3.3).
+/// let g = CacheGeometry::new(4 * 1024, BlockSize::B16, 4).unwrap();
+/// assert_eq!(g.sets(), 64);
+/// assert_eq!(g.blocks(), 256);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    block_size: BlockSize,
+    associativity: u32,
+    sets: u64,
+}
+
+/// Error constructing a [`CacheGeometry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeometryError {
+    /// Associativity was zero.
+    ZeroAssociativity,
+    /// The capacity is not an exact multiple of `block size ×
+    /// associativity`.
+    IndivisibleCapacity,
+    /// The number of sets is not a power of two, so block indices cannot be
+    /// mapped to sets by masking.
+    SetsNotPowerOfTwo,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroAssociativity => write!(f, "associativity must be positive"),
+            GeometryError::IndivisibleCapacity => {
+                write!(f, "capacity is not a multiple of block size x associativity")
+            }
+            GeometryError::SetsNotPowerOfTwo => write!(f, "set count is not a power of two"),
+        }
+    }
+}
+
+impl Error for GeometryError {}
+
+impl CacheGeometry {
+    /// Creates a geometry from total capacity in bytes, block size, and
+    /// associativity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError`] when the capacity does not divide evenly
+    /// into power-of-two many sets of `associativity` blocks.
+    pub fn new(
+        size_bytes: u64,
+        block_size: BlockSize,
+        associativity: u32,
+    ) -> Result<Self, GeometryError> {
+        if associativity == 0 {
+            return Err(GeometryError::ZeroAssociativity);
+        }
+        let set_bytes = block_size.bytes() * u64::from(associativity);
+        if size_bytes == 0 || size_bytes % set_bytes != 0 {
+            return Err(GeometryError::IndivisibleCapacity);
+        }
+        let sets = size_bytes / set_bytes;
+        if !sets.is_power_of_two() {
+            return Err(GeometryError::SetsNotPowerOfTwo);
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            block_size,
+            associativity,
+            sets,
+        })
+    }
+
+    /// The paper's standard configuration: 4-way set associative at the
+    /// given capacity and block size (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// See [`CacheGeometry::new`].
+    pub fn paper_default(size_bytes: u64, block_size: BlockSize) -> Result<Self, GeometryError> {
+        CacheGeometry::new(size_bytes, block_size, 4)
+    }
+
+    /// Total capacity in bytes.
+    pub const fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Block size.
+    pub const fn block_size(self) -> BlockSize {
+        self.block_size
+    }
+
+    /// Number of ways per set.
+    pub const fn associativity(self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub const fn sets(self) -> u64 {
+        self.sets
+    }
+
+    /// Total number of block frames.
+    pub const fn blocks(self) -> u64 {
+        self.sets * self.associativity as u64
+    }
+
+    /// The set index a block maps to.
+    pub const fn set_of(self, block: BlockAddr) -> usize {
+        (block.index() & (self.sets - 1)) as usize
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KB, {} blocks, {}-way",
+            self.size_bytes / 1024,
+            self.block_size,
+            self.associativity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cache_sizes_are_valid() {
+        for kb in [4u64, 16, 64, 256, 1024] {
+            for bs in BlockSize::TABLE3_SWEEP {
+                let g = CacheGeometry::paper_default(kb * 1024, bs).unwrap();
+                assert_eq!(g.size_bytes(), kb * 1024);
+                assert_eq!(g.blocks() * bs.bytes(), kb * 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_associativity() {
+        assert_eq!(
+            CacheGeometry::new(1024, BlockSize::B16, 0),
+            Err(GeometryError::ZeroAssociativity)
+        );
+    }
+
+    #[test]
+    fn rejects_indivisible_capacity() {
+        assert_eq!(
+            CacheGeometry::new(1000, BlockSize::B16, 4),
+            Err(GeometryError::IndivisibleCapacity)
+        );
+        assert_eq!(
+            CacheGeometry::new(0, BlockSize::B16, 4),
+            Err(GeometryError::IndivisibleCapacity)
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        // 3 sets x 4 ways x 16 B = 192 bytes.
+        assert_eq!(
+            CacheGeometry::new(192, BlockSize::B16, 4),
+            Err(GeometryError::SetsNotPowerOfTwo)
+        );
+    }
+
+    #[test]
+    fn set_mapping_is_modular() {
+        let g = CacheGeometry::new(4 * 1024, BlockSize::B16, 4).unwrap();
+        assert_eq!(g.sets(), 64);
+        assert_eq!(g.set_of(BlockAddr::new(0)), 0);
+        assert_eq!(g.set_of(BlockAddr::new(63)), 63);
+        assert_eq!(g.set_of(BlockAddr::new(64)), 0);
+        assert_eq!(g.set_of(BlockAddr::new(65)), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let g = CacheGeometry::paper_default(64 * 1024, BlockSize::B32).unwrap();
+        assert_eq!(g.to_string(), "64 KB, 32B blocks, 4-way");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(GeometryError::ZeroAssociativity.to_string().contains("positive"));
+        assert!(GeometryError::IndivisibleCapacity.to_string().contains("multiple"));
+        assert!(GeometryError::SetsNotPowerOfTwo.to_string().contains("power of two"));
+    }
+}

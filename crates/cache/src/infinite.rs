@@ -1,0 +1,114 @@
+//! An unbounded cache: Table 3's "caches large enough to eliminate
+//! capacity misses".
+
+use std::collections::HashMap;
+
+use mcc_trace::BlockAddr;
+
+/// A cache with unbounded capacity: blocks stay resident until explicitly
+/// removed (e.g. by a coherence invalidation).
+///
+/// Used for the paper's block-size study (Table 3), which isolates
+/// coherence traffic from capacity and conflict misses.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_cache::InfiniteCache;
+/// use mcc_trace::BlockAddr;
+///
+/// let mut c = InfiniteCache::new();
+/// c.insert(BlockAddr::new(1), "dirty");
+/// assert_eq!(c.get(BlockAddr::new(1)), Some(&"dirty"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct InfiniteCache<S> {
+    blocks: HashMap<BlockAddr, S>,
+}
+
+impl<S> InfiniteCache<S> {
+    /// Creates an empty infinite cache.
+    pub fn new() -> Self {
+        InfiniteCache {
+            blocks: HashMap::new(),
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` when no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Returns the metadata for `block` if resident.
+    pub fn get(&self, block: BlockAddr) -> Option<&S> {
+        self.blocks.get(&block)
+    }
+
+    /// Returns mutable metadata for `block` if resident.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut S> {
+        self.blocks.get_mut(&block)
+    }
+
+    /// Inserts `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already resident, mirroring
+    /// [`SetAssocCache::insert`](crate::SetAssocCache::insert).
+    pub fn insert(&mut self, block: BlockAddr, state: S) {
+        let prev = self.blocks.insert(block, state);
+        assert!(prev.is_none(), "block {block} inserted while already resident");
+    }
+
+    /// Removes `block`, returning its metadata if it was resident.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<S> {
+        self.blocks.remove(&block)
+    }
+
+    /// Iterates over resident `(block, metadata)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &S)> {
+        self.blocks.iter().map(|(&b, s)| (b, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = InfiniteCache::new();
+        assert!(c.is_empty());
+        c.insert(BlockAddr::new(42), 7u8);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(BlockAddr::new(42)), Some(&7));
+        *c.get_mut(BlockAddr::new(42)).unwrap() = 8;
+        assert_eq!(c.remove(BlockAddr::new(42)), Some(8));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c = InfiniteCache::new();
+        c.insert(BlockAddr::new(1), ());
+        c.insert(BlockAddr::new(1), ());
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut c = InfiniteCache::new();
+        for i in 0..50 {
+            c.insert(BlockAddr::new(i), i);
+        }
+        let mut blocks: Vec<_> = c.iter().map(|(b, _)| b.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,228 @@
+//! Cache models: finite set-associative caches with LRU replacement, and an
+//! infinite cache for capacity-free studies.
+//!
+//! The paper's simplified architectural model (§3.3) gives each processor a
+//! 4-way set-associative cache with LRU replacement; Table 3 additionally
+//! uses "caches large enough to eliminate capacity misses", which
+//! [`Cache::infinite`] models exactly.
+//!
+//! Caches here store *coherence metadata* per block (a type parameter `S`),
+//! not data contents — the coherence simulators attach their own per-line
+//! state such as MESI states or directory-granted permissions.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_cache::{Cache, CacheGeometry};
+//! use mcc_trace::{BlockAddr, BlockSize};
+//!
+//! let geom = CacheGeometry::new(4 * 1024, BlockSize::B16, 4).unwrap();
+//! let mut cache: Cache<&str> = Cache::finite(geom);
+//!
+//! assert!(cache.insert(BlockAddr::new(7), "shared").is_none());
+//! assert_eq!(cache.get(BlockAddr::new(7)), Some(&"shared"));
+//! assert_eq!(cache.remove(BlockAddr::new(7)), Some("shared"));
+//! assert!(cache.get(BlockAddr::new(7)).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geometry;
+mod infinite;
+mod set_assoc;
+
+pub use geometry::{CacheGeometry, GeometryError};
+pub use infinite::InfiniteCache;
+pub use set_assoc::SetAssocCache;
+
+use mcc_trace::BlockAddr;
+
+/// A per-node cache holding coherence metadata `S` per resident block.
+///
+/// Either a finite [`SetAssocCache`] (capacity and conflict misses occur,
+/// evicting victims) or an [`InfiniteCache`] (Table 3's capacity-free
+/// configuration).
+#[derive(Clone, Debug)]
+pub enum Cache<S> {
+    /// A finite set-associative cache.
+    Finite(SetAssocCache<S>),
+    /// A cache that never evicts.
+    Infinite(InfiniteCache<S>),
+}
+
+/// Configuration selecting a cache model, used by the simulators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheConfig {
+    /// A finite set-associative cache with the given geometry.
+    Finite(CacheGeometry),
+    /// An unbounded cache: no capacity or conflict misses.
+    Infinite,
+}
+
+impl CacheConfig {
+    /// Instantiates a cache for this configuration.
+    pub fn build<S>(self) -> Cache<S> {
+        match self {
+            CacheConfig::Finite(geom) => Cache::finite(geom),
+            CacheConfig::Infinite => Cache::infinite(),
+        }
+    }
+}
+
+impl<S> Cache<S> {
+    /// Creates a finite set-associative cache.
+    pub fn finite(geometry: CacheGeometry) -> Self {
+        Cache::Finite(SetAssocCache::new(geometry))
+    }
+
+    /// Creates an infinite cache.
+    pub fn infinite() -> Self {
+        Cache::Infinite(InfiniteCache::new())
+    }
+
+    /// Returns the metadata for `block` if resident. Does not update LRU.
+    pub fn get(&self, block: BlockAddr) -> Option<&S> {
+        match self {
+            Cache::Finite(c) => c.get(block),
+            Cache::Infinite(c) => c.get(block),
+        }
+    }
+
+    /// Returns mutable metadata for `block` if resident. Does not update
+    /// LRU.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut S> {
+        match self {
+            Cache::Finite(c) => c.get_mut(block),
+            Cache::Infinite(c) => c.get_mut(block),
+        }
+    }
+
+    /// Returns `true` when `block` is resident.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// Marks `block` most recently used. No-op if absent or infinite.
+    pub fn touch(&mut self, block: BlockAddr) {
+        if let Cache::Finite(c) = self {
+            c.touch(block);
+        }
+    }
+
+    /// Inserts `block`, returning the evicted victim `(block, state)` if
+    /// the target set was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already resident: coherence simulators must
+    /// mutate resident state via [`Cache::get_mut`], never re-insert.
+    pub fn insert(&mut self, block: BlockAddr, state: S) -> Option<(BlockAddr, S)> {
+        match self {
+            Cache::Finite(c) => c.insert(block, state),
+            Cache::Infinite(c) => {
+                c.insert(block, state);
+                None
+            }
+        }
+    }
+
+    /// Removes `block`, returning its metadata if it was resident.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<S> {
+        match self {
+            Cache::Finite(c) => c.remove(block),
+            Cache::Infinite(c) => c.remove(block),
+        }
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        match self {
+            Cache::Finite(c) => c.len(),
+            Cache::Infinite(c) => c.len(),
+        }
+    }
+
+    /// Returns `true` when no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over resident `(block, metadata)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (BlockAddr, &S)> + '_> {
+        match self {
+            Cache::Finite(c) => Box::new(c.iter()),
+            Cache::Infinite(c) => Box::new(c.iter()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::BlockSize;
+
+    fn small_geom() -> CacheGeometry {
+        // 2 sets x 2 ways x 16B blocks = 64 bytes.
+        CacheGeometry::new(64, BlockSize::B16, 2).unwrap()
+    }
+
+    #[test]
+    fn config_builds_matching_variant() {
+        let f: Cache<u8> = CacheConfig::Finite(small_geom()).build();
+        assert!(matches!(f, Cache::Finite(_)));
+        let i: Cache<u8> = CacheConfig::Infinite.build();
+        assert!(matches!(i, Cache::Infinite(_)));
+    }
+
+    #[test]
+    fn infinite_never_evicts() {
+        let mut c: Cache<u32> = Cache::infinite();
+        for i in 0..10_000 {
+            assert!(c.insert(BlockAddr::new(i), i as u32).is_none());
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.get(BlockAddr::new(9_999)), Some(&9_999));
+    }
+
+    #[test]
+    fn finite_evicts_lru_within_set() {
+        let mut c: Cache<u32> = Cache::finite(small_geom());
+        // Blocks 0, 2, 4 all map to set 0 (2 sets).
+        c.insert(BlockAddr::new(0), 0);
+        c.insert(BlockAddr::new(2), 2);
+        c.touch(BlockAddr::new(0)); // 2 is now LRU
+        let victim = c.insert(BlockAddr::new(4), 4);
+        assert_eq!(victim, Some((BlockAddr::new(2), 2)));
+        assert!(c.contains(BlockAddr::new(0)));
+        assert!(c.contains(BlockAddr::new(4)));
+    }
+
+    #[test]
+    fn remove_then_absent() {
+        let mut c: Cache<&str> = Cache::finite(small_geom());
+        c.insert(BlockAddr::new(1), "x");
+        assert_eq!(c.remove(BlockAddr::new(1)), Some("x"));
+        assert_eq!(c.remove(BlockAddr::new(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_all_resident() {
+        let mut c: Cache<u8> = Cache::finite(small_geom());
+        c.insert(BlockAddr::new(0), 10);
+        c.insert(BlockAddr::new(1), 11);
+        let mut seen: Vec<_> = c.iter().map(|(b, s)| (b.index(), *s)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 10), (1, 11)]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut c: Cache<u8> = Cache::infinite();
+        c.insert(BlockAddr::new(3), 1);
+        *c.get_mut(BlockAddr::new(3)).unwrap() = 9;
+        assert_eq!(c.get(BlockAddr::new(3)), Some(&9));
+    }
+}

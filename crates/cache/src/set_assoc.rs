@@ -1,0 +1,276 @@
+//! Finite set-associative cache with true-LRU replacement.
+
+use mcc_trace::BlockAddr;
+
+use crate::geometry::CacheGeometry;
+
+/// A finite set-associative cache with LRU replacement (§3.3 of the paper).
+///
+/// Stores per-block metadata `S`; evicts the least-recently *touched* block
+/// of the target set when a set is full.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_cache::{CacheGeometry, SetAssocCache};
+/// use mcc_trace::{BlockAddr, BlockSize};
+///
+/// // One set, two ways.
+/// let g = CacheGeometry::new(32, BlockSize::B16, 2).unwrap();
+/// let mut c = SetAssocCache::new(g);
+/// c.insert(BlockAddr::new(1), 'a');
+/// c.insert(BlockAddr::new(2), 'b');
+/// // Touch 1 so 2 becomes LRU, then overflow the set.
+/// c.touch(BlockAddr::new(1));
+/// assert_eq!(c.insert(BlockAddr::new(3), 'c'), Some((BlockAddr::new(2), 'b')));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache<S> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Line<S>>>,
+    clock: u64,
+    len: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Line<S> {
+    block: BlockAddr,
+    state: S,
+    last_use: u64,
+}
+
+impl<S> SetAssocCache<S> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|_| Vec::with_capacity(geometry.associativity() as usize))
+            .collect();
+        SetAssocCache {
+            geometry,
+            sets,
+            clock: 0,
+            len: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no blocks are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the metadata for `block` if resident, without touching LRU.
+    pub fn get(&self, block: BlockAddr) -> Option<&S> {
+        self.sets[self.geometry.set_of(block)]
+            .iter()
+            .find(|l| l.block == block)
+            .map(|l| &l.state)
+    }
+
+    /// Returns mutable metadata for `block`, without touching LRU.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut S> {
+        let set = self.geometry.set_of(block);
+        self.sets[set]
+            .iter_mut()
+            .find(|l| l.block == block)
+            .map(|l| &mut l.state)
+    }
+
+    /// Marks `block` most recently used if resident.
+    pub fn touch(&mut self, block: BlockAddr) {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.geometry.set_of(block);
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.block == block) {
+            line.last_use = clock;
+        }
+    }
+
+    /// Inserts `block` as most recently used, evicting and returning the
+    /// LRU victim of the target set if it was full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already resident.
+    pub fn insert(&mut self, block: BlockAddr, state: S) -> Option<(BlockAddr, S)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_index = self.geometry.set_of(block);
+        let ways = self.geometry.associativity() as usize;
+        let set = &mut self.sets[set_index];
+        assert!(
+            set.iter().all(|l| l.block != block),
+            "block {block} inserted while already resident"
+        );
+        let victim = if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let line = set.swap_remove(lru);
+            self.len -= 1;
+            Some((line.block, line.state))
+        } else {
+            None
+        };
+        set.push(Line {
+            block,
+            state,
+            last_use: clock,
+        });
+        self.len += 1;
+        victim
+    }
+
+    /// Removes `block`, returning its metadata if it was resident.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<S> {
+        let set = self.geometry.set_of(block);
+        let pos = self.sets[set].iter().position(|l| l.block == block)?;
+        self.len -= 1;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Iterates over resident `(block, metadata)` pairs in unspecified
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &S)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|l| (l.block, &l.state)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::BlockSize;
+    use proptest::prelude::*;
+
+    fn geom(sets: u64, ways: u32) -> CacheGeometry {
+        CacheGeometry::new(sets * u64::from(ways) * 16, BlockSize::B16, ways).unwrap()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = SetAssocCache::new(geom(4, 2));
+        c.insert(BlockAddr::new(9), 'x');
+        assert_eq!(c.get(BlockAddr::new(9)), Some(&'x'));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let g = geom(2, 2);
+        let mut c = SetAssocCache::new(g);
+        for i in 0..100 {
+            c.insert(BlockAddr::new(i), i);
+        }
+        assert_eq!(c.len() as u64, g.blocks());
+    }
+
+    #[test]
+    fn lru_order_respects_touch() {
+        let mut c = SetAssocCache::new(geom(1, 3));
+        c.insert(BlockAddr::new(0), 0);
+        c.insert(BlockAddr::new(1), 1);
+        c.insert(BlockAddr::new(2), 2);
+        c.touch(BlockAddr::new(0));
+        c.touch(BlockAddr::new(1));
+        // 2 is LRU now.
+        assert_eq!(c.insert(BlockAddr::new(3), 3), Some((BlockAddr::new(2), 2)));
+        // 0 is LRU now.
+        assert_eq!(c.insert(BlockAddr::new(4), 4), Some((BlockAddr::new(0), 0)));
+    }
+
+    #[test]
+    fn eviction_only_within_conflicting_set() {
+        let mut c = SetAssocCache::new(geom(2, 1));
+        c.insert(BlockAddr::new(0), 'e'); // set 0
+        c.insert(BlockAddr::new(1), 'o'); // set 1
+        let victim = c.insert(BlockAddr::new(2), 'n'); // set 0
+        assert_eq!(victim, Some((BlockAddr::new(0), 'e')));
+        assert!(c.get(BlockAddr::new(1)).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn double_insert_panics() {
+        let mut c = SetAssocCache::new(geom(2, 2));
+        c.insert(BlockAddr::new(5), ());
+        c.insert(BlockAddr::new(5), ());
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(geom(2, 2));
+        assert_eq!(c.remove(BlockAddr::new(1)), None);
+    }
+
+    proptest! {
+        /// Model-check the cache against a naive per-set LRU list model.
+        #[test]
+        fn matches_reference_lru_model(
+            ops in prop::collection::vec((0u64..32, 0u8..3), 1..200)
+        ) {
+            let g = geom(4, 2);
+            let mut cache = SetAssocCache::new(g);
+            // Model: per set, vector of blocks ordered LRU-first.
+            let mut model: Vec<Vec<u64>> = vec![Vec::new(); 4];
+
+            for (block, op) in ops {
+                let b = BlockAddr::new(block);
+                let set = g.set_of(b);
+                match op {
+                    0 => {
+                        // insert if absent
+                        if !model[set].contains(&block) {
+                            if model[set].len() == 2 {
+                                let victim = model[set].remove(0);
+                                let got = cache.insert(b, block);
+                                prop_assert_eq!(got, Some((BlockAddr::new(victim), victim)));
+                            } else {
+                                prop_assert_eq!(cache.insert(b, block), None);
+                            }
+                            model[set].push(block);
+                        }
+                    }
+                    1 => {
+                        // touch
+                        cache.touch(b);
+                        if let Some(pos) = model[set].iter().position(|&x| x == block) {
+                            let x = model[set].remove(pos);
+                            model[set].push(x);
+                        }
+                    }
+                    _ => {
+                        // remove
+                        let got = cache.remove(b);
+                        if let Some(pos) = model[set].iter().position(|&x| x == block) {
+                            model[set].remove(pos);
+                            prop_assert_eq!(got, Some(block));
+                        } else {
+                            prop_assert_eq!(got, None);
+                        }
+                    }
+                }
+                // Residency agrees after every step.
+                for s in 0..4u64 {
+                    for &m in &model[s as usize] {
+                        prop_assert_eq!(cache.get(BlockAddr::new(m)), Some(&m));
+                    }
+                }
+                prop_assert_eq!(cache.len(), model.iter().map(Vec::len).sum::<usize>());
+            }
+        }
+    }
+}

@@ -1,0 +1,768 @@
+//! Directory entries and the migratory-detection rules of Figure 3.
+//!
+//! The paper's directory-based implementation (§2.2) grows each directory
+//! entry with:
+//!
+//! * a *copies-created* counter — how many copies have been created since
+//!   the block was last held exclusively (more accurate than counting
+//!   current copies, because clean copies can be dropped silently);
+//! * the *migratory* classification bit;
+//! * the identity of the *last invalidator*;
+//! * a one-bit-or-wider hysteresis counter (`one migration` in Figure 3).
+//!
+//! The free functions on [`DirEntry`] transcribe the four pseudo-code
+//! blocks of Figure 3, generalized over the policy knobs of
+//! [`AdaptivePolicy`]. One deliberate deviation from the literal
+//! pseudo-code is documented at [`DirEntry::on_write_miss`]: a write miss
+//! to an *uncached* migratory block retains the classification when the
+//! policy remembers classifications across uncached intervals, which is
+//! the stated intent of that family axis.
+
+use core::fmt;
+
+use mcc_trace::NodeId;
+
+use crate::policy::AdaptivePolicy;
+
+/// The set of nodes currently caching a block, as a bitmask.
+///
+/// Supports up to 64 nodes — four times the paper's largest configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::CopySet;
+/// use mcc_trace::NodeId;
+///
+/// let mut s = CopySet::new();
+/// s.insert(NodeId::new(3));
+/// s.insert(NodeId::new(5));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(NodeId::new(3)));
+/// assert_eq!(s.distant_count(NodeId::new(3), NodeId::new(0)), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CopySet(u64);
+
+impl CopySet {
+    /// Creates an empty copy set.
+    pub const fn new() -> Self {
+        CopySet(0)
+    }
+
+    /// Creates a copy set holding exactly `node`.
+    pub fn only(node: NodeId) -> Self {
+        let mut s = CopySet::new();
+        s.insert(node);
+        s
+    }
+
+    /// Adds `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node.index() >= 64`.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.index() < 64, "CopySet supports at most 64 nodes");
+        self.0 |= 1 << node.index();
+    }
+
+    /// Removes `node`, returning whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        if node.index() >= 64 {
+            return false;
+        }
+        let bit = 1u64 << node.index();
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Returns `true` when `node` holds a copy.
+    pub const fn contains(self, node: NodeId) -> bool {
+        node.index() < 64 && self.0 & (1 << node.index()) != 0
+    }
+
+    /// Number of copies.
+    pub const fn len(self) -> u64 {
+        self.0.count_ones() as u64
+    }
+
+    /// Returns `true` when no node holds a copy.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The holder, if exactly one node holds a copy.
+    pub fn single(self) -> Option<NodeId> {
+        if self.len() == 1 {
+            Some(NodeId::new(self.0.trailing_zeros() as u16))
+        } else {
+            None
+        }
+    }
+
+    /// `‖DistantCopies‖` of Table 1: copies held at nodes other than the
+    /// `initiator` and `home`.
+    pub fn distant_count(self, initiator: NodeId, home: NodeId) -> u64 {
+        let mut mask = self.0;
+        if initiator.index() < 64 {
+            mask &= !(1 << initiator.index());
+        }
+        if home.index() < 64 {
+            mask &= !(1 << home.index());
+        }
+        mask.count_ones() as u64
+    }
+
+    /// Iterates over the holders in increasing node order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..64u16).filter(move |&i| self.0 & (1 << i) != 0).map(NodeId::new)
+    }
+}
+
+impl fmt::Display for CopySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The copies-created counter of the directory state (Figure 3):
+/// how many copies have been created since the block was last held
+/// exclusively by one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CopiesCreated {
+    /// `UNCACHED`: no copies exist.
+    #[default]
+    Zero,
+    /// `ONE COPY`: a single copy was created (or granted exclusively).
+    One,
+    /// `TWO COPIES`: a second copy was created by a read miss.
+    Two,
+    /// `THREE OR MORE COPIES`.
+    ThreeOrMore,
+}
+
+impl fmt::Display for CopiesCreated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CopiesCreated::Zero => "uncached",
+            CopiesCreated::One => "one copy",
+            CopiesCreated::Two => "two copies",
+            CopiesCreated::ThreeOrMore => "three or more copies",
+        })
+    }
+}
+
+/// What a read miss should do with the block (§1 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReadMissAction {
+    /// Move the single copy to the requester *with write permission*,
+    /// invalidating the previous holder — one transaction.
+    Migrate,
+    /// Create an additional (or first) read-only copy at the requester —
+    /// the conventional policy.
+    Replicate,
+}
+
+/// A change in a block's migratory classification, reported by the
+/// directory hooks so simulators can count adaptation activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Reclassification {
+    /// The classification did not change.
+    #[default]
+    Unchanged,
+    /// The block became migratory.
+    BecameMigratory,
+    /// The block lost its migratory classification.
+    BecameOther,
+}
+
+/// A directory entry extended with the paper's adaptive state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Nodes currently caching the block.
+    pub copyset: CopySet,
+    /// Copies created since the block was last exclusively held.
+    pub created: CopiesCreated,
+    /// Whether the block is classified migratory.
+    pub migratory: bool,
+    /// Whether the current exclusive copy has been modified. Only
+    /// meaningful when a single copy exists.
+    pub dirty: bool,
+    /// The node that most recently invalidated other copies (or obtained
+    /// exclusive write permission).
+    pub last_invalidator: Option<NodeId>,
+    /// Successive migratory-evidence events observed so far (the
+    /// generalized `one migration` counter of Figure 3).
+    pub evidence: u8,
+    /// Whether a limited-pointer directory entry has overflowed its
+    /// sharer pointers (invalidations must broadcast until the entry is
+    /// rebuilt from an exclusive state). Always `false` under a
+    /// full-map directory.
+    pub overflowed: bool,
+}
+
+impl DirEntry {
+    /// Creates the entry for a never-referenced block under `policy`.
+    pub fn new(policy: AdaptivePolicy) -> Self {
+        DirEntry {
+            copyset: CopySet::new(),
+            created: CopiesCreated::Zero,
+            migratory: policy.initial_migratory,
+            dirty: false,
+            last_invalidator: None,
+            evidence: 0,
+            overflowed: false,
+        }
+    }
+
+    /// Returns `true` when a *known previous* invalidator differs from
+    /// `requester` — the migratory-evidence test of Figure 3. A block
+    /// that has never been invalidated yields no evidence: with no prior
+    /// writer there is nothing the block can have migrated *from*, and
+    /// counting the very first read-write access as evidence would make
+    /// the "basic" protocol classify freshly initialized private data as
+    /// migratory.
+    fn different_invalidator(&self, requester: NodeId) -> bool {
+        matches!(self.last_invalidator, Some(prev) if prev != requester)
+    }
+
+    /// Records one unit of migratory evidence; classifies the block as
+    /// migratory once `policy.events_required` successive events have
+    /// been seen.
+    fn evidence_event(&mut self, policy: AdaptivePolicy) {
+        if policy.events_required == u8::MAX {
+            // Sentinel used by non-adaptive protocols: never classify.
+            return;
+        }
+        if u16::from(self.evidence) + 1 >= u16::from(policy.events_required) {
+            self.migratory = true;
+            self.evidence = 0;
+        } else {
+            self.evidence += 1;
+        }
+    }
+
+    /// Figure 3, `read miss`: advances the copies-created state, demotes
+    /// a migratory block that moved without being modified, and decides
+    /// whether to migrate or replicate.
+    ///
+    /// The caller must have [`DirEntry::dirty`] up to date, must perform
+    /// the data movement and copy-set maintenance the action implies, and
+    /// must clear [`DirEntry::dirty`] after a migration.
+    pub fn on_read_miss(&mut self, policy: AdaptivePolicy) -> (ReadMissAction, Reclassification) {
+        let was_migratory = self.migratory;
+        match (self.created, self.migratory) {
+            (CopiesCreated::Zero, _) => self.created = CopiesCreated::One,
+            (CopiesCreated::One, false) => self.created = CopiesCreated::Two,
+            (CopiesCreated::One, true) => {
+                if !self.dirty {
+                    // The block is about to move without having been
+                    // modified: evidence that it is not migratory.
+                    self.created = CopiesCreated::Two;
+                    self.migratory = false;
+                    self.evidence = 0;
+                }
+            }
+            (CopiesCreated::Two, _) => self.created = CopiesCreated::ThreeOrMore,
+            (CopiesCreated::ThreeOrMore, _) => {}
+        }
+        // Note: the literal pseudo-code clears `one migration` on every
+        // replication, but §4.1 defines the conservative protocol as
+        // requiring a block "to migrate twice under the conventional
+        // copy-on-read-miss policy" — and each such migration *is* a
+        // replication followed by an invalidation, so resetting here would
+        // make the hysteresis unreachable. Evidence is therefore kept
+        // across replications and reset only by counter-evidence (the
+        // demotion above and the non-evidence write paths).
+        let action = if self.created == CopiesCreated::One && self.migratory {
+            ReadMissAction::Migrate
+        } else {
+            ReadMissAction::Replicate
+        };
+        let _ = policy;
+        (action, reclass(was_migratory, self.migratory))
+    }
+
+    /// Figure 3, `write miss invalidating one or more copies` — also used
+    /// for write misses to uncached blocks.
+    ///
+    /// The caller invalidates the copies, installs the requester's dirty
+    /// copy, and resets the copy set; this hook leaves the entry in the
+    /// `ONE COPY`/`ONE COPY MIGRATORY` state with `dirty` set.
+    ///
+    /// Deviation from the literal pseudo-code: a write miss to an
+    /// *uncached* block that is remembered as migratory keeps the
+    /// classification (the pseudo-code's final `else` would drop it);
+    /// forgetting on reload would defeat the "remember when uncached"
+    /// axis that distinguishes the directory protocols (§2, item 2).
+    pub fn on_write_miss(&mut self, policy: AdaptivePolicy, requester: NodeId) -> Reclassification {
+        let was_migratory = self.migratory;
+        if self.created == CopiesCreated::One && self.migratory {
+            if !self.dirty || policy.demote_on_write_miss {
+                // Moving unmodified is counter-evidence; the Stenström
+                // rule additionally demotes dirty movers (§5).
+                self.migratory = false;
+                self.evidence = 0;
+            }
+        } else if self.created == CopiesCreated::Zero && self.migratory {
+            // Uncached but remembered migratory: retain (see above).
+        } else if self.different_invalidator(requester) && self.created == CopiesCreated::One {
+            self.evidence_event(policy);
+        } else {
+            self.migratory = false;
+        }
+        self.created = CopiesCreated::One;
+        self.last_invalidator = Some(requester);
+        self.dirty = true;
+        reclass(was_migratory, self.migratory)
+    }
+
+    /// Figure 3, `write hit invalidating one or more copies`: a write to
+    /// a Shared copy. The migratory test: exactly two copies were created
+    /// and the requester is not the previous invalidator (i.e. the
+    /// requester holds the more recently created copy).
+    pub fn on_write_hit_shared(
+        &mut self,
+        policy: AdaptivePolicy,
+        requester: NodeId,
+    ) -> Reclassification {
+        let was_migratory = self.migratory;
+        if self.different_invalidator(requester) && self.created == CopiesCreated::Two {
+            self.evidence_event(policy);
+        } else {
+            self.migratory = false;
+            self.evidence = 0;
+        }
+        self.created = CopiesCreated::One;
+        self.last_invalidator = Some(requester);
+        self.dirty = true;
+        reclass(was_migratory, self.migratory)
+    }
+
+    /// Figure 3, `write hit on a clean, exclusively-held block`: the
+    /// requester already holds the only copy but needs write permission
+    /// from the home. Detects migratory behaviour spanning an interval in
+    /// which the block was uncached (§2.2) — particularly valuable with
+    /// small caches.
+    pub fn on_write_hit_clean_exclusive(
+        &mut self,
+        policy: AdaptivePolicy,
+        requester: NodeId,
+    ) -> Reclassification {
+        let was_migratory = self.migratory;
+        debug_assert!(!self.migratory, "migratory blocks are granted write permission");
+        if self.different_invalidator(requester) && self.created == CopiesCreated::One {
+            self.evidence_event(policy);
+        }
+        self.last_invalidator = Some(requester);
+        self.dirty = true;
+        reclass(was_migratory, self.migratory)
+    }
+
+    /// Records that `node` dropped its copy (eviction). When the block
+    /// becomes uncached the created-counter resets; a policy that does
+    /// not remember classifications across uncached intervals also resets
+    /// the adaptive state to its initial classification.
+    pub fn on_copy_dropped(&mut self, policy: AdaptivePolicy, node: NodeId) -> Reclassification {
+        let was_migratory = self.migratory;
+        self.copyset.remove(node);
+        if self.copyset.is_empty() {
+            self.created = CopiesCreated::Zero;
+            self.dirty = false;
+            self.overflowed = false;
+            if !policy.remember_when_uncached {
+                self.migratory = policy.initial_migratory;
+                self.evidence = 0;
+                self.last_invalidator = None;
+            }
+        }
+        reclass(was_migratory, self.migratory)
+    }
+}
+
+fn reclass(was: bool, now: bool) -> Reclassification {
+    match (was, now) {
+        (false, true) => Reclassification::BecameMigratory,
+        (true, false) => Reclassification::BecameOther,
+        _ => Reclassification::Unchanged,
+    }
+}
+
+impl fmt::Display for DirEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{} copies={} last_inv={} evidence={}",
+            self.created,
+            if self.migratory { "/migratory" } else { "" },
+            if self.dirty { " dirty" } else { "" },
+            self.copyset,
+            match self.last_invalidator {
+                Some(n) => n.to_string(),
+                None => "-".to_string(),
+            },
+            self.evidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: NodeId = NodeId::new(0);
+    const P1: NodeId = NodeId::new(1);
+    const P2: NodeId = NodeId::new(2);
+
+    mod copyset {
+        use super::*;
+
+        #[test]
+        fn insert_remove_contains() {
+            let mut s = CopySet::new();
+            assert!(s.is_empty());
+            s.insert(P1);
+            s.insert(P2);
+            assert!(s.contains(P1));
+            assert!(!s.contains(P0));
+            assert_eq!(s.len(), 2);
+            assert!(s.remove(P1));
+            assert!(!s.remove(P1));
+            assert_eq!(s.single(), Some(P2));
+        }
+
+        #[test]
+        fn distant_count_excludes_initiator_and_home() {
+            let mut s = CopySet::new();
+            for i in 0..4 {
+                s.insert(NodeId::new(i));
+            }
+            assert_eq!(s.distant_count(P0, P1), 2);
+            assert_eq!(s.distant_count(P0, P0), 3);
+            // Initiator/home outside the set change nothing.
+            assert_eq!(s.distant_count(NodeId::new(9), NodeId::new(8)), 4);
+        }
+
+        #[test]
+        fn iter_in_node_order() {
+            let mut s = CopySet::new();
+            s.insert(NodeId::new(5));
+            s.insert(NodeId::new(1));
+            let v: Vec<_> = s.iter().collect();
+            assert_eq!(v, [NodeId::new(1), NodeId::new(5)]);
+            assert_eq!(s.to_string(), "{P1, P5}");
+        }
+
+        #[test]
+        #[should_panic(expected = "at most 64")]
+        fn rejects_node_64() {
+            CopySet::new().insert(NodeId::new(64));
+        }
+    }
+
+    /// Drives the classic migratory sequence: P0 writes, P1 reads then
+    /// writes, P2 reads then writes, … as seen by the directory hooks.
+    fn migratory_handoff(entry: &mut DirEntry, policy: AdaptivePolicy, to: NodeId) -> ReadMissAction {
+        let (action, _) = entry.on_read_miss(policy);
+        match action {
+            ReadMissAction::Migrate => {
+                entry.copyset = CopySet::only(to);
+                entry.dirty = false; // new holder has not written yet
+                // The write hit is silent — permission was pre-granted.
+                entry.dirty = true;
+                entry.last_invalidator = Some(to);
+            }
+            ReadMissAction::Replicate => {
+                entry.copyset.insert(to);
+                entry.dirty = false; // old dirty copy written back on replication
+                // First write is a write hit on a Shared copy.
+                entry.on_write_hit_shared(policy, to);
+                entry.copyset = CopySet::only(to);
+            }
+        }
+        action
+    }
+
+    #[test]
+    fn basic_classifies_after_one_handoff() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        // P0 write-misses the uncached block.
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        assert_eq!(e.created, CopiesCreated::One);
+        assert!(!e.migratory);
+
+        // P1 reads then writes: the write hit sees two created copies and
+        // a different last invalidator -> migratory after one event.
+        assert_eq!(migratory_handoff(&mut e, policy, P1), ReadMissAction::Replicate);
+        assert!(e.migratory);
+
+        // Next hand-off migrates.
+        assert_eq!(migratory_handoff(&mut e, policy, P2), ReadMissAction::Migrate);
+    }
+
+    #[test]
+    fn conservative_requires_two_successive_events() {
+        let policy = AdaptivePolicy::conservative();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+
+        assert_eq!(migratory_handoff(&mut e, policy, P1), ReadMissAction::Replicate);
+        assert!(!e.migratory, "one event is not enough for conservative");
+        assert_eq!(e.evidence, 1);
+
+        assert_eq!(migratory_handoff(&mut e, policy, P2), ReadMissAction::Replicate);
+        assert!(e.migratory, "second successive event classifies");
+
+        assert_eq!(migratory_handoff(&mut e, policy, P0), ReadMissAction::Migrate);
+    }
+
+    #[test]
+    fn aggressive_starts_migratory() {
+        let policy = AdaptivePolicy::aggressive();
+        let mut e = DirEntry::new(policy);
+        assert!(e.migratory);
+        let (action, _) = e.on_read_miss(policy);
+        // Very first read miss migrates (grants write permission).
+        assert_eq!(action, ReadMissAction::Migrate);
+        assert_eq!(e.created, CopiesCreated::One);
+    }
+
+    #[test]
+    fn migratory_block_moving_clean_is_demoted_on_read_miss() {
+        let policy = AdaptivePolicy::aggressive();
+        let mut e = DirEntry::new(policy);
+        e.on_read_miss(policy); // migrate to someone
+        e.copyset = CopySet::only(P0);
+        e.dirty = false; // holder never wrote
+
+        let (action, reclass) = e.on_read_miss(policy);
+        assert_eq!(action, ReadMissAction::Replicate);
+        assert_eq!(reclass, Reclassification::BecameOther);
+        assert!(!e.migratory);
+        assert_eq!(e.created, CopiesCreated::Two);
+    }
+
+    #[test]
+    fn migratory_block_moving_dirty_stays_migratory() {
+        let policy = AdaptivePolicy::aggressive();
+        let mut e = DirEntry::new(policy);
+        e.on_read_miss(policy);
+        e.copyset = CopySet::only(P0);
+        e.dirty = true; // holder wrote
+
+        let (action, reclass) = e.on_read_miss(policy);
+        assert_eq!(action, ReadMissAction::Migrate);
+        assert_eq!(reclass, Reclassification::Unchanged);
+        assert!(e.migratory);
+    }
+
+    #[test]
+    fn same_invalidator_resets_shared_write_hit_evidence() {
+        let policy = AdaptivePolicy::conservative();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        // P1 reads (two copies), then P0 — the previous invalidator —
+        // writes again: not migratory evidence.
+        e.on_read_miss(policy);
+        e.copyset.insert(P1);
+        let r = e.on_write_hit_shared(policy, P0);
+        assert_eq!(r, Reclassification::Unchanged);
+        assert!(!e.migratory);
+        assert_eq!(e.evidence, 0);
+        assert_eq!(e.created, CopiesCreated::One);
+    }
+
+    #[test]
+    fn three_copies_never_classify_migratory() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.on_read_miss(policy); // two copies
+        e.copyset.insert(P1);
+        e.on_read_miss(policy); // three copies
+        e.copyset.insert(P2);
+        assert_eq!(e.created, CopiesCreated::ThreeOrMore);
+        let r = e.on_write_hit_shared(policy, P2);
+        assert_eq!(r, Reclassification::Unchanged);
+        assert!(!e.migratory, "write hit with three created copies is not evidence");
+    }
+
+    #[test]
+    fn write_miss_to_single_copy_is_evidence() {
+        // §2: "A write-miss on a block for which there is a single cached
+        // copy can also be used as evidence that the block is migratory."
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.dirty = true;
+        let r = e.on_write_miss(policy, P1);
+        assert_eq!(r, Reclassification::BecameMigratory);
+        assert!(e.migratory);
+    }
+
+    #[test]
+    fn stenstrom_rule_demotes_on_dirty_write_miss() {
+        // §5: Stenström et al. also shift out of migratory mode on any
+        // write miss to a migratory block; Cox & Fowler do not.
+        let setup = |policy: AdaptivePolicy| {
+            let mut e = DirEntry::new(policy);
+            e.on_write_miss(policy, P0);
+            e.copyset = CopySet::only(P0);
+            e.dirty = true;
+            e.on_write_miss(policy, P1); // classifies migratory
+            e.copyset = CopySet::only(P1);
+            e.dirty = true;
+            assert!(e.migratory);
+            e
+        };
+
+        let cox = AdaptivePolicy::basic();
+        let mut e = setup(cox);
+        let r = e.on_write_miss(cox, P2);
+        assert_eq!(r, Reclassification::Unchanged);
+        assert!(e.migratory, "Cox-Fowler keeps dirty write-miss movers migratory");
+
+        let sten = AdaptivePolicy::stenstrom();
+        let mut e = setup(sten);
+        let r = e.on_write_miss(sten, P2);
+        assert_eq!(r, Reclassification::BecameOther);
+        assert!(!e.migratory, "Stenström demotes on any write miss");
+    }
+
+    #[test]
+    fn write_miss_by_same_invalidator_is_not_evidence() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.dirty = true;
+        // P0's copy is evicted, then P0 write-misses again.
+        e.on_copy_dropped(policy, P0);
+        e.on_write_miss(policy, P0);
+        assert!(!e.migratory);
+    }
+
+    #[test]
+    fn clean_exclusive_write_hit_detects_migration_across_uncached_interval() {
+        // §2.2: with small caches a migratory block may be evicted
+        // between hand-offs; the write hit to the reloaded clean block
+        // still reveals the pattern because last_invalidator persists.
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0); // P0 owns, dirty
+        e.copyset = CopySet::only(P0);
+        e.on_copy_dropped(policy, P0); // evicted (written back)
+        assert_eq!(e.created, CopiesCreated::Zero);
+        assert_eq!(e.last_invalidator, Some(P0));
+
+        // P1 reloads with a read miss, then writes.
+        let (action, _) = e.on_read_miss(policy);
+        assert_eq!(action, ReadMissAction::Replicate);
+        e.copyset = CopySet::only(P1);
+        let r = e.on_write_hit_clean_exclusive(policy, P1);
+        assert_eq!(r, Reclassification::BecameMigratory);
+        assert!(e.migratory);
+    }
+
+    #[test]
+    fn forgetful_policy_loses_classification_when_uncached() {
+        let policy = AdaptivePolicy {
+            initial_migratory: false,
+            events_required: 1,
+            remember_when_uncached: false,
+            demote_on_write_miss: false,
+        };
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.dirty = true;
+        e.on_write_miss(policy, P1); // classifies migratory
+        e.copyset = CopySet::only(P1);
+        assert!(e.migratory);
+
+        let r = e.on_copy_dropped(policy, P1);
+        assert_eq!(r, Reclassification::BecameOther);
+        assert!(!e.migratory);
+        assert_eq!(e.last_invalidator, None);
+    }
+
+    #[test]
+    fn remembering_policy_keeps_classification_when_uncached() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.dirty = true;
+        e.on_write_miss(policy, P1);
+        e.copyset = CopySet::only(P1);
+        assert!(e.migratory);
+
+        e.on_copy_dropped(policy, P1);
+        assert!(e.migratory, "classification survives the uncached interval");
+        // Reload by read miss migrates immediately (write permission
+        // granted on the load) — the §2.2 "big savings".
+        let (action, _) = e.on_read_miss(policy);
+        assert_eq!(action, ReadMissAction::Migrate);
+    }
+
+    #[test]
+    fn uncached_migratory_write_miss_retains_classification() {
+        let policy = AdaptivePolicy::aggressive();
+        let mut e = DirEntry::new(policy);
+        assert!(e.migratory);
+        let r = e.on_write_miss(policy, P0);
+        assert_eq!(r, Reclassification::Unchanged);
+        assert!(e.migratory);
+        assert_eq!(e.created, CopiesCreated::One);
+        assert!(e.dirty);
+    }
+
+    #[test]
+    fn dropped_copy_updates_copyset_only_until_empty() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        e.on_read_miss(policy);
+        e.copyset.insert(P1);
+        assert_eq!(e.created, CopiesCreated::Two);
+
+        // One of two copies dropped: created stays Two (creations, not
+        // current copies — §2.2).
+        e.on_copy_dropped(policy, P0);
+        assert_eq!(e.created, CopiesCreated::Two);
+        assert_eq!(e.copyset.single(), Some(P1));
+
+        e.on_copy_dropped(policy, P1);
+        assert_eq!(e.created, CopiesCreated::Zero);
+    }
+
+    #[test]
+    fn display_renders_state() {
+        let policy = AdaptivePolicy::basic();
+        let mut e = DirEntry::new(policy);
+        e.on_write_miss(policy, P0);
+        e.copyset = CopySet::only(P0);
+        let s = e.to_string();
+        assert!(s.contains("one copy"));
+        assert!(s.contains("dirty"));
+        assert!(s.contains("P0"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Inter-node message accounting — a literal implementation of Table 1 of
+//! the paper plus the eviction-traffic rules stated in §3.3.
+//!
+//! The simplified architectural model has two kinds of message: *short*
+//! messages carry requests and acknowledgements but no data; *long*
+//! messages carry the contents of a data block. The number of messages an
+//! operation costs depends on whether the block's home node is the
+//! initiating node, on whether a modified (dirty) cached copy exists, and
+//! on `DistantCopies` — the set of cached copies held at nodes other than
+//! the initiator and the home.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+/// The kind of cache operation being charged, per Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A read that missed in the initiator's cache.
+    ReadMiss,
+    /// A write that missed in the initiator's cache.
+    WriteMiss,
+    /// A write that hit a copy without write permission (a Shared copy or
+    /// a clean exclusively-held copy) and must invalidate other copies
+    /// and/or obtain permission from the home.
+    WriteHit,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::ReadMiss => "read miss",
+            OpKind::WriteMiss => "write miss",
+            OpKind::WriteHit => "write hit",
+        })
+    }
+}
+
+/// A count of inter-node messages, split into the paper's two classes.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::MessageCount;
+///
+/// let a = MessageCount::new(3, 1);
+/// let b = MessageCount::new(1, 1);
+/// assert_eq!(a + b, MessageCount::new(4, 2));
+/// assert_eq!((a + b).total(), 6);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MessageCount {
+    /// Messages without data: requests and acknowledgements.
+    pub control: u64,
+    /// Messages carrying the contents of a data block.
+    pub data: u64,
+}
+
+impl MessageCount {
+    /// A zero count.
+    pub const ZERO: MessageCount = MessageCount { control: 0, data: 0 };
+
+    /// Creates a count from control and data message totals.
+    pub const fn new(control: u64, data: u64) -> Self {
+        MessageCount { control, data }
+    }
+
+    /// Total messages of both classes.
+    pub const fn total(self) -> u64 {
+        self.control + self.data
+    }
+
+    /// Weighted cost: `control + ratio × data`, the cost models discussed
+    /// in §4.1 (ratios of 1, 2 and 4 appear in the paper).
+    pub fn weighted(self, data_cost_ratio: f64) -> f64 {
+        self.control as f64 + data_cost_ratio * self.data as f64
+    }
+
+    /// The §4.1 byte-granular cost model: one unit per message plus one
+    /// unit per 16 bytes of data transmitted.
+    pub fn per_16_bytes(self, block_bytes: u64) -> f64 {
+        self.total() as f64 + (self.data * block_bytes) as f64 / 16.0
+    }
+}
+
+impl Add for MessageCount {
+    type Output = MessageCount;
+
+    fn add(self, rhs: MessageCount) -> MessageCount {
+        MessageCount::new(self.control + rhs.control, self.data + rhs.data)
+    }
+}
+
+impl AddAssign for MessageCount {
+    fn add_assign(&mut self, rhs: MessageCount) {
+        self.control += rhs.control;
+        self.data += rhs.data;
+    }
+}
+
+impl Sum for MessageCount {
+    fn sum<I: Iterator<Item = MessageCount>>(iter: I) -> MessageCount {
+        iter.fold(MessageCount::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for MessageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} control + {} data", self.control, self.data)
+    }
+}
+
+/// Charges an operation per Table 1 of the paper.
+///
+/// * `op` — the operation kind.
+/// * `home_is_local` — whether the directory entry lives at the initiator.
+/// * `dirty` — whether a modified cached copy of the block exists
+///   somewhere (the table's *block status* column).
+/// * `distant_copies` — `‖DistantCopies‖`: cached copies at nodes other
+///   than the initiator and the home.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::{charge, MessageCount, OpKind};
+///
+/// // Read miss, remote home, clean block: one request, one data reply.
+/// assert_eq!(charge(OpKind::ReadMiss, false, false, 0), MessageCount::new(1, 1));
+/// // Write hit on a shared block, remote home, two distant copies:
+/// // request + grant + (invalidation + ack) x 2.
+/// assert_eq!(charge(OpKind::WriteHit, false, false, 2), MessageCount::new(6, 0));
+/// ```
+pub fn charge(op: OpKind, home_is_local: bool, dirty: bool, distant_copies: u64) -> MessageCount {
+    let dc = distant_copies;
+    match (op, home_is_local, dirty) {
+        (OpKind::ReadMiss, true, false) => MessageCount::new(0, 0),
+        (OpKind::ReadMiss, true, true) => MessageCount::new(1, 1),
+        (OpKind::ReadMiss, false, false) => MessageCount::new(1, 1),
+        (OpKind::ReadMiss, false, true) => MessageCount::new(1 + dc, 1 + dc),
+        (OpKind::WriteMiss, true, false) => MessageCount::new(2 * dc, 0),
+        (OpKind::WriteMiss, true, true) => MessageCount::new(1, 1),
+        (OpKind::WriteMiss, false, false) => MessageCount::new(1 + 2 * dc, 1),
+        (OpKind::WriteMiss, false, true) => MessageCount::new(1 + dc, 1 + dc),
+        // Write hits only occur on clean blocks: a dirty block already has
+        // write permission and its writes are silent.
+        (OpKind::WriteHit, true, _) => MessageCount::new(2 * dc, 0),
+        (OpKind::WriteHit, false, _) => MessageCount::new(2 + 2 * dc, 0),
+    }
+}
+
+/// Charges the eviction traffic of §3.3.
+///
+/// Dropping a *clean* block sends a notification (a control message) to
+/// the home so the directory can prune its copy set; the paper charges
+/// these like any other message. Replacing a *dirty* block writes the data
+/// back to the home (a data message). Either is free when the home is the
+/// evicting node.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::{charge_eviction, MessageCount};
+///
+/// assert_eq!(charge_eviction(false, true), MessageCount::new(0, 1)); // remote writeback
+/// assert_eq!(charge_eviction(false, false), MessageCount::new(1, 0)); // remote clean drop
+/// assert_eq!(charge_eviction(true, true), MessageCount::ZERO);
+/// ```
+pub fn charge_eviction(home_is_local: bool, dirty: bool) -> MessageCount {
+    if home_is_local {
+        MessageCount::ZERO
+    } else if dirty {
+        MessageCount::new(0, 1)
+    } else {
+        MessageCount::new(1, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every row of Table 1, verbatim.
+    #[test]
+    fn table_1_rows() {
+        // (op, home local?, dirty?, DC) -> (control, data)
+        let rows: &[(OpKind, bool, bool, u64, u64, u64)] = &[
+            (OpKind::ReadMiss, true, false, 0, 0, 0),
+            (OpKind::ReadMiss, true, true, 0, 1, 1),
+            (OpKind::ReadMiss, false, false, 0, 1, 1),
+            (OpKind::ReadMiss, false, true, 0, 1, 1),
+            (OpKind::ReadMiss, false, true, 1, 2, 2),
+            (OpKind::WriteMiss, true, false, 0, 0, 0),
+            (OpKind::WriteMiss, true, false, 3, 6, 0),
+            (OpKind::WriteMiss, true, true, 0, 1, 1),
+            (OpKind::WriteMiss, false, false, 0, 1, 1),
+            (OpKind::WriteMiss, false, false, 2, 5, 1),
+            (OpKind::WriteMiss, false, true, 0, 1, 1),
+            (OpKind::WriteMiss, false, true, 1, 2, 2),
+            (OpKind::WriteHit, true, false, 0, 0, 0),
+            (OpKind::WriteHit, true, false, 4, 8, 0),
+            (OpKind::WriteHit, false, false, 0, 2, 0),
+            (OpKind::WriteHit, false, false, 2, 6, 0),
+        ];
+        for &(op, local, dirty, dc, control, data) in rows {
+            assert_eq!(
+                charge(op, local, dirty, dc),
+                MessageCount::new(control, data),
+                "row ({op}, local={local}, dirty={dirty}, dc={dc})"
+            );
+        }
+    }
+
+    #[test]
+    fn local_clean_read_miss_is_free() {
+        assert_eq!(charge(OpKind::ReadMiss, true, false, 5), MessageCount::ZERO);
+    }
+
+    #[test]
+    fn invalidations_cost_request_plus_ack() {
+        // Each distant copy adds exactly two control messages to a write.
+        for dc in 0..8 {
+            let base = charge(OpKind::WriteHit, false, false, 0);
+            let with = charge(OpKind::WriteHit, false, false, dc);
+            assert_eq!(with.control - base.control, 2 * dc);
+            assert_eq!(with.data, 0);
+        }
+    }
+
+    #[test]
+    fn dirty_read_miss_charges_forwarding() {
+        // Each distant copy (the dirty owner when not at home) adds one
+        // control and one data message.
+        let at_home = charge(OpKind::ReadMiss, false, true, 0);
+        let at_third = charge(OpKind::ReadMiss, false, true, 1);
+        assert_eq!(at_third.control - at_home.control, 1);
+        assert_eq!(at_third.data - at_home.data, 1);
+    }
+
+    #[test]
+    fn eviction_charges() {
+        assert_eq!(charge_eviction(true, false), MessageCount::ZERO);
+        assert_eq!(charge_eviction(true, true), MessageCount::ZERO);
+        assert_eq!(charge_eviction(false, false), MessageCount::new(1, 0));
+        assert_eq!(charge_eviction(false, true), MessageCount::new(0, 1));
+    }
+
+    #[test]
+    fn count_arithmetic() {
+        let mut acc = MessageCount::ZERO;
+        acc += MessageCount::new(2, 3);
+        acc += MessageCount::new(1, 1);
+        assert_eq!(acc, MessageCount::new(3, 4));
+        assert_eq!(acc.total(), 7);
+        let summed: MessageCount = [MessageCount::new(1, 0); 4].into_iter().sum();
+        assert_eq!(summed, MessageCount::new(4, 0));
+    }
+
+    #[test]
+    fn weighted_cost_models() {
+        let c = MessageCount::new(10, 5);
+        assert_eq!(c.weighted(1.0), 15.0);
+        assert_eq!(c.weighted(2.0), 20.0);
+        assert_eq!(c.weighted(4.0), 30.0);
+        // 1 unit per message + 1 per 16 bytes: 15 + 5*64/16 = 35 for 64B blocks.
+        assert_eq!(c.per_16_bytes(64), 35.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(MessageCount::new(2, 1).to_string(), "2 control + 1 data");
+        assert_eq!(OpKind::ReadMiss.to_string(), "read miss");
+    }
+}

@@ -1,0 +1,260 @@
+//! The adaptive protocol family (§2 of the paper).
+//!
+//! Family members differ along three axes: how quickly they adapt
+//! (hysteresis), whether classification survives intervals in which a
+//! block is uncached, and how blocks are classified initially. The paper
+//! evaluates three points — *conservative*, *basic*, and *aggressive* —
+//! against the *conventional* replicate-on-read-miss baseline; §5 also
+//! discusses the non-adaptive pure migrate-on-read-miss policy of the
+//! Sequent Symmetry (model B) and MIT Alewife, which is provided here for
+//! ablation studies.
+
+use core::fmt;
+
+/// Tunable knobs of an adaptive protocol (the three §2 axes).
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::AdaptivePolicy;
+///
+/// let aggressive = AdaptivePolicy::aggressive();
+/// assert!(aggressive.initial_migratory);
+/// assert_eq!(aggressive.events_required, 1);
+///
+/// // A custom family member: extra hysteresis, forgetful directory.
+/// let custom = AdaptivePolicy {
+///     initial_migratory: false,
+///     events_required: 3,
+///     remember_when_uncached: false,
+///     demote_on_write_miss: false,
+/// };
+/// assert_eq!(custom.events_required, 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AdaptivePolicy {
+    /// Whether blocks start life classified as migratory.
+    ///
+    /// When `true`, the very first read miss to a block grants write
+    /// permission (migrate-on-read-miss); when `false`, blocks start under
+    /// replicate-on-read-miss and must earn the migratory classification.
+    pub initial_migratory: bool,
+    /// Number of *successive* migratory-evidence events needed to
+    /// classify a block as migratory. `1` reclassifies immediately; `2`
+    /// is the paper's conservative hysteresis (the `one migration` bit of
+    /// Figure 3). Counter-evidence always declassifies immediately.
+    pub events_required: u8,
+    /// Whether the directory retains the classification (and the
+    /// last-invalidator identity) while a block is not cached anywhere.
+    ///
+    /// Snooping implementations cannot remember (§4.3); the directory
+    /// implementations of the paper do.
+    pub remember_when_uncached: bool,
+    /// Whether a *write miss* to a migratory block declassifies it even
+    /// when the block was modified. Cox & Fowler keep such blocks
+    /// migratory (a write-miss migration is consistent with migratory
+    /// behaviour); the closely related protocol of Stenström, Brorsson &
+    /// Sandberg (ISCA 1993, discussed in §5) also shifts out of
+    /// migratory mode on any write miss to a migratory block.
+    pub demote_on_write_miss: bool,
+}
+
+impl AdaptivePolicy {
+    /// The paper's *conservative* protocol: replicate initially, two
+    /// successive events to classify migratory, remembers when uncached.
+    pub const fn conservative() -> Self {
+        AdaptivePolicy {
+            initial_migratory: false,
+            events_required: 2,
+            remember_when_uncached: true,
+            demote_on_write_miss: false,
+        }
+    }
+
+    /// The paper's *basic* protocol: replicate initially, one event to
+    /// classify, remembers when uncached.
+    pub const fn basic() -> Self {
+        AdaptivePolicy {
+            initial_migratory: false,
+            events_required: 1,
+            remember_when_uncached: true,
+            demote_on_write_miss: false,
+        }
+    }
+
+    /// The paper's *aggressive* protocol: all blocks start migratory,
+    /// one event to reclassify, remembers when uncached.
+    pub const fn aggressive() -> Self {
+        AdaptivePolicy {
+            initial_migratory: true,
+            events_required: 1,
+            remember_when_uncached: true,
+            demote_on_write_miss: false,
+        }
+    }
+
+    /// The Stenström–Brorsson–Sandberg rule set discussed in §5: like
+    /// [`AdaptivePolicy::basic`], but a migratory block also loses its
+    /// classification on any write miss.
+    pub const fn stenstrom() -> Self {
+        AdaptivePolicy {
+            initial_migratory: false,
+            events_required: 1,
+            remember_when_uncached: true,
+            demote_on_write_miss: true,
+        }
+    }
+}
+
+impl Default for AdaptivePolicy {
+    /// Defaults to [`AdaptivePolicy::basic`].
+    fn default() -> Self {
+        AdaptivePolicy::basic()
+    }
+}
+
+/// A coherence protocol selection for the directory simulator.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::{AdaptivePolicy, Protocol};
+///
+/// assert_eq!(Protocol::Basic.policy(), Some(AdaptivePolicy::basic()));
+/// assert_eq!(Protocol::Conventional.policy(), None);
+/// assert_eq!(Protocol::Aggressive.to_string(), "aggressive");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Pure replicate-on-read-miss write-invalidate (the paper's
+    /// baseline).
+    Conventional,
+    /// Adaptive, [`AdaptivePolicy::conservative`].
+    Conservative,
+    /// Adaptive, [`AdaptivePolicy::basic`].
+    Basic,
+    /// Adaptive, [`AdaptivePolicy::aggressive`].
+    Aggressive,
+    /// Non-adaptive migrate-on-read-miss for all modified blocks — the
+    /// Sequent Symmetry (model B) / MIT Alewife policy discussed in §5.
+    PureMigratory,
+    /// Any other point in the family.
+    Custom(AdaptivePolicy),
+}
+
+impl Protocol {
+    /// The four protocols evaluated in the paper's tables, in table order.
+    pub const PAPER_SET: [Protocol; 4] = [
+        Protocol::Conventional,
+        Protocol::Conservative,
+        Protocol::Basic,
+        Protocol::Aggressive,
+    ];
+
+    /// The adaptive policy of this protocol, or `None` for the
+    /// non-adaptive protocols.
+    pub const fn policy(self) -> Option<AdaptivePolicy> {
+        match self {
+            Protocol::Conventional | Protocol::PureMigratory => None,
+            Protocol::Conservative => Some(AdaptivePolicy::conservative()),
+            Protocol::Basic => Some(AdaptivePolicy::basic()),
+            Protocol::Aggressive => Some(AdaptivePolicy::aggressive()),
+            Protocol::Custom(p) => Some(p),
+        }
+    }
+
+    /// Returns `true` when this protocol adapts per block.
+    pub const fn is_adaptive(self) -> bool {
+        self.policy().is_some()
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Conventional => f.write_str("conventional"),
+            Protocol::Conservative => f.write_str("conservative"),
+            Protocol::Basic => f.write_str("basic"),
+            Protocol::Aggressive => f.write_str("aggressive"),
+            Protocol::PureMigratory => f.write_str("pure-migratory"),
+            Protocol::Custom(p) => write!(
+                f,
+                "custom(init={}, events={}, remember={})",
+                if p.initial_migratory { "migratory" } else { "replicate" },
+                p.events_required,
+                p.remember_when_uncached
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_definitions() {
+        let c = AdaptivePolicy::conservative();
+        assert!(!c.initial_migratory);
+        assert_eq!(c.events_required, 2);
+        assert!(c.remember_when_uncached);
+
+        let b = AdaptivePolicy::basic();
+        assert!(!b.initial_migratory);
+        assert_eq!(b.events_required, 1);
+
+        let a = AdaptivePolicy::aggressive();
+        assert!(a.initial_migratory);
+        assert_eq!(a.events_required, 1);
+    }
+
+    #[test]
+    fn default_is_basic() {
+        assert_eq!(AdaptivePolicy::default(), AdaptivePolicy::basic());
+    }
+
+    #[test]
+    fn protocol_policy_mapping() {
+        assert_eq!(Protocol::Conventional.policy(), None);
+        assert_eq!(Protocol::PureMigratory.policy(), None);
+        assert_eq!(Protocol::Conservative.policy(), Some(AdaptivePolicy::conservative()));
+        assert_eq!(Protocol::Basic.policy(), Some(AdaptivePolicy::basic()));
+        assert_eq!(Protocol::Aggressive.policy(), Some(AdaptivePolicy::aggressive()));
+        let custom = AdaptivePolicy {
+            initial_migratory: true,
+            events_required: 3,
+            remember_when_uncached: false,
+            demote_on_write_miss: false,
+        };
+        assert_eq!(Protocol::Custom(custom).policy(), Some(custom));
+    }
+
+    #[test]
+    fn is_adaptive() {
+        assert!(!Protocol::Conventional.is_adaptive());
+        assert!(!Protocol::PureMigratory.is_adaptive());
+        assert!(Protocol::Basic.is_adaptive());
+    }
+
+    #[test]
+    fn paper_set_order_matches_tables() {
+        assert_eq!(
+            Protocol::PAPER_SET,
+            [
+                Protocol::Conventional,
+                Protocol::Conservative,
+                Protocol::Basic,
+                Protocol::Aggressive
+            ]
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Protocol::Conventional.to_string(), "conventional");
+        assert_eq!(Protocol::PureMigratory.to_string(), "pure-migratory");
+        let s = Protocol::Custom(AdaptivePolicy::aggressive()).to_string();
+        assert!(s.contains("init=migratory"));
+        assert!(s.contains("events=1"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Directory representations: full-map presence vectors versus
+//! limited-pointer schemes (Dir<sub>i</sub>B).
+//!
+//! The paper's simulations assume a DASH-style full-map directory. A
+//! common cheaper alternative in the same era (Agarwal et al.; the
+//! LimitLESS work the paper cites) keeps only *i* sharer pointers per
+//! entry and falls back to **broadcast invalidation** once more than
+//! *i* copies exist. That interacts with migratory data in an
+//! interesting way: migratory blocks never have more than two cached
+//! copies, so an adaptive protocol keeps limited-pointer directories
+//! out of broadcast mode exactly where a conventional protocol needs
+//! them most. The `ablation_limited_pointers` harness binary quantifies
+//! this.
+
+use core::fmt;
+
+use mcc_trace::NodeId;
+
+use crate::directory::CopySet;
+
+/// How the directory stores the set of sharers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DirectoryRepr {
+    /// A presence bit per node: invalidations go exactly to the sharers
+    /// (the paper's assumed organization).
+    #[default]
+    FullMap,
+    /// `Dir_iB`: at most `pointers` sharer identities are tracked; when
+    /// more copies are created the entry *overflows* and subsequent
+    /// invalidations must broadcast to every node.
+    LimitedPointer {
+        /// Sharer pointers per entry (≥ 1).
+        pointers: u8,
+    },
+}
+
+impl DirectoryRepr {
+    /// Returns `true` when a copy set of `copies` current sharers
+    /// exceeds the representation's capacity.
+    pub fn overflows(self, copies: u64) -> bool {
+        match self {
+            DirectoryRepr::FullMap => false,
+            DirectoryRepr::LimitedPointer { pointers } => copies > u64::from(pointers),
+        }
+    }
+
+    /// The `‖DistantCopies‖` value to *charge* for an invalidation when
+    /// the true copy set is `copyset`: the precise distant count for a
+    /// full map (or an un-overflowed entry), or everyone except the
+    /// initiator and home under broadcast.
+    pub fn charged_distant_copies(
+        self,
+        copyset: CopySet,
+        overflowed: bool,
+        initiator: NodeId,
+        home: NodeId,
+        nodes: u16,
+    ) -> u64 {
+        if overflowed {
+            let mut all = u64::from(nodes);
+            all -= 1; // the initiator
+            if home != initiator {
+                all -= 1; // the home invalidates locally
+            }
+            all
+        } else {
+            copyset.distant_count(initiator, home)
+        }
+    }
+
+    /// Bits needed to store the sharer set for `nodes` nodes.
+    pub fn sharer_bits(self, nodes: u16) -> u32 {
+        match self {
+            DirectoryRepr::FullMap => u32::from(nodes),
+            DirectoryRepr::LimitedPointer { pointers } => {
+                let ptr_bits = 32 - u32::from(nodes.saturating_sub(1)).leading_zeros();
+                u32::from(pointers) * ptr_bits.max(1) + 1 // +1 overflow bit
+            }
+        }
+    }
+}
+
+impl fmt::Display for DirectoryRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryRepr::FullMap => f.write_str("full-map"),
+            DirectoryRepr::LimitedPointer { pointers } => write!(f, "Dir{pointers}B"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: NodeId = NodeId::new(0);
+    const P1: NodeId = NodeId::new(1);
+    const P2: NodeId = NodeId::new(2);
+
+    #[test]
+    fn full_map_never_overflows() {
+        for copies in 0..64 {
+            assert!(!DirectoryRepr::FullMap.overflows(copies));
+        }
+    }
+
+    #[test]
+    fn limited_pointers_overflow_past_capacity() {
+        let d2 = DirectoryRepr::LimitedPointer { pointers: 2 };
+        assert!(!d2.overflows(0));
+        assert!(!d2.overflows(2));
+        assert!(d2.overflows(3));
+    }
+
+    #[test]
+    fn charged_copies_exact_when_not_overflowed() {
+        let mut set = CopySet::new();
+        set.insert(P1);
+        set.insert(P2);
+        let d = DirectoryRepr::LimitedPointer { pointers: 2 };
+        assert_eq!(d.charged_distant_copies(set, false, P0, P0, 16), 2);
+        assert_eq!(d.charged_distant_copies(set, false, P1, P0, 16), 1);
+    }
+
+    #[test]
+    fn charged_copies_broadcast_when_overflowed() {
+        let set = CopySet::only(P1);
+        let d = DirectoryRepr::LimitedPointer { pointers: 1 };
+        // Broadcast charges everyone but the initiator and the home.
+        assert_eq!(d.charged_distant_copies(set, true, P0, P2, 16), 14);
+        // Home == initiator: only the initiator is exempt.
+        assert_eq!(d.charged_distant_copies(set, true, P0, P0, 16), 15);
+    }
+
+    #[test]
+    fn sharer_bits() {
+        assert_eq!(DirectoryRepr::FullMap.sharer_bits(16), 16);
+        assert_eq!(DirectoryRepr::FullMap.sharer_bits(64), 64);
+        // Dir2B at 16 nodes: 2 pointers x 4 bits + overflow bit.
+        assert_eq!(
+            DirectoryRepr::LimitedPointer { pointers: 2 }.sharer_bits(16),
+            9
+        );
+        // Dir4B at 64 nodes: 4 x 6 + 1.
+        assert_eq!(
+            DirectoryRepr::LimitedPointer { pointers: 4 }.sharer_bits(64),
+            25
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DirectoryRepr::FullMap.to_string(), "full-map");
+        assert_eq!(
+            DirectoryRepr::LimitedPointer { pointers: 3 }.to_string(),
+            "Dir3B"
+        );
+    }
+}

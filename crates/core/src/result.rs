@@ -1,0 +1,304 @@
+//! Simulation results: message tallies and event counts.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+use crate::msg::MessageCount;
+use crate::policy::Protocol;
+
+/// Messages grouped by the operation that caused them.
+///
+/// The paper's tables report two totals (messages with and without data);
+/// the per-cause split here supports the ablation studies and debugging.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MessageBreakdown {
+    /// Messages caused by read misses (including migrations).
+    pub read_miss: MessageCount,
+    /// Messages caused by write misses.
+    pub write_miss: MessageCount,
+    /// Messages caused by write hits needing permission or invalidations.
+    pub write_hit: MessageCount,
+    /// Eviction traffic: clean-drop notifications and writebacks.
+    pub eviction: MessageCount,
+}
+
+impl MessageBreakdown {
+    /// Sums all causes into one [`MessageCount`].
+    pub fn combined(&self) -> MessageCount {
+        self.read_miss + self.write_miss + self.write_hit + self.eviction
+    }
+
+    /// Total messages of both classes across all causes.
+    pub fn total(&self) -> u64 {
+        self.combined().total()
+    }
+}
+
+impl Add for MessageBreakdown {
+    type Output = MessageBreakdown;
+
+    fn add(self, rhs: MessageBreakdown) -> MessageBreakdown {
+        MessageBreakdown {
+            read_miss: self.read_miss + rhs.read_miss,
+            write_miss: self.write_miss + rhs.write_miss,
+            write_hit: self.write_hit + rhs.write_hit,
+            eviction: self.eviction + rhs.eviction,
+        }
+    }
+}
+
+impl AddAssign for MessageBreakdown {
+    fn add_assign(&mut self, rhs: MessageBreakdown) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for MessageBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "read miss : {}", self.read_miss)?;
+        writeln!(f, "write miss: {}", self.write_miss)?;
+        writeln!(f, "write hit : {}", self.write_hit)?;
+        writeln!(f, "eviction  : {}", self.eviction)?;
+        write!(f, "total     : {}", self.combined())
+    }
+}
+
+/// Counts of the protocol-visible events a simulation observed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Reads that hit a valid local copy.
+    pub read_hits: u64,
+    /// Writes that hit a Dirty copy (no coherence activity).
+    pub silent_write_hits: u64,
+    /// First writes to a migratory-clean copy: the pre-granted write
+    /// permission was used, costing zero messages — the adaptive win.
+    pub write_grants_used: u64,
+    /// Write hits to clean exclusively-held copies (permission fetched
+    /// from the home).
+    pub exclusive_upgrades: u64,
+    /// Write hits to Shared copies (invalidations issued).
+    pub shared_upgrades: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Read misses serviced by migrating the block with write permission.
+    pub migrations: u64,
+    /// Read misses serviced by replication.
+    pub replications: u64,
+    /// Individual cache copies invalidated by writes.
+    pub invalidations: u64,
+    /// Clean blocks dropped from caches (notification sent to the home).
+    pub clean_drops: u64,
+    /// Dirty blocks written back on replacement.
+    pub writebacks: u64,
+    /// Blocks (re)classified as migratory.
+    pub became_migratory: u64,
+    /// Blocks declassified from migratory.
+    pub became_other: u64,
+    /// Write invalidations that had to broadcast because a
+    /// limited-pointer directory entry had overflowed.
+    pub broadcast_invalidations: u64,
+}
+
+impl EventCounts {
+    /// Total references processed.
+    pub fn refs(&self) -> u64 {
+        self.read_hits
+            + self.silent_write_hits
+            + self.write_grants_used
+            + self.exclusive_upgrades
+            + self.shared_upgrades
+            + self.read_misses
+            + self.write_misses
+    }
+}
+
+impl Add for EventCounts {
+    type Output = EventCounts;
+
+    fn add(self, rhs: EventCounts) -> EventCounts {
+        EventCounts {
+            read_hits: self.read_hits + rhs.read_hits,
+            silent_write_hits: self.silent_write_hits + rhs.silent_write_hits,
+            write_grants_used: self.write_grants_used + rhs.write_grants_used,
+            exclusive_upgrades: self.exclusive_upgrades + rhs.exclusive_upgrades,
+            shared_upgrades: self.shared_upgrades + rhs.shared_upgrades,
+            read_misses: self.read_misses + rhs.read_misses,
+            write_misses: self.write_misses + rhs.write_misses,
+            migrations: self.migrations + rhs.migrations,
+            replications: self.replications + rhs.replications,
+            invalidations: self.invalidations + rhs.invalidations,
+            clean_drops: self.clean_drops + rhs.clean_drops,
+            writebacks: self.writebacks + rhs.writebacks,
+            became_migratory: self.became_migratory + rhs.became_migratory,
+            became_other: self.became_other + rhs.became_other,
+            broadcast_invalidations: self.broadcast_invalidations + rhs.broadcast_invalidations,
+        }
+    }
+}
+
+impl AddAssign for EventCounts {
+    fn add_assign(&mut self, rhs: EventCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for EventCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} refs", self.refs())?;
+        writeln!(
+            f,
+            "hits: {} read, {} silent write, {} granted write",
+            self.read_hits, self.silent_write_hits, self.write_grants_used
+        )?;
+        writeln!(
+            f,
+            "upgrades: {} exclusive, {} shared",
+            self.exclusive_upgrades, self.shared_upgrades
+        )?;
+        writeln!(
+            f,
+            "misses: {} read ({} migrated, {} replicated), {} write",
+            self.read_misses, self.migrations, self.replications, self.write_misses
+        )?;
+        write!(
+            f,
+            "{} invalidations, {} clean drops, {} writebacks, {}+/{}− reclassifications",
+            self.invalidations,
+            self.clean_drops,
+            self.writebacks,
+            self.became_migratory,
+            self.became_other
+        )
+    }
+}
+
+/// The outcome of one trace-driven directory simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimResult {
+    /// The protocol simulated.
+    pub protocol: Protocol,
+    /// Inter-node messages, by cause.
+    pub messages: MessageBreakdown,
+    /// Event counts.
+    pub events: EventCounts,
+}
+
+impl SimResult {
+    /// Combined message count (both classes, all causes).
+    pub fn message_count(&self) -> MessageCount {
+        self.messages.combined()
+    }
+
+    /// Total number of inter-node messages.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.total()
+    }
+
+    /// Percentage reduction in total messages relative to `baseline`
+    /// (positive = fewer messages than the baseline), as reported in the
+    /// `%` columns of Tables 2 and 3.
+    pub fn percent_reduction_vs(&self, baseline: &SimResult) -> f64 {
+        let base = baseline.total_messages();
+        if base == 0 {
+            0.0
+        } else {
+            100.0 * (base as f64 - self.total_messages() as f64) / base as f64
+        }
+    }
+}
+
+impl fmt::Display for SimResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.message_count();
+        writeln!(
+            f,
+            "{}: {} control + {} data messages ({} total)",
+            self.protocol,
+            c.control,
+            c.data,
+            c.total()
+        )?;
+        write!(f, "{}", self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        SimResult {
+            protocol: Protocol::Basic,
+            messages: MessageBreakdown {
+                read_miss: MessageCount::new(10, 10),
+                write_miss: MessageCount::new(4, 2),
+                write_hit: MessageCount::new(6, 0),
+                eviction: MessageCount::new(1, 2),
+            },
+            events: EventCounts {
+                read_hits: 50,
+                read_misses: 20,
+                write_misses: 5,
+                shared_upgrades: 3,
+                ..EventCounts::default()
+            },
+        }
+    }
+
+    #[test]
+    fn breakdown_combines() {
+        let r = sample();
+        assert_eq!(r.message_count(), MessageCount::new(21, 14));
+        assert_eq!(r.total_messages(), 35);
+    }
+
+    #[test]
+    fn breakdown_addition() {
+        let a = sample().messages;
+        let mut b = a;
+        b += a;
+        assert_eq!(b.total(), 2 * a.total());
+        assert_eq!(b.read_miss, MessageCount::new(20, 20));
+    }
+
+    #[test]
+    fn event_refs_totals_all_reference_outcomes() {
+        let e = sample().events;
+        assert_eq!(e.refs(), 50 + 20 + 5 + 3);
+    }
+
+    #[test]
+    fn event_addition() {
+        let e = sample().events;
+        let sum = e + e;
+        assert_eq!(sum.read_hits, 100);
+        assert_eq!(sum.refs(), 2 * e.refs());
+    }
+
+    #[test]
+    fn percent_reduction() {
+        let base = sample();
+        let mut better = sample();
+        better.messages.write_hit = MessageCount::ZERO;
+        // 35 -> 29: 6/35 ≈ 17.14%
+        assert!((better.percent_reduction_vs(&base) - 100.0 * 6.0 / 35.0).abs() < 1e-9);
+        assert_eq!(base.percent_reduction_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn percent_reduction_of_zero_baseline_is_zero() {
+        let mut zero = sample();
+        zero.messages = MessageBreakdown::default();
+        assert_eq!(sample().percent_reduction_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let r = sample();
+        assert!(r.to_string().contains("basic"));
+        assert!(r.messages.to_string().contains("total"));
+        assert!(r.events.to_string().contains("misses"));
+    }
+}

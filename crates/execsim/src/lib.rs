@@ -1,0 +1,587 @@
+//! Execution-driven timing simulation of a CC-NUMA multiprocessor
+//! (§4.2 of the paper).
+//!
+//! The paper's trace-driven evaluation counts messages; its
+//! execution-driven evaluation (with the `dixie` DASH simulator) asks
+//! how much *time* the saved messages buy. This crate answers the same
+//! question over the same protocol engine: each node executes its own
+//! reference stream, stalls for the latency of every coherence
+//! operation, and contends for the home nodes' memory controllers. The
+//! global interleaving is timing-driven — the node with the smallest
+//! local clock issues next — which is what distinguishes
+//! execution-driven from trace-driven simulation.
+//!
+//! Following the paper, the execution-driven configuration uses
+//! round-robin page placement (§3.3) rather than the profiled placement
+//! of the trace-driven runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_core::Protocol;
+//! use mcc_execsim::{ExecSim, ExecSimConfig};
+//! use mcc_trace::{Addr, MemRef, NodeId, Trace};
+//!
+//! // Sixty-four counters handed around four nodes.
+//! let mut trace = Trace::new();
+//! for round in 0..12u64 {
+//!     for obj in 0..64u64 {
+//!         let node = NodeId::new(((round + obj) % 4) as u16);
+//!         trace.push(MemRef::read(node, Addr::new(obj * 64)));
+//!         trace.push(MemRef::write(node, Addr::new(obj * 64)));
+//!     }
+//! }
+//!
+//! let config = ExecSimConfig { nodes: 4, ..ExecSimConfig::default() };
+//! let conventional = ExecSim::new(Protocol::Conventional, &config).run(&trace);
+//! let adaptive = ExecSim::new(Protocol::Basic, &config).run(&trace);
+//! assert!(adaptive.cycles <= conventional.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use mcc_cache::{CacheConfig, CacheGeometry};
+use mcc_core::{
+    DirectoryEngine, DirectorySimConfig, EventCounts, MessageBreakdown, PlacementPolicy, Protocol,
+    StepKind,
+};
+use mcc_placement::PagePlacement;
+use mcc_trace::{BlockSize, NodeId, Trace};
+
+/// The interconnect shape used to turn message counts into wire time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of nodes is one hop apart (a crossbar-like ideal).
+    #[default]
+    Uniform,
+    /// A 2-D mesh of ⌈√n⌉ columns (DASH's interconnect): wire time is
+    /// proportional to Manhattan distance.
+    Mesh2D,
+}
+
+impl Topology {
+    /// Network hops between two nodes.
+    ///
+    /// Under [`Topology::Mesh2D`] nodes are laid out row-major on a
+    /// ⌈√nodes⌉-wide grid.
+    pub fn hops(self, a: NodeId, b: NodeId, nodes: u16) -> u64 {
+        match self {
+            Topology::Uniform => u64::from(a != b),
+            Topology::Mesh2D => {
+                let width = (f64::from(nodes)).sqrt().ceil() as usize;
+                let (ax, ay) = (a.index() % width, a.index() / width);
+                let (bx, by) = (b.index() % width, b.index() / width);
+                (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+            }
+        }
+    }
+}
+
+/// Latency parameters, in processor cycles.
+///
+/// The defaults are DASH-flavoured: single-cycle hits, a few tens of
+/// cycles to local memory, and a network/protocol cost proportional to
+/// the messages an operation puts on its critical path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// A cache hit (and the base cost of every reference).
+    pub cache_hit: u64,
+    /// Memory/directory access at the home on any miss or upgrade.
+    pub memory_access: u64,
+    /// Network + service cost per inter-node message on the operation's
+    /// critical path.
+    pub per_message: u64,
+    /// Memory-controller occupancy the operation imposes on the home
+    /// node per message; concurrent requests to the same home queue.
+    pub controller_occupancy: u64,
+    /// Compute cycles between consecutive shared references (the private
+    /// work the traces exclude).
+    pub compute_between_refs: u64,
+    /// Additional wire cycles per network hop between the requester and
+    /// the home (used by [`Topology::Mesh2D`]).
+    pub per_hop: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            cache_hit: 1,
+            memory_access: 20,
+            per_message: 25,
+            controller_occupancy: 24,
+            compute_between_refs: 4,
+            per_hop: 6,
+        }
+    }
+}
+
+/// Configuration of the execution-driven simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecSimConfig {
+    /// Number of nodes.
+    pub nodes: u16,
+    /// Cache block size.
+    pub block_size: BlockSize,
+    /// Per-node cache model.
+    pub cache: CacheConfig,
+    /// Latency parameters.
+    pub latency: LatencyModel,
+    /// Interconnect topology.
+    pub topology: Topology,
+}
+
+impl Default for ExecSimConfig {
+    /// Sixteen nodes, 16-byte blocks, 256 KB 4-way caches (DASH-like
+    /// secondary caches), default latencies.
+    fn default() -> Self {
+        ExecSimConfig {
+            nodes: 16,
+            block_size: BlockSize::B16,
+            cache: CacheConfig::Finite(
+                CacheGeometry::paper_default(256 * 1024, BlockSize::B16)
+                    .expect("valid default geometry"),
+            ),
+            latency: LatencyModel::default(),
+            topology: Topology::Uniform,
+        }
+    }
+}
+
+/// A fixed-width bucket histogram of operation latencies.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_execsim::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::new(16);
+/// for latency in [10, 20, 30, 1000] {
+///     h.record(latency);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert!(h.percentile(50.0) <= h.percentile(95.0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    const BUCKETS: usize = 64;
+
+    /// Creates a histogram with 64 buckets of `bucket_width` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        LatencyHistogram {
+            bucket_width,
+            buckets: vec![0; Self::BUCKETS],
+            overflow: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, latency: u64) {
+        let index = (latency / self.bucket_width) as usize;
+        if index < Self::BUCKETS {
+            self.buckets[index] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observed latency.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The upper bound of the bucket containing the `p`-th percentile
+    /// observation (`max` for observations past the last bucket).
+    /// Returns 0 for an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 100.0`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for LatencyHistogram {
+    /// 64 buckets of 16 cycles.
+    fn default() -> Self {
+        LatencyHistogram::new(16)
+    }
+}
+
+/// The outcome of one execution-driven run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExecResult {
+    /// The protocol simulated.
+    pub protocol: Protocol,
+    /// Execution time of the parallel section: the largest node finish
+    /// time, in cycles.
+    pub cycles: u64,
+    /// Finish time per node.
+    pub per_node_cycles: Vec<u64>,
+    /// Cycles processors spent stalled on coherence operations.
+    pub stall_cycles: u64,
+    /// Cycles spent queueing for busy home memory controllers (a
+    /// contention measure; the paper observes the adaptive protocol
+    /// nearly eliminates this for read misses).
+    pub contention_cycles: u64,
+    /// Read misses observed.
+    pub read_misses: u64,
+    /// Total latency of all read misses, for average-latency reporting.
+    pub read_miss_latency_total: u64,
+    /// Distribution of read-miss latencies.
+    pub read_miss_latency: LatencyHistogram,
+    /// Protocol event counts.
+    pub events: EventCounts,
+    /// Inter-node message tally.
+    pub messages: MessageBreakdown,
+}
+
+impl ExecResult {
+    /// Average read-miss latency in cycles (0 when no read misses).
+    pub fn avg_read_miss_latency(&self) -> f64 {
+        if self.read_misses == 0 {
+            0.0
+        } else {
+            self.read_miss_latency_total as f64 / self.read_misses as f64
+        }
+    }
+
+    /// Percentage reduction in execution time versus `baseline`.
+    pub fn percent_faster_than(&self, baseline: &ExecResult) -> f64 {
+        if baseline.cycles == 0 {
+            0.0
+        } else {
+            100.0 * (baseline.cycles as f64 - self.cycles as f64) / baseline.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles ({} stalled, {} queued), avg read-miss latency {:.1}",
+            self.protocol,
+            self.cycles,
+            self.stall_cycles,
+            self.contention_cycles,
+            self.avg_read_miss_latency()
+        )
+    }
+}
+
+/// An execution-driven simulation of one protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecSim {
+    protocol: Protocol,
+    config: ExecSimConfig,
+}
+
+impl ExecSim {
+    /// Creates a simulation of `protocol` under `config`.
+    pub fn new(protocol: Protocol, config: &ExecSimConfig) -> Self {
+        ExecSim {
+            protocol,
+            config: *config,
+        }
+    }
+
+    /// Runs the trace to completion.
+    ///
+    /// The trace's global order is used only to recover each node's
+    /// program order; the simulated interleaving is then timing-driven.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references nodes outside the configuration, or
+    /// on a coherence violation (a bug in `mcc-core`).
+    pub fn run(&self, trace: &Trace) -> ExecResult {
+        let nodes = usize::from(self.config.nodes);
+        let lat = self.config.latency;
+        let dir_config = DirectorySimConfig {
+            nodes: self.config.nodes,
+            block_size: self.config.block_size,
+            cache: self.config.cache,
+            placement: PlacementPolicy::RoundRobin,
+            ..DirectorySimConfig::default()
+        };
+        // Round-robin placement, as the paper's execution-driven runs use.
+        let placement = PagePlacement::round_robin(self.config.nodes);
+        let mut engine = DirectoryEngine::new(self.protocol, &dir_config, placement);
+
+        let mut streams: Vec<std::vec::IntoIter<mcc_trace::MemRef>> = {
+            let mut per_node = trace.split_by_node();
+            assert!(
+                per_node.len() <= nodes,
+                "trace references {} nodes but the configuration has {nodes}",
+                per_node.len()
+            );
+            per_node.resize(nodes, Trace::new());
+            per_node.into_iter().map(Trace::into_iter).collect()
+        };
+
+        let mut controller_free = vec![0u64; nodes];
+        let mut result = ExecResult {
+            protocol: self.protocol,
+            cycles: 0,
+            per_node_cycles: vec![0; nodes],
+            stall_cycles: 0,
+            contention_cycles: 0,
+            read_misses: 0,
+            read_miss_latency_total: 0,
+            read_miss_latency: LatencyHistogram::default(),
+            events: EventCounts::default(),
+            messages: MessageBreakdown::default(),
+        };
+
+        // Min-heap of (next issue time, node): the least-advanced node
+        // issues its next reference.
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = (0..nodes)
+            .filter(|&n| streams[n].len() > 0)
+            .map(|n| Reverse((0u64, n)))
+            .collect();
+
+        while let Some(Reverse((now, n))) = ready.pop() {
+            let Some(r) = streams[n].next() else {
+                result.per_node_cycles[n] = result.per_node_cycles[n].max(now);
+                continue;
+            };
+            let info = engine.step(r);
+            let mut latency = lat.cache_hit;
+            if !info.kind.is_local() {
+                // The operation travels to the home (and possibly
+                // beyond); every critical-path message adds wire and
+                // service time, plus per-hop wire delay on the
+                // requester-home round trip.
+                latency += lat.memory_access + lat.per_message * info.messages.total();
+                latency += lat.per_hop
+                    * self.config.topology.hops(r.node, info.home, self.config.nodes)
+                    * 2;
+                // Queue at the home memory controller.
+                let home = info.home.index();
+                let occupancy = lat.controller_occupancy * info.messages.total().max(1);
+                let start = now.max(controller_free[home]);
+                let queued = start - now;
+                controller_free[home] = start + occupancy;
+                latency += queued;
+                result.contention_cycles += queued;
+                result.stall_cycles += latency - lat.cache_hit;
+            }
+            if matches!(info.kind, StepKind::ReadMissReplicate | StepKind::ReadMissMigrate) {
+                result.read_misses += 1;
+                result.read_miss_latency_total += latency;
+                result.read_miss_latency.record(latency);
+            }
+            let next = now + latency + lat.compute_between_refs;
+            result.per_node_cycles[n] = result.per_node_cycles[n].max(next);
+            ready.push(Reverse((next, n)));
+        }
+
+        result.cycles = result.per_node_cycles.iter().copied().max().unwrap_or(0);
+        result.events = engine.events();
+        result.messages = engine.messages();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::{Addr, MemRef, NodeId};
+
+    fn migratory_trace(nodes: u16, objects: u64, rounds: usize) -> Trace {
+        let mut t = Trace::new();
+        for round in 0..rounds {
+            for obj in 0..objects {
+                let n = NodeId::new(((round as u64 + obj) % u64::from(nodes)) as u16);
+                t.push(MemRef::read(n, Addr::new(obj * 64)));
+                t.push(MemRef::write(n, Addr::new(obj * 64)));
+            }
+        }
+        t
+    }
+
+    fn config(nodes: u16) -> ExecSimConfig {
+        ExecSimConfig {
+            nodes,
+            ..ExecSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn adaptive_is_faster_on_migratory_data() {
+        let trace = migratory_trace(8, 64, 20);
+        let cfg = config(8);
+        let conventional = ExecSim::new(Protocol::Conventional, &cfg).run(&trace);
+        let basic = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
+        assert!(basic.cycles < conventional.cycles);
+        let pct = basic.percent_faster_than(&conventional);
+        assert!(pct > 1.0, "expected a visible speedup, got {pct:.2}%");
+    }
+
+    #[test]
+    fn adaptive_reduces_read_miss_latency_via_contention() {
+        // The paper observes a ~20% average read-miss latency drop from
+        // eliminating invalidation traffic (less controller contention).
+        let trace = migratory_trace(8, 64, 20);
+        let cfg = config(8);
+        let conventional = ExecSim::new(Protocol::Conventional, &cfg).run(&trace);
+        let basic = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
+        assert!(basic.avg_read_miss_latency() < conventional.avg_read_miss_latency());
+        assert!(basic.contention_cycles <= conventional.contention_cycles);
+    }
+
+    #[test]
+    fn single_node_run_is_all_hits_after_cold_start() {
+        let mut t = Trace::new();
+        for _ in 0..10 {
+            for i in 0..4u64 {
+                t.push(MemRef::read(NodeId::new(0), Addr::new(i * 16)));
+            }
+        }
+        let r = ExecSim::new(Protocol::Conventional, &config(4)).run(&t);
+        assert_eq!(r.events.read_misses, 4);
+        assert_eq!(r.events.read_hits, 36);
+        // 4 misses to node-0-homed pages: local clean misses cost the
+        // memory access but no messages.
+        assert_eq!(r.messages.combined().total(), 0);
+        assert!(r.cycles > 0);
+        assert_eq!(r.per_node_cycles.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn execution_time_is_max_over_nodes() {
+        let trace = migratory_trace(4, 16, 5);
+        let r = ExecSim::new(Protocol::Basic, &config(4)).run(&trace);
+        assert_eq!(r.cycles, *r.per_node_cycles.iter().max().unwrap());
+        assert!(r.per_node_cycles.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let trace = migratory_trace(4, 16, 5);
+        let a = ExecSim::new(Protocol::Aggressive, &config(4)).run(&trace);
+        let b = ExecSim::new(Protocol::Aggressive, &config(4)).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_finishes_instantly() {
+        let r = ExecSim::new(Protocol::Basic, &config(4)).run(&Trace::new());
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.avg_read_miss_latency(), 0.0);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles() {
+        let mut h = LatencyHistogram::new(10);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 99);
+        assert_eq!(h.percentile(10.0), 10);
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(100.0), 100);
+        // Overflow observations resolve to max.
+        h.record(100_000);
+        assert_eq!(h.percentile(100.0), 100_000);
+        assert_eq!(LatencyHistogram::default().percentile(99.0), 0);
+    }
+
+    #[test]
+    fn read_miss_histogram_is_populated() {
+        let trace = migratory_trace(4, 16, 5);
+        let r = ExecSim::new(Protocol::Basic, &config(4)).run(&trace);
+        assert_eq!(r.read_miss_latency.count(), r.read_misses);
+        assert!(r.read_miss_latency.percentile(50.0) > 0);
+        assert!(
+            r.read_miss_latency.percentile(95.0) >= r.read_miss_latency.percentile(50.0)
+        );
+    }
+
+    #[test]
+    fn mesh_topology_hops() {
+        use mcc_trace::NodeId;
+        let t = Topology::Mesh2D;
+        // 16 nodes on a 4x4 grid, row-major.
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(0), 16), 0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(3), 16), 3);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(15), 16), 6);
+        assert_eq!(t.hops(NodeId::new(5), NodeId::new(10), 16), 2);
+        assert_eq!(Topology::Uniform.hops(NodeId::new(0), NodeId::new(9), 16), 1);
+        assert_eq!(Topology::Uniform.hops(NodeId::new(4), NodeId::new(4), 16), 0);
+    }
+
+    #[test]
+    fn mesh_runs_slower_than_uniform_but_same_protocol_work() {
+        let trace = migratory_trace(8, 32, 10);
+        let uniform = ExecSim::new(Protocol::Basic, &config(8)).run(&trace);
+        let mesh_cfg = ExecSimConfig {
+            topology: Topology::Mesh2D,
+            ..config(8)
+        };
+        let mesh = ExecSim::new(Protocol::Basic, &mesh_cfg).run(&trace);
+        assert!(mesh.cycles > uniform.cycles);
+        assert_eq!(mesh.messages, uniform.messages);
+        assert_eq!(mesh.events, uniform.events);
+    }
+
+    #[test]
+    fn adaptive_still_wins_on_a_mesh() {
+        let trace = migratory_trace(8, 64, 20);
+        let cfg = ExecSimConfig {
+            topology: Topology::Mesh2D,
+            ..config(8)
+        };
+        let conv = ExecSim::new(Protocol::Conventional, &cfg).run(&trace);
+        let basic = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
+        assert!(basic.cycles < conv.cycles);
+    }
+
+    #[test]
+    fn display_reports_cycles() {
+        let trace = migratory_trace(4, 8, 3);
+        let r = ExecSim::new(Protocol::Basic, &config(4)).run(&trace);
+        assert!(r.to_string().contains("cycles"));
+    }
+}

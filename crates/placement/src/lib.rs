@@ -1,0 +1,241 @@
+//! NUMA page placement.
+//!
+//! In a CC-NUMA machine every 4 KB page of shared memory has a *home node*
+//! holding its directory entry and backing storage. The paper (§3.3) notes
+//! that placement quality changes how many coherence operations cross node
+//! boundaries, and uses two policies:
+//!
+//! * **round-robin** — the standard allocator, used by the execution-driven
+//!   simulations (§4.2 and Lenoski et al.'s DASH);
+//! * a **good static placement** found by profiling, in the style of
+//!   Bolosky et al. and Stenström et al., used by the trace-driven
+//!   simulations: each page is assigned to the node that references it most.
+//!
+//! Both are provided here, plus first-touch as a common point of
+//! comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_placement::PagePlacement;
+//! use mcc_trace::{Addr, MemRef, NodeId, PageAddr, Trace};
+//!
+//! let mut trace = Trace::new();
+//! for _ in 0..10 {
+//!     trace.push(MemRef::read(NodeId::new(3), Addr::new(0)));
+//! }
+//! trace.push(MemRef::read(NodeId::new(1), Addr::new(0)));
+//!
+//! let profiled = PagePlacement::profiled(&trace, 4);
+//! assert_eq!(profiled.home_of(PageAddr::new(0)), NodeId::new(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use mcc_trace::{BlockAddr, BlockSize, NodeId, PageAddr, Trace};
+
+/// An assignment of home nodes to 4 KB pages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PagePlacement {
+    kind: Kind,
+    nodes: u16,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Kind {
+    RoundRobin,
+    Table(HashMap<PageAddr, NodeId>),
+}
+
+impl PagePlacement {
+    /// Round-robin placement over `nodes` nodes: page *p* lives at node
+    /// *p mod nodes*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn round_robin(nodes: u16) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        PagePlacement {
+            kind: Kind::RoundRobin,
+            nodes,
+        }
+    }
+
+    /// First-touch placement: each page is homed at the first node that
+    /// references it in `trace`. Unreferenced pages fall back to
+    /// round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn first_touch(trace: &Trace, nodes: u16) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        let mut map = HashMap::new();
+        for r in trace.iter() {
+            map.entry(r.addr.page()).or_insert(r.node);
+        }
+        PagePlacement {
+            kind: Kind::Table(map),
+            nodes,
+        }
+    }
+
+    /// Profiled static placement: each page is homed at the node that
+    /// references it most often in `trace` (ties broken toward the lowest
+    /// node index). This reproduces the "reasonable page placement" of the
+    /// paper's trace-driven simulator (§3.3). Unreferenced pages fall back
+    /// to round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn profiled(trace: &Trace, nodes: u16) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        let mut counts: HashMap<PageAddr, Vec<u64>> = HashMap::new();
+        for r in trace.iter() {
+            let per_node = counts
+                .entry(r.addr.page())
+                .or_insert_with(|| vec![0; usize::from(nodes)]);
+            if r.node.index() < per_node.len() {
+                per_node[r.node.index()] += 1;
+            }
+        }
+        let map = counts
+            .into_iter()
+            .map(|(page, per_node)| {
+                let best = per_node
+                    .iter()
+                    .enumerate()
+                    .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
+                    .map(|(i, _)| i as u16)
+                    .unwrap_or(0);
+                (page, NodeId::new(best))
+            })
+            .collect();
+        PagePlacement {
+            kind: Kind::Table(map),
+            nodes,
+        }
+    }
+
+    /// Number of nodes pages are distributed over.
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The home node of `page`.
+    pub fn home_of(&self, page: PageAddr) -> NodeId {
+        match &self.kind {
+            Kind::RoundRobin => NodeId::new((page.index() % u64::from(self.nodes)) as u16),
+            Kind::Table(map) => *map
+                .get(&page)
+                .unwrap_or(&NodeId::new((page.index() % u64::from(self.nodes)) as u16)),
+        }
+    }
+
+    /// The home node of `block` under `block_size`.
+    pub fn home_of_block(&self, block: BlockAddr, block_size: BlockSize) -> NodeId {
+        self.home_of(block.page(block_size))
+    }
+
+    /// Fraction of references in `trace` whose page is homed at the
+    /// referencing node — a locality figure of merit for comparing
+    /// placements.
+    pub fn local_fraction(&self, trace: &Trace) -> f64 {
+        if trace.is_empty() {
+            return 0.0;
+        }
+        let local = trace
+            .iter()
+            .filter(|r| self.home_of(r.addr.page()) == r.node)
+            .count();
+        local as f64 / trace.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::{Addr, MemRef, PAGE_SIZE};
+
+    fn ref_at(node: u16, page: u64) -> MemRef {
+        MemRef::read(NodeId::new(node), Addr::new(page * PAGE_SIZE))
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = PagePlacement::round_robin(4);
+        assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(0));
+        assert_eq!(p.home_of(PageAddr::new(3)), NodeId::new(3));
+        assert_eq!(p.home_of(PageAddr::new(4)), NodeId::new(0));
+        assert_eq!(p.nodes(), 4);
+    }
+
+    #[test]
+    fn first_touch_uses_first_referencer() {
+        let trace: Trace = vec![ref_at(2, 0), ref_at(1, 0), ref_at(1, 1)].into();
+        let p = PagePlacement::first_touch(&trace, 4);
+        assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(2));
+        assert_eq!(p.home_of(PageAddr::new(1)), NodeId::new(1));
+    }
+
+    #[test]
+    fn profiled_uses_max_referencer() {
+        let mut refs = vec![ref_at(0, 0)];
+        refs.extend(std::iter::repeat(ref_at(3, 0)).take(5));
+        refs.extend(std::iter::repeat(ref_at(0, 0)).take(2));
+        let p = PagePlacement::profiled(&refs.into(), 4);
+        assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(3));
+    }
+
+    #[test]
+    fn profiled_ties_break_to_lowest_node() {
+        let trace: Trace = vec![ref_at(2, 0), ref_at(1, 0)].into();
+        let p = PagePlacement::profiled(&trace, 4);
+        assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(1));
+    }
+
+    #[test]
+    fn table_placements_fall_back_to_round_robin() {
+        let p = PagePlacement::profiled(&Trace::new(), 4);
+        assert_eq!(p.home_of(PageAddr::new(5)), NodeId::new(1));
+    }
+
+    #[test]
+    fn profiled_beats_round_robin_on_locality() {
+        // Node i hammers page i+10; round-robin homes them arbitrarily.
+        let mut trace = Trace::new();
+        for node in 0..4u16 {
+            for _ in 0..100 {
+                trace.push(ref_at(node, u64::from(node) + 10));
+            }
+        }
+        let rr = PagePlacement::round_robin(4).local_fraction(&trace);
+        let prof = PagePlacement::profiled(&trace, 4).local_fraction(&trace);
+        assert_eq!(prof, 1.0);
+        assert!(prof >= rr);
+    }
+
+    #[test]
+    fn local_fraction_of_empty_trace_is_zero() {
+        assert_eq!(PagePlacement::round_robin(2).local_fraction(&Trace::new()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must be positive")]
+    fn zero_nodes_rejected() {
+        let _ = PagePlacement::round_robin(0);
+    }
+
+    #[test]
+    fn home_of_block_matches_page() {
+        let p = PagePlacement::round_robin(4);
+        let bs = BlockSize::B64;
+        let block = Addr::new(PAGE_SIZE * 5 + 128).block(bs);
+        assert_eq!(p.home_of_block(block, bs), p.home_of(PageAddr::new(5)));
+    }
+}

@@ -1,0 +1,487 @@
+//! Trace-driven simulation of a snooping bus-based multiprocessor.
+//!
+//! Every coherence-visible action is one bus transaction (the bus
+//! serializes them), so the §4.3 evaluation counts transactions instead
+//! of messages. Clean blocks are dropped silently — unlike the directory
+//! machine there is nobody to notify — and dirty blocks write back with
+//! one transaction.
+//!
+//! Like the directory engine, the bus simulator carries a per-block
+//! version checker proving the protocols preserve the memory model.
+
+use std::collections::HashMap;
+
+use mcc_cache::{Cache, CacheConfig};
+use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
+
+use crate::cost::BusStats;
+use crate::state::{local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopState};
+
+/// Configuration of the bus simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusSimConfig {
+    /// Number of processors on the bus.
+    pub nodes: u16,
+    /// Cache block size.
+    pub block_size: BlockSize,
+    /// Per-processor cache model.
+    pub cache: CacheConfig,
+}
+
+impl Default for BusSimConfig {
+    /// Sixteen processors, 16-byte blocks, capacity-free caches.
+    fn default() -> Self {
+        BusSimConfig {
+            nodes: 16,
+            block_size: BlockSize::B16,
+            cache: CacheConfig::Infinite,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: SnoopState,
+    version: u64,
+}
+
+/// A steppable snooping-bus simulation.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_snoop::{BusSim, BusSimConfig, SnoopProtocol};
+/// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+///
+/// // A lock-protected counter bouncing between two processors.
+/// let mut trace = Trace::new();
+/// for turn in 0..10u16 {
+///     let n = NodeId::new(turn % 2);
+///     trace.push(MemRef::read(n, Addr::new(0)));
+///     trace.push(MemRef::write(n, Addr::new(0)));
+/// }
+///
+/// let config = BusSimConfig::default();
+/// let mesi = BusSim::new(SnoopProtocol::Mesi, &config).run(&trace);
+/// let adaptive = BusSim::new(SnoopProtocol::Adaptive, &config).run(&trace);
+/// assert!(adaptive.transactions() < mesi.transactions());
+/// ```
+#[derive(Clone, Debug)]
+pub struct BusSim {
+    protocol: SnoopProtocol,
+    nodes: u16,
+    block_size: BlockSize,
+    caches: Vec<Cache<Line>>,
+    mem_version: HashMap<BlockAddr, u64>,
+    latest: HashMap<BlockAddr, u64>,
+    stats: BusStats,
+}
+
+impl BusSim {
+    /// Creates a bus simulation of `protocol` under `config`.
+    pub fn new(protocol: SnoopProtocol, config: &BusSimConfig) -> Self {
+        BusSim {
+            protocol,
+            nodes: config.nodes,
+            block_size: config.block_size,
+            caches: (0..config.nodes).map(|_| config.cache.build()).collect(),
+            mem_version: HashMap::new(),
+            latest: HashMap::new(),
+            stats: BusStats::new(protocol),
+        }
+    }
+
+    /// Runs the whole trace and returns the transaction statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references nodes outside the configuration, or
+    /// on a coherence violation (a bug in this crate).
+    pub fn run(mut self, trace: &Trace) -> BusStats {
+        for r in trace.iter() {
+            self.step(*r);
+        }
+        self.finish()
+    }
+
+    /// Processes one reference.
+    ///
+    /// # Panics
+    ///
+    /// See [`BusSim::run`].
+    pub fn step(&mut self, r: MemRef) {
+        let block = r.addr.block(self.block_size);
+        assert!(
+            r.node.index() < usize::from(self.nodes),
+            "reference by {} but the bus has {} processors",
+            r.node,
+            self.nodes
+        );
+        match (self.caches[r.node.index()].contains(block), r.op) {
+            (true, MemOp::Read) => {
+                self.caches[r.node.index()].touch(block);
+                let line = self.caches[r.node.index()].get(block).expect("hit");
+                self.check_version(block, line.version, "read hit");
+                self.stats.read_hits += 1;
+            }
+            (true, MemOp::Write) => self.write_hit(r.node, block),
+            (false, _) => self.miss(r.node, block, r.op),
+        }
+    }
+
+    fn write_hit(&mut self, n: NodeId, block: BlockAddr) {
+        self.caches[n.index()].touch(block);
+        let state = self.caches[n.index()].get(block).expect("hit").state;
+        let response = if state.writes_silently() {
+            crate::state::SnoopReply::NONE
+        } else {
+            // Issue Bir on the bus; every other cache snoops it.
+            self.stats.invalidations += 1;
+            self.broadcast(n, block, BusRequest::Invalidate)
+        };
+        let (request, new_state) = local_write_hit(state, response);
+        debug_assert_eq!(request.is_some(), !state.writes_silently());
+        let v = self.bump_version(block);
+        let line = self.caches[n.index()].get_mut(block).expect("hit");
+        line.state = new_state;
+        line.version = v;
+        if state.writes_silently() {
+            self.stats.silent_write_hits += 1;
+        }
+    }
+
+    fn miss(&mut self, n: NodeId, block: BlockAddr, op: MemOp) {
+        let write = op.is_write();
+        let request = if write {
+            self.stats.write_misses += 1;
+            BusRequest::WriteMiss
+        } else {
+            self.stats.read_misses += 1;
+            BusRequest::ReadMiss
+        };
+        let response = self.broadcast(n, block, request);
+        // Data comes from memory, which snooped any dirty provider's
+        // transfer during the broadcast, so it is always current here.
+        let served = self.mem(block);
+        self.check_version(block, served, "miss fill");
+        let state = local_fill(self.protocol, write, response);
+        if state == SnoopState::MigratoryClean || state == SnoopState::MigratoryDirty {
+            self.stats.migratory_fills += 1;
+        }
+        let version = if write {
+            debug_assert!(state.is_dirty());
+            self.bump_version(block)
+        } else {
+            served
+        };
+        self.insert_line(n, block, state, version);
+    }
+
+    /// Puts `request` on the bus: every other cache snoops and reacts;
+    /// responses are wired-OR merged. Dirty providers update memory.
+    fn broadcast(
+        &mut self,
+        requester: NodeId,
+        block: BlockAddr,
+        request: BusRequest,
+    ) -> crate::state::SnoopReply {
+        let mut merged = crate::state::SnoopReply::NONE;
+        for node in NodeId::first(self.nodes) {
+            if node == requester {
+                continue;
+            }
+            let Some(line) = self.caches[node.index()].get(block) else {
+                continue;
+            };
+            let (next, reply) = snoop_remote(self.protocol, line.state, request);
+            if reply.provide_data {
+                // Memory snoops the data transfer.
+                let version = line.version;
+                self.mem_version.insert(block, version);
+            }
+            match next {
+                Some(new_state) => {
+                    self.caches[node.index()].get_mut(block).expect("snooped").state = new_state;
+                }
+                None => {
+                    self.caches[node.index()].remove(block);
+                    self.stats.snoop_invalidated += 1;
+                }
+            }
+            merged = merged.merge(reply);
+        }
+        merged
+    }
+
+    fn insert_line(&mut self, n: NodeId, block: BlockAddr, state: SnoopState, version: u64) {
+        let victim = self.caches[n.index()].insert(block, Line { state, version });
+        if let Some((vb, vline)) = victim {
+            if vline.state.is_dirty() {
+                // Write the victim back to memory: one bus transaction.
+                self.mem_version.insert(vb, vline.version);
+                self.stats.writebacks += 1;
+            }
+            // Clean victims are dropped silently on a bus machine.
+        }
+    }
+
+    fn mem(&self, block: BlockAddr) -> u64 {
+        self.mem_version.get(&block).copied().unwrap_or(0)
+    }
+
+    fn latest(&self, block: BlockAddr) -> u64 {
+        self.latest.get(&block).copied().unwrap_or(0)
+    }
+
+    fn bump_version(&mut self, block: BlockAddr) -> u64 {
+        let v = self.latest.entry(block).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    #[track_caller]
+    fn check_version(&self, block: BlockAddr, observed: u64, context: &str) {
+        let latest = self.latest(block);
+        assert_eq!(
+            observed, latest,
+            "coherence violation during {context}: {block} observed version {observed} \
+             but the latest write produced {latest}"
+        );
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> SnoopProtocol {
+        self.protocol
+    }
+
+    /// The cache-entry state of `block` at `node`, if resident.
+    pub fn line_state(&self, node: NodeId, block: BlockAddr) -> Option<SnoopState> {
+        self.caches[node.index()].get(block).map(|l| l.state)
+    }
+
+    /// Verifies global invariants across the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an exclusive-state copy coexists with any other copy
+    /// of the same block, when two `S2` copies coexist, when more than
+    /// two copies exist alongside an `S2` copy, or when memory is stale
+    /// for a block with no dirty copy.
+    pub fn check_invariants(&self) {
+        let mut per_block: HashMap<BlockAddr, Vec<SnoopState>> = HashMap::new();
+        for node in NodeId::first(self.nodes) {
+            for (block, line) in self.caches[node.index()].iter() {
+                per_block.entry(block).or_default().push(line.state);
+            }
+        }
+        for (block, states) in &per_block {
+            let exclusive = states
+                .iter()
+                .filter(|s| {
+                    matches!(
+                        s,
+                        SnoopState::Exclusive
+                            | SnoopState::Dirty
+                            | SnoopState::MigratoryClean
+                            | SnoopState::MigratoryDirty
+                    )
+                })
+                .count();
+            assert!(
+                exclusive == 0 || states.len() == 1,
+                "{block}: exclusive copy coexists with others: {states:?}"
+            );
+            let s2 = states.iter().filter(|s| **s == SnoopState::Shared2).count();
+            assert!(s2 <= 1, "{block}: multiple S2 copies");
+            if s2 == 1 {
+                assert!(
+                    states.len() <= 2,
+                    "{block}: S2 promises at most two copies but {} exist",
+                    states.len()
+                );
+            }
+            if !states.iter().any(|s| s.is_dirty()) {
+                assert_eq!(
+                    self.mem(*block),
+                    self.latest(*block),
+                    "{block}: memory stale with no dirty copy"
+                );
+            }
+        }
+    }
+
+    /// Consumes the simulation and returns the statistics.
+    pub fn finish(self) -> BusStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::BusCostModel;
+    use mcc_cache::CacheGeometry;
+    use mcc_trace::Addr;
+
+    fn ping_pong(rounds: usize) -> Trace {
+        let mut t = Trace::new();
+        t.push(MemRef::write(NodeId::new(1), Addr::new(0)));
+        for i in 0..rounds {
+            let n = NodeId::new(if i % 2 == 0 { 2 } else { 1 });
+            t.push(MemRef::read(n, Addr::new(0)));
+            t.push(MemRef::write(n, Addr::new(0)));
+        }
+        t
+    }
+
+    fn run(protocol: SnoopProtocol, trace: &Trace) -> BusStats {
+        let mut sim = BusSim::new(protocol, &BusSimConfig::default());
+        for r in trace.iter() {
+            sim.step(*r);
+        }
+        sim.check_invariants();
+        sim.finish()
+    }
+
+    #[test]
+    fn mesi_migratory_handoff_costs_two_transactions() {
+        let rounds = 10;
+        let stats = run(SnoopProtocol::Mesi, &ping_pong(rounds));
+        // Cold write miss + per round (read miss + invalidation).
+        assert_eq!(stats.write_misses, 1);
+        assert_eq!(stats.read_misses, rounds as u64);
+        assert_eq!(stats.invalidations, rounds as u64);
+        assert_eq!(stats.transactions(), 1 + 2 * rounds as u64);
+    }
+
+    #[test]
+    fn adaptive_migratory_handoff_costs_one_transaction() {
+        let rounds = 10;
+        let stats = run(SnoopProtocol::Adaptive, &ping_pong(rounds));
+        // First hand-off replicates and invalidates (detection); each
+        // later hand-off is a single migratory read miss.
+        assert_eq!(stats.read_misses, rounds as u64);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.transactions(), 1 + rounds as u64 + 1);
+        assert_eq!(stats.migratory_fills, rounds as u64 - 1);
+    }
+
+    #[test]
+    fn adaptive_detects_via_s2_invalidate() {
+        let cfg = BusSimConfig::default();
+        let mut sim = BusSim::new(SnoopProtocol::Adaptive, &cfg);
+        let block = Addr::new(0).block(cfg.block_size);
+        sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
+        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Dirty));
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(0)));
+        // The older copy demotes to S2, the newer loads as S.
+        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Shared2));
+        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::Shared));
+        sim.step(MemRef::write(NodeId::new(2), Addr::new(0)));
+        // The S2 snooper asserted Migratory: the writer lands in MD.
+        assert_eq!(sim.line_state(NodeId::new(1), block), None);
+        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::MigratoryDirty));
+        // Next reader migrates the block in one transaction.
+        sim.step(MemRef::read(NodeId::new(3), Addr::new(0)));
+        assert_eq!(sim.line_state(NodeId::new(2), block), None);
+        assert_eq!(sim.line_state(NodeId::new(3), block), Some(SnoopState::MigratoryClean));
+    }
+
+    #[test]
+    fn older_copy_writing_is_not_migratory_evidence() {
+        let cfg = BusSimConfig::default();
+        let mut sim = BusSim::new(SnoopProtocol::Adaptive, &cfg);
+        let block = Addr::new(0).block(cfg.block_size);
+        sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(0)));
+        // Node 1 (the S2 holder, previous invalidator) writes again: the
+        // newer S copy asserts nothing, so node 1 lands in D, not MD.
+        sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
+        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Dirty));
+    }
+
+    #[test]
+    fn read_shared_data_replicates_under_adaptive() {
+        let mut t = Trace::new();
+        t.push(MemRef::write(NodeId::new(0), Addr::new(0)));
+        for n in 1..8u16 {
+            t.push(MemRef::read(NodeId::new(n), Addr::new(0)));
+        }
+        let mesi = run(SnoopProtocol::Mesi, &t);
+        let adaptive = run(SnoopProtocol::Adaptive, &t);
+        assert_eq!(adaptive.transactions(), mesi.transactions());
+        assert_eq!(adaptive.migratory_fills, 0);
+    }
+
+    #[test]
+    fn snooping_cannot_remember_across_eviction() {
+        // Unlike the directory protocol (§4.3): once a migratory block is
+        // evicted, its classification is gone and must be re-learned.
+        let geom = CacheGeometry::new(32, BlockSize::B16, 2).unwrap();
+        let cfg = BusSimConfig {
+            cache: CacheConfig::Finite(geom),
+            ..BusSimConfig::default()
+        };
+        let mut sim = BusSim::new(SnoopProtocol::Adaptive, &cfg);
+        let block = Addr::new(0).block(cfg.block_size);
+        // Classify block 0 migratory.
+        sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(0)));
+        sim.step(MemRef::write(NodeId::new(2), Addr::new(0)));
+        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::MigratoryDirty));
+        // Evict it from node 2 (writeback), then re-load at node 3.
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(32)));
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(64)));
+        sim.step(MemRef::read(NodeId::new(2), Addr::new(96)));
+        assert_eq!(sim.line_state(NodeId::new(2), block), None);
+        sim.step(MemRef::read(NodeId::new(3), Addr::new(0)));
+        // Loaded Exclusive, not MigratoryClean: classification lost.
+        assert_eq!(sim.line_state(NodeId::new(3), block), Some(SnoopState::Exclusive));
+    }
+
+    #[test]
+    fn migrate_first_variant_never_creates_exclusive() {
+        let t = ping_pong(6);
+        let cfg = BusSimConfig::default();
+        let mut sim = BusSim::new(SnoopProtocol::AdaptiveMigrateFirst, &cfg);
+        for r in t.iter() {
+            sim.step(*r);
+            for n in NodeId::first(cfg.nodes) {
+                assert_ne!(
+                    sim.line_state(n, Addr::new(0).block(cfg.block_size)),
+                    Some(SnoopState::Exclusive),
+                    "E must be a dead state under migrate-first"
+                );
+            }
+        }
+        sim.check_invariants();
+    }
+
+    #[test]
+    fn writebacks_counted_for_dirty_victims() {
+        let geom = CacheGeometry::new(32, BlockSize::B16, 2).unwrap();
+        let cfg = BusSimConfig {
+            cache: CacheConfig::Finite(geom),
+            ..BusSimConfig::default()
+        };
+        let mut sim = BusSim::new(SnoopProtocol::Mesi, &cfg);
+        sim.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+        sim.step(MemRef::read(NodeId::new(0), Addr::new(32)));
+        sim.step(MemRef::read(NodeId::new(0), Addr::new(64)));
+        let stats = sim.finish();
+        assert_eq!(stats.writebacks, 1);
+    }
+
+    #[test]
+    fn cost_models_order_sensibly() {
+        let stats = run(SnoopProtocol::Adaptive, &ping_pong(10));
+        assert!(stats.cost(BusCostModel::ReplyWeighted) >= stats.cost(BusCostModel::Unit));
+    }
+
+    #[test]
+    #[should_panic(expected = "16 processors")]
+    fn rejects_out_of_range_node() {
+        let mut sim = BusSim::new(SnoopProtocol::Mesi, &BusSimConfig::default());
+        sim.step(MemRef::read(NodeId::new(16), Addr::new(0)));
+    }
+}

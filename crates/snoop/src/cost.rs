@@ -1,0 +1,151 @@
+//! Bus transaction statistics and the two §4.3 cost models.
+
+use core::fmt;
+
+use crate::state::SnoopProtocol;
+
+/// The §4.3 bus cost models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BusCostModel {
+    /// Model 1: every memory or coherence operation is one bus
+    /// transaction of unit cost.
+    Unit,
+    /// Model 2: operations that require replies (misses, and
+    /// invalidations under the *adaptive* protocol, which must collect
+    /// the Migratory response) cost two units; operations that do not
+    /// (writebacks, and invalidations under the conventional protocol)
+    /// cost one.
+    ReplyWeighted,
+}
+
+impl fmt::Display for BusCostModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BusCostModel::Unit => "unit-cost",
+            BusCostModel::ReplyWeighted => "reply-weighted",
+        })
+    }
+}
+
+/// Transaction counts from one bus simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusStats {
+    /// The protocol that produced these counts (affects invalidation
+    /// pricing under [`BusCostModel::ReplyWeighted`]).
+    pub protocol: SnoopProtocol,
+    /// Reads that hit a valid copy (no transaction).
+    pub read_hits: u64,
+    /// Writes that hit a copy with write permission (no transaction).
+    pub silent_write_hits: u64,
+    /// Read-miss bus transactions.
+    pub read_misses: u64,
+    /// Write-miss bus transactions.
+    pub write_misses: u64,
+    /// Invalidation (`Bir`) bus transactions.
+    pub invalidations: u64,
+    /// Writeback transactions for dirty victims.
+    pub writebacks: u64,
+    /// Misses filled in a migratory state (the Migratory line was
+    /// asserted, or migrate-first applied).
+    pub migratory_fills: u64,
+    /// Copies invalidated in other caches by snooped transactions.
+    pub snoop_invalidated: u64,
+}
+
+impl BusStats {
+    /// Fresh, zeroed statistics for `protocol`.
+    pub fn new(protocol: SnoopProtocol) -> Self {
+        BusStats {
+            protocol,
+            read_hits: 0,
+            silent_write_hits: 0,
+            read_misses: 0,
+            write_misses: 0,
+            invalidations: 0,
+            writebacks: 0,
+            migratory_fills: 0,
+            snoop_invalidated: 0,
+        }
+    }
+
+    /// Total bus transactions.
+    pub fn transactions(&self) -> u64 {
+        self.read_misses + self.write_misses + self.invalidations + self.writebacks
+    }
+
+    /// Total cost under the given model.
+    pub fn cost(&self, model: BusCostModel) -> u64 {
+        match model {
+            BusCostModel::Unit => self.transactions(),
+            BusCostModel::ReplyWeighted => {
+                let invalidation_cost = if self.protocol.is_adaptive() { 2 } else { 1 };
+                2 * (self.read_misses + self.write_misses)
+                    + invalidation_cost * self.invalidations
+                    + self.writebacks
+            }
+        }
+    }
+}
+
+impl fmt::Display for BusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} transactions ({} read misses, {} write misses, {} invalidations, {} writebacks)",
+            self.protocol,
+            self.transactions(),
+            self.read_misses,
+            self.write_misses,
+            self.invalidations,
+            self.writebacks
+        )?;
+        write!(
+            f,
+            "{} read hits, {} silent write hits, {} migratory fills",
+            self.read_hits, self.silent_write_hits, self.migratory_fills
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(protocol: SnoopProtocol) -> BusStats {
+        BusStats {
+            read_misses: 10,
+            write_misses: 4,
+            invalidations: 6,
+            writebacks: 2,
+            ..BusStats::new(protocol)
+        }
+    }
+
+    #[test]
+    fn transactions_total() {
+        assert_eq!(sample(SnoopProtocol::Mesi).transactions(), 22);
+    }
+
+    #[test]
+    fn unit_cost_equals_transactions() {
+        let s = sample(SnoopProtocol::Adaptive);
+        assert_eq!(s.cost(BusCostModel::Unit), s.transactions());
+    }
+
+    #[test]
+    fn reply_weighted_prices_invalidations_by_protocol() {
+        // Conventional invalidations need no reply: 1 unit each.
+        let mesi = sample(SnoopProtocol::Mesi);
+        assert_eq!(mesi.cost(BusCostModel::ReplyWeighted), 2 * 14 + 6 + 2);
+        // Adaptive invalidations must collect the Migratory response: 2.
+        let adaptive = sample(SnoopProtocol::Adaptive);
+        assert_eq!(adaptive.cost(BusCostModel::ReplyWeighted), 2 * 14 + 12 + 2);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = sample(SnoopProtocol::Adaptive).to_string();
+        assert!(s.contains("22 transactions"));
+        assert!(s.contains("6 invalidations"));
+    }
+}

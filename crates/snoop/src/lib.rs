@@ -1,0 +1,53 @@
+//! Snooping bus-based cache coherence: the MESI baseline and the paper's
+//! adaptive migratory extension (§2.1, Figures 1–2).
+//!
+//! The adaptive protocol splits MESI's Shared state into `S` and `S2`
+//! (shared with at most two copies, held by the *older* copy) and adds
+//! two migratory states, `MC` and `MD`, plus a `Migratory` response line
+//! on the bus:
+//!
+//! * a read-miss request served by a `D`/`E` copy demotes it to `S2`;
+//! * a subsequent invalidation request (`Bir`) reaching an `S2` copy
+//!   proves the writer holds the *more recently created* copy — the
+//!   migratory signature — so the `S2` holder invalidates itself and
+//!   asserts `Migratory`, landing the writer in `MD`;
+//! * a read miss served by an `MD` copy *migrates* the block: the old
+//!   copy invalidates in the same transaction and the requester loads
+//!   `MC`, with write permission, for free.
+//!
+//! The result: a migratory hand-off costs one bus transaction instead of
+//! MESI's two.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_snoop::{BusSim, BusSimConfig, SnoopProtocol};
+//! use mcc_trace::{Addr, MemRef, NodeId, Trace};
+//!
+//! let mut trace = Trace::new();
+//! for turn in 0..20u16 {
+//!     let node = NodeId::new(turn % 4);
+//!     trace.push(MemRef::read(node, Addr::new(0)));
+//!     trace.push(MemRef::write(node, Addr::new(0)));
+//! }
+//!
+//! let config = BusSimConfig::default();
+//! let mesi = BusSim::new(SnoopProtocol::Mesi, &config).run(&trace);
+//! let adaptive = BusSim::new(SnoopProtocol::Adaptive, &config).run(&trace);
+//! assert!(adaptive.transactions() < mesi.transactions());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bussim;
+mod cost;
+mod state;
+mod update;
+
+pub use bussim::{BusSim, BusSimConfig};
+pub use cost::{BusCostModel, BusStats};
+pub use state::{
+    local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopReply, SnoopState,
+};
+pub use update::{UpdateBusSim, UpdateBusStats, UpdateState};

@@ -1,0 +1,396 @@
+//! The snooping protocol state machines of Figures 1 and 2.
+//!
+//! The adaptive protocol extends MESI with three states: `S2`
+//! (Shared-two: at most two cached copies exist, and this is the *older*
+//! one), `MC` (Migratory-Clean) and `MD` (Migratory-Dirty), plus a
+//! `Migratory` response line on the bus alongside the usual `Shared`
+//! line.
+//!
+//! The functions here are pure transcriptions of the Figure 2 tables so
+//! they can be tested row by row and printed by the `figure2` harness
+//! binary.
+
+use core::fmt;
+
+/// Which snooping protocol governs the caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SnoopProtocol {
+    /// The base MESI (Illinois) write-invalidate protocol.
+    Mesi,
+    /// The paper's adaptive extension with replicate-on-read-miss as the
+    /// initial policy (Figures 1–2).
+    Adaptive,
+    /// The §2.1 variation: migrate-on-read-miss is the initial policy,
+    /// making `E` a dead state (a lone clean copy loads as `MC`).
+    AdaptiveMigrateFirst,
+}
+
+impl SnoopProtocol {
+    /// Whether this protocol uses the Migratory bus line.
+    pub const fn is_adaptive(self) -> bool {
+        !matches!(self, SnoopProtocol::Mesi)
+    }
+}
+
+impl fmt::Display for SnoopProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnoopProtocol::Mesi => "MESI",
+            SnoopProtocol::Adaptive => "adaptive",
+            SnoopProtocol::AdaptiveMigrateFirst => "adaptive-migrate-first",
+        })
+    }
+}
+
+/// A valid cache-entry state (`I` is represented by absence from the
+/// cache).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SnoopState {
+    /// `E`: the only cached copy; memory is current.
+    Exclusive,
+    /// `D`: the only cached copy; modified (usually called `M`; the paper
+    /// renames it to keep `M` for "Migratory").
+    Dirty,
+    /// `S2`: one of at most two cached copies, and the older one.
+    Shared2,
+    /// `S`: one of possibly many cached copies.
+    Shared,
+    /// `MC`: migratory, only copy, unmodified at this cache.
+    MigratoryClean,
+    /// `MD`: migratory, only copy, modified.
+    MigratoryDirty,
+}
+
+impl SnoopState {
+    /// Every state, in Figure 2's order.
+    pub const ALL: [SnoopState; 6] = [
+        SnoopState::Exclusive,
+        SnoopState::Dirty,
+        SnoopState::Shared2,
+        SnoopState::Shared,
+        SnoopState::MigratoryClean,
+        SnoopState::MigratoryDirty,
+    ];
+
+    /// Whether this copy is modified relative to memory.
+    pub const fn is_dirty(self) -> bool {
+        matches!(self, SnoopState::Dirty | SnoopState::MigratoryDirty)
+    }
+
+    /// Whether a write hit completes with no bus transaction.
+    pub const fn writes_silently(self) -> bool {
+        matches!(
+            self,
+            SnoopState::Exclusive
+                | SnoopState::Dirty
+                | SnoopState::MigratoryClean
+                | SnoopState::MigratoryDirty
+        )
+    }
+}
+
+impl fmt::Display for SnoopState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SnoopState::Exclusive => "E",
+            SnoopState::Dirty => "D",
+            SnoopState::Shared2 => "S2",
+            SnoopState::Shared => "S",
+            SnoopState::MigratoryClean => "MC",
+            SnoopState::MigratoryDirty => "MD",
+        })
+    }
+}
+
+/// A bus transaction observed by snooping caches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BusRequest {
+    /// `Brmr`: another cache read-missed.
+    ReadMiss,
+    /// `Bwmr`: another cache write-missed.
+    WriteMiss,
+    /// `Bir`: another cache is writing its Shared copy.
+    Invalidate,
+}
+
+impl fmt::Display for BusRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BusRequest::ReadMiss => "Brmr",
+            BusRequest::WriteMiss => "Bwmr",
+            BusRequest::Invalidate => "Bir",
+        })
+    }
+}
+
+/// The response lines a snooping cache asserts during a transaction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SnoopReply {
+    /// The `Shared` line.
+    pub shared: bool,
+    /// The paper's new `Migratory` line.
+    pub migratory: bool,
+    /// This cache supplies the data (it held the block dirty).
+    pub provide_data: bool,
+}
+
+impl SnoopReply {
+    /// No lines asserted, no data provided.
+    pub const NONE: SnoopReply = SnoopReply {
+        shared: false,
+        migratory: false,
+        provide_data: false,
+    };
+
+    /// Combines the responses of several caches (wired-OR bus lines).
+    pub fn merge(self, other: SnoopReply) -> SnoopReply {
+        SnoopReply {
+            shared: self.shared || other.shared,
+            migratory: self.migratory || other.migratory,
+            provide_data: self.provide_data || other.provide_data,
+        }
+    }
+}
+
+/// Figure 2, "Transitions on Bus Requests": how a cache holding `state`
+/// reacts to a bus request from another cache. Returns the new state
+/// (`None` = invalidate the entry) and the asserted response lines.
+///
+/// Under [`SnoopProtocol::Mesi`], `S2` behaves exactly like `S`, the
+/// migratory states are unreachable, and the Migratory line is never
+/// asserted.
+///
+/// Interpretation note: the `MC` row realizes the paper's rule that "the
+/// switch from migrate-on-read-miss to replicate-on-read-miss occurs when
+/// a cache with a Migratory-Clean entry receives any miss request" — a
+/// read-miss request demotes `MC` to `S2` and replicates (mirroring the
+/// directory protocol's demotion to `TWO COPIES`), and a write-miss
+/// request invalidates without asserting Migratory.
+///
+/// # Panics
+///
+/// Panics if a migratory state receives a request under MESI (they are
+/// unreachable there), or on `Bir` to an exclusive-state copy (a `Bir`
+/// sender holds a copy, so the block cannot be in `E`/`D`/`MC`/`MD`
+/// elsewhere).
+pub fn snoop_remote(
+    protocol: SnoopProtocol,
+    state: SnoopState,
+    request: BusRequest,
+) -> (Option<SnoopState>, SnoopReply) {
+    use BusRequest::*;
+    use SnoopState::*;
+    let adaptive = protocol.is_adaptive();
+    let reply = |shared, migratory, provide_data| SnoopReply {
+        shared,
+        migratory: migratory && adaptive,
+        provide_data,
+    };
+    if !adaptive {
+        assert!(
+            !matches!(state, MigratoryClean | MigratoryDirty),
+            "migratory states are unreachable under MESI"
+        );
+    }
+    match (state, request) {
+        (Exclusive, ReadMiss) => (Some(Shared2), reply(true, false, false)),
+        (Exclusive, WriteMiss) => (None, reply(false, true, false)),
+        (Dirty, ReadMiss) => (Some(Shared2), reply(true, false, true)),
+        (Dirty, WriteMiss) => (None, reply(false, true, true)),
+        (Shared2, ReadMiss) => (Some(Shared), reply(true, false, false)),
+        (Shared2, WriteMiss) => (None, SnoopReply::NONE),
+        // The Bir sender holds the newer of the two copies: migratory
+        // evidence.
+        (Shared2, Invalidate) => (None, reply(false, true, false)),
+        (Shared, ReadMiss) => (Some(Shared), reply(true, false, false)),
+        (Shared, WriteMiss) => (None, SnoopReply::NONE),
+        (Shared, Invalidate) => (None, SnoopReply::NONE),
+        // Any miss request demotes a Migratory-Clean copy.
+        (MigratoryClean, ReadMiss) => (Some(Shared2), reply(true, false, false)),
+        (MigratoryClean, WriteMiss) => (None, SnoopReply::NONE),
+        // A Migratory-Dirty copy migrates in one transaction.
+        (MigratoryDirty, ReadMiss) => (None, reply(false, true, true)),
+        (MigratoryDirty, WriteMiss) => (None, reply(false, true, true)),
+        (Exclusive | Dirty | MigratoryClean | MigratoryDirty, Invalidate) => {
+            panic!("Bir received while holding {state}: the sender holds no copy")
+        }
+    }
+}
+
+/// Figure 2, "Transitions on Local Cache Events", `I` rows: the state a
+/// block is loaded in after a miss, given the merged bus response.
+pub fn local_fill(protocol: SnoopProtocol, write: bool, response: SnoopReply) -> SnoopState {
+    use SnoopState::*;
+    if write {
+        // I + Cwm.
+        if response.migratory {
+            MigratoryDirty
+        } else {
+            Dirty
+        }
+    } else if response.migratory {
+        // I + Crm with Migratory asserted.
+        MigratoryClean
+    } else if response.shared {
+        Shared
+    } else if protocol == SnoopProtocol::AdaptiveMigrateFirst {
+        // Initial policy is migrate-on-read-miss: a lone copy loads with
+        // write permission and E becomes a dead state (§2.1).
+        MigratoryClean
+    } else {
+        Exclusive
+    }
+}
+
+/// Figure 2, "Transitions on Local Cache Events", write-hit rows: the
+/// bus request a write hit must issue (if any) and the state the entry
+/// assumes once the transaction's merged response is known.
+///
+/// For silent states the response is ignored.
+pub fn local_write_hit(
+    state: SnoopState,
+    response: SnoopReply,
+) -> (Option<BusRequest>, SnoopState) {
+    use SnoopState::*;
+    match state {
+        Exclusive => (None, Dirty),
+        Dirty => (None, Dirty),
+        MigratoryClean => (None, MigratoryDirty),
+        MigratoryDirty => (None, MigratoryDirty),
+        // S2 is the older copy: the other cache's (S) snoop asserts
+        // nothing, so the writer lands in D.
+        Shared2 => (Some(BusRequest::Invalidate), Dirty),
+        Shared => (
+            Some(BusRequest::Invalidate),
+            if response.migratory { MigratoryDirty } else { Dirty },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BusRequest::*;
+    use SnoopState::*;
+
+    /// Figure 2's "Transitions on Bus Requests" table, row by row, for
+    /// the adaptive protocol.
+    #[test]
+    fn figure_2_bus_request_rows() {
+        // (state, request, new state, assert S, assert M, provide)
+        let rows: &[(SnoopState, BusRequest, Option<SnoopState>, bool, bool, bool)] = &[
+            (Exclusive, ReadMiss, Some(Shared2), true, false, false),
+            (Exclusive, WriteMiss, None, false, true, false),
+            (Dirty, ReadMiss, Some(Shared2), true, false, true),
+            (Dirty, WriteMiss, None, false, true, true),
+            (Shared2, ReadMiss, Some(Shared), true, false, false),
+            (Shared2, WriteMiss, None, false, false, false),
+            (Shared2, Invalidate, None, false, true, false),
+            (Shared, ReadMiss, Some(Shared), true, false, false),
+            (Shared, WriteMiss, None, false, false, false),
+            (Shared, Invalidate, None, false, false, false),
+            (MigratoryClean, ReadMiss, Some(Shared2), true, false, false),
+            (MigratoryClean, WriteMiss, None, false, false, false),
+            (MigratoryDirty, ReadMiss, None, false, true, true),
+            (MigratoryDirty, WriteMiss, None, false, true, true),
+        ];
+        for &(state, request, next, s, m, provide) in rows {
+            let (got_next, got_reply) = snoop_remote(SnoopProtocol::Adaptive, state, request);
+            assert_eq!(got_next, next, "{state} + {request}: state");
+            assert_eq!(got_reply.shared, s, "{state} + {request}: Shared line");
+            assert_eq!(got_reply.migratory, m, "{state} + {request}: Migratory line");
+            assert_eq!(got_reply.provide_data, provide, "{state} + {request}: data");
+        }
+    }
+
+    /// Figure 2's "Transitions on Local Cache Events" `I` and write-hit
+    /// rows.
+    #[test]
+    fn figure_2_local_event_rows() {
+        let none = SnoopReply::NONE;
+        let s = SnoopReply { shared: true, ..none };
+        let m = SnoopReply { migratory: true, ..none };
+        let p = SnoopProtocol::Adaptive;
+        // I + Crm.
+        assert_eq!(local_fill(p, false, none), Exclusive);
+        assert_eq!(local_fill(p, false, m), MigratoryClean);
+        assert_eq!(local_fill(p, false, s), Shared);
+        // I + Cwm.
+        assert_eq!(local_fill(p, true, none), Dirty);
+        assert_eq!(local_fill(p, true, m), MigratoryDirty);
+        // Write hits.
+        assert_eq!(local_write_hit(Exclusive, none), (None, Dirty));
+        assert_eq!(local_write_hit(Shared2, none), (Some(Invalidate), Dirty));
+        assert_eq!(local_write_hit(Shared, none), (Some(Invalidate), Dirty));
+        assert_eq!(local_write_hit(Shared, m), (Some(Invalidate), MigratoryDirty));
+        assert_eq!(local_write_hit(MigratoryClean, none), (None, MigratoryDirty));
+    }
+
+    #[test]
+    fn mesi_never_asserts_migratory() {
+        for state in [Exclusive, Dirty, Shared2, Shared] {
+            for request in [ReadMiss, WriteMiss] {
+                let (_, reply) = snoop_remote(SnoopProtocol::Mesi, state, request);
+                assert!(!reply.migratory, "{state} + {request}");
+            }
+        }
+        let (_, reply) = snoop_remote(SnoopProtocol::Mesi, Shared, Invalidate);
+        assert!(!reply.migratory);
+    }
+
+    #[test]
+    fn mesi_fills_like_classic_mesi() {
+        let none = SnoopReply::NONE;
+        let s = SnoopReply { shared: true, ..none };
+        assert_eq!(local_fill(SnoopProtocol::Mesi, false, none), Exclusive);
+        assert_eq!(local_fill(SnoopProtocol::Mesi, false, s), Shared);
+        assert_eq!(local_fill(SnoopProtocol::Mesi, true, none), Dirty);
+    }
+
+    #[test]
+    fn migrate_first_variant_loads_clean_blocks_migratory() {
+        let none = SnoopReply::NONE;
+        assert_eq!(
+            local_fill(SnoopProtocol::AdaptiveMigrateFirst, false, none),
+            MigratoryClean
+        );
+        // With Shared asserted, replication still wins.
+        let s = SnoopReply { shared: true, ..none };
+        assert_eq!(local_fill(SnoopProtocol::AdaptiveMigrateFirst, false, s), Shared);
+    }
+
+    #[test]
+    fn dirty_states_provide_data() {
+        for state in SnoopState::ALL {
+            let (_, reply) = snoop_remote(SnoopProtocol::Adaptive, state, ReadMiss);
+            assert_eq!(reply.provide_data, state.is_dirty(), "{state}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable under MESI")]
+    fn mesi_rejects_migratory_states() {
+        let _ = snoop_remote(SnoopProtocol::Mesi, MigratoryClean, ReadMiss);
+    }
+
+    #[test]
+    #[should_panic(expected = "the sender holds no copy")]
+    fn bir_to_exclusive_copy_is_a_protocol_error() {
+        let _ = snoop_remote(SnoopProtocol::Adaptive, Dirty, Invalidate);
+    }
+
+    #[test]
+    fn reply_merge_is_wired_or() {
+        let s = SnoopReply { shared: true, ..SnoopReply::NONE };
+        let m = SnoopReply { migratory: true, ..SnoopReply::NONE };
+        let merged = s.merge(m).merge(SnoopReply::NONE);
+        assert!(merged.shared && merged.migratory && !merged.provide_data);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SnoopState::MigratoryDirty.to_string(), "MD");
+        assert_eq!(BusRequest::Invalidate.to_string(), "Bir");
+        assert_eq!(SnoopProtocol::Mesi.to_string(), "MESI");
+    }
+}

@@ -1,0 +1,421 @@
+//! A write-update snooping protocol (Firefly-style), as a baseline.
+//!
+//! The paper's introduction argues that write-update protocols are the
+//! wrong starting point for migratory data: they broadcast on *every*
+//! write to shared data, while write-invalidate pays only on the first
+//! write. This module provides the baseline that makes the argument
+//! measurable: compare [`UpdateBusSim`] against
+//! [`BusSim`](crate::BusSim) on a migratory workload and the update
+//! traffic dwarfs the invalidate traffic.
+//!
+//! States are Exclusive / Dirty / Shared; writes to Shared copies
+//! broadcast an update transaction that patches every other copy (and
+//! memory) in place, and drop back to exclusive when the snoop reveals
+//! no other copies remain.
+
+use std::collections::HashMap;
+
+use core::fmt;
+
+use mcc_cache::Cache;
+use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
+
+use crate::bussim::BusSimConfig;
+
+/// Cache-entry states of the write-update protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateState {
+    /// The only cached copy; memory current.
+    Exclusive,
+    /// The only cached copy; modified (writes are local).
+    Dirty,
+    /// One of possibly many copies; kept current by update broadcasts;
+    /// memory is written through on every update.
+    Shared,
+}
+
+impl fmt::Display for UpdateState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UpdateState::Exclusive => "E",
+            UpdateState::Dirty => "D",
+            UpdateState::Shared => "S",
+        })
+    }
+}
+
+/// Transaction counts from one write-update simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBusStats {
+    /// Reads that hit a valid copy.
+    pub read_hits: u64,
+    /// Writes that completed locally (Exclusive or Dirty copies).
+    pub silent_write_hits: u64,
+    /// Read-miss bus transactions.
+    pub read_misses: u64,
+    /// Write-miss bus transactions (fill + update broadcast).
+    pub write_misses: u64,
+    /// Update broadcast transactions (writes to Shared copies).
+    pub updates: u64,
+    /// Writeback transactions for dirty victims.
+    pub writebacks: u64,
+}
+
+impl UpdateBusStats {
+    /// Total bus transactions.
+    pub fn transactions(&self) -> u64 {
+        self.read_misses + self.write_misses + self.updates + self.writebacks
+    }
+}
+
+impl fmt::Display for UpdateBusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "write-update: {} transactions ({} read misses, {} write misses, {} updates, {} writebacks)",
+            self.transactions(),
+            self.read_misses,
+            self.write_misses,
+            self.updates,
+            self.writebacks
+        )
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    state: UpdateState,
+    version: u64,
+}
+
+/// A trace-driven write-update bus simulation.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_snoop::{BusSim, BusSimConfig, SnoopProtocol, UpdateBusSim};
+/// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+///
+/// // Migratory hand-offs with a few writes per visit: write-update
+/// // broadcasts every one of them.
+/// let mut trace = Trace::new();
+/// for turn in 0..10u16 {
+///     let n = NodeId::new(turn % 2);
+///     trace.push(MemRef::read(n, Addr::new(0)));
+///     for _ in 0..4 {
+///         trace.push(MemRef::write(n, Addr::new(0)));
+///     }
+/// }
+/// let config = BusSimConfig::default();
+/// let invalidate = BusSim::new(SnoopProtocol::Mesi, &config).run(&trace);
+/// let update = UpdateBusSim::new(&config).run(&trace);
+/// assert!(update.transactions() > invalidate.transactions());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UpdateBusSim {
+    nodes: u16,
+    block_size: BlockSize,
+    caches: Vec<Cache<Line>>,
+    mem_version: HashMap<BlockAddr, u64>,
+    latest: HashMap<BlockAddr, u64>,
+    stats: UpdateBusStats,
+}
+
+impl UpdateBusSim {
+    /// Creates a write-update simulation under `config`.
+    pub fn new(config: &BusSimConfig) -> Self {
+        UpdateBusSim {
+            nodes: config.nodes,
+            block_size: config.block_size,
+            caches: (0..config.nodes).map(|_| config.cache.build()).collect(),
+            mem_version: HashMap::new(),
+            latest: HashMap::new(),
+            stats: UpdateBusStats::default(),
+        }
+    }
+
+    /// Runs the whole trace and returns the transaction statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references nodes outside the configuration, or
+    /// on a coherence violation (a bug in this crate).
+    pub fn run(mut self, trace: &Trace) -> UpdateBusStats {
+        for r in trace.iter() {
+            self.step(*r);
+        }
+        self.finish()
+    }
+
+    /// Processes one reference.
+    ///
+    /// # Panics
+    ///
+    /// See [`UpdateBusSim::run`].
+    pub fn step(&mut self, r: MemRef) {
+        let block = r.addr.block(self.block_size);
+        assert!(
+            r.node.index() < usize::from(self.nodes),
+            "reference by {} but the bus has {} processors",
+            r.node,
+            self.nodes
+        );
+        let n = r.node;
+        let resident = self.caches[n.index()].contains(block);
+        match (resident, r.op) {
+            (true, MemOp::Read) => {
+                self.caches[n.index()].touch(block);
+                let v = self.caches[n.index()].get(block).expect("hit").version;
+                self.check_version(block, v, "read hit");
+                self.stats.read_hits += 1;
+            }
+            (true, MemOp::Write) => {
+                self.caches[n.index()].touch(block);
+                let state = self.caches[n.index()].get(block).expect("hit").state;
+                let v = self.bump_version(block);
+                match state {
+                    UpdateState::Exclusive | UpdateState::Dirty => {
+                        self.stats.silent_write_hits += 1;
+                        let line = self.caches[n.index()].get_mut(block).expect("hit");
+                        line.state = UpdateState::Dirty;
+                        line.version = v;
+                    }
+                    UpdateState::Shared => {
+                        // Broadcast the update: every copy and memory are
+                        // patched in place. One bus transaction per write.
+                        self.stats.updates += 1;
+                        let others = self.update_peers(n, block, v);
+                        self.mem_version.insert(block, v);
+                        let line = self.caches[n.index()].get_mut(block).expect("hit");
+                        line.version = v;
+                        // Firefly-style: no other copy answered the snoop,
+                        // so future writes can complete locally.
+                        if others == 0 {
+                            line.state = UpdateState::Dirty;
+                        }
+                    }
+                }
+            }
+            (false, op) => {
+                let write = op.is_write();
+                if write {
+                    self.stats.write_misses += 1;
+                } else {
+                    self.stats.read_misses += 1;
+                }
+                // Snoop: a dirty holder supplies data and demotes to
+                // Shared (memory snoops the transfer).
+                let mut sharers = 0u64;
+                for node in NodeId::first(self.nodes) {
+                    if node == n {
+                        continue;
+                    }
+                    if let Some(line) = self.caches[node.index()].get_mut(block) {
+                        sharers += 1;
+                        if line.state == UpdateState::Dirty {
+                            let v = line.version;
+                            self.mem_version.insert(block, v);
+                        }
+                        line.state = UpdateState::Shared;
+                    }
+                }
+                let served = self.mem(block);
+                self.check_version(block, served, "miss fill");
+                let (state, version) = if write {
+                    // Fill + update in one transaction: peers are patched.
+                    let v = self.bump_version(block);
+                    self.update_peers(n, block, v);
+                    self.mem_version.insert(block, v);
+                    let state = if sharers > 0 {
+                        UpdateState::Shared
+                    } else {
+                        UpdateState::Dirty
+                    };
+                    (state, v)
+                } else if sharers > 0 {
+                    (UpdateState::Shared, served)
+                } else {
+                    (UpdateState::Exclusive, served)
+                };
+                self.insert_line(n, block, state, version);
+            }
+        }
+    }
+
+    /// Patches every other cached copy of `block` to `version`; returns
+    /// how many copies were patched.
+    fn update_peers(&mut self, n: NodeId, block: BlockAddr, version: u64) -> u64 {
+        let mut patched = 0;
+        for node in NodeId::first(self.nodes) {
+            if node == n {
+                continue;
+            }
+            if let Some(line) = self.caches[node.index()].get_mut(block) {
+                line.version = version;
+                line.state = UpdateState::Shared;
+                patched += 1;
+            }
+        }
+        patched
+    }
+
+    fn insert_line(&mut self, n: NodeId, block: BlockAddr, state: UpdateState, version: u64) {
+        let victim = self.caches[n.index()].insert(block, Line { state, version });
+        if let Some((vb, vline)) = victim {
+            if vline.state == UpdateState::Dirty {
+                self.mem_version.insert(vb, vline.version);
+                self.stats.writebacks += 1;
+            }
+        }
+    }
+
+    fn mem(&self, block: BlockAddr) -> u64 {
+        self.mem_version.get(&block).copied().unwrap_or(0)
+    }
+
+    fn latest(&self, block: BlockAddr) -> u64 {
+        self.latest.get(&block).copied().unwrap_or(0)
+    }
+
+    fn bump_version(&mut self, block: BlockAddr) -> u64 {
+        let v = self.latest.entry(block).or_insert(0);
+        *v += 1;
+        *v
+    }
+
+    #[track_caller]
+    fn check_version(&self, block: BlockAddr, observed: u64, context: &str) {
+        let latest = self.latest(block);
+        assert_eq!(
+            observed, latest,
+            "coherence violation during {context}: {block} observed version {observed} \
+             but the latest write produced {latest}"
+        );
+    }
+
+    /// The cache-entry state of `block` at `node`, if resident.
+    pub fn line_state(&self, node: NodeId, block: BlockAddr) -> Option<UpdateState> {
+        self.caches[node.index()].get(block).map(|l| l.state)
+    }
+
+    /// Consumes the simulation and returns the statistics.
+    pub fn finish(self) -> UpdateBusStats {
+        self.stats
+    }
+}
+
+/// Convenience: builds an [`UpdateBusSim`] from the same configuration
+/// type the invalidate-based simulations use.
+impl From<&BusSimConfig> for UpdateBusSim {
+    fn from(config: &BusSimConfig) -> Self {
+        UpdateBusSim::new(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_cache::CacheConfig;
+    use mcc_trace::Addr;
+
+    fn sim() -> UpdateBusSim {
+        UpdateBusSim::new(&BusSimConfig::default())
+    }
+
+    #[test]
+    fn every_shared_write_broadcasts() {
+        let mut s = sim();
+        let block = Addr::new(0).block(BlockSize::B16);
+        s.step(MemRef::read(NodeId::new(0), Addr::new(0)));
+        s.step(MemRef::read(NodeId::new(1), Addr::new(0)));
+        assert_eq!(s.line_state(NodeId::new(0), block), Some(UpdateState::Shared));
+        for i in 0..5 {
+            s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+            // The reader's copy stays valid and current.
+            s.step(MemRef::read(NodeId::new(1), Addr::new(0)));
+            assert_eq!(s.stats.updates, i + 1);
+        }
+        let stats = s.finish();
+        assert_eq!(stats.updates, 5);
+        assert_eq!(stats.read_hits, 5);
+    }
+
+    #[test]
+    fn exclusive_writes_are_silent() {
+        let mut s = sim();
+        s.step(MemRef::read(NodeId::new(0), Addr::new(0)));
+        s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+        s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+        let stats = s.finish();
+        assert_eq!(stats.updates, 0);
+        assert_eq!(stats.silent_write_hits, 2);
+    }
+
+    #[test]
+    fn update_drops_to_dirty_when_no_sharers_remain() {
+        // With a finite cache the sharer's copy can be evicted; the next
+        // update notices nobody answered and stops broadcasting.
+        let geom = mcc_cache::CacheGeometry::new(32, BlockSize::B16, 2).unwrap();
+        let cfg = BusSimConfig {
+            cache: CacheConfig::Finite(geom),
+            ..BusSimConfig::default()
+        };
+        let mut s = UpdateBusSim::new(&cfg);
+        let block = Addr::new(0).block(BlockSize::B16);
+        s.step(MemRef::read(NodeId::new(0), Addr::new(0)));
+        s.step(MemRef::read(NodeId::new(1), Addr::new(0)));
+        // Evict node 1's copy via conflicts.
+        s.step(MemRef::read(NodeId::new(1), Addr::new(32)));
+        s.step(MemRef::read(NodeId::new(1), Addr::new(64)));
+        s.step(MemRef::read(NodeId::new(1), Addr::new(96)));
+        s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+        assert_eq!(s.line_state(NodeId::new(0), block), Some(UpdateState::Dirty));
+        s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
+        let stats = s.finish();
+        assert_eq!(stats.updates, 1, "second write is local");
+    }
+
+    #[test]
+    fn write_update_loses_badly_on_migratory_handoffs() {
+        // §1: "The write-update strategy entails interprocessor
+        // communication on every write operation to shared data."
+        let mut trace = Trace::new();
+        for turn in 0..20u16 {
+            let n = NodeId::new(turn % 2);
+            trace.push(MemRef::read(n, Addr::new(0)));
+            for _ in 0..4 {
+                trace.push(MemRef::write(n, Addr::new(0)));
+            }
+        }
+        let cfg = BusSimConfig::default();
+        let update = UpdateBusSim::new(&cfg).run(&trace);
+        let invalidate =
+            crate::BusSim::new(crate::SnoopProtocol::Adaptive, &cfg).run(&trace);
+        assert!(update.transactions() > 3 * invalidate.transactions());
+    }
+
+    #[test]
+    fn write_update_wins_on_producer_consumer() {
+        // The flip side: one producer, many re-reading consumers — the
+        // update keeps consumer copies alive instead of invalidating.
+        let mut trace = Trace::new();
+        for _ in 0..10 {
+            trace.push(MemRef::write(NodeId::new(0), Addr::new(0)));
+            for n in 1..6u16 {
+                trace.push(MemRef::read(NodeId::new(n), Addr::new(0)));
+            }
+        }
+        let cfg = BusSimConfig::default();
+        let update = UpdateBusSim::new(&cfg).run(&trace);
+        let invalidate = crate::BusSim::new(crate::SnoopProtocol::Mesi, &cfg).run(&trace);
+        assert!(update.transactions() < invalidate.transactions());
+    }
+
+    #[test]
+    fn display_reports_updates() {
+        let mut s = sim();
+        s.step(MemRef::read(NodeId::new(0), Addr::new(0)));
+        let text = s.finish().to_string();
+        assert!(text.contains("1 read misses"));
+    }
+}

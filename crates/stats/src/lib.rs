@@ -1,0 +1,404 @@
+//! Experiment bookkeeping: aligned-text / markdown / CSV table rendering
+//! and the percentage arithmetic the paper's tables report.
+//!
+//! Dependency-free on purpose: every crate in the workspace (and the
+//! bench harness binaries) can render results without pulling in the
+//! simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_stats::Table;
+//!
+//! let mut t = Table::new(["app", "conventional", "adaptive", "%"]);
+//! t.row(["MP3D", "2365", "1227", "48.1"]);
+//! let text = t.to_text();
+//! assert!(text.contains("MP3D"));
+//! assert!(text.contains("48.1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Percentage reduction of `new` relative to `base`, as the paper's `%`
+/// columns report it. Positive means `new` is smaller.
+///
+/// Returns `0.0` when `base` is zero.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mcc_stats::percent_reduction(200.0, 100.0), 50.0);
+/// assert_eq!(mcc_stats::percent_reduction(0.0, 10.0), 0.0);
+/// assert_eq!(mcc_stats::percent_reduction(100.0, 110.0), -10.0);
+/// ```
+pub fn percent_reduction(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * (base - new) / base
+    }
+}
+
+/// Formats a count in thousands with no decimal places, the unit the
+/// paper's Tables 2 and 3 use ("message counts in thousands").
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mcc_stats::thousands(2_364_821), "2365");
+/// assert_eq!(mcc_stats::thousands(120), "0");
+/// ```
+pub fn thousands(count: u64) -> String {
+    format!("{}", (count + 500) / 1000)
+}
+
+/// A simple rectangular table with named columns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn title<S: Into<String>>(&mut self, title: S) -> &mut Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned monospace text (first column left-aligned, the
+    /// rest right-aligned, as in the paper's tables).
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(title);
+            out.push('\n');
+        }
+        let render = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            out.push_str(&format!("### {title}\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting: cells must not contain commas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell contains a comma or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for line in std::iter::once(&self.headers).chain(&self.rows) {
+            for cell in line {
+                assert!(
+                    !cell.contains(',') && !cell.contains('\n'),
+                    "CSV cell must not contain commas or newlines: {cell:?}"
+                );
+            }
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(["app", "msgs", "%"]);
+        t.title("Table 2 (excerpt)");
+        t.row(["MP3D", "2365", "48.1"]);
+        t.row(["Water", "2261", "44.8"]);
+        t
+    }
+
+    #[test]
+    fn percent_reduction_math() {
+        assert_eq!(percent_reduction(100.0, 50.0), 50.0);
+        assert_eq!(percent_reduction(100.0, 100.0), 0.0);
+        assert!((percent_reduction(2365.0, 1227.0) - 48.1).abs() < 0.1);
+    }
+
+    #[test]
+    fn thousands_rounds_to_nearest() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(499), "0");
+        assert_eq!(thousands(500), "1");
+        assert_eq!(thousands(1_769_432), "1769");
+    }
+
+    #[test]
+    fn text_output_aligns() {
+        let text = sample().to_text();
+        assert!(text.starts_with("Table 2"));
+        let lines: Vec<&str> = text.lines().collect();
+        // title + header + rule + 2 rows
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_output() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Table 2"));
+        assert!(md.contains("| app | msgs | % |"));
+        assert!(md.contains("| MP3D | 2365 | 48.1 |"));
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "app,msgs,%");
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "3 columns")]
+    fn row_arity_checked() {
+        Table::new(["a", "b", "c"]).row(["only", "two"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain commas")]
+    fn csv_rejects_commas() {
+        let mut t = Table::new(["a"]);
+        t.row(["x,y"]);
+        let _ = t.to_csv();
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["a"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.to_text().contains('a'));
+    }
+
+    #[test]
+    fn display_matches_text() {
+        let t = sample();
+        assert_eq!(t.to_string(), t.to_text());
+    }
+}
+
+/// A horizontal ASCII bar chart for quick trend "figures" in terminal
+/// reports.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_stats::BarChart;
+///
+/// let mut chart = BarChart::new("reduction by cache size (%)", 20);
+/// chart.bar("4 KB", 13.4);
+/// chart.bar("1 MB", 46.3);
+/// let text = chart.render();
+/// assert!(text.contains("1 MB"));
+/// assert!(text.contains("46.3"));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct BarChart {
+    title: String,
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart whose longest bar spans `width` characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new<S: Into<String>>(title: S, width: usize) -> Self {
+        assert!(width > 0, "chart width must be positive");
+        BarChart {
+            title: title.into(),
+            width,
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled bar. Negative values render as a left-facing
+    /// marker.
+    pub fn bar<S: Into<String>>(&mut self, label: S, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value));
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.bars.len()
+    }
+
+    /// Returns `true` when the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.bars.is_empty()
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let label_width = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0_f64, f64::max);
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (label, value) in &self.bars {
+            let cells = if max == 0.0 {
+                0
+            } else {
+                ((value.abs() / max) * self.width as f64).round() as usize
+            };
+            let bar: String = std::iter::repeat('#').take(cells).collect();
+            let sign = if *value < 0.0 { "-" } else { "" };
+            out.push_str(&format!(
+                "{label:<label_width$}  {sign}{bar:<width$} {value:>7.1}\n",
+                width = self.width
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::BarChart;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let mut c = BarChart::new("t", 10);
+        c.bar("half", 5.0).bar("full", 10.0);
+        let text = c.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1].matches('#').count(), 5);
+        assert_eq!(lines[2].matches('#').count(), 10);
+    }
+
+    #[test]
+    fn zero_and_negative_values() {
+        let mut c = BarChart::new("t", 8);
+        c.bar("zero", 0.0).bar("neg", -4.0).bar("pos", 4.0);
+        let text = c.render();
+        assert!(text.contains("-####"));
+        assert!(text.contains("   -4.0") || text.contains("-4.0"));
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let c = BarChart::new("empty", 10);
+        assert!(c.is_empty());
+        assert_eq!(c.render(), "empty\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = BarChart::new("t", 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Byte, block, and page addresses.
+
+use core::fmt;
+use core::ops::{Add, AddAssign};
+
+/// The virtual-memory page size used throughout the workspace, in bytes.
+///
+/// The paper fixes the page size at 4 KB for both the trace-driven and the
+/// execution-driven simulations (§3.3).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A byte address in the simulated shared address space.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, BlockSize};
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.get(), 0x1234);
+/// assert_eq!(a.block(BlockSize::new(16).unwrap()).index(), 0x123);
+/// assert_eq!(a.page().index(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates a byte address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache block containing this address.
+    #[inline]
+    pub const fn block(self, block_size: BlockSize) -> BlockAddr {
+        BlockAddr(self.0 >> block_size.log2())
+    }
+
+    /// Returns the 4 KB page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageAddr {
+        PageAddr(self.0 / PAGE_SIZE)
+    }
+
+    /// Returns this address displaced by `offset` bytes.
+    #[inline]
+    pub const fn offset(self, offset: u64) -> Addr {
+        Addr(self.0 + offset)
+    }
+}
+
+impl From<u64> for Addr {
+    #[inline]
+    fn from(addr: u64) -> Self {
+        Addr(addr)
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block-granular address: the byte address divided by the block
+/// size.
+///
+/// A `BlockAddr` is only meaningful relative to the [`BlockSize`] that
+/// produced it; simulators fix one block size per run.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, BlockSize};
+///
+/// let bs = BlockSize::new(64).unwrap();
+/// let b = Addr::new(130).block(bs);
+/// assert_eq!(b.index(), 2);
+/// assert_eq!(b.base(bs), Addr::new(128));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a raw block index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// Returns the raw block index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the first byte address of the block under `block_size`.
+    #[inline]
+    pub const fn base(self, block_size: BlockSize) -> Addr {
+        Addr(self.0 << block_size.log2())
+    }
+
+    /// Returns the 4 KB page containing this block under `block_size`.
+    #[inline]
+    pub const fn page(self, block_size: BlockSize) -> PageAddr {
+        self.base(block_size).page()
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B{:#x}", self.0)
+    }
+}
+
+/// A 4 KB-page-granular address.
+///
+/// Used by the page-placement substrate to assign home nodes (§3.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageAddr(u64);
+
+impl PageAddr {
+    /// Creates a page address from a raw page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        PageAddr(index)
+    }
+
+    /// Returns the raw page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{:#x}", self.0)
+    }
+}
+
+/// A cache block size in bytes, guaranteed to be a power of two.
+///
+/// The paper evaluates block sizes from 16 to 256 bytes (§3.3).
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::BlockSize;
+///
+/// let bs = BlockSize::new(64).unwrap();
+/// assert_eq!(bs.bytes(), 64);
+/// assert_eq!(bs.log2(), 6);
+/// assert!(BlockSize::new(48).is_none());
+/// assert!(BlockSize::new(0).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockSize(u32);
+
+impl BlockSize {
+    /// The paper's default block size: 16 bytes.
+    pub const B16: BlockSize = BlockSize(4);
+    /// 32-byte blocks.
+    pub const B32: BlockSize = BlockSize(5);
+    /// 64-byte blocks.
+    pub const B64: BlockSize = BlockSize(6);
+    /// 128-byte blocks.
+    pub const B128: BlockSize = BlockSize(7);
+    /// 256-byte blocks.
+    pub const B256: BlockSize = BlockSize(8);
+
+    /// The block sizes swept by Table 3 of the paper.
+    pub const TABLE3_SWEEP: [BlockSize; 5] = [
+        BlockSize::B16,
+        BlockSize::B32,
+        BlockSize::B64,
+        BlockSize::B128,
+        BlockSize::B256,
+    ];
+
+    /// Creates a block size, returning `None` unless `bytes` is a power of
+    /// two greater than zero.
+    #[inline]
+    pub const fn new(bytes: u64) -> Option<Self> {
+        if bytes == 0 || !bytes.is_power_of_two() {
+            None
+        } else {
+            Some(BlockSize(bytes.trailing_zeros()))
+        }
+    }
+
+    /// Returns the block size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Returns log2 of the block size.
+    #[inline]
+    pub const fn log2(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for BlockSize {
+    /// Defaults to the paper's 16-byte blocks.
+    fn default() -> Self {
+        BlockSize::B16
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_block_and_page() {
+        let a = Addr::new(4096 + 17);
+        assert_eq!(a.page(), PageAddr::new(1));
+        assert_eq!(a.block(BlockSize::B16), BlockAddr::new((4096 + 17) / 16));
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let mut a = Addr::new(10);
+        a += 6;
+        assert_eq!(a, Addr::new(16));
+        assert_eq!(a + 16, Addr::new(32));
+        assert_eq!(a.offset(4), Addr::new(20));
+    }
+
+    #[test]
+    fn block_base_is_aligned() {
+        for bs in BlockSize::TABLE3_SWEEP {
+            let a = Addr::new(1000);
+            let b = a.block(bs);
+            let base = b.base(bs);
+            assert_eq!(base.get() % bs.bytes(), 0);
+            assert!(base <= a);
+            assert!(a.get() < base.get() + bs.bytes());
+        }
+    }
+
+    #[test]
+    fn block_size_rejects_non_powers() {
+        assert!(BlockSize::new(0).is_none());
+        assert!(BlockSize::new(3).is_none());
+        assert!(BlockSize::new(100).is_none());
+        assert_eq!(BlockSize::new(16), Some(BlockSize::B16));
+        assert_eq!(BlockSize::new(256), Some(BlockSize::B256));
+    }
+
+    #[test]
+    fn block_size_named_constants() {
+        assert_eq!(BlockSize::B16.bytes(), 16);
+        assert_eq!(BlockSize::B32.bytes(), 32);
+        assert_eq!(BlockSize::B64.bytes(), 64);
+        assert_eq!(BlockSize::B128.bytes(), 128);
+        assert_eq!(BlockSize::B256.bytes(), 256);
+        assert_eq!(BlockSize::default(), BlockSize::B16);
+    }
+
+    #[test]
+    fn block_page_consistency() {
+        let bs = BlockSize::B64;
+        let a = Addr::new(3 * PAGE_SIZE + 100);
+        assert_eq!(a.block(bs).page(bs), a.page());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{:X}", Addr::new(255)), "FF");
+        assert_eq!(BlockAddr::new(2).to_string(), "B0x2");
+        assert_eq!(PageAddr::new(2).to_string(), "page0x2");
+        assert_eq!(BlockSize::B64.to_string(), "64B");
+    }
+}

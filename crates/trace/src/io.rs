@@ -1,0 +1,212 @@
+//! Binary trace serialization.
+//!
+//! The format is deliberately simple and self-describing: an 8-byte header
+//! (magic + version) followed by fixed-width little-endian records of
+//! `(node: u16, op: u8, addr: u64)`; 11 bytes per reference.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::record::{MemOp, MemRef, NodeId};
+use crate::trace::Trace;
+use crate::Addr;
+
+/// Magic bytes opening every serialized trace: `MCCT` + format version 1.
+pub const TRACE_MAGIC: [u8; 8] = *b"MCCT\x01\0\0\0";
+
+/// Error produced when deserializing a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// The stream did not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The stream ended in the middle of a record.
+    TruncatedRecord,
+    /// A record contained an operation byte other than 0 (read) or 1 (write).
+    BadOp(u8),
+    /// An underlying I/O error.
+    Io(io::Error),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::BadMagic => write!(f, "stream is not an MCCT trace"),
+            ReadTraceError::TruncatedRecord => write!(f, "trace ends mid-record"),
+            ReadTraceError::BadOp(b) => write!(f, "invalid operation byte {b:#x}"),
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Serializes the trace to `writer` in the MCCT binary format.
+    ///
+    /// Pass `&mut writer` if you need the writer back afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error produced by the underlying writer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> std::io::Result<()> {
+    /// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+    /// let mut t = Trace::new();
+    /// t.push(MemRef::write(NodeId::new(1), Addr::new(0x40)));
+    /// let mut buf = Vec::new();
+    /// t.write_to(&mut buf)?;
+    /// let back = Trace::read_from(&buf[..]).unwrap();
+    /// assert_eq!(back, t);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(&TRACE_MAGIC)?;
+        let mut buf = [0u8; 11];
+        for r in self.iter() {
+            buf[..2].copy_from_slice(&(r.node.index() as u16).to_le_bytes());
+            buf[2] = r.op.is_write() as u8;
+            buf[3..].copy_from_slice(&r.addr.get().to_le_bytes());
+            writer.write_all(&buf)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a trace from `reader`.
+    ///
+    /// Pass `&mut reader` if you need the reader back afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadTraceError`] when the stream is not a valid MCCT trace
+    /// or the underlying reader fails.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if magic != TRACE_MAGIC {
+            return Err(ReadTraceError::BadMagic);
+        }
+        let mut trace = Trace::new();
+        let mut buf = [0u8; 11];
+        loop {
+            match read_record(&mut reader, &mut buf)? {
+                RecordRead::Eof => return Ok(trace),
+                RecordRead::Record => {
+                    let node = u16::from_le_bytes([buf[0], buf[1]]);
+                    let op = match buf[2] {
+                        0 => MemOp::Read,
+                        1 => MemOp::Write,
+                        b => return Err(ReadTraceError::BadOp(b)),
+                    };
+                    let addr = u64::from_le_bytes(buf[3..].try_into().expect("8 bytes"));
+                    trace.push(MemRef::new(NodeId::new(node), op, Addr::new(addr)));
+                }
+            }
+        }
+    }
+}
+
+enum RecordRead {
+    Eof,
+    Record,
+}
+
+fn read_record<R: Read>(reader: &mut R, buf: &mut [u8; 11]) -> Result<RecordRead, ReadTraceError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(RecordRead::Eof)
+            } else {
+                Err(ReadTraceError::TruncatedRecord)
+            };
+        }
+        filled += n;
+    }
+    Ok(RecordRead::Record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            let node = NodeId::new((i % 16) as u16);
+            let addr = Addr::new(i * 13 % 4096);
+            t.push(if i % 3 == 0 {
+                MemRef::write(node, addr)
+            } else {
+                MemRef::read(node, addr)
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 11 * t.len());
+        let back = Trace::read_from(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        Trace::new().write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Trace::read_from(&b"NOTATRACE"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::TruncatedRecord));
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf[8 + 2] = 7; // op byte of the first record
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadOp(7)));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ReadTraceError::BadMagic.to_string().contains("MCCT"));
+        assert!(ReadTraceError::BadOp(9).to_string().contains("0x9"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Individual trace records: nodes, operations, references.
+
+use core::fmt;
+
+use crate::addr::Addr;
+
+/// Identifier of a processing node (processor + cache + local memory).
+///
+/// The paper simulates sixteen-processor systems; this type supports up to
+/// `u16::MAX + 1` nodes so larger configurations can be explored.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "P3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node identifier from a zero-based index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the zero-based index of this node.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns an iterator over the first `count` node identifiers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcc_trace::NodeId;
+    /// let all: Vec<_> = NodeId::first(3).collect();
+    /// assert_eq!(all, [NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+    /// ```
+    pub fn first(count: u16) -> impl Iterator<Item = NodeId> {
+        (0..count).map(NodeId)
+    }
+}
+
+impl From<u16> for NodeId {
+    #[inline]
+    fn from(index: u16) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A shared-memory operation: read or write.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::MemOp;
+/// assert!(MemOp::Write.is_write());
+/// assert!(!MemOp::Read.is_write());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemOp {
+    /// A load from shared memory.
+    #[default]
+    Read,
+    /// A store to shared memory.
+    Write,
+}
+
+impl MemOp {
+    /// Returns `true` for [`MemOp::Write`].
+    #[inline]
+    pub const fn is_write(self) -> bool {
+        matches!(self, MemOp::Write)
+    }
+
+    /// Returns `true` for [`MemOp::Read`].
+    #[inline]
+    pub const fn is_read(self) -> bool {
+        matches!(self, MemOp::Read)
+    }
+}
+
+impl fmt::Display for MemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemOp::Read => "R",
+            MemOp::Write => "W",
+        })
+    }
+}
+
+/// One shared-memory reference: a node performing an operation on an address.
+///
+/// This is the atomic unit of every trace-driven simulation in the
+/// workspace.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, MemOp, MemRef, NodeId};
+///
+/// let r = MemRef::write(NodeId::new(2), Addr::new(0x1000));
+/// assert_eq!(r.node, NodeId::new(2));
+/// assert!(r.op.is_write());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// The node issuing the reference.
+    pub node: NodeId,
+    /// Whether the reference is a read or a write.
+    pub op: MemOp,
+    /// The byte address referenced.
+    pub addr: Addr,
+}
+
+impl MemRef {
+    /// Creates a reference with an explicit operation.
+    #[inline]
+    pub const fn new(node: NodeId, op: MemOp, addr: Addr) -> Self {
+        MemRef { node, op, addr }
+    }
+
+    /// Creates a read reference.
+    #[inline]
+    pub const fn read(node: NodeId, addr: Addr) -> Self {
+        MemRef::new(node, MemOp::Read, addr)
+    }
+
+    /// Creates a write reference.
+    #[inline]
+    pub const fn write(node: NodeId, addr: Addr) -> Self {
+        MemRef::new(node, MemOp::Write, addr)
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.node, self.op, self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(15);
+        assert_eq!(n.index(), 15);
+        assert_eq!(NodeId::from(15u16), n);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new(0).to_string(), "P0");
+        assert_eq!(NodeId::new(15).to_string(), "P15");
+    }
+
+    #[test]
+    fn node_first_enumerates_in_order() {
+        let nodes: Vec<_> = NodeId::first(4).collect();
+        assert_eq!(nodes.len(), 4);
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mem_op_predicates() {
+        assert!(MemOp::Read.is_read());
+        assert!(!MemOp::Read.is_write());
+        assert!(MemOp::Write.is_write());
+        assert!(!MemOp::Write.is_read());
+    }
+
+    #[test]
+    fn mem_ref_constructors() {
+        let a = Addr::new(64);
+        assert_eq!(MemRef::read(NodeId::new(1), a).op, MemOp::Read);
+        assert_eq!(MemRef::write(NodeId::new(1), a).op, MemOp::Write);
+    }
+
+    #[test]
+    fn mem_ref_display_is_compact() {
+        let r = MemRef::write(NodeId::new(7), Addr::new(0x80));
+        assert_eq!(r.to_string(), "P7 W 0x80");
+    }
+
+    #[test]
+    fn types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NodeId>();
+        assert_send_sync::<MemOp>();
+        assert_send_sync::<MemRef>();
+    }
+}

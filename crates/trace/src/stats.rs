@@ -1,0 +1,189 @@
+//! Trace summary statistics.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::addr::{Addr, BlockSize};
+use crate::trace::Trace;
+
+/// Summary statistics over a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+///
+/// let mut t = Trace::new();
+/// t.push(MemRef::read(NodeId::new(0), Addr::new(0)));
+/// t.push(MemRef::write(NodeId::new(3), Addr::new(4096)));
+/// let s = t.stats();
+/// assert_eq!(s.reads, 1);
+/// assert_eq!(s.writes, 1);
+/// assert_eq!(s.nodes, 4); // nodes 0..=3 (max index + 1)
+/// assert_eq!(s.footprint_bytes, 2 * 4096);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total number of references.
+    pub refs: usize,
+    /// Number of read references.
+    pub reads: usize,
+    /// Number of write references.
+    pub writes: usize,
+    /// Number of nodes (max node index + 1).
+    pub nodes: usize,
+    /// Number of distinct 4 KB pages touched.
+    pub pages: usize,
+    /// Shared-data footprint: distinct pages × 4 KB.
+    pub footprint_bytes: u64,
+    /// Per-node reference counts, indexed by node index.
+    pub refs_per_node: Vec<usize>,
+    /// Lowest address referenced, if any.
+    pub min_addr: Option<Addr>,
+    /// Highest address referenced, if any.
+    pub max_addr: Option<Addr>,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut stats = TraceStats {
+            refs: trace.len(),
+            ..TraceStats::default()
+        };
+        let mut pages = HashSet::new();
+        for r in trace.iter() {
+            if r.op.is_write() {
+                stats.writes += 1;
+            } else {
+                stats.reads += 1;
+            }
+            let node = r.node.index();
+            if node >= stats.refs_per_node.len() {
+                stats.refs_per_node.resize(node + 1, 0);
+            }
+            stats.refs_per_node[node] += 1;
+            pages.insert(r.addr.page());
+            stats.min_addr = Some(stats.min_addr.map_or(r.addr, |m| m.min(r.addr)));
+            stats.max_addr = Some(stats.max_addr.map_or(r.addr, |m| m.max(r.addr)));
+        }
+        stats.nodes = stats.refs_per_node.len();
+        stats.pages = pages.len();
+        stats.footprint_bytes = pages.len() as u64 * crate::addr::PAGE_SIZE;
+        stats
+    }
+
+    /// Fraction of references that are writes, in `[0, 1]`.
+    ///
+    /// Returns zero for an empty trace.
+    pub fn write_fraction(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.refs as f64
+        }
+    }
+
+    /// Counts distinct cache blocks at the given block size.
+    ///
+    /// Exposed separately from [`TraceStats::compute`] because it depends
+    /// on a block size choice.
+    pub fn distinct_blocks(trace: &Trace, block_size: BlockSize) -> usize {
+        trace
+            .iter()
+            .map(|r| r.addr.block(block_size))
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} refs ({} reads, {} writes, {:.1}% writes)",
+            self.refs,
+            self.reads,
+            self.writes,
+            self.write_fraction() * 100.0
+        )?;
+        write!(
+            f,
+            "{} nodes, {} pages ({} KB footprint)",
+            self.nodes,
+            self.pages,
+            self.footprint_bytes / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MemRef, NodeId};
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(MemRef::read(NodeId::new(0), Addr::new(i * 16)));
+        }
+        for i in 0..5u64 {
+            t.push(MemRef::write(NodeId::new(2), Addr::new(4096 + i * 16)));
+        }
+        t
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample().stats();
+        assert_eq!(s.refs, 15);
+        assert_eq!(s.reads, 10);
+        assert_eq!(s.writes, 5);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.refs_per_node, vec![10, 0, 5]);
+    }
+
+    #[test]
+    fn footprint_counts_pages() {
+        let s = sample().stats();
+        assert_eq!(s.pages, 2);
+        assert_eq!(s.footprint_bytes, 8192);
+    }
+
+    #[test]
+    fn addr_bounds() {
+        let s = sample().stats();
+        assert_eq!(s.min_addr, Some(Addr::new(0)));
+        assert_eq!(s.max_addr, Some(Addr::new(4096 + 64)));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = Trace::new().stats();
+        assert_eq!(s.refs, 0);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.write_fraction(), 0.0);
+        assert_eq!(s.min_addr, None);
+    }
+
+    #[test]
+    fn write_fraction() {
+        let s = sample().stats();
+        assert!((s.write_fraction() - 5.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_blocks_depends_on_block_size() {
+        let t = sample();
+        assert_eq!(TraceStats::distinct_blocks(&t, BlockSize::B16), 15);
+        // 10 reads span 160 bytes -> 3 blocks of 64B; 5 writes span 80 bytes -> 2 blocks
+        assert_eq!(TraceStats::distinct_blocks(&t, BlockSize::B64), 5);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let text = sample().stats().to_string();
+        assert!(text.contains("15 refs"));
+        assert!(text.contains("3 nodes"));
+    }
+}

@@ -1,0 +1,296 @@
+//! Trace containers and interleaving.
+
+use core::fmt;
+use core::slice;
+
+use crate::record::MemRef;
+use crate::stats::TraceStats;
+
+/// A globally ordered sequence of shared-memory references.
+///
+/// The order of references in the trace is the global interleaving the
+/// simulators process; references by the same node appear in that node's
+/// program order.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+///
+/// let trace: Trace = (0..4)
+///     .map(|i| MemRef::read(NodeId::new(i % 2), Addr::new(u64::from(i) * 16)))
+///     .collect();
+/// assert_eq!(trace.len(), 4);
+/// assert_eq!(trace.stats().nodes, 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    refs: Vec<MemRef>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an empty trace with capacity for `n` references.
+    pub fn with_capacity(n: usize) -> Self {
+        Trace {
+            refs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends one reference.
+    #[inline]
+    pub fn push(&mut self, r: MemRef) {
+        self.refs.push(r);
+    }
+
+    /// Returns the number of references.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Returns `true` when the trace holds no references.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Iterates over the references in global order.
+    pub fn iter(&self) -> slice::Iter<'_, MemRef> {
+        self.refs.iter()
+    }
+
+    /// Returns the references as a slice.
+    pub fn as_slice(&self) -> &[MemRef] {
+        &self.refs
+    }
+
+    /// Computes summary statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::compute(self)
+    }
+
+    /// Splits the trace into per-node sub-traces, preserving program order.
+    ///
+    /// The returned vector is indexed by node index and has
+    /// `max_node_index + 1` entries (empty traces for unused nodes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+    /// let mut t = Trace::new();
+    /// t.push(MemRef::read(NodeId::new(1), Addr::new(0)));
+    /// t.push(MemRef::read(NodeId::new(0), Addr::new(16)));
+    /// t.push(MemRef::write(NodeId::new(1), Addr::new(0)));
+    /// let per_node = t.split_by_node();
+    /// assert_eq!(per_node.len(), 2);
+    /// assert_eq!(per_node[0].len(), 1);
+    /// assert_eq!(per_node[1].len(), 2);
+    /// ```
+    pub fn split_by_node(&self) -> Vec<Trace> {
+        let nodes = self
+            .refs
+            .iter()
+            .map(|r| r.node.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![Trace::new(); nodes];
+        for r in &self.refs {
+            out[r.node.index()].push(*r);
+        }
+        out
+    }
+}
+
+impl FromIterator<MemRef> for Trace {
+    fn from_iter<I: IntoIterator<Item = MemRef>>(iter: I) -> Self {
+        Trace {
+            refs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<MemRef> for Trace {
+    fn extend<I: IntoIterator<Item = MemRef>>(&mut self, iter: I) {
+        self.refs.extend(iter);
+    }
+}
+
+impl From<Vec<MemRef>> for Trace {
+    fn from(refs: Vec<MemRef>) -> Self {
+        Trace { refs }
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MemRef;
+    type IntoIter = slice::Iter<'a, MemRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.refs.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = MemRef;
+    type IntoIter = std::vec::IntoIter<MemRef>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.refs.into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace of {} references", self.len())?;
+        for r in self.iter().take(16) {
+            writeln!(f, "  {r}")?;
+        }
+        if self.len() > 16 {
+            writeln!(f, "  … {} more", self.len() - 16)?;
+        }
+        Ok(())
+    }
+}
+
+/// Merges per-node reference streams into one global interleaving.
+///
+/// Streams are drained in bounded bursts in round-robin order, which is a
+/// reasonable stand-in for the interleavings a real execution produces:
+/// each node runs for a while (a burst) before another is scheduled.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{Addr, Interleaver, MemRef, NodeId, Trace};
+///
+/// let a: Trace = (0..4).map(|i| MemRef::read(NodeId::new(0), Addr::new(i * 16))).collect();
+/// let b: Trace = (0..4).map(|i| MemRef::read(NodeId::new(1), Addr::new(i * 16))).collect();
+/// let merged = Interleaver::new(2).interleave(vec![a, b]);
+/// assert_eq!(merged.len(), 8);
+/// // bursts of two: P0 P0 P1 P1 P0 P0 P1 P1
+/// assert_eq!(merged.as_slice()[0].node, NodeId::new(0));
+/// assert_eq!(merged.as_slice()[2].node, NodeId::new(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interleaver {
+    burst: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver that drains `burst` references from each
+    /// stream per scheduling round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero.
+    pub fn new(burst: usize) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        Interleaver { burst }
+    }
+
+    /// Merges the given per-node traces into one global trace.
+    pub fn interleave(&self, streams: Vec<Trace>) -> Trace {
+        let total: usize = streams.iter().map(Trace::len).sum();
+        let mut cursors: Vec<std::vec::IntoIter<MemRef>> =
+            streams.into_iter().map(Trace::into_iter).collect();
+        let mut out = Trace::with_capacity(total);
+        let mut live = cursors.len();
+        while live > 0 {
+            live = 0;
+            for cursor in &mut cursors {
+                let mut took = 0;
+                while took < self.burst {
+                    match cursor.next() {
+                        Some(r) => {
+                            out.push(r);
+                            took += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if took == self.burst {
+                    live += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Interleaver {
+    /// A burst of one reference: strict round-robin.
+    fn default() -> Self {
+        Interleaver::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::record::{MemRef, NodeId};
+
+    fn reads(node: u16, n: u64) -> Trace {
+        (0..n)
+            .map(|i| MemRef::read(NodeId::new(node), Addr::new(i * 16)))
+            .collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(MemRef::read(NodeId::new(0), Addr::new(0)));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut t: Trace = reads(0, 3);
+        t.extend(reads(1, 2));
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn split_by_node_preserves_program_order() {
+        let merged = Interleaver::new(1).interleave(vec![reads(0, 5), reads(1, 5)]);
+        let split = merged.split_by_node();
+        assert_eq!(split[0], reads(0, 5));
+        assert_eq!(split[1], reads(1, 5));
+    }
+
+    #[test]
+    fn interleave_preserves_all_refs() {
+        let merged = Interleaver::new(3).interleave(vec![reads(0, 7), reads(1, 2), reads(2, 11)]);
+        assert_eq!(merged.len(), 20);
+    }
+
+    #[test]
+    fn interleave_empty_streams() {
+        let merged = Interleaver::default().interleave(vec![Trace::new(), Trace::new()]);
+        assert!(merged.is_empty());
+        let merged = Interleaver::default().interleave(Vec::new());
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be positive")]
+    fn interleaver_rejects_zero_burst() {
+        let _ = Interleaver::new(0);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = reads(0, 100);
+        let s = t.to_string();
+        assert!(s.contains("100 references"));
+        assert!(s.contains("more"));
+    }
+}

@@ -1,0 +1,563 @@
+//! The five SPLASH-analogue synthetic workloads (§3.1 of the paper).
+//!
+//! We cannot run Tango over the original SPLASH programs, so each
+//! application is modelled as a composition of sharing-pattern
+//! [`Region`]s whose mixes, object sizes, and footprints follow the
+//! paper's description of the benchmark suite (shared-memory footprints
+//! of 1476 KB for Cholesky, 1232 KB for LocusRoute, 552 KB for MP3D,
+//! 2676 KB for Pthor and 200 KB for Water) and the sharing behaviour
+//! the literature attributes to each program:
+//!
+//! * **Cholesky** — supernodal column panels handed between factoring
+//!   processors through a task queue: migratory, large objects.
+//! * **LocusRoute** — a large cost grid read by all routers and updated
+//!   in place as routes are laid down (read-mostly), plus small
+//!   migratory route records and the work queue.
+//! * **MP3D** — particle records updated by whichever processor moves
+//!   the particle (migratory, small, densely packed — the source of the
+//!   paper's false-sharing effects at large block sizes), plus space-cell
+//!   counters and read-shared constants.
+//! * **Pthor** — logic-element records migrating between simulator
+//!   threads, net lists published producer/consumer style, a read-shared
+//!   circuit topology and heavily write-shared event counters.
+//! * **Water** — large molecule records whose forces are accumulated by
+//!   different processors each step (migratory, large objects), plus
+//!   small migratory global accumulators.
+
+use core::fmt;
+use std::str::FromStr;
+
+use mcc_trace::{Addr, Trace, PAGE_SIZE};
+
+use crate::gen::{interleave_streams, ChunkStream, GenCtx};
+use crate::regions::{
+    MigratoryObjects, PrivateObjects, ProducerConsumer, ReadMostly, Region, WriteShared,
+};
+
+/// Parameters shared by every workload generator.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_workloads::{Workload, WorkloadParams};
+///
+/// let params = WorkloadParams::new(16).scale(0.01).seed(7);
+/// let trace = Workload::Water.generate(&params);
+/// assert!(!trace.is_empty());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadParams {
+    /// Number of nodes in the simulated machine (the paper uses 16).
+    pub nodes: u16,
+    /// Work multiplier: scales reference counts (visits, rounds, bursts)
+    /// while keeping the address footprint fixed. `1.0` produces traces
+    /// of millions of references, comparable to the paper's; values
+    /// below `0.1` are clamped to `0.1` so the sharing-pattern mix and
+    /// per-object hand-off dynamics stay intact.
+    pub scale: f64,
+    /// RNG seed; equal seeds give bit-identical traces.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// Parameters for a `nodes`-node machine at full scale, seed 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: u16) -> Self {
+        assert!(nodes > 0, "node count must be positive");
+        WorkloadParams {
+            nodes,
+            scale: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns the parameters with a different work multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn scale(mut self, scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Returns the parameters with a different seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The effective work multiplier: requested scale clamped to at
+    /// least 0.1. Below one tenth of full size the per-object hand-off
+    /// counts would drop so low that the detection protocols have
+    /// nothing left to detect, and the sharing-pattern mix would drift
+    /// away from the calibrated one — so traces simply stop shrinking.
+    fn effective_scale(&self) -> f64 {
+        self.scale.max(0.1)
+    }
+
+    /// Scales an iteration count by the effective scale, never below one.
+    fn sc(&self, n: u64) -> u64 {
+        ((n as f64 * self.effective_scale()).round() as u64).max(1)
+    }
+}
+
+impl Default for WorkloadParams {
+    /// Sixteen nodes (the paper's configuration), full scale, seed 0.
+    fn default() -> Self {
+        WorkloadParams::new(16)
+    }
+}
+
+/// The benchmark suite (§3.1): five SPLASH-analogue workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Sparse Cholesky factorization (`bcstk14`-sized).
+    Cholesky,
+    /// Standard-cell router (`Primary2.grin`-sized).
+    LocusRoute,
+    /// Rarefied hypersonic flow (10 000 particles).
+    Mp3d,
+    /// Distributed-time logic simulator (`risc`-sized).
+    Pthor,
+    /// N-body water molecular dynamics (`LWI12`-sized).
+    Water,
+}
+
+impl Workload {
+    /// All five workloads, in the paper's table order.
+    pub const ALL: [Workload; 5] = [
+        Workload::Cholesky,
+        Workload::LocusRoute,
+        Workload::Mp3d,
+        Workload::Pthor,
+        Workload::Water,
+    ];
+
+    /// The workload's display name, matching the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Workload::Cholesky => "Cholesky",
+            Workload::LocusRoute => "Locus Route",
+            Workload::Mp3d => "MP3D",
+            Workload::Pthor => "Pthor",
+            Workload::Water => "Water",
+        }
+    }
+
+    /// The shared-memory footprint the paper reports for the program, in
+    /// kilobytes (§3.1). The synthetic trace's footprint approximates it.
+    pub const fn paper_footprint_kb(self) -> u64 {
+        match self {
+            Workload::Cholesky => 1476,
+            Workload::LocusRoute => 1232,
+            Workload::Mp3d => 552,
+            Workload::Pthor => 2676,
+            Workload::Water => 200,
+        }
+    }
+
+    /// Generates the workload's shared-data reference trace.
+    pub fn generate(self, params: &WorkloadParams) -> Trace {
+        let mut ctx = GenCtx::new(params.nodes, params.seed ^ self.seed_salt());
+        let mut layout = Layout::new();
+        let mut streams: Vec<ChunkStream> = Vec::new();
+        match self {
+            Workload::Cholesky => cholesky(params, &mut ctx, &mut layout, &mut streams),
+            Workload::LocusRoute => locus_route(params, &mut ctx, &mut layout, &mut streams),
+            Workload::Mp3d => mp3d(params, &mut ctx, &mut layout, &mut streams),
+            Workload::Pthor => pthor(params, &mut ctx, &mut layout, &mut streams),
+            Workload::Water => water(params, &mut ctx, &mut layout, &mut streams),
+        }
+        interleave_streams(streams, &mut ctx)
+    }
+
+    /// Per-workload seed salt so equal user seeds still decorrelate the
+    /// five generators.
+    const fn seed_salt(self) -> u64 {
+        match self {
+            Workload::Cholesky => 0x43686f6c,
+            Workload::LocusRoute => 0x4c6f6375,
+            Workload::Mp3d => 0x4d503364,
+            Workload::Pthor => 0x5074686f,
+            Workload::Water => 0x57617465,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`Workload`] name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseWorkloadError(String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown workload {:?} (expected cholesky, locus, mp3d, pthor or water)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl FromStr for Workload {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cholesky" => Ok(Workload::Cholesky),
+            "locus" | "locusroute" | "locus_route" | "locus-route" => Ok(Workload::LocusRoute),
+            "mp3d" => Ok(Workload::Mp3d),
+            "pthor" => Ok(Workload::Pthor),
+            "water" => Ok(Workload::Water),
+            other => Err(ParseWorkloadError(other.to_string())),
+        }
+    }
+}
+
+/// Page-aligned address-space allocator for laying out regions.
+struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    fn new() -> Self {
+        Layout { next: 0 }
+    }
+
+    fn alloc(&mut self, bytes: u64) -> Addr {
+        let base = Addr::new(self.next);
+        self.next += bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        base
+    }
+}
+
+fn push<R: Region>(region: &R, ctx: &mut GenCtx, streams: &mut Vec<ChunkStream>) {
+    streams.append(&mut region.streams(ctx));
+}
+
+fn cholesky(p: &WorkloadParams, ctx: &mut GenCtx, l: &mut Layout, s: &mut Vec<ChunkStream>) {
+    // Column panels: the factorization's unit of work. A panel is fetched
+    // from the task queue, read, updated in place, and released — each
+    // hand-off goes to whichever processor drew the task.
+    let panels = MigratoryObjects {
+        base: l.alloc(1400 * 1024),
+        objects: 1400,
+        object_bytes: 1024,
+        visits_per_object: p.sc(160),
+        reads_per_visit: 40,
+        writes_per_visit: 40,
+        burst: 20,
+        rotate: false,
+        stride: 1,
+    };
+    push(&panels, ctx, s);
+    // The shared task queue: head/tail/lock words, hammered migratorily.
+    let queue = MigratoryObjects {
+        base: l.alloc(8 * 32),
+        objects: 8,
+        object_bytes: 32,
+        visits_per_object: p.sc(3000),
+        reads_per_visit: 3,
+        writes_per_visit: 2,
+        burst: 5,
+        rotate: false,
+        stride: 1,
+    };
+    push(&queue, ctx, s);
+    // Read-shared symbolic-factorization index structures.
+    let index = ReadMostly {
+        base: l.alloc(64 * 1024),
+        bytes: 64 * 1024,
+        updates: p.sc(40),
+        writes_per_update: 4,
+        read_bursts_per_node: p.sc(300),
+        reads_per_burst: 20,
+    };
+    push(&index, ctx, s);
+}
+
+fn locus_route(p: &WorkloadParams, ctx: &mut GenCtx, l: &mut Layout, s: &mut Vec<ChunkStream>) {
+    // The cost array: the dominant structure, read by every router and
+    // updated in place as wires are placed. Replication is the right
+    // policy here; the adaptive protocols must leave it alone.
+    let cost_grid = ReadMostly {
+        base: l.alloc(1088 * 1024),
+        bytes: 1088 * 1024,
+        updates: p.sc(30_000),
+        writes_per_update: 4,
+        read_bursts_per_node: p.sc(2500),
+        reads_per_burst: 60,
+    };
+    push(&cost_grid, ctx, s);
+    // Per-wire route records: migratory as wires are re-routed.
+    let routes = MigratoryObjects {
+        base: l.alloc(700 * 64),
+        objects: 700,
+        object_bytes: 64,
+        visits_per_object: p.sc(160),
+        reads_per_visit: 4,
+        writes_per_visit: 3,
+        burst: 3,
+        rotate: false,
+        stride: 1,
+    };
+    push(&routes, ctx, s);
+    // The work queue of wires to route.
+    let queue = MigratoryObjects {
+        base: l.alloc(8 * 32),
+        objects: 8,
+        object_bytes: 32,
+        visits_per_object: p.sc(2000),
+        reads_per_visit: 2,
+        writes_per_visit: 2,
+        burst: 4,
+        rotate: false,
+        stride: 1,
+    };
+    push(&queue, ctx, s);
+}
+
+fn mp3d(p: &WorkloadParams, ctx: &mut GenCtx, l: &mut Layout, s: &mut Vec<ChunkStream>) {
+    // Particle records: position/velocity structs updated by whichever
+    // processor advances the particle this step. Densely packed 36-byte
+    // records, deliberately unaligned to block boundaries — the source
+    // of the false sharing that erodes the adaptive win at large blocks
+    // (Table 3).
+    let particles = MigratoryObjects {
+        base: l.alloc(12_000 * 36),
+        objects: 12_000,
+        object_bytes: 36,
+        visits_per_object: p.sc(160),
+        reads_per_visit: 5,
+        writes_per_visit: 4,
+        burst: 9,
+        rotate: false,
+        stride: 1,
+    };
+    push(&particles, ctx, s);
+    // Space-array cells: occupancy counters bumped by whichever
+    // processor moves a particle through the cell.
+    let space = MigratoryObjects {
+        base: l.alloc(7000 * 16),
+        objects: 7000,
+        object_bytes: 16,
+        visits_per_object: p.sc(160),
+        reads_per_visit: 2,
+        writes_per_visit: 1,
+        burst: 2,
+        rotate: false,
+        stride: 1,
+    };
+    push(&space, ctx, s);
+    // Read-shared simulation constants.
+    let constants = ReadMostly {
+        base: l.alloc(16 * 1024),
+        bytes: 16 * 1024,
+        updates: p.sc(10),
+        writes_per_update: 2,
+        read_bursts_per_node: p.sc(100),
+        reads_per_burst: 20,
+    };
+    push(&constants, ctx, s);
+}
+
+fn pthor(p: &WorkloadParams, ctx: &mut GenCtx, l: &mut Layout, s: &mut Vec<ChunkStream>) {
+    // Logic-element records: migrate between simulator threads as
+    // activation flows through the circuit.
+    let elements = MigratoryObjects {
+        base: l.alloc(1100 * 2048),
+        objects: 1100,
+        object_bytes: 2048,
+        visits_per_object: p.sc(160),
+        reads_per_visit: 8,
+        writes_per_visit: 8,
+        burst: 16,
+        rotate: false,
+        stride: 32,
+    };
+    push(&elements, ctx, s);
+    // Net values: written by the driving element's owner, read by the
+    // fan-out (producer/consumer — not migratory).
+    let nets = ProducerConsumer {
+        base: l.alloc(2000 * 64),
+        objects: 2000,
+        object_bytes: 64,
+        rounds: p.sc(10),
+        consumers_per_round: 3,
+    };
+    push(&nets, ctx, s);
+    // Read-shared circuit topology.
+    let topology = ReadMostly {
+        base: l.alloc(320 * 1024),
+        bytes: 320 * 1024,
+        updates: p.sc(4000),
+        writes_per_update: 4,
+        read_bursts_per_node: p.sc(2000),
+        reads_per_burst: 30,
+    };
+    push(&topology, ctx, s);
+    // Global event counters: heavily write-shared.
+    let counters = WriteShared {
+        base: l.alloc(256 * 8),
+        words: 256,
+        turns: p.sc(6000),
+        readers_per_turn: 2,
+    };
+    push(&counters, ctx, s);
+}
+
+fn water(p: &WorkloadParams, ctx: &mut GenCtx, l: &mut Layout, s: &mut Vec<ChunkStream>) {
+    // Molecule records: each O(n²) interaction phase accumulates forces
+    // into both molecules of a pair, so records are read-modified by a
+    // different processor each time — the archetypal migratory data.
+    // Large (~680 B) records mean false sharing appears only at large
+    // block sizes, matching Water's Table 3 profile.
+    let molecules = MigratoryObjects {
+        base: l.alloc(288 * 688),
+        objects: 288,
+        object_bytes: 688,
+        visits_per_object: p.sc(1000),
+        reads_per_visit: 24,
+        writes_per_visit: 22,
+        burst: 8,
+        rotate: true,
+        stride: 1,
+    };
+    push(&molecules, ctx, s);
+    // Global potential/kinetic energy accumulators.
+    let sums = MigratoryObjects {
+        base: l.alloc(4 * 32),
+        objects: 4,
+        object_bytes: 32,
+        visits_per_object: p.sc(2000),
+        reads_per_visit: 2,
+        writes_per_visit: 2,
+        burst: 4,
+        rotate: false,
+        stride: 1,
+    };
+    push(&sums, ctx, s);
+    // Per-node scratch that lives in the shared heap.
+    let scratch = PrivateObjects {
+        base: l.alloc(u64::from(p.nodes) * 512),
+        per_node_bytes: 512,
+        sweeps: p.sc(100),
+        refs_per_sweep: 24,
+    };
+    push(&scratch, ctx, s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorkloadParams {
+        WorkloadParams::new(16).scale(0.02).seed(1)
+    }
+
+    #[test]
+    fn all_workloads_generate_nonempty_traces() {
+        for w in Workload::ALL {
+            let t = w.generate(&small());
+            assert!(t.len() > 1000, "{w} produced only {} refs", t.len());
+            let stats = t.stats();
+            assert!(stats.nodes <= 16);
+            assert!(stats.writes > 0);
+            assert!(stats.reads > 0);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        for w in Workload::ALL {
+            assert_eq!(w.generate(&small()), w.generate(&small()), "{w} not deterministic");
+        }
+        let other = small().seed(2);
+        assert_ne!(
+            Workload::Mp3d.generate(&small()),
+            Workload::Mp3d.generate(&other)
+        );
+    }
+
+    #[test]
+    fn footprints_approximate_the_paper() {
+        // Footprint is scale-independent; allow +-35% of the paper's
+        // figure (page-granular accounting rounds up).
+        for w in Workload::ALL {
+            let t = w.generate(&small());
+            let kb = t.stats().footprint_bytes / 1024;
+            let target = w.paper_footprint_kb();
+            assert!(
+                kb as f64 > target as f64 * 0.65 && (kb as f64) < target as f64 * 1.35,
+                "{w}: footprint {kb} KB vs paper {target} KB"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_changes_refs_not_footprint() {
+        // Scales chosen above the visit floor so the ratio is visible.
+        let tiny = Workload::Water.generate(&WorkloadParams::new(16).scale(0.2).seed(1));
+        let bigger = Workload::Water.generate(&WorkloadParams::new(16).scale(0.8).seed(1));
+        assert!(bigger.len() as f64 > 2.0 * tiny.len() as f64);
+        assert_eq!(tiny.stats().pages, bigger.stats().pages);
+    }
+
+    #[test]
+    fn every_node_participates() {
+        for w in Workload::ALL {
+            let stats = w.generate(&small()).stats();
+            assert_eq!(stats.nodes, 16, "{w}");
+            assert!(
+                stats.refs_per_node.iter().all(|&c| c > 0),
+                "{w}: some node is idle: {:?}",
+                stats.refs_per_node
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_parse_round_trip() {
+        for w in Workload::ALL {
+            let parsed: Workload = w.name().to_ascii_lowercase().replace(' ', "").parse().unwrap();
+            assert_eq!(parsed, w);
+        }
+        assert_eq!("locus".parse::<Workload>().unwrap(), Workload::LocusRoute);
+        assert!("splash".parse::<Workload>().is_err());
+        let err = "splash".parse::<Workload>().unwrap_err();
+        assert!(err.to_string().contains("splash"));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn rejects_non_positive_scale() {
+        let _ = WorkloadParams::new(4).scale(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node count must be positive")]
+    fn rejects_zero_nodes() {
+        let _ = WorkloadParams::new(0);
+    }
+
+    #[test]
+    fn params_builder_chains() {
+        let p = WorkloadParams::new(8).scale(0.5).seed(99);
+        assert_eq!(p.nodes, 8);
+        assert_eq!(p.scale, 0.5);
+        assert_eq!(p.seed, 99);
+        assert_eq!(WorkloadParams::default().nodes, 16);
+    }
+}

@@ -1,0 +1,66 @@
+//! Synthetic SPLASH-analogue shared-memory workloads.
+//!
+//! The paper (Cox & Fowler, ISCA 1993) drives its simulators with
+//! Tango-generated traces of five SPLASH programs. Those traces cannot be
+//! regenerated here, so this crate synthesizes deterministic traces with
+//! the same *sharing structure*: compositions of migratory objects,
+//! read-mostly tables, producer/consumer buffers, write-shared words and
+//! node-private data, mixed per application to match what the paper and
+//! the sharing-pattern literature report about each program.
+//!
+//! Coherence protocols are sensitive only to the order in which nodes
+//! read and write blocks — not to the computation producing that order —
+//! so reproducing the sharing structure is what preserves the paper's
+//! experimental shape (who wins, by how much, and where the crossovers
+//! fall).
+//!
+//! # Examples
+//!
+//! Generate a small MP3D-like trace:
+//!
+//! ```
+//! use mcc_workloads::{Workload, WorkloadParams};
+//!
+//! let params = WorkloadParams::new(16).scale(0.01);
+//! let trace = Workload::Mp3d.generate(&params);
+//! assert!(trace.stats().writes > 0);
+//! ```
+//!
+//! Or build a custom workload from regions:
+//!
+//! ```
+//! use mcc_trace::Addr;
+//! use mcc_workloads::{interleave_streams, GenCtx, MigratoryObjects, Region};
+//!
+//! let counters = MigratoryObjects {
+//!     base: Addr::new(0),
+//!     objects: 64,
+//!     object_bytes: 32,
+//!     visits_per_object: 50,
+//!     reads_per_visit: 2,
+//!     writes_per_visit: 1,
+//!     burst: 3,
+//!     rotate: false,
+//!     stride: 1,
+//! };
+//! let mut ctx = GenCtx::new(8, 42);
+//! let streams = counters.streams(&mut ctx);
+//! let trace = interleave_streams(streams, &mut ctx);
+//! assert_eq!(trace.len(), 64 * 50 * 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apps;
+mod builder;
+mod gen;
+mod regions;
+
+pub use apps::{ParseWorkloadError, Workload, WorkloadParams};
+pub use builder::WorkloadBuilder;
+pub use gen::{interleave_streams, Chunk, ChunkStream, GenCtx};
+pub use regions::{
+    MigratoryObjects, PhasedObjects, PrivateObjects, ProducerConsumer, ReadMostly, Region,
+    WriteShared,
+};

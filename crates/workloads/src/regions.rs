@@ -1,0 +1,649 @@
+//! Sharing-pattern regions: the compositional building blocks of the
+//! synthetic workloads.
+//!
+//! Each region occupies an address range and emits references following
+//! one of the data-sharing patterns the paper (and the studies it cites,
+//! e.g. Weber & Gupta) identifies in parallel programs: migratory
+//! objects, read-mostly tables, producer/consumer buffers, heavily
+//! write-shared words, and per-node private data that happens to live in
+//! shared memory.
+//!
+//! Regions produce [`ChunkStream`]s: per-object (or per-node) ordered
+//! bursts that the scheduler interleaves into a global trace.
+
+use mcc_trace::{Addr, MemRef, NodeId};
+use rand::Rng;
+
+use crate::gen::{Chunk, ChunkStream, GenCtx};
+
+/// A source of reference streams occupying a fixed address range.
+pub trait Region {
+    /// Generates the region's chunk streams.
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream>;
+
+    /// Bytes of address space the region occupies.
+    fn footprint_bytes(&self) -> u64;
+}
+
+/// Lock-protected records visited exclusively by one node at a time —
+/// the migratory pattern the paper's protocols detect (§1).
+///
+/// During a visit the visiting node reads the record, then writes part of
+/// it. Successive visits to the same object come from different nodes, so
+/// under a conventional protocol each hand-off costs a replication
+/// followed by an invalidation.
+///
+/// A visit is emitted as chunks of at most [`burst`](Self::burst)
+/// references. Per-object ordering is preserved (the object is
+/// lock-protected), but *different* objects' visits interleave at burst
+/// granularity — which is exactly what creates false sharing when a
+/// cache block spans two objects being visited concurrently, the effect
+/// that erodes the adaptive protocols at large block sizes (Table 3).
+///
+/// # Examples
+///
+/// ```
+/// use mcc_workloads::{GenCtx, MigratoryObjects, Region};
+/// use mcc_trace::Addr;
+///
+/// let region = MigratoryObjects {
+///     base: Addr::new(0),
+///     objects: 4,
+///     object_bytes: 64,
+///     visits_per_object: 10,
+///     reads_per_visit: 4,
+///     writes_per_visit: 2,
+///     burst: 6,
+///     rotate: false,
+///     stride: 1,
+/// };
+/// let mut ctx = GenCtx::new(8, 1);
+/// let streams = region.streams(&mut ctx);
+/// assert_eq!(streams.len(), 4); // one stream per object
+/// assert_eq!(streams[0].len(), 10); // 6 refs per visit fit in one burst
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigratoryObjects {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Number of records.
+    pub objects: u64,
+    /// Bytes per record (records are packed contiguously).
+    pub object_bytes: u64,
+    /// Hand-offs each record experiences.
+    pub visits_per_object: u64,
+    /// Reads per visit (strided over the record).
+    pub reads_per_visit: u64,
+    /// Writes per visit (strided over the record, after the reads).
+    pub writes_per_visit: u64,
+    /// Maximum references per emitted chunk: smaller bursts let visits
+    /// of different objects interleave more finely.
+    pub burst: u64,
+    /// When `true`, successive visits start at a rotating field offset so
+    /// records larger than one visit's span are covered over time (e.g. a
+    /// molecule's force fields). When `false`, every visit touches the
+    /// same leading span of the record.
+    pub rotate: bool,
+    /// Distance, in 8-byte fields, between consecutive touches within a
+    /// visit. `1` gives a dense sweep with spatial locality; larger
+    /// strides model pointer-rich records whose hot fields are scattered,
+    /// so the touched blocks do not coalesce as the block size grows.
+    pub stride: u64,
+}
+
+impl Region for MigratoryObjects {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        let fields = (self.object_bytes / 8).max(1);
+        let burst = self.burst.max(1) as usize;
+        (0..self.objects)
+            .map(|obj| {
+                let obj_base = self.base.offset(obj * self.object_bytes);
+                let mut owner = ctx.random_node();
+                let mut stream = ChunkStream::new();
+                for visit in 0..self.visits_per_object {
+                    owner = ctx.random_other_node(owner);
+                    let node = NodeId::new(owner);
+                    let start = if self.rotate { (visit * 29) % fields } else { 0 };
+                    let stride = self.stride.max(1);
+                    let mut chunk = Chunk::new();
+                    for i in 0..self.reads_per_visit {
+                        let field = (start + i * stride) % fields;
+                        chunk.push(MemRef::read(node, obj_base.offset(field * 8)));
+                        if chunk.len() == burst {
+                            stream.push(std::mem::take(&mut chunk));
+                        }
+                    }
+                    for i in 0..self.writes_per_visit {
+                        let field = (start + i * stride) % fields;
+                        chunk.push(MemRef::write(node, obj_base.offset(field * 8)));
+                        if chunk.len() == burst {
+                            stream.push(std::mem::take(&mut chunk));
+                        }
+                    }
+                    if !chunk.is_empty() {
+                        stream.push(chunk);
+                    }
+                }
+                stream
+            })
+            .collect()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.objects * self.object_bytes
+    }
+}
+
+/// A table read by every node and occasionally updated in place —
+/// LocusRoute's cost grid is the canonical example. The conventional
+/// replicate-on-read-miss policy is already right for this pattern; an
+/// adaptive protocol must leave it alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadMostly {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Region size in bytes.
+    pub bytes: u64,
+    /// Scattered in-place updates performed over the run, each by a
+    /// random node (e.g. laying down a route).
+    pub updates: u64,
+    /// Writes per update burst.
+    pub writes_per_update: u64,
+    /// Read bursts performed by each node over the run.
+    pub read_bursts_per_node: u64,
+    /// Random reads per burst.
+    pub reads_per_burst: u64,
+}
+
+impl Region for ReadMostly {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        let slots = (self.bytes / 8).max(1);
+        let mut streams = Vec::new();
+
+        // Initialization: node 0 writes the table once, in bursts.
+        let init_node = NodeId::new(0);
+        let mut init_stream = ChunkStream::new();
+        let mut chunk = Chunk::new();
+        let mut offset = 0;
+        while offset < self.bytes {
+            chunk.push(MemRef::write(init_node, self.base.offset(offset)));
+            if chunk.len() == 64 {
+                init_stream.push(std::mem::take(&mut chunk));
+            }
+            offset += 32;
+        }
+        if !chunk.is_empty() {
+            init_stream.push(chunk);
+        }
+        streams.push(init_stream);
+
+        // Readers: every node scans windows of consecutive slots starting
+        // at random positions — routers sweep regions of the grid, so the
+        // reads have strong spatial locality.
+        for n in 0..ctx.nodes() {
+            let node = NodeId::new(n);
+            let stream = (0..self.read_bursts_per_node)
+                .map(|_| {
+                    let start = ctx.rng().gen_range(0..slots);
+                    (0..self.reads_per_burst)
+                        .map(|i| {
+                            let slot = (start + i) % slots;
+                            MemRef::read(node, self.base.offset(slot * 8))
+                        })
+                        .collect()
+                })
+                .collect();
+            streams.push(stream);
+        }
+
+        // Updates: random nodes read-modify-write scattered slots.
+        let update_stream = (0..self.updates)
+            .map(|_| {
+                let node = NodeId::new(ctx.random_node());
+                let mut chunk = Chunk::new();
+                for _ in 0..self.writes_per_update {
+                    let slot = ctx.rng().gen_range(0..slots);
+                    let addr = self.base.offset(slot * 8);
+                    chunk.push(MemRef::read(node, addr));
+                    chunk.push(MemRef::write(node, addr));
+                }
+                chunk
+            })
+            .collect();
+        streams.push(update_stream);
+        streams
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// Objects written by a producer and then read by several consumers,
+/// round after round (e.g. simulation state published per time step).
+/// Not migratory: three or more copies are created between writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProducerConsumer {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Number of buffers.
+    pub objects: u64,
+    /// Bytes per buffer.
+    pub object_bytes: u64,
+    /// Production rounds per buffer.
+    pub rounds: u64,
+    /// Consumers reading each round (distinct random nodes).
+    pub consumers_per_round: u64,
+}
+
+impl Region for ProducerConsumer {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        let fields = (self.object_bytes / 8).max(1);
+        let writes = fields.min(8);
+        (0..self.objects)
+            .map(|obj| {
+                let obj_base = self.base.offset(obj * self.object_bytes);
+                let producer = NodeId::new((obj % u64::from(ctx.nodes())) as u16);
+                let mut stream = ChunkStream::new();
+                for _ in 0..self.rounds {
+                    let mut produce = Chunk::new();
+                    for i in 0..writes {
+                        produce.push(MemRef::write(producer, obj_base.offset(i * 8)));
+                    }
+                    stream.push(produce);
+                    for _ in 0..self.consumers_per_round {
+                        let reader = NodeId::new(ctx.random_node());
+                        let consume = (0..fields.min(4))
+                            .map(|i| MemRef::read(reader, obj_base.offset(i * 8)))
+                            .collect();
+                        stream.push(consume);
+                    }
+                }
+                stream
+            })
+            .collect()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.objects * self.object_bytes
+    }
+}
+
+/// Heavily write-shared words read by many nodes between writes —
+/// global counters, flags, histogram bins. Hostile to every policy:
+/// each write invalidates a crowd of readers, and with several copies
+/// alive the adaptive test (exactly two created copies) never fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteShared {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Number of independent 8-byte words (packed — adjacent words
+    /// falsely share blocks larger than 8 bytes).
+    pub words: u64,
+    /// Write turns per word.
+    pub turns: u64,
+    /// Nodes that read the word between writes.
+    pub readers_per_turn: u64,
+}
+
+impl Region for WriteShared {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        (0..self.words)
+            .map(|w| {
+                let addr = self.base.offset(w * 8);
+                let mut writer = ctx.random_node();
+                let mut stream = ChunkStream::new();
+                for _ in 0..self.turns {
+                    writer = ctx.random_other_node(writer);
+                    let mut turn = Chunk::new();
+                    turn.push(MemRef::write(NodeId::new(writer), addr));
+                    stream.push(turn);
+                    for _ in 0..self.readers_per_turn {
+                        let reader = NodeId::new(ctx.random_node());
+                        stream.push([MemRef::read(reader, addr)].into_iter().collect());
+                    }
+                }
+                stream
+            })
+            .collect()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.words * 8
+    }
+}
+
+/// Objects whose sharing pattern *changes over time*: epochs of
+/// migratory hand-offs alternate with epochs of read-only sharing.
+///
+/// SPLASH programs show "very little dynamic reclassification" (§5), so
+/// the paper could not probe how fast the protocols react to pattern
+/// changes — its first family axis. This region synthesizes exactly
+/// that stress: each phase flip forces the adaptive protocols to
+/// reclassify, so hysteresis (slow to classify) and aggressiveness
+/// (misclassifies during read epochs) trade off measurably.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_workloads::{GenCtx, PhasedObjects, Region};
+/// use mcc_trace::Addr;
+///
+/// let region = PhasedObjects {
+///     base: Addr::new(0),
+///     objects: 4,
+///     object_bytes: 64,
+///     phase_pairs: 3,
+///     visits_per_migratory_phase: 6,
+///     reads_per_shared_phase: 10,
+///     reads_per_visit: 2,
+///     writes_per_visit: 2,
+/// };
+/// let mut ctx = GenCtx::new(8, 1);
+/// assert_eq!(region.streams(&mut ctx).len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhasedObjects {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Number of records.
+    pub objects: u64,
+    /// Bytes per record.
+    pub object_bytes: u64,
+    /// Number of (migratory epoch, read-shared epoch) pairs.
+    pub phase_pairs: u64,
+    /// Hand-offs per migratory epoch.
+    pub visits_per_migratory_phase: u64,
+    /// Read bursts (by random nodes) per read-shared epoch.
+    pub reads_per_shared_phase: u64,
+    /// Reads per migratory visit.
+    pub reads_per_visit: u64,
+    /// Writes per migratory visit.
+    pub writes_per_visit: u64,
+}
+
+impl Region for PhasedObjects {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        let fields = (self.object_bytes / 8).max(1);
+        (0..self.objects)
+            .map(|obj| {
+                let obj_base = self.base.offset(obj * self.object_bytes);
+                let mut owner = ctx.random_node();
+                let mut stream = ChunkStream::new();
+                for _ in 0..self.phase_pairs {
+                    // Migratory epoch: read-modify-write hand-offs.
+                    for _ in 0..self.visits_per_migratory_phase {
+                        owner = ctx.random_other_node(owner);
+                        let node = NodeId::new(owner);
+                        let mut chunk = Chunk::new();
+                        for i in 0..self.reads_per_visit {
+                            chunk.push(MemRef::read(node, obj_base.offset((i % fields) * 8)));
+                        }
+                        for i in 0..self.writes_per_visit {
+                            chunk.push(MemRef::write(node, obj_base.offset((i % fields) * 8)));
+                        }
+                        stream.push(chunk);
+                    }
+                    // Read-shared epoch: everyone reads, nobody writes.
+                    for _ in 0..self.reads_per_shared_phase {
+                        let node = NodeId::new(ctx.random_node());
+                        let chunk = (0..self.reads_per_visit.max(1))
+                            .map(|i| MemRef::read(node, obj_base.offset((i % fields) * 8)))
+                            .collect();
+                        stream.push(chunk);
+                    }
+                }
+                stream
+            })
+            .collect()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.objects * self.object_bytes
+    }
+}
+
+/// Per-node working data that lives in the shared segment but is only
+/// ever touched by its owner. Generates cold misses and capacity traffic
+/// but no coherence activity; an adaptive protocol must not disturb it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrivateObjects {
+    /// First byte of the region.
+    pub base: Addr,
+    /// Bytes owned by each node (segments are packed by node index).
+    pub per_node_bytes: u64,
+    /// Read-modify-write sweeps each node performs over its segment.
+    pub sweeps: u64,
+    /// References per sweep.
+    pub refs_per_sweep: u64,
+}
+
+impl Region for PrivateObjects {
+    fn streams(&self, ctx: &mut GenCtx) -> Vec<ChunkStream> {
+        let slots = (self.per_node_bytes / 8).max(1);
+        (0..ctx.nodes())
+            .map(|n| {
+                let node = NodeId::new(n);
+                let seg = self.base.offset(u64::from(n) * self.per_node_bytes);
+                (0..self.sweeps)
+                    .map(|sweep| {
+                        let mut chunk = Chunk::new();
+                        for i in 0..self.refs_per_sweep {
+                            let addr = seg.offset(((sweep * 13 + i) % slots) * 8);
+                            if i % 3 == 2 {
+                                chunk.push(MemRef::write(node, addr));
+                            } else {
+                                chunk.push(MemRef::read(node, addr));
+                            }
+                        }
+                        chunk
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Depends on the node count; report the per-node figure times a
+        // sixteen-node machine as a conservative bound is wrong — the
+        // caller lays out regions with the real node count via
+        // `footprint_for`.
+        self.per_node_bytes
+    }
+}
+
+impl PrivateObjects {
+    /// Footprint for a machine with `nodes` nodes.
+    pub fn footprint_for(&self, nodes: u16) -> u64 {
+        self.per_node_bytes * u64::from(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::interleave_streams;
+    use mcc_trace::Trace;
+
+    fn trace_of<R: Region>(region: &R, nodes: u16, seed: u64) -> Trace {
+        let mut ctx = GenCtx::new(nodes, seed);
+        let streams = region.streams(&mut ctx);
+        interleave_streams(streams, &mut ctx)
+    }
+
+    #[test]
+    fn migratory_visits_alternate_nodes_and_read_first() {
+        let region = MigratoryObjects {
+            base: Addr::new(0),
+            objects: 1,
+            object_bytes: 64,
+            visits_per_object: 20,
+            reads_per_visit: 3,
+            writes_per_visit: 2,
+            burst: 8,
+            rotate: false,
+            stride: 1,
+        };
+        let mut ctx = GenCtx::new(8, 42);
+        let streams = region.streams(&mut ctx);
+        assert_eq!(streams.len(), 1);
+        let visits = &streams[0];
+        assert_eq!(visits.len(), 20);
+        for pair in visits.windows(2) {
+            assert_ne!(
+                pair[0].refs()[0].node,
+                pair[1].refs()[0].node,
+                "successive visits must come from different nodes"
+            );
+        }
+        for visit in visits {
+            assert_eq!(visit.len(), 5);
+            assert!(visit.refs()[0].op.is_read(), "visits start with a read");
+            assert!(visit.refs()[4].op.is_write(), "visits end with writes");
+            // One node per visit — that is what makes the object migratory.
+            let node = visit.refs()[0].node;
+            assert!(visit.refs().iter().all(|r| r.node == node));
+        }
+    }
+
+    #[test]
+    fn migratory_objects_stay_in_bounds() {
+        let region = MigratoryObjects {
+            base: Addr::new(4096),
+            objects: 3,
+            object_bytes: 48,
+            visits_per_object: 5,
+            reads_per_visit: 10,
+            writes_per_visit: 10,
+            burst: 4,
+            rotate: false,
+            stride: 1,
+        };
+        let trace = trace_of(&region, 4, 1);
+        assert_eq!(region.footprint_bytes(), 144);
+        for r in trace.iter() {
+            assert!(r.addr >= Addr::new(4096));
+            assert!(r.addr < Addr::new(4096 + 144));
+        }
+    }
+
+    #[test]
+    fn read_mostly_is_mostly_reads() {
+        let region = ReadMostly {
+            base: Addr::new(0),
+            bytes: 4096,
+            updates: 4,
+            writes_per_update: 2,
+            read_bursts_per_node: 10,
+            reads_per_burst: 20,
+        };
+        let trace = trace_of(&region, 8, 3);
+        let stats = trace.stats();
+        assert!(stats.write_fraction() < 0.15, "write fraction {}", stats.write_fraction());
+        // Every node reads.
+        assert!(stats.refs_per_node.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn producer_consumer_round_structure() {
+        let region = ProducerConsumer {
+            base: Addr::new(0),
+            objects: 2,
+            object_bytes: 32,
+            rounds: 3,
+            consumers_per_round: 4,
+        };
+        let mut ctx = GenCtx::new(8, 9);
+        let streams = region.streams(&mut ctx);
+        assert_eq!(streams.len(), 2);
+        for stream in &streams {
+            // rounds * (1 produce + consumers) chunks
+            assert_eq!(stream.len(), 3 * 5);
+            // Produce chunks are all writes by the same producer.
+            let producer = stream[0].refs()[0].node;
+            for round in 0..3 {
+                let produce = &stream[round * 5];
+                assert!(produce.refs().iter().all(|r| r.op.is_write() && r.node == producer));
+            }
+        }
+    }
+
+    #[test]
+    fn write_shared_alternates_writers() {
+        let region = WriteShared {
+            base: Addr::new(0),
+            words: 1,
+            turns: 10,
+            readers_per_turn: 0,
+        };
+        let mut ctx = GenCtx::new(4, 11);
+        let streams = region.streams(&mut ctx);
+        let writers: Vec<_> = streams[0]
+            .iter()
+            .filter(|c| c.refs()[0].op.is_write())
+            .map(|c| c.refs()[0].node)
+            .collect();
+        assert_eq!(writers.len(), 10);
+        assert!(writers.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn phased_objects_alternate_epochs() {
+        let region = PhasedObjects {
+            base: Addr::new(0),
+            objects: 1,
+            object_bytes: 32,
+            phase_pairs: 2,
+            visits_per_migratory_phase: 3,
+            reads_per_shared_phase: 4,
+            reads_per_visit: 2,
+            writes_per_visit: 1,
+        };
+        let mut ctx = GenCtx::new(8, 5);
+        let streams = region.streams(&mut ctx);
+        assert_eq!(streams.len(), 1);
+        let chunks = &streams[0];
+        assert_eq!(chunks.len(), 2 * (3 + 4));
+        // First epoch: writing visits; following epoch: read-only bursts.
+        for visit in &chunks[0..3] {
+            assert!(visit.refs().iter().any(|r| r.op.is_write()));
+        }
+        for burst in &chunks[3..7] {
+            assert!(burst.refs().iter().all(|r| r.op.is_read()));
+        }
+        assert_eq!(region.footprint_bytes(), 32);
+    }
+
+    #[test]
+    fn private_objects_never_share() {
+        let region = PrivateObjects {
+            base: Addr::new(0),
+            per_node_bytes: 256,
+            sweeps: 5,
+            refs_per_sweep: 30,
+        };
+        let trace = trace_of(&region, 4, 17);
+        assert_eq!(region.footprint_for(4), 1024);
+        for r in trace.iter() {
+            let segment = r.addr.get() / 256;
+            assert_eq!(segment, r.node.index() as u64, "node strayed out of its segment");
+        }
+    }
+
+    #[test]
+    fn regions_are_deterministic() {
+        let region = MigratoryObjects {
+            base: Addr::new(0),
+            objects: 5,
+            object_bytes: 64,
+            visits_per_object: 7,
+            reads_per_visit: 3,
+            writes_per_visit: 1,
+            burst: 2,
+            rotate: false,
+            stride: 1,
+        };
+        assert_eq!(trace_of(&region, 8, 5), trace_of(&region, 8, 5));
+        assert_ne!(trace_of(&region, 8, 5), trace_of(&region, 8, 6));
+    }
+}

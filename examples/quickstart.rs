@@ -1,0 +1,41 @@
+//! Quickstart: detect a migratory counter and halve its coherence cost.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc::trace::{Addr, MemRef, NodeId, Trace};
+
+fn main() {
+    // A lock-protected counter incremented by four nodes in turn — the
+    // canonical migratory access pattern: each node reads the counter,
+    // then writes it back, then the next node takes over.
+    let mut trace = Trace::new();
+    for turn in 0..40u16 {
+        let node = NodeId::new(1 + turn % 4);
+        trace.push(MemRef::read(node, Addr::new(0x1000)));
+        trace.push(MemRef::write(node, Addr::new(0x1000)));
+    }
+
+    println!("trace: {}", trace.stats());
+    println!();
+
+    let config = DirectorySimConfig::default();
+    for protocol in Protocol::PAPER_SET {
+        let result = DirectorySim::new(protocol, &config).run(&trace);
+        let msgs = result.message_count();
+        println!(
+            "{:<14} {:>3} control + {:>2} data messages, {:>2} migrations, {:>2} upgrades",
+            protocol.to_string(),
+            msgs.control,
+            msgs.data,
+            result.events.migrations,
+            result.events.shared_upgrades + result.events.exclusive_upgrades,
+        );
+    }
+
+    println!();
+    println!("Under the conventional protocol every hand-off costs a replication");
+    println!("(read miss) followed by an invalidation (write hit). The adaptive");
+    println!("protocols detect the pattern and migrate the counter with write");
+    println!("permission in a single transaction — the write hits become free.");
+}

@@ -1,0 +1,56 @@
+//! Read-shared data: why *adaptive* matters.
+//!
+//! A pure migrate-on-read-miss policy (Sequent Symmetry model B, MIT
+//! Alewife — §5 of the paper) is optimal for migratory data but keeps
+//! stealing read-shared blocks from their readers, inflating read
+//! misses. The adaptive protocols leave read-shared data replicated.
+//!
+//! Run with `cargo run --example read_mostly`.
+
+use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc::trace::Addr;
+use mcc::workloads::{interleave_streams, GenCtx, ReadMostly, Region};
+
+fn main() {
+    let mut ctx = GenCtx::new(16, 7);
+    // A 64 KB lookup table: written once, then read by everybody, with
+    // rare in-place updates.
+    let table = ReadMostly {
+        base: Addr::new(0),
+        bytes: 64 * 1024,
+        updates: 800,
+        writes_per_update: 2,
+        read_bursts_per_node: 400,
+        reads_per_burst: 32,
+    };
+    let trace = interleave_streams(table.streams(&mut ctx), &mut ctx);
+    println!("read-mostly trace: {}", trace.stats());
+    println!();
+
+    let config = DirectorySimConfig::default();
+    println!(
+        "{:<15} {:>9} {:>12} {:>12}",
+        "protocol", "messages", "read misses", "migrations"
+    );
+    for protocol in [
+        Protocol::Conventional,
+        Protocol::Basic,
+        Protocol::Aggressive,
+        Protocol::PureMigratory,
+    ] {
+        let result = DirectorySim::new(protocol, &config).run(&trace);
+        println!(
+            "{:<15} {:>9} {:>12} {:>12}",
+            protocol.to_string(),
+            result.total_messages(),
+            result.events.read_misses,
+            result.events.migrations,
+        );
+    }
+
+    println!();
+    println!("The basic adaptive protocol matches the conventional protocol");
+    println!("exactly — it never misclassifies the table — while the");
+    println!("non-adaptive migrate-always policy ping-pongs blocks between");
+    println!("readers and pays for it in read misses (Thakkar's observation).");
+}

@@ -1,0 +1,58 @@
+//! # mcc — Migratory Cache Coherence
+//!
+//! A comprehensive Rust reproduction of **Cox & Fowler, "Adaptive Cache
+//! Coherency for Detecting Migratory Shared Data" (ISCA 1993)**.
+//!
+//! Parallel programs move a lot of data in a *migratory* pattern: one
+//! processor reads and writes a datum exclusively for a while, then another
+//! takes over. Under a conventional write-invalidate protocol each hand-off
+//! costs two coherence transactions (replicate on read miss, then
+//! invalidate on the first write). The paper's adaptive protocols detect
+//! the pattern online — with no software support and no memory-model
+//! change — and switch the affected blocks to a *migrate-on-read-miss*
+//! policy that moves them with write permission in a single transaction,
+//! halving the coherence traffic for migratory data.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — shared-memory reference traces.
+//! * [`cache`] — set-associative / infinite cache models.
+//! * [`core`] — the primary contribution: the adaptive policy family, the
+//!   directory-based protocol engine, Table 1 message accounting, and the
+//!   trace-driven CC-NUMA memory-system simulator.
+//! * [`snoop`] — the bus-based MESI baseline and its adaptive extension
+//!   (Figures 1–2 of the paper).
+//! * [`placement`] — NUMA page-placement policies.
+//! * [`workloads`] — synthetic SPLASH-analogue workload generators.
+//! * [`execsim`] — execution-driven timing simulation (§4.2).
+//! * [`stats`] — cost models and table rendering.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+//! use mcc::workloads::{Workload, WorkloadParams};
+//!
+//! // Synthesize a small MP3D-like trace for 4 processors.
+//! let params = WorkloadParams::new(4).scale(0.002);
+//! let trace = Workload::Mp3d.generate(&params);
+//!
+//! // Run it under the conventional and the aggressive adaptive protocols.
+//! let config = DirectorySimConfig::default();
+//! let conventional = DirectorySim::new(Protocol::Conventional, &config).run(&trace);
+//! let adaptive = DirectorySim::new(Protocol::Aggressive, &config).run(&trace);
+//!
+//! // The adaptive protocol never sends more messages (§6 of the paper).
+//! assert!(adaptive.messages.total() <= conventional.messages.total());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mcc_cache as cache;
+pub use mcc_core as core;
+pub use mcc_execsim as execsim;
+pub use mcc_placement as placement;
+pub use mcc_snoop as snoop;
+pub use mcc_stats as stats;
+pub use mcc_trace as trace;
+pub use mcc_workloads as workloads;

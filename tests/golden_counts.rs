@@ -1,0 +1,40 @@
+//! Golden regression numbers: exact message totals at a pinned
+//! configuration (16 nodes, 16 B blocks, infinite caches, profiled
+//! placement, scale 0.1, seed 42).
+//!
+//! Everything in the pipeline is deterministic, so any drift here means
+//! the workload generators or a protocol changed behaviour. After an
+//! *intentional* change, regenerate with
+//! `cargo run --release -p mcc-bench --bin golden_dump` and update the
+//! table.
+
+use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc::workloads::{Workload, WorkloadParams};
+
+#[test]
+fn pinned_message_totals() {
+    // (workload, trace refs, conventional, conservative, basic, aggressive)
+    let golden: &[(Workload, usize, u64, u64, u64, u64)] = &[
+        (Workload::Cholesky, 1_815_680, 3_097_918, 1_800_938, 1_701_514, 1_554_422),
+        (Workload::LocusRoute, 383_616, 537_802, 464_728, 458_622, 442_730),
+        (Workload::Mp3d, 2_067_716, 4_251_636, 2_442_808, 2_316_678, 2_127_486),
+        (Workload::Pthor, 891_840, 2_876_012, 2_469_152, 2_412_704, 2_368_130),
+        (Workload::Water, 1_331_840, 2_353_920, 1_429_530, 1_347_222, 1_300_742),
+    ];
+
+    let cfg = DirectorySimConfig::default();
+    let params = WorkloadParams::new(16).scale(0.1).seed(42);
+    for &(app, refs, conv, cons, basic, aggr) in golden {
+        let trace = app.generate(&params);
+        assert_eq!(trace.len(), refs, "{app}: trace length drifted");
+        let expected = [conv, cons, basic, aggr];
+        for (protocol, want) in Protocol::PAPER_SET.into_iter().zip(expected) {
+            let got = DirectorySim::new(protocol, &cfg).run(&trace).total_messages();
+            assert_eq!(
+                got, want,
+                "{app}/{protocol}: total messages drifted (update via golden_dump \
+                 if the change was intentional)"
+            );
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Smoke tests over the experiment harness and the trace file format.
+
+use mcc_bench::{
+    block_size_sweep, bus_sweep, cache_size_sweep, cost_ratio_table, exec_time_comparison,
+    policy_ablation, render_message_rows, Scenario,
+};
+use mcc::trace::{BlockSize, Trace};
+use mcc::workloads::{Workload, WorkloadParams};
+
+fn tiny() -> Scenario {
+    Scenario {
+        scale: 0.02,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn table2_section_renders_all_apps_and_protocols() {
+    let rows = cache_size_sweep(64, &tiny());
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert_eq!(row.results.len(), 4);
+        assert!(row.pct(3) >= row.pct(1) - 1.0, "{}: aggressive below conservative", row.app);
+    }
+    let table = render_message_rows("64 Kbyte caches", &rows);
+    let text = table.to_text();
+    for app in Workload::ALL {
+        assert!(text.contains(app.name()), "missing {app}");
+    }
+    assert!(table.to_csv().lines().count() == 6);
+    assert!(table.to_markdown().contains("| app |"));
+}
+
+#[test]
+fn table3_section_runs_at_every_block_size() {
+    for block in [BlockSize::B16, BlockSize::B256] {
+        let rows = block_size_sweep(block, &tiny());
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.results[0].total_messages() > 0, "{}", row.app);
+        }
+    }
+}
+
+#[test]
+fn exec_time_comparison_produces_speedups() {
+    let comparisons = exec_time_comparison(&tiny());
+    assert_eq!(comparisons.len(), 5);
+    for cmp in &comparisons {
+        assert!(
+            cmp.time_reduction() >= -0.5,
+            "{}: adaptive slowed execution by {:.2}%",
+            cmp.app,
+            -cmp.time_reduction()
+        );
+    }
+    // The communication-bound apps gain visibly.
+    let mp3d = comparisons.iter().find(|c| c.app == Workload::Mp3d).unwrap();
+    assert!(mp3d.time_reduction() > 2.0);
+}
+
+#[test]
+fn bus_sweep_produces_consistent_stats() {
+    for cmp in bus_sweep(None, &tiny()) {
+        assert!(cmp.adaptive.transactions() <= cmp.mesi.transactions() + cmp.mesi.transactions() / 50,
+            "{}: adaptive bus transactions far above MESI", cmp.app);
+        assert_eq!(
+            cmp.mesi.read_hits + cmp.mesi.read_misses + cmp.mesi.silent_write_hits
+                + cmp.mesi.write_misses + cmp.mesi.invalidations,
+            cmp.adaptive.read_hits + cmp.adaptive.read_misses + cmp.adaptive.silent_write_hits
+                + cmp.adaptive.write_misses + cmp.adaptive.invalidations,
+            "{}: reference accounting differs between protocols",
+            cmp.app
+        );
+    }
+}
+
+#[test]
+fn cost_ratio_table_has_every_block_and_app() {
+    let table = cost_ratio_table(&tiny());
+    assert_eq!(table.len(), 25);
+    let text = table.to_text();
+    assert!(text.contains("256B"));
+    assert!(text.contains("per-16B"));
+}
+
+#[test]
+fn policy_ablation_covers_the_axis_grid() {
+    let results = policy_ablation(&tiny());
+    // 2 cache kinds x 5 apps x 2 initial x 3 hysteresis x 2 memory.
+    assert_eq!(results.len(), 120);
+    // The remember axis must matter somewhere under the finite cache.
+    let differs = results.iter().any(|(label, app, pct)| {
+        label.starts_with("16K") && label.ends_with("remember=true") && {
+            let twin = label.replace("remember=true", "remember=false");
+            results
+                .iter()
+                .any(|(l, a, p)| *l == twin && a == app && (p - pct).abs() > 0.05)
+        }
+    });
+    assert!(differs, "remember-when-uncached had no effect even with finite caches");
+    assert!(results.iter().all(|(_, _, pct)| pct.is_finite()));
+}
+
+#[test]
+fn workload_traces_roundtrip_through_the_file_format() {
+    let dir = std::env::temp_dir().join("mcc-trace-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("water.mcct");
+    let trace = Workload::Water.generate(&WorkloadParams::new(16).scale(0.02).seed(5));
+    trace
+        .write_to(std::fs::File::create(&path).unwrap())
+        .unwrap();
+    let back = Trace::read_from(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back, trace);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,111 @@
+//! Validates the trace substitution: the synthetic workloads must show
+//! the sharing-pattern structure the paper (§3.1) and the literature it
+//! cites attribute to the SPLASH programs, as recovered by the off-line
+//! classifier.
+
+use mcc::trace::{BlockSize, Classification, SharingPattern};
+use mcc::workloads::{Workload, WorkloadParams};
+
+fn classification(app: Workload) -> Classification {
+    let trace = app.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
+    Classification::of(&trace, BlockSize::B16)
+}
+
+#[test]
+fn migratory_apps_are_dominated_by_migratory_references() {
+    for app in [Workload::Mp3d, Workload::Water, Workload::Cholesky] {
+        let c = classification(app);
+        let migratory = c.ref_fraction(SharingPattern::Migratory);
+        assert!(
+            migratory > 0.9,
+            "{app}: only {:.1}% of references are to migratory blocks",
+            migratory * 100.0
+        );
+    }
+}
+
+#[test]
+fn locus_route_is_read_mostly() {
+    let c = classification(Workload::LocusRoute);
+    let read_only = c.ref_fraction(SharingPattern::ReadOnly);
+    let migratory = c.ref_fraction(SharingPattern::Migratory);
+    assert!(
+        read_only > 0.25,
+        "Locus Route read-only fraction {:.1}% too small",
+        read_only * 100.0
+    );
+    assert!(
+        migratory < 0.5,
+        "Locus Route migratory fraction {:.1}% too large",
+        migratory * 100.0
+    );
+}
+
+#[test]
+fn pthor_is_mixed() {
+    let c = classification(Workload::Pthor);
+    let migratory = c.ref_fraction(SharingPattern::Migratory);
+    // Dominant but not exclusive: Pthor also carries read-shared
+    // topology, producer/consumer nets, and write-shared counters.
+    assert!(migratory > 0.5 && migratory < 0.95, "{:.2}", migratory);
+    let other: f64 = [
+        SharingPattern::ReadOnly,
+        SharingPattern::ProducerConsumer,
+        SharingPattern::WriteShared,
+        SharingPattern::Private,
+    ]
+    .iter()
+    .map(|&p| c.ref_fraction(p))
+    .sum();
+    assert!(other > 0.05, "Pthor lost its non-migratory structure ({other:.3})");
+}
+
+#[test]
+fn false_sharing_breaks_protocol_migration_at_large_granularity() {
+    // The off-line classifier tolerates interleaved read phases that the
+    // protocol's exactly-two-copies test does not, so false sharing is
+    // measured where it matters: the share of read misses the aggressive
+    // protocol can actually serve by migration falls from 16 B to 256 B
+    // blocks on MP3D.
+    use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+    let trace = Workload::Mp3d.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
+    let share = |bs: BlockSize| {
+        let config = DirectorySimConfig {
+            block_size: bs,
+            ..DirectorySimConfig::default()
+        };
+        let r = DirectorySim::new(Protocol::Aggressive, &config).run(&trace);
+        r.events.migrations as f64 / r.events.read_misses as f64
+    };
+    let fine = share(BlockSize::B16);
+    let coarse = share(BlockSize::B256);
+    assert!(
+        coarse < fine - 0.1,
+        "migration share should fall with block size: {fine:.2} -> {coarse:.2}"
+    );
+}
+
+#[test]
+fn classifier_agrees_with_protocol_behaviour() {
+    // The protocols' migration counts should correlate with the
+    // classifier: migratory-dominated traces migrate on most read
+    // misses, the read-mostly trace does not.
+    use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+    let config = DirectorySimConfig::default();
+
+    let mp3d = Workload::Mp3d.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
+    let r = DirectorySim::new(Protocol::Aggressive, &config).run(&mp3d);
+    let migrate_share = r.events.migrations as f64 / r.events.read_misses as f64;
+    assert!(migrate_share > 0.8, "MP3D migrations/read-misses = {migrate_share:.2}");
+
+    let locus = Workload::LocusRoute.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
+    let r = DirectorySim::new(Protocol::Aggressive, &config).run(&locus);
+    let locus_share = r.events.migrations as f64 / r.events.read_misses as f64;
+    // Locus Route still migrates its route records and grid updates, but
+    // far less of its miss stream than MP3D's.
+    assert!(locus_share < 0.8, "Locus migrations/read-misses = {locus_share:.2}");
+    assert!(
+        migrate_share > locus_share + 0.15,
+        "MP3D ({migrate_share:.2}) should out-migrate Locus ({locus_share:.2})"
+    );
+}
