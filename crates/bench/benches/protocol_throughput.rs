@@ -1,51 +1,31 @@
-//! Criterion benchmarks: simulation throughput (references per second)
+//! Self-timed benchmarks: simulation throughput (references per second)
 //! of the protocol engines, per protocol and per workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc_bench::timing::bench;
 use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
 use mcc_snoop::{BusSim, BusSimConfig, SnoopProtocol};
 use mcc_workloads::{Workload, WorkloadParams};
 
-fn directory_protocols(c: &mut Criterion) {
+fn main() {
     let trace = Workload::Water.generate(&WorkloadParams::new(16).scale(0.02).seed(7));
+    let refs = trace.len() as u64;
+
     let config = DirectorySimConfig::default();
-    let mut group = c.benchmark_group("directory_engine");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(10);
     for protocol in [
         Protocol::Conventional,
         Protocol::Basic,
         Protocol::Aggressive,
         Protocol::PureMigratory,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, &protocol| {
-                b.iter(|| DirectorySim::new(protocol, &config).run(&trace));
-            },
-        );
+        bench(&format!("directory_engine/{protocol}"), refs, || {
+            DirectorySim::new(protocol, &config).run(&trace)
+        });
     }
-    group.finish();
-}
 
-fn snooping_protocols(c: &mut Criterion) {
-    let trace = Workload::Water.generate(&WorkloadParams::new(16).scale(0.02).seed(7));
-    let config = BusSimConfig::default();
-    let mut group = c.benchmark_group("bus_engine");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(10);
+    let bus_config = BusSimConfig::default();
     for protocol in [SnoopProtocol::Mesi, SnoopProtocol::Adaptive] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(protocol),
-            &protocol,
-            |b, &protocol| {
-                b.iter(|| BusSim::new(protocol, &config).run(&trace));
-            },
-        );
+        bench(&format!("bus_engine/{protocol}"), refs, || {
+            BusSim::new(protocol, &bus_config).run(&trace)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, directory_protocols, snooping_protocols);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion harness over the paper-table experiments: times one
+//! Self-timed harness over the paper-table experiments: times one
 //! reduced-scale section of each table so `cargo bench` exercises the
 //! full regeneration pipeline. (The `table2`/`table3`/... binaries
 //! produce the complete tables.)
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mcc_bench::timing::bench;
 use mcc_bench::{block_size_sweep, cache_size_sweep, exec_time_comparison, Scenario};
 use mcc_trace::BlockSize;
 
@@ -14,32 +14,14 @@ fn scenario() -> Scenario {
     }
 }
 
-fn table2_section(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table2_64kb_section", |b| {
-        b.iter(|| cache_size_sweep(64, &scenario()));
+fn main() {
+    bench("tables/table2_64kb_section", 0, || {
+        cache_size_sweep(64, &scenario())
     });
-    group.finish();
-}
-
-fn table3_section(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("table3_16b_section", |b| {
-        b.iter(|| block_size_sweep(BlockSize::B16, &scenario()));
+    bench("tables/table3_16b_section", 0, || {
+        block_size_sweep(BlockSize::B16, &scenario())
     });
-    group.finish();
-}
-
-fn exec_time_section(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tables");
-    group.sample_size(10);
-    group.bench_function("exec_time_all_apps", |b| {
-        b.iter(|| exec_time_comparison(&scenario()));
+    bench("tables/exec_time_all_apps", 0, || {
+        exec_time_comparison(&scenario())
     });
-    group.finish();
 }
-
-criterion_group!(benches, table2_section, table3_section, exec_time_section);
-criterion_main!(benches);

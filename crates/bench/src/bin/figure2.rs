@@ -1,7 +1,9 @@
 //! Prints the realized adaptive snooping transition tables (Figure 2 of
 //! the paper) directly from the implemented state machine.
 
-use mcc_snoop::{local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopReply, SnoopState};
+use mcc_snoop::{
+    local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopReply, SnoopState,
+};
 use mcc_stats::Table;
 
 fn main() {
@@ -10,13 +12,31 @@ fn main() {
     let mut local = Table::new(["state", "event", "request", "reply", "new state"]);
     local.title("Figure 2 (top) — transitions on local cache events");
     let none = SnoopReply::NONE;
-    let s = SnoopReply { shared: true, ..none };
-    let m = SnoopReply { migratory: true, ..none };
+    let s = SnoopReply {
+        shared: true,
+        ..none
+    };
+    let m = SnoopReply {
+        migratory: true,
+        ..none
+    };
     for (reply, label) in [(none, "¬M ∧ ¬S"), (m, "M"), (s, "S")] {
-        local.row(["I", "Crm", "Brmr", label, &local_fill(p, false, reply).to_string()]);
+        local.row([
+            "I",
+            "Crm",
+            "Brmr",
+            label,
+            &local_fill(p, false, reply).to_string(),
+        ]);
     }
     for (reply, label) in [(none, "¬M"), (m, "M")] {
-        local.row(["I", "Cwm", "Bwmr", label, &local_fill(p, true, reply).to_string()]);
+        local.row([
+            "I",
+            "Cwm",
+            "Bwmr",
+            label,
+            &local_fill(p, true, reply).to_string(),
+        ]);
     }
     for state in SnoopState::ALL {
         for (reply, label) in [(none, "¬M"), (m, "M")] {
@@ -39,7 +59,11 @@ fn main() {
     let mut bus = Table::new(["state", "request", "new state", "assert", "data"]);
     bus.title("Figure 2 (bottom) — transitions on bus requests");
     for state in SnoopState::ALL {
-        for request in [BusRequest::ReadMiss, BusRequest::WriteMiss, BusRequest::Invalidate] {
+        for request in [
+            BusRequest::ReadMiss,
+            BusRequest::WriteMiss,
+            BusRequest::Invalidate,
+        ] {
             // Bir cannot reach exclusive-state copies.
             if request == BusRequest::Invalidate
                 && !matches!(state, SnoopState::Shared | SnoopState::Shared2)
@@ -58,8 +82,16 @@ fn main() {
                 state.to_string(),
                 request.to_string(),
                 next.map_or(String::from("I"), |n| n.to_string()),
-                if asserts.is_empty() { "—".into() } else { asserts.join("+") },
-                if reply.provide_data { "provide".into() } else { "—".into() },
+                if asserts.is_empty() {
+                    "—".into()
+                } else {
+                    asserts.join("+")
+                },
+                if reply.provide_data {
+                    "provide".into()
+                } else {
+                    "—".into()
+                },
             ]);
         }
     }

@@ -33,7 +33,10 @@ fn main() {
     println!();
     println!("Per-entry field breakdown at 16 nodes:");
     println!("  conventional: {}", DirEntryLayout::conventional(16));
-    println!("  basic:        {}", DirEntryLayout::adaptive(16, AdaptivePolicy::basic()));
+    println!(
+        "  basic:        {}",
+        DirEntryLayout::adaptive(16, AdaptivePolicy::basic())
+    );
     println!(
         "  conservative: {}",
         DirEntryLayout::adaptive(16, AdaptivePolicy::conservative())

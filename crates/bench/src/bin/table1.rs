@@ -33,7 +33,7 @@ fn main() {
         let sym = |base: u64, slope: u64| match (base, slope) {
             (0, 0) => "0".to_string(),
             (b, 0) => b.to_string(),
-            (0, s) if s == 1 => "DC".to_string(),
+            (0, 1) => "DC".to_string(),
             (0, s) => format!("{s} x DC"),
             (b, 1) => format!("{b} + DC"),
             (b, s) => format!("{b} + {s} x DC"),

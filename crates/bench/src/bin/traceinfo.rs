@@ -28,14 +28,31 @@ fn main() {
     println!("{}", trace.stats());
     if simulate {
         println!();
-        let nodes = trace.stats().nodes.max(1) as u16;
+        // The directory's CopySet is a 64-bit mask, so a (possibly
+        // corrupt) trace naming wider node ids cannot be simulated.
+        let nodes = trace.stats().nodes.max(1);
+        if nodes > 64 {
+            eprintln!("traceinfo: trace uses {nodes} nodes but the directory supports at most 64");
+            exit(1);
+        }
+        let nodes = nodes as u16;
         let config = DirectorySimConfig {
             nodes,
             ..DirectorySimConfig::default()
         };
-        let baseline = DirectorySim::new(Protocol::Conventional, &config).run(&trace);
+        // A trace file is untrusted input, so surface simulation
+        // failures (e.g. out-of-range nodes) as errors, not panics.
+        let simulate = |protocol| {
+            DirectorySim::new(protocol, &config)
+                .try_run(&trace)
+                .unwrap_or_else(|e| {
+                    eprintln!("traceinfo: {e}");
+                    exit(1);
+                })
+        };
+        let baseline = simulate(Protocol::Conventional);
         for protocol in Protocol::PAPER_SET {
-            let result = DirectorySim::new(protocol, &config).run(&trace);
+            let result = simulate(protocol);
             println!(
                 "{:<14} {:>9} messages ({:>5.1}% vs conventional)",
                 protocol.to_string(),

@@ -87,8 +87,18 @@ pub fn block_size_sweep(block_size: BlockSize, scenario: &Scenario) -> Vec<Messa
 /// the percentage reduction of each adaptive protocol.
 pub fn render_message_rows(title: &str, rows: &[MessageRow]) -> Table {
     let mut table = Table::new([
-        "app", "conv w/o", "conv w/", "cons w/o", "cons w/", "cons %", "basic w/o", "basic w/",
-        "basic %", "aggr w/o", "aggr w/", "aggr %",
+        "app",
+        "conv w/o",
+        "conv w/",
+        "cons w/o",
+        "cons w/",
+        "cons %",
+        "basic w/o",
+        "basic w/",
+        "basic %",
+        "aggr w/o",
+        "aggr w/",
+        "aggr %",
     ]);
     table.title(title);
     for row in rows {
@@ -228,7 +238,10 @@ pub struct BusComparison {
 impl BusComparison {
     /// Percentage cost reduction of the adaptive protocol under `model`.
     pub fn reduction(&self, model: mcc_snoop::BusCostModel) -> f64 {
-        mcc_stats::percent_reduction(self.mesi.cost(model) as f64, self.adaptive.cost(model) as f64)
+        mcc_stats::percent_reduction(
+            self.mesi.cost(model) as f64,
+            self.adaptive.cost(model) as f64,
+        )
     }
 }
 

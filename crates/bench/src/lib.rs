@@ -1,6 +1,6 @@
 //! The experiment harness: functions that regenerate every table and
 //! figure of the paper, shared by the `table*`/`figure*` binaries, the
-//! criterion benches, and the integration tests.
+//! self-timed benches, and the integration tests.
 //!
 //! Each experiment takes a [`Scenario`] (node count, work scale, seed)
 //! so the same code can run paper-scale sweeps from the binaries and
@@ -11,6 +11,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod timing;
 
 pub use args::Scenario;
 pub use experiments::{

@@ -1,0 +1,77 @@
+//! Minimal self-timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the benches use a plain
+//! [`std::time::Instant`] loop instead of an external benchmarking
+//! framework: a fixed warm-up, a fixed sample count, and a median-based
+//! report. Absolute numbers are machine-dependent; the value of these
+//! benches is catching order-of-magnitude regressions and providing a
+//! reproducible `cargo bench` entry point.
+
+use std::time::Instant;
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 10;
+
+/// Runs `f` once as warm-up and `SAMPLES` timed times, then prints a
+/// `name  median  min  [per-element]` line. `elements` scales the
+/// per-iteration cost into a throughput figure when non-zero.
+pub fn bench<T>(name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    let _warmup = f();
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            let _keep = f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    if elements > 0 {
+        let throughput = elements as f64 / median;
+        println!(
+            "{name:<40} median {:>10} min {:>10}  {:>14.0} elem/s",
+            format_secs(median),
+            format_secs(min),
+            throughput
+        );
+    } else {
+        println!(
+            "{name:<40} median {:>10} min {:>10}",
+            format_secs(median),
+            format_secs(min)
+        );
+    }
+}
+
+fn format_secs(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_samples_plus_warmup() {
+        let mut calls = 0u32;
+        bench("counter", 0, || calls += 1);
+        assert_eq!(calls, 1 + SAMPLES as u32);
+    }
+
+    #[test]
+    fn format_covers_all_scales() {
+        assert!(format_secs(5e-9).ends_with("ns"));
+        assert!(format_secs(5e-6).ends_with("µs"));
+        assert!(format_secs(5e-3).ends_with("ms"));
+        assert!(format_secs(5.0).ends_with('s'));
+    }
+}

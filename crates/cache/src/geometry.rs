@@ -45,7 +45,10 @@ impl fmt::Display for GeometryError {
         match self {
             GeometryError::ZeroAssociativity => write!(f, "associativity must be positive"),
             GeometryError::IndivisibleCapacity => {
-                write!(f, "capacity is not a multiple of block size x associativity")
+                write!(
+                    f,
+                    "capacity is not a multiple of block size x associativity"
+                )
             }
             GeometryError::SetsNotPowerOfTwo => write!(f, "set count is not a power of two"),
         }
@@ -71,7 +74,7 @@ impl CacheGeometry {
             return Err(GeometryError::ZeroAssociativity);
         }
         let set_bytes = block_size.bytes() * u64::from(associativity);
-        if size_bytes == 0 || size_bytes % set_bytes != 0 {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(set_bytes) {
             return Err(GeometryError::IndivisibleCapacity);
         }
         let sets = size_bytes / set_bytes;
@@ -201,8 +204,14 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(GeometryError::ZeroAssociativity.to_string().contains("positive"));
-        assert!(GeometryError::IndivisibleCapacity.to_string().contains("multiple"));
-        assert!(GeometryError::SetsNotPowerOfTwo.to_string().contains("power of two"));
+        assert!(GeometryError::ZeroAssociativity
+            .to_string()
+            .contains("positive"));
+        assert!(GeometryError::IndivisibleCapacity
+            .to_string()
+            .contains("multiple"));
+        assert!(GeometryError::SetsNotPowerOfTwo
+            .to_string()
+            .contains("power of two"));
     }
 }

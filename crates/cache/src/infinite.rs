@@ -62,7 +62,10 @@ impl<S> InfiniteCache<S> {
     /// [`SetAssocCache::insert`](crate::SetAssocCache::insert).
     pub fn insert(&mut self, block: BlockAddr, state: S) {
         let prev = self.blocks.insert(block, state);
-        assert!(prev.is_none(), "block {block} inserted while already resident");
+        assert!(
+            prev.is_none(),
+            "block {block} inserted while already resident"
+        );
     }
 
     /// Removes `block`, returning its metadata if it was resident.

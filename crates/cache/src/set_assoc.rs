@@ -153,8 +153,8 @@ impl<S> SetAssocCache<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcc_prng::SplitMix64;
     use mcc_trace::BlockSize;
-    use proptest::prelude::*;
 
     fn geom(sets: u64, ways: u32) -> CacheGeometry {
         CacheGeometry::new(sets * u64::from(ways) * 16, BlockSize::B16, ways).unwrap()
@@ -216,12 +216,17 @@ mod tests {
         assert_eq!(c.remove(BlockAddr::new(1)), None);
     }
 
-    proptest! {
-        /// Model-check the cache against a naive per-set LRU list model.
-        #[test]
-        fn matches_reference_lru_model(
-            ops in prop::collection::vec((0u64..32, 0u8..3), 1..200)
-        ) {
+    /// Model-check the cache against a naive per-set LRU list model,
+    /// over seeded random op sequences.
+    #[test]
+    fn matches_reference_lru_model() {
+        for case in 0..256u64 {
+            let mut rng = SplitMix64::new(0x1B0_0000 + case);
+            let len = rng.gen_range(1..200);
+            let ops: Vec<(u64, u8)> = (0..len)
+                .map(|_| (rng.gen_range(0..32), rng.gen_range(0..3) as u8))
+                .collect();
+
             let g = geom(4, 2);
             let mut cache = SetAssocCache::new(g);
             // Model: per set, vector of blocks ordered LRU-first.
@@ -237,9 +242,9 @@ mod tests {
                             if model[set].len() == 2 {
                                 let victim = model[set].remove(0);
                                 let got = cache.insert(b, block);
-                                prop_assert_eq!(got, Some((BlockAddr::new(victim), victim)));
+                                assert_eq!(got, Some((BlockAddr::new(victim), victim)));
                             } else {
-                                prop_assert_eq!(cache.insert(b, block), None);
+                                assert_eq!(cache.insert(b, block), None);
                             }
                             model[set].push(block);
                         }
@@ -257,19 +262,19 @@ mod tests {
                         let got = cache.remove(b);
                         if let Some(pos) = model[set].iter().position(|&x| x == block) {
                             model[set].remove(pos);
-                            prop_assert_eq!(got, Some(block));
+                            assert_eq!(got, Some(block));
                         } else {
-                            prop_assert_eq!(got, None);
+                            assert_eq!(got, None);
                         }
                     }
                 }
                 // Residency agrees after every step.
                 for s in 0..4u64 {
                     for &m in &model[s as usize] {
-                        prop_assert_eq!(cache.get(BlockAddr::new(m)), Some(&m));
+                        assert_eq!(cache.get(BlockAddr::new(m)), Some(&m));
                     }
                 }
-                prop_assert_eq!(cache.len(), model.iter().map(Vec::len).sum::<usize>());
+                assert_eq!(cache.len(), model.iter().map(Vec::len).sum::<usize>());
             }
         }
     }

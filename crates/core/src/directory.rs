@@ -117,7 +117,9 @@ impl CopySet {
 
     /// Iterates over the holders in increasing node order.
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        (0..64u16).filter(move |&i| self.0 & (1 << i) != 0).map(NodeId::new)
+        (0..64u16)
+            .filter(move |&i| self.0 & (1 << i) != 0)
+            .map(NodeId::new)
     }
 }
 
@@ -361,7 +363,10 @@ impl DirEntry {
         requester: NodeId,
     ) -> Reclassification {
         let was_migratory = self.migratory;
-        debug_assert!(!self.migratory, "migratory blocks are granted write permission");
+        debug_assert!(
+            !self.migratory,
+            "migratory blocks are granted write permission"
+        );
         if self.different_invalidator(requester) && self.created == CopiesCreated::One {
             self.evidence_event(policy);
         }
@@ -473,20 +478,24 @@ mod tests {
 
     /// Drives the classic migratory sequence: P0 writes, P1 reads then
     /// writes, P2 reads then writes, … as seen by the directory hooks.
-    fn migratory_handoff(entry: &mut DirEntry, policy: AdaptivePolicy, to: NodeId) -> ReadMissAction {
+    fn migratory_handoff(
+        entry: &mut DirEntry,
+        policy: AdaptivePolicy,
+        to: NodeId,
+    ) -> ReadMissAction {
         let (action, _) = entry.on_read_miss(policy);
         match action {
             ReadMissAction::Migrate => {
                 entry.copyset = CopySet::only(to);
                 entry.dirty = false; // new holder has not written yet
-                // The write hit is silent — permission was pre-granted.
+                                     // The write hit is silent — permission was pre-granted.
                 entry.dirty = true;
                 entry.last_invalidator = Some(to);
             }
             ReadMissAction::Replicate => {
                 entry.copyset.insert(to);
                 entry.dirty = false; // old dirty copy written back on replication
-                // First write is a write hit on a Shared copy.
+                                     // First write is a write hit on a Shared copy.
                 entry.on_write_hit_shared(policy, to);
                 entry.copyset = CopySet::only(to);
             }
@@ -506,11 +515,17 @@ mod tests {
 
         // P1 reads then writes: the write hit sees two created copies and
         // a different last invalidator -> migratory after one event.
-        assert_eq!(migratory_handoff(&mut e, policy, P1), ReadMissAction::Replicate);
+        assert_eq!(
+            migratory_handoff(&mut e, policy, P1),
+            ReadMissAction::Replicate
+        );
         assert!(e.migratory);
 
         // Next hand-off migrates.
-        assert_eq!(migratory_handoff(&mut e, policy, P2), ReadMissAction::Migrate);
+        assert_eq!(
+            migratory_handoff(&mut e, policy, P2),
+            ReadMissAction::Migrate
+        );
     }
 
     #[test]
@@ -520,14 +535,23 @@ mod tests {
         e.on_write_miss(policy, P0);
         e.copyset = CopySet::only(P0);
 
-        assert_eq!(migratory_handoff(&mut e, policy, P1), ReadMissAction::Replicate);
+        assert_eq!(
+            migratory_handoff(&mut e, policy, P1),
+            ReadMissAction::Replicate
+        );
         assert!(!e.migratory, "one event is not enough for conservative");
         assert_eq!(e.evidence, 1);
 
-        assert_eq!(migratory_handoff(&mut e, policy, P2), ReadMissAction::Replicate);
+        assert_eq!(
+            migratory_handoff(&mut e, policy, P2),
+            ReadMissAction::Replicate
+        );
         assert!(e.migratory, "second successive event classifies");
 
-        assert_eq!(migratory_handoff(&mut e, policy, P0), ReadMissAction::Migrate);
+        assert_eq!(
+            migratory_handoff(&mut e, policy, P0),
+            ReadMissAction::Migrate
+        );
     }
 
     #[test]
@@ -600,7 +624,10 @@ mod tests {
         assert_eq!(e.created, CopiesCreated::ThreeOrMore);
         let r = e.on_write_hit_shared(policy, P2);
         assert_eq!(r, Reclassification::Unchanged);
-        assert!(!e.migratory, "write hit with three created copies is not evidence");
+        assert!(
+            !e.migratory,
+            "write hit with three created copies is not evidence"
+        );
     }
 
     #[test]
@@ -637,7 +664,10 @@ mod tests {
         let mut e = setup(cox);
         let r = e.on_write_miss(cox, P2);
         assert_eq!(r, Reclassification::Unchanged);
-        assert!(e.migratory, "Cox-Fowler keeps dirty write-miss movers migratory");
+        assert!(
+            e.migratory,
+            "Cox-Fowler keeps dirty write-miss movers migratory"
+        );
 
         let sten = AdaptivePolicy::stenstrom();
         let mut e = setup(sten);

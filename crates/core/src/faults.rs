@@ -1,0 +1,459 @@
+//! Deterministic interconnect fault injection.
+//!
+//! The paper's cost model assumes a reliable interconnect: every
+//! coherence transaction delivers. This module relaxes that assumption
+//! so the protocols can be studied under an *unreliable* fabric: each
+//! demand transaction (miss service or write-hit upgrade — eviction
+//! traffic is lazy and off the critical path, so it is not subjected to
+//! faults) is passed through a [`FaultInjector`] that may drop a
+//! message, duplicate it, delay it, or NACK the request, at
+//! parts-per-million rates configured per *message class*
+//! ([`MessageClass`]).
+//!
+//! Faults never corrupt protocol state: a failed attempt consumes
+//! wire traffic (tallied into the `retries`/`nacks` counters of
+//! [`MessageBreakdown`](crate::MessageBreakdown)) and is retried with
+//! exponential backoff, and only the final, successful attempt performs
+//! the state transition and the ordinary Table 1 charge. A run under
+//! faults with eventual delivery therefore reaches exactly the same
+//! final cache states, block versions, and migratory classifications as
+//! the fault-free run — a property the test suite checks.
+//!
+//! Everything is seeded: a [`FaultPlan`] carries an explicit seed and
+//! the injector draws from a private [`SplitMix64`] stream, so a run is
+//! bit-reproducible (no global RNG, no entropy).
+
+use mcc_prng::SplitMix64;
+
+use crate::msg::MessageCount;
+
+/// The classes of coherence message an unreliable fabric distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Requests from a cache to the home (miss services, upgrades).
+    Request,
+    /// Replies carrying data or permissions back to the requester.
+    Response,
+    /// Invalidations (and their acknowledgements) sent to other caches.
+    Invalidation,
+}
+
+/// A single injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// The message vanishes; the transaction times out and retries.
+    Drop,
+    /// The message arrives twice; the duplicate is detected and
+    /// discarded, costing one wasted message.
+    Duplicate,
+    /// The message is delayed by this many latency units; the
+    /// transaction still completes on this attempt.
+    Delay(u32),
+    /// The receiver refuses the request (buffer full); the requester
+    /// backs off and retries.
+    Nack,
+}
+
+/// Per-message-class fault rates, in parts per million.
+///
+/// Integer ppm keeps the type `Eq` and the draws exact — no
+/// floating-point rounding can make two "identical" plans diverge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FaultRates {
+    /// Probability (ppm) that a message is dropped.
+    pub drop_ppm: u32,
+    /// Probability (ppm) that a request is NACKed. Only meaningful for
+    /// [`MessageClass::Request`]; ignored for other classes.
+    pub nack_ppm: u32,
+    /// Probability (ppm) that a message is delayed.
+    pub delay_ppm: u32,
+    /// Probability (ppm) that a message is duplicated.
+    pub duplicate_ppm: u32,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const RELIABLE: FaultRates = FaultRates {
+        drop_ppm: 0,
+        nack_ppm: 0,
+        delay_ppm: 0,
+        duplicate_ppm: 0,
+    };
+
+    /// The same rate for every fault type.
+    pub const fn uniform(ppm: u32) -> FaultRates {
+        FaultRates {
+            drop_ppm: ppm,
+            nack_ppm: ppm,
+            delay_ppm: ppm,
+            duplicate_ppm: ppm,
+        }
+    }
+
+    /// Whether this class can never fault.
+    pub const fn is_reliable(&self) -> bool {
+        self.drop_ppm == 0 && self.nack_ppm == 0 && self.delay_ppm == 0 && self.duplicate_ppm == 0
+    }
+}
+
+/// A complete, explicit description of an unreliable interconnect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed of the injector's private PRNG stream.
+    pub seed: u64,
+    /// Fault rates for cache→home requests.
+    pub request: FaultRates,
+    /// Fault rates for data/permission replies.
+    pub response: FaultRates,
+    /// Fault rates for invalidations.
+    pub invalidation: FaultRates,
+    /// Maximum retries per transaction before
+    /// [`SimError::RetryExhausted`](crate::SimError::RetryExhausted).
+    pub max_retries: u32,
+    /// Livelock watchdog: maximum cumulative backoff units one
+    /// transaction may accumulate before
+    /// [`SimError::Livelock`](crate::SimError::Livelock).
+    pub max_total_backoff: u64,
+}
+
+impl FaultPlan {
+    /// A fully reliable interconnect (useful as a control arm: the
+    /// injector draws nothing, so results match a run without any plan).
+    pub const fn reliable(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            request: FaultRates::RELIABLE,
+            response: FaultRates::RELIABLE,
+            invalidation: FaultRates::RELIABLE,
+            max_retries: 16,
+            max_total_backoff: 1 << 20,
+        }
+    }
+
+    /// The same uniform rate (ppm) for every fault type of every class.
+    pub const fn uniform(seed: u64, ppm: u32) -> FaultPlan {
+        FaultPlan {
+            seed,
+            request: FaultRates::uniform(ppm),
+            response: FaultRates::uniform(ppm),
+            invalidation: FaultRates::uniform(ppm),
+            max_retries: 16,
+            max_total_backoff: 1 << 20,
+        }
+    }
+
+    /// The rates configured for `class`.
+    pub const fn rates(&self, class: MessageClass) -> FaultRates {
+        match class {
+            MessageClass::Request => self.request,
+            MessageClass::Response => self.response,
+            MessageClass::Invalidation => self.invalidation,
+        }
+    }
+
+    /// Whether no class can ever fault.
+    pub const fn is_reliable(&self) -> bool {
+        self.request.is_reliable() && self.response.is_reliable() && self.invalidation.is_reliable()
+    }
+}
+
+/// Exponential backoff schedule: attempt `k` (0-based retry index)
+/// waits `2^min(k, 10)` units, capping the exponent so a pathological
+/// plan cannot overflow.
+pub const fn backoff_units(attempt: u32) -> u64 {
+    1u64 << if attempt > 10 { 10 } else { attempt }
+}
+
+/// The wire shape of one demand transaction, from the injector's point
+/// of view: one request, optionally a data-bearing reply, and some
+/// number of invalidations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransactionShape {
+    /// Whether the reply carries a data block (miss services) rather
+    /// than being a pure permission grant (upgrades).
+    pub has_data_response: bool,
+    /// Invalidation messages the home must fan out.
+    pub invalidations: u64,
+}
+
+/// How one delivery attempt ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// Every message of the transaction arrived.
+    Delivered,
+    /// Some message was dropped; the transaction must retry.
+    Dropped,
+    /// The home NACKed the request; the requester backs off and retries.
+    Nacked,
+}
+
+/// The injector's verdict on one attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttemptReport {
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Wire traffic consumed that the Table 1 charge does not cover:
+    /// every message of a failed attempt, plus discarded duplicates.
+    /// (On success the real messages are charged by the ordinary path.)
+    pub wasted: MessageCount,
+    /// Latency units of injected delay on this attempt.
+    pub delay_units: u64,
+}
+
+/// Draws faults for a simulation from a seeded private stream.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SplitMix64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `plan`, seeding its stream from the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(plan.seed),
+        }
+    }
+
+    /// The plan this injector draws from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Subjects one delivery attempt of a transaction to the plan.
+    ///
+    /// Messages are drawn in wire order — request, invalidations,
+    /// response — and the first drop or NACK fails the attempt. The
+    /// messages transmitted up to the failure point (plus any discarded
+    /// duplicates) are reported as `wasted`; a successful attempt
+    /// wastes only its duplicates.
+    pub fn attempt(&mut self, shape: TransactionShape) -> AttemptReport {
+        // Fast path: a reliable plan must not advance the RNG, so a
+        // reliable injector is bit-identical to no injector at all.
+        if self.plan.is_reliable() {
+            return AttemptReport {
+                outcome: AttemptOutcome::Delivered,
+                wasted: MessageCount::ZERO,
+                delay_units: 0,
+            };
+        }
+
+        let mut sent = MessageCount::ZERO;
+        let mut duplicates = MessageCount::ZERO;
+        let mut delay = 0u64;
+
+        // The request.
+        let req = self.plan.rates(MessageClass::Request);
+        sent += MessageCount::new(1, 0);
+        if self.rng.chance_ppm(req.duplicate_ppm) {
+            duplicates += MessageCount::new(1, 0);
+        }
+        if self.rng.chance_ppm(req.delay_ppm) {
+            delay += 1 + self.rng.gen_range(0..4);
+        }
+        if self.rng.chance_ppm(req.drop_ppm) {
+            return AttemptReport {
+                outcome: AttemptOutcome::Dropped,
+                wasted: sent + duplicates,
+                delay_units: delay,
+            };
+        }
+        if self.rng.chance_ppm(req.nack_ppm) {
+            // The NACK reply itself is a control message on the wire.
+            return AttemptReport {
+                outcome: AttemptOutcome::Nacked,
+                wasted: sent + MessageCount::new(1, 0) + duplicates,
+                delay_units: delay,
+            };
+        }
+
+        // Invalidation fan-out.
+        let inv = self.plan.rates(MessageClass::Invalidation);
+        for _ in 0..shape.invalidations {
+            sent += MessageCount::new(1, 0);
+            if self.rng.chance_ppm(inv.duplicate_ppm) {
+                duplicates += MessageCount::new(1, 0);
+            }
+            if self.rng.chance_ppm(inv.delay_ppm) {
+                delay += 1 + self.rng.gen_range(0..4);
+            }
+            if self.rng.chance_ppm(inv.drop_ppm) {
+                return AttemptReport {
+                    outcome: AttemptOutcome::Dropped,
+                    wasted: sent + duplicates,
+                    delay_units: delay,
+                };
+            }
+        }
+
+        // The reply.
+        if shape.has_data_response {
+            let resp = self.plan.rates(MessageClass::Response);
+            sent += MessageCount::new(0, 1);
+            if self.rng.chance_ppm(resp.duplicate_ppm) {
+                duplicates += MessageCount::new(0, 1);
+            }
+            if self.rng.chance_ppm(resp.delay_ppm) {
+                delay += 1 + self.rng.gen_range(0..4);
+            }
+            if self.rng.chance_ppm(resp.drop_ppm) {
+                return AttemptReport {
+                    outcome: AttemptOutcome::Dropped,
+                    wasted: sent + duplicates,
+                    delay_units: delay,
+                };
+            }
+        }
+
+        AttemptReport {
+            outcome: AttemptOutcome::Delivered,
+            wasted: duplicates,
+            delay_units: delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: TransactionShape = TransactionShape {
+        has_data_response: true,
+        invalidations: 2,
+    };
+
+    #[test]
+    fn reliable_plan_always_delivers_and_never_draws() {
+        let mut inj = FaultInjector::new(FaultPlan::reliable(1));
+        let twin = FaultInjector::new(FaultPlan::reliable(1));
+        for _ in 0..1000 {
+            let r = inj.attempt(SHAPE);
+            assert_eq!(r.outcome, AttemptOutcome::Delivered);
+            assert_eq!(r.wasted, MessageCount::ZERO);
+            assert_eq!(r.delay_units, 0);
+        }
+        // Zero attempts on the twin: states must still match (no draws).
+        assert_eq!(inj.rng, twin.rng);
+    }
+
+    #[test]
+    fn certain_drop_always_fails_with_the_request_wasted() {
+        let plan = FaultPlan {
+            request: FaultRates {
+                drop_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(2)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let r = inj.attempt(SHAPE);
+        assert_eq!(r.outcome, AttemptOutcome::Dropped);
+        assert_eq!(r.wasted, MessageCount::new(1, 0));
+    }
+
+    #[test]
+    fn certain_nack_wastes_request_plus_reply() {
+        let plan = FaultPlan {
+            request: FaultRates {
+                nack_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(3)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let r = inj.attempt(SHAPE);
+        assert_eq!(r.outcome, AttemptOutcome::Nacked);
+        assert_eq!(r.wasted, MessageCount::new(2, 0));
+    }
+
+    #[test]
+    fn response_drop_wastes_the_whole_attempt() {
+        let plan = FaultPlan {
+            response: FaultRates {
+                drop_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(4)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let r = inj.attempt(SHAPE);
+        assert_eq!(r.outcome, AttemptOutcome::Dropped);
+        // Request + 2 invalidations + the lost data reply.
+        assert_eq!(r.wasted, MessageCount::new(3, 1));
+    }
+
+    #[test]
+    fn duplicates_do_not_fail_delivery() {
+        let plan = FaultPlan {
+            request: FaultRates {
+                duplicate_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(5)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let r = inj.attempt(SHAPE);
+        assert_eq!(r.outcome, AttemptOutcome::Delivered);
+        assert_eq!(r.wasted, MessageCount::new(1, 0));
+    }
+
+    #[test]
+    fn delay_keeps_delivery_but_reports_units() {
+        let plan = FaultPlan {
+            request: FaultRates {
+                delay_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(6)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let r = inj.attempt(SHAPE);
+        assert_eq!(r.outcome, AttemptOutcome::Delivered);
+        assert!((1..=4).contains(&r.delay_units));
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let plan = FaultPlan::uniform(99, 200_000);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for _ in 0..2000 {
+            assert_eq!(a.attempt(SHAPE), b.attempt(SHAPE));
+        }
+    }
+
+    #[test]
+    fn moderate_rates_deliver_most_attempts() {
+        let mut inj = FaultInjector::new(FaultPlan::uniform(7, 10_000)); // 1%
+        let delivered = (0..10_000)
+            .filter(|_| inj.attempt(SHAPE).outcome == AttemptOutcome::Delivered)
+            .count();
+        // 6 draws/attempt at 1% each: ~94% delivery. Allow generous slack.
+        assert!(delivered > 9_000, "delivered {delivered}");
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        assert_eq!(backoff_units(0), 1);
+        assert_eq!(backoff_units(1), 2);
+        assert_eq!(backoff_units(4), 16);
+        assert_eq!(backoff_units(10), 1024);
+        assert_eq!(backoff_units(11), 1024);
+        assert_eq!(backoff_units(u32::MAX), 1024);
+    }
+
+    #[test]
+    fn plan_reliability_predicate() {
+        assert!(FaultPlan::reliable(0).is_reliable());
+        assert!(!FaultPlan::uniform(0, 1).is_reliable());
+        let only_inv = FaultPlan {
+            invalidation: FaultRates {
+                drop_ppm: 5,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(0)
+        };
+        assert!(!only_inv.is_reliable());
+    }
+}

@@ -52,6 +52,9 @@
 #![warn(missing_docs)]
 
 mod directory;
+mod error;
+mod faults;
+mod monitor;
 mod msg;
 mod oracle;
 mod policy;
@@ -61,13 +64,19 @@ mod sim;
 mod storage;
 
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};
+pub use error::{SimError, Violation, ViolationKind};
+pub use faults::{
+    backoff_units, AttemptOutcome, AttemptReport, Fault, FaultInjector, FaultPlan, FaultRates,
+    MessageClass, TransactionShape,
+};
+pub use monitor::Monitor;
 pub use msg::{charge, charge_eviction, MessageCount, OpKind};
 pub use oracle::migrate_hints;
 pub use policy::{AdaptivePolicy, Protocol};
 pub use repr::DirectoryRepr;
 pub use result::{EventCounts, MessageBreakdown, SimResult};
-pub use storage::DirEntryLayout;
 pub use sim::{
     DirectoryEngine, DirectorySim, DirectorySimConfig, LineState, PlacementPolicy, StepInfo,
     StepKind,
 };
+pub use storage::DirEntryLayout;

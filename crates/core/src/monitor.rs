@@ -1,0 +1,141 @@
+//! Non-panicking invariant monitoring.
+//!
+//! [`DirectoryEngine::verify`](crate::DirectoryEngine::verify) sweeps
+//! the global invariants and returns a structured
+//! [`Violation`](crate::Violation) instead of panicking; [`Monitor`]
+//! schedules those sweeps over a long run — checking after every
+//! reference would make simulation quadratic, so the monitor samples at
+//! a fixed period and the caller finishes with one final full sweep.
+
+use crate::error::Violation;
+use crate::sim::DirectoryEngine;
+
+/// Periodically verifies a [`DirectoryEngine`]'s global invariants.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_core::{DirectoryEngine, DirectorySimConfig, Monitor, Protocol};
+/// use mcc_placement::PagePlacement;
+/// use mcc_trace::{Addr, MemRef, NodeId};
+///
+/// let config = DirectorySimConfig::default();
+/// let mut engine = DirectoryEngine::new(
+///     Protocol::Basic,
+///     &config,
+///     PagePlacement::round_robin(config.nodes),
+/// );
+/// let mut monitor = Monitor::new(2);
+/// for i in 0..10u64 {
+///     engine.try_step(MemRef::read(NodeId::new(0), Addr::new(i * 16))).unwrap();
+///     monitor.after_step(&engine).unwrap();
+/// }
+/// assert_eq!(monitor.checks_run(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    every: u64,
+    checks_run: u64,
+}
+
+impl Monitor {
+    /// Default sampling period used by the batch runners.
+    pub const DEFAULT_PERIOD: u64 = 4096;
+
+    /// Most sweeps [`for_run_length`](Self::for_run_length) schedules
+    /// over one run, so total monitoring cost stays proportional to the
+    /// simulation itself (each sweep is linear in resident state).
+    pub const MAX_SWEEPS_PER_RUN: u64 = 64;
+
+    /// A monitor that sweeps every `every` steps (clamped to ≥ 1).
+    pub fn new(every: u64) -> Self {
+        Monitor {
+            every: every.max(1),
+            checks_run: 0,
+        }
+    }
+
+    /// A monitor sized for a run of `len` references: sweeps every
+    /// [`DEFAULT_PERIOD`](Self::DEFAULT_PERIOD) steps on short runs,
+    /// stretching the period on long ones so no run pays for more than
+    /// [`MAX_SWEEPS_PER_RUN`](Self::MAX_SWEEPS_PER_RUN) sweeps.
+    pub fn for_run_length(len: u64) -> Self {
+        Monitor::new(Monitor::DEFAULT_PERIOD.max(len / Monitor::MAX_SWEEPS_PER_RUN))
+    }
+
+    /// Sweeps the engine's invariants when its step counter crosses the
+    /// sampling period; cheap no-op otherwise.
+    pub fn after_step(&mut self, engine: &DirectoryEngine) -> Result<(), Violation> {
+        if engine.steps().is_multiple_of(self.every) {
+            self.checks_run += 1;
+            engine.verify()
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of full invariant sweeps performed so far.
+    pub fn checks_run(&self) -> u64 {
+        self.checks_run
+    }
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new(Monitor::DEFAULT_PERIOD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Protocol;
+    use crate::sim::DirectorySimConfig;
+    use mcc_placement::PagePlacement;
+    use mcc_trace::{Addr, MemRef, NodeId};
+
+    #[test]
+    fn samples_at_the_configured_period() {
+        let config = DirectorySimConfig::default();
+        let mut engine = DirectoryEngine::new(
+            Protocol::Conventional,
+            &config,
+            PagePlacement::round_robin(config.nodes),
+        );
+        let mut monitor = Monitor::new(3);
+        for i in 0..9u64 {
+            engine
+                .try_step(MemRef::read(NodeId::new(0), Addr::new(i * 16)))
+                .unwrap();
+            monitor.after_step(&engine).unwrap();
+        }
+        assert_eq!(monitor.checks_run(), 3);
+    }
+
+    #[test]
+    fn run_length_sizing_caps_the_sweep_count() {
+        assert_eq!(Monitor::for_run_length(0).every, Monitor::DEFAULT_PERIOD);
+        assert_eq!(
+            Monitor::for_run_length(100_000).every,
+            Monitor::DEFAULT_PERIOD
+        );
+        let long = Monitor::for_run_length(2_000_000);
+        assert_eq!(long.every, 2_000_000 / Monitor::MAX_SWEEPS_PER_RUN);
+    }
+
+    #[test]
+    fn zero_period_is_clamped_to_every_step() {
+        let config = DirectorySimConfig::default();
+        let mut engine = DirectoryEngine::new(
+            Protocol::Conventional,
+            &config,
+            PagePlacement::round_robin(config.nodes),
+        );
+        let mut monitor = Monitor::new(0);
+        engine
+            .try_step(MemRef::read(NodeId::new(0), Addr::new(0)))
+            .unwrap();
+        monitor.after_step(&engine).unwrap();
+        assert_eq!(monitor.checks_run(), 1);
+    }
+}

@@ -58,7 +58,10 @@ pub struct MessageCount {
 
 impl MessageCount {
     /// A zero count.
-    pub const ZERO: MessageCount = MessageCount { control: 0, data: 0 };
+    pub const ZERO: MessageCount = MessageCount {
+        control: 0,
+        data: 0,
+    };
 
     /// Creates a count from control and data message totals.
     pub const fn new(control: u64, data: u64) -> Self {

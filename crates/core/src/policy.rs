@@ -180,7 +180,11 @@ impl fmt::Display for Protocol {
             Protocol::Custom(p) => write!(
                 f,
                 "custom(init={}, events={}, remember={})",
-                if p.initial_migratory { "migratory" } else { "replicate" },
+                if p.initial_migratory {
+                    "migratory"
+                } else {
+                    "replicate"
+                },
                 p.events_required,
                 p.remember_when_uncached
             ),
@@ -217,9 +221,15 @@ mod tests {
     fn protocol_policy_mapping() {
         assert_eq!(Protocol::Conventional.policy(), None);
         assert_eq!(Protocol::PureMigratory.policy(), None);
-        assert_eq!(Protocol::Conservative.policy(), Some(AdaptivePolicy::conservative()));
+        assert_eq!(
+            Protocol::Conservative.policy(),
+            Some(AdaptivePolicy::conservative())
+        );
         assert_eq!(Protocol::Basic.policy(), Some(AdaptivePolicy::basic()));
-        assert_eq!(Protocol::Aggressive.policy(), Some(AdaptivePolicy::aggressive()));
+        assert_eq!(
+            Protocol::Aggressive.policy(),
+            Some(AdaptivePolicy::aggressive())
+        );
         let custom = AdaptivePolicy {
             initial_migratory: true,
             events_required: 3,

@@ -20,12 +20,33 @@ pub struct MessageBreakdown {
     pub write_hit: MessageCount,
     /// Eviction traffic: clean-drop notifications and writebacks.
     pub eviction: MessageCount,
+    /// NACK overhead under an unreliable interconnect: refused requests
+    /// and the NACK replies themselves. Zero on a reliable fabric.
+    pub nacks: MessageCount,
+    /// Retry overhead under an unreliable interconnect: messages of
+    /// failed delivery attempts plus discarded duplicates. Zero on a
+    /// reliable fabric.
+    pub retries: MessageCount,
 }
 
 impl MessageBreakdown {
-    /// Sums all causes into one [`MessageCount`].
-    pub fn combined(&self) -> MessageCount {
+    /// Protocol-level traffic: the messages a reliable interconnect
+    /// would carry (Table 1 charges plus eviction traffic). This is the
+    /// figure the paper's tables report, and it is identical between a
+    /// fault-free run and a faulted run with eventual delivery.
+    pub fn delivered(&self) -> MessageCount {
         self.read_miss + self.write_miss + self.write_hit + self.eviction
+    }
+
+    /// Resilience overhead: wire traffic consumed by NACKs and retries.
+    pub fn overhead(&self) -> MessageCount {
+        self.nacks + self.retries
+    }
+
+    /// Sums all causes — delivered traffic and fault overhead — into
+    /// one [`MessageCount`].
+    pub fn combined(&self) -> MessageCount {
+        self.delivered() + self.overhead()
     }
 
     /// Total messages of both classes across all causes.
@@ -43,6 +64,8 @@ impl Add for MessageBreakdown {
             write_miss: self.write_miss + rhs.write_miss,
             write_hit: self.write_hit + rhs.write_hit,
             eviction: self.eviction + rhs.eviction,
+            nacks: self.nacks + rhs.nacks,
+            retries: self.retries + rhs.retries,
         }
     }
 }
@@ -59,6 +82,10 @@ impl fmt::Display for MessageBreakdown {
         writeln!(f, "write miss: {}", self.write_miss)?;
         writeln!(f, "write hit : {}", self.write_hit)?;
         writeln!(f, "eviction  : {}", self.eviction)?;
+        if self.overhead() != MessageCount::ZERO {
+            writeln!(f, "nacks     : {}", self.nacks)?;
+            writeln!(f, "retries   : {}", self.retries)?;
+        }
         write!(f, "total     : {}", self.combined())
     }
 }
@@ -99,6 +126,15 @@ pub struct EventCounts {
     /// Write invalidations that had to broadcast because a
     /// limited-pointer directory entry had overflowed.
     pub broadcast_invalidations: u64,
+    /// Transactions NACKed by the home under an unreliable interconnect.
+    pub nacks: u64,
+    /// Delivery attempts that failed (dropped messages or NACKs) and
+    /// were retried.
+    pub retries: u64,
+    /// Latency units of exponential backoff and injected delay
+    /// accumulated by faulted transactions (charged as stall cycles by
+    /// the execution-driven simulator).
+    pub backoff_units: u64,
 }
 
 impl EventCounts {
@@ -134,6 +170,9 @@ impl Add for EventCounts {
             became_migratory: self.became_migratory + rhs.became_migratory,
             became_other: self.became_other + rhs.became_other,
             broadcast_invalidations: self.broadcast_invalidations + rhs.broadcast_invalidations,
+            nacks: self.nacks + rhs.nacks,
+            retries: self.retries + rhs.retries,
+            backoff_units: self.backoff_units + rhs.backoff_units,
         }
     }
 }
@@ -170,7 +209,15 @@ impl fmt::Display for EventCounts {
             self.writebacks,
             self.became_migratory,
             self.became_other
-        )
+        )?;
+        if self.nacks + self.retries + self.backoff_units > 0 {
+            write!(
+                f,
+                "\nfaults: {} nacks, {} retries, {} backoff units",
+                self.nacks, self.retries, self.backoff_units
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -236,6 +283,7 @@ mod tests {
                 write_miss: MessageCount::new(4, 2),
                 write_hit: MessageCount::new(6, 0),
                 eviction: MessageCount::new(1, 2),
+                ..MessageBreakdown::default()
             },
             events: EventCounts {
                 read_hits: 50,
@@ -292,6 +340,30 @@ mod tests {
         let mut zero = sample();
         zero.messages = MessageBreakdown::default();
         assert_eq!(sample().percent_reduction_vs(&zero), 0.0);
+    }
+
+    #[test]
+    fn delivered_excludes_fault_overhead() {
+        let mut m = sample().messages;
+        m.nacks = MessageCount::new(5, 0);
+        m.retries = MessageCount::new(3, 1);
+        assert_eq!(m.delivered(), MessageCount::new(21, 14));
+        assert_eq!(m.overhead(), MessageCount::new(8, 1));
+        assert_eq!(m.combined(), MessageCount::new(29, 15));
+        assert!(m.to_string().contains("nacks"));
+        // Fault-free breakdowns keep the legacy display.
+        assert!(!sample().messages.to_string().contains("nacks"));
+    }
+
+    #[test]
+    fn fault_events_do_not_count_as_references() {
+        let mut e = sample().events;
+        let refs = e.refs();
+        e.nacks = 7;
+        e.retries = 9;
+        e.backoff_units = 100;
+        assert_eq!(e.refs(), refs);
+        assert!(e.to_string().contains("7 nacks"));
     }
 
     #[test]

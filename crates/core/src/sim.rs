@@ -21,6 +21,9 @@ use mcc_placement::PagePlacement;
 use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 use crate::directory::{CopySet, DirEntry, ReadMissAction, Reclassification};
+use crate::error::{SimError, Violation, ViolationKind};
+use crate::faults::{backoff_units, AttemptOutcome, FaultInjector, FaultPlan, TransactionShape};
+use crate::monitor::Monitor;
 use crate::msg::{charge, charge_eviction, MessageCount, OpKind};
 use crate::policy::{AdaptivePolicy, Protocol};
 use crate::repr::DirectoryRepr;
@@ -156,8 +159,15 @@ pub struct StepInfo {
     /// The home node of the referenced block.
     pub home: NodeId,
     /// Inter-node messages this reference cost on its critical path
-    /// (excluding any background eviction traffic it triggered).
+    /// (excluding any background eviction traffic it triggered, and
+    /// excluding fault-retry overhead, which is charged as latency via
+    /// `backoff_units`).
     pub messages: MessageCount,
+    /// Latency units of exponential backoff and injected delay this
+    /// reference suffered from interconnect faults (zero on a reliable
+    /// fabric). The execution-driven simulator converts these into
+    /// stall cycles.
+    pub backoff_units: u64,
 }
 
 /// A one-shot, trace-driven simulation of one protocol on one
@@ -190,6 +200,7 @@ pub struct StepInfo {
 pub struct DirectorySim {
     protocol: Protocol,
     config: DirectorySimConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl DirectorySim {
@@ -198,7 +209,16 @@ impl DirectorySim {
         DirectorySim {
             protocol,
             config: *config,
+            faults: None,
         }
+    }
+
+    /// Subjects the run to an unreliable interconnect described by
+    /// `plan`. Use [`DirectorySim::try_run`] to observe retry
+    /// exhaustion as an error instead of a panic.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Runs the whole trace: resolves page placement (profiling the trace
@@ -208,18 +228,44 @@ impl DirectorySim {
     ///
     /// Panics if the trace references nodes outside the configuration, or
     /// if the protocol violates coherence (which would be a bug in this
-    /// crate, not in the caller).
+    /// crate, not in the caller), or if a configured fault plan exhausts
+    /// its retries.
     pub fn run(&self, trace: &Trace) -> SimResult {
+        let mut engine = self.build_engine(trace);
+        for r in trace.iter() {
+            engine.step(*r);
+        }
+        engine.finish()
+    }
+
+    /// Like [`DirectorySim::run`], but reports failures — coherence
+    /// violations, retry exhaustion, livelock, bad node indices — as a
+    /// structured [`SimError`] instead of panicking, and additionally
+    /// sweeps the global invariants with a [`Monitor`] throughout the
+    /// run (sized to the trace by [`Monitor::for_run_length`], plus a
+    /// final full sweep).
+    pub fn try_run(&self, trace: &Trace) -> Result<SimResult, SimError> {
+        let mut engine = self.build_engine(trace);
+        let mut monitor = Monitor::for_run_length(trace.len() as u64);
+        for r in trace.iter() {
+            engine.try_step(*r)?;
+            monitor.after_step(&engine)?;
+        }
+        engine.verify()?;
+        Ok(engine.finish())
+    }
+
+    fn build_engine(&self, trace: &Trace) -> DirectoryEngine {
         let placement = match self.config.placement {
             PlacementPolicy::RoundRobin => PagePlacement::round_robin(self.config.nodes),
             PlacementPolicy::FirstTouch => PagePlacement::first_touch(trace, self.config.nodes),
             PlacementPolicy::Profiled => PagePlacement::profiled(trace, self.config.nodes),
         };
         let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
-        for r in trace.iter() {
-            engine.step(*r);
+        if let Some(plan) = self.faults {
+            engine = engine.with_faults(plan);
         }
-        engine.finish()
+        engine
     }
 }
 
@@ -269,6 +315,10 @@ pub struct DirectoryEngine {
     /// One-shot flag set by [`DirectoryEngine::step_hinted`]: service the
     /// next read miss as a read-with-ownership.
     rwitm: bool,
+    /// Interconnect fault injector; `None` models a reliable fabric.
+    faults: Option<FaultInjector>,
+    /// References processed so far (used to locate violations).
+    steps: u64,
     messages: MessageBreakdown,
     events: EventCounts,
 }
@@ -290,37 +340,216 @@ impl DirectoryEngine {
             mem_version: HashMap::new(),
             latest: HashMap::new(),
             rwitm: false,
+            faults: None,
+            steps: 0,
             messages: MessageBreakdown::default(),
             events: EventCounts::default(),
         }
+    }
+
+    /// Subjects every demand transaction to the unreliable-interconnect
+    /// model described by `plan`. Deterministic: the injector draws from
+    /// a private stream seeded by `plan.seed`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultInjector::new(plan));
+        self
     }
 
     /// Processes one reference and reports how it resolved.
     ///
     /// # Panics
     ///
-    /// Panics if the reference's node is outside the configuration, or on
-    /// a coherence violation (a bug in the protocol implementation).
+    /// Panics if the reference's node is outside the configuration, on a
+    /// coherence violation (a bug in the protocol implementation), or if
+    /// a configured fault plan exhausts its retries. The panic message is
+    /// the `Display` form of the [`SimError`] that
+    /// [`DirectoryEngine::try_step`] would have returned.
     pub fn step(&mut self, r: MemRef) -> StepInfo {
+        self.try_step(r).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Processes one reference, reporting failure as a structured
+    /// [`SimError`] instead of panicking.
+    ///
+    /// Failure modes: a reference by a node outside the configuration
+    /// ([`SimError::NodeOutOfRange`]), a coherence violation detected by
+    /// the built-in checker ([`SimError::Violation`]), or — under a
+    /// fault plan — a transaction that cannot be delivered within the
+    /// plan's retry and backoff budgets ([`SimError::RetryExhausted`],
+    /// [`SimError::Livelock`]).
+    ///
+    /// # Errors
+    ///
+    /// After an error the engine's state is not rolled back; a failed
+    /// simulation should be discarded, not resumed.
+    pub fn try_step(&mut self, r: MemRef) -> Result<StepInfo, SimError> {
         let block = r.addr.block(self.block_size);
-        assert!(
-            r.node.index() < usize::from(self.nodes),
-            "reference by {} but the configuration has {} nodes",
-            r.node,
-            self.nodes
-        );
+        if r.node.index() >= usize::from(self.nodes) {
+            return Err(SimError::NodeOutOfRange {
+                node: r.node,
+                nodes: self.nodes,
+            });
+        }
+        self.steps += 1;
         let home = self.placement.home_of_block(block, self.block_size);
+        let backoff = self.deliver_transaction(r.node, block, home, r.op)?;
         let before = self.critical_path_messages();
         let kind = if self.caches[r.node.index()].contains(block) {
-            self.hit(r.node, block, home, r.op)
+            self.hit(r.node, block, home, r.op)?
         } else {
-            self.miss(r.node, block, home, r.op)
+            self.miss(r.node, block, home, r.op)?
         };
         let after = self.critical_path_messages();
-        StepInfo {
+        Ok(StepInfo {
             kind,
             home,
             messages: MessageCount::new(after.control - before.control, after.data - before.data),
+            backoff_units: backoff,
+        })
+    }
+
+    /// Replays delivery attempts for the transaction this reference
+    /// would issue (if any) against the fault injector, charging wasted
+    /// traffic and backoff, until the transaction is delivered or the
+    /// plan's budgets are exhausted. Returns the accumulated backoff
+    /// and delay units.
+    ///
+    /// Faults never touch protocol state: the caller performs the state
+    /// transition (and the ordinary Table 1 charge) only after this
+    /// returns `Ok`.
+    fn deliver_transaction(
+        &mut self,
+        n: NodeId,
+        block: BlockAddr,
+        home: NodeId,
+        op: MemOp,
+    ) -> Result<u64, SimError> {
+        if self.faults.is_none() {
+            return Ok(0);
+        }
+        let Some(shape) = self.transaction_shape(n, block, home, op) else {
+            // Local or cache-contained work never touches the fabric.
+            return Ok(0);
+        };
+        let injector = self.faults.as_mut().expect("checked is_some above");
+        let plan = *injector.plan();
+        let mut attempt = 0u32;
+        let mut backoff_total = 0u64;
+        loop {
+            let report = injector.attempt(shape);
+            backoff_total += report.delay_units;
+            match report.outcome {
+                AttemptOutcome::Delivered => {
+                    self.messages.retries += report.wasted;
+                    break;
+                }
+                AttemptOutcome::Dropped => {
+                    self.messages.retries += report.wasted;
+                    self.events.retries += 1;
+                }
+                AttemptOutcome::Nacked => {
+                    self.messages.nacks += report.wasted;
+                    self.events.nacks += 1;
+                    self.events.retries += 1;
+                }
+            }
+            if attempt >= plan.max_retries {
+                return Err(SimError::RetryExhausted {
+                    block,
+                    node: n,
+                    attempts: attempt + 1,
+                    step: self.steps,
+                });
+            }
+            backoff_total += backoff_units(attempt);
+            if backoff_total > plan.max_total_backoff {
+                return Err(SimError::Livelock {
+                    block,
+                    node: n,
+                    backoff_units: backoff_total,
+                    step: self.steps,
+                });
+            }
+            attempt += 1;
+        }
+        self.events.backoff_units += backoff_total;
+        Ok(backoff_total)
+    }
+
+    /// The wire shape of the transaction this reference would issue, or
+    /// `None` when it completes without touching the interconnect (cache
+    /// hit with sufficient permission, or a fully node-local operation).
+    ///
+    /// Mirrors the charge logic of [`DirectoryEngine::hit`] /
+    /// [`DirectoryEngine::miss`] without mutating anything, so the fault
+    /// injector can rule on the transaction *before* the state
+    /// transition happens.
+    fn transaction_shape(
+        &self,
+        n: NodeId,
+        block: BlockAddr,
+        home: NodeId,
+        op: MemOp,
+    ) -> Option<TransactionShape> {
+        let local = home == n;
+        if let Some(line) = self.caches[n.index()].get(block) {
+            match op {
+                MemOp::Read => None,
+                MemOp::Write => match line.state {
+                    LineState::Dirty | LineState::MigratoryClean => None,
+                    LineState::Exclusive => {
+                        let msgs = charge(OpKind::WriteHit, local, false, 0);
+                        (msgs.total() > 0).then_some(TransactionShape {
+                            has_data_response: false,
+                            invalidations: 0,
+                        })
+                    }
+                    LineState::Shared => {
+                        let e = self.dir.get(&block)?;
+                        let dc = self.repr.charged_distant_copies(
+                            e.copyset,
+                            e.overflowed,
+                            n,
+                            home,
+                            self.nodes,
+                        );
+                        let msgs = charge(OpKind::WriteHit, local, false, dc);
+                        (msgs.total() > 0).then_some(TransactionShape {
+                            has_data_response: false,
+                            invalidations: dc,
+                        })
+                    }
+                },
+            }
+        } else {
+            let (dirty, dc) = match self.dir.get(&block) {
+                Some(e) => (
+                    e.dirty,
+                    if e.dirty {
+                        e.copyset.distant_count(n, home)
+                    } else {
+                        self.repr.charged_distant_copies(
+                            e.copyset,
+                            e.overflowed,
+                            n,
+                            home,
+                            self.nodes,
+                        )
+                    },
+                ),
+                None => (false, 0),
+            };
+            let write_like = matches!(op, MemOp::Write) || self.rwitm;
+            let kind = if write_like {
+                OpKind::WriteMiss
+            } else {
+                OpKind::ReadMiss
+            };
+            let msgs = charge(kind, local, dirty, dc);
+            (msgs.total() > 0).then_some(TransactionShape {
+                has_data_response: msgs.data > 0,
+                invalidations: if write_like { dc } else { 0 },
+            })
         }
     }
 
@@ -356,16 +585,25 @@ impl DirectoryEngine {
         self.messages.read_miss + self.messages.write_miss + self.messages.write_hit
     }
 
-    fn hit(&mut self, n: NodeId, block: BlockAddr, home: NodeId, op: MemOp) -> StepKind {
+    fn hit(
+        &mut self,
+        n: NodeId,
+        block: BlockAddr,
+        home: NodeId,
+        op: MemOp,
+    ) -> Result<StepKind, Violation> {
         self.caches[n.index()].touch(block);
         let (state, version) = {
-            let line = self.caches[n.index()].get(block).expect("hit");
+            // Infallible: `hit` is only dispatched after `contains`.
+            let line = self.caches[n.index()]
+                .get(block)
+                .expect("residency checked by the contains() dispatch above");
             (line.state, line.version)
         };
         // Any copy a node is allowed to access must be current: writes by
         // others would have invalidated it.
-        self.check_version(block, version, "cache hit");
-        match op {
+        self.observe(block, version, "cache hit")?;
+        Ok(match op {
             MemOp::Read => {
                 self.events.read_hits += 1;
                 StepKind::ReadHit
@@ -380,8 +618,10 @@ impl DirectoryEngine {
                         // Pre-granted permission: zero messages.
                         self.events.write_grants_used += 1;
                         self.entry_mut(block).dirty = true;
-                        self.caches[n.index()].get_mut(block).expect("hit").state =
-                            LineState::Dirty;
+                        self.caches[n.index()]
+                            .get_mut(block)
+                            .expect("residency checked by the contains() dispatch above")
+                            .state = LineState::Dirty;
                         StepKind::GrantedWrite
                     }
                     LineState::Exclusive => {
@@ -396,11 +636,14 @@ impl DirectoryEngine {
                             e.dirty = true;
                             Reclassification::Unchanged
                         } else {
-                            self.entry_mut(block).on_write_hit_clean_exclusive(policy, n)
+                            self.entry_mut(block)
+                                .on_write_hit_clean_exclusive(policy, n)
                         };
                         self.record_reclass(rc);
-                        self.caches[n.index()].get_mut(block).expect("hit").state =
-                            LineState::Dirty;
+                        self.caches[n.index()]
+                            .get_mut(block)
+                            .expect("residency checked by the contains() dispatch above")
+                            .state = LineState::Dirty;
                         StepKind::ExclusiveUpgrade
                     }
                     LineState::Shared => {
@@ -441,19 +684,30 @@ impl DirectoryEngine {
                             self.events.invalidations += 1;
                         }
                         self.record_reclass(rc);
-                        self.caches[n.index()].get_mut(block).expect("hit").state =
-                            LineState::Dirty;
+                        self.caches[n.index()]
+                            .get_mut(block)
+                            .expect("residency checked by the contains() dispatch above")
+                            .state = LineState::Dirty;
                         StepKind::SharedUpgrade
                     }
                 };
                 let v = self.bump_version(block);
-                self.caches[n.index()].get_mut(block).expect("hit").version = v;
+                self.caches[n.index()]
+                    .get_mut(block)
+                    .expect("residency checked by the contains() dispatch above")
+                    .version = v;
                 kind
             }
-        }
+        })
     }
 
-    fn miss(&mut self, n: NodeId, block: BlockAddr, home: NodeId, op: MemOp) -> StepKind {
+    fn miss(
+        &mut self,
+        n: NodeId,
+        block: BlockAddr,
+        home: NodeId,
+        op: MemOp,
+    ) -> Result<StepKind, Violation> {
         let policy = self.policy;
         let pure = self.pure_migratory;
         // Snapshot directory state before the transaction.
@@ -476,7 +730,7 @@ impl DirectoryEngine {
             )
         };
         debug_assert!(!copyset_before.contains(n), "missing node holds a copy");
-        match op {
+        Ok(match op {
             MemOp::Read if self.rwitm => {
                 // Read-with-ownership: fetch the block with write
                 // permission, invalidating every existing copy — one
@@ -486,9 +740,7 @@ impl DirectoryEngine {
                 self.messages.read_miss += charge(OpKind::WriteMiss, home == n, dirty, dc);
                 let mut served_from_owner = None;
                 for m in copyset_before.iter() {
-                    let old = self.caches[m.index()]
-                        .remove(block)
-                        .expect("copyset out of sync with caches");
+                    let old = self.take_copy(m, block, "read-with-ownership")?;
                     if old.state.is_dirty() {
                         self.mem_version.insert(block, old.version);
                         served_from_owner = Some(old.version);
@@ -496,14 +748,14 @@ impl DirectoryEngine {
                     self.events.invalidations += 1;
                 }
                 let served = served_from_owner.unwrap_or_else(|| self.mem(block));
-                self.check_version(block, served, "read-with-ownership");
+                self.observe(block, served, "read-with-ownership")?;
                 let e = self.entry_mut(block);
                 e.created = crate::directory::CopiesCreated::One;
                 e.last_invalidator = Some(n);
                 e.copyset = CopySet::only(n);
                 e.overflowed = false;
                 e.dirty = false;
-                self.insert_line(n, block, LineState::MigratoryClean, served);
+                self.insert_line(n, block, LineState::MigratoryClean, served)?;
                 StepKind::ReadMissMigrate
             }
             MemOp::Read => {
@@ -526,9 +778,7 @@ impl DirectoryEngine {
                         let served = if let Some(owner) = copyset_before.single() {
                             // One transaction: copy to the requester and
                             // invalidate the previous holder.
-                            let old = self.caches[owner.index()]
-                                .remove(block)
-                                .expect("copyset out of sync with caches");
+                            let old = self.take_copy(owner, block, "migration")?;
                             if old.state.is_dirty() {
                                 self.mem_version.insert(block, old.version);
                             }
@@ -538,12 +788,12 @@ impl DirectoryEngine {
                             debug_assert!(copyset_before.is_empty());
                             self.mem(block)
                         };
-                        self.check_version(block, served, "migration");
+                        self.observe(block, served, "migration")?;
                         let e = self.entry_mut(block);
                         e.copyset = CopySet::only(n);
                         e.overflowed = false;
                         e.dirty = false;
-                        self.insert_line(n, block, LineState::MigratoryClean, served);
+                        self.insert_line(n, block, LineState::MigratoryClean, served)?;
                     }
                     ReadMissAction::Replicate => {
                         self.events.replications += 1;
@@ -563,7 +813,7 @@ impl DirectoryEngine {
                             self.mem_version.insert(block, v);
                         }
                         let served = served_from_owner.unwrap_or_else(|| self.mem(block));
-                        self.check_version(block, served, "replication");
+                        self.observe(block, served, "replication")?;
                         let e = self.entry_mut(block);
                         e.dirty = false;
                         e.copyset.insert(n);
@@ -573,7 +823,7 @@ impl DirectoryEngine {
                         } else {
                             LineState::Shared
                         };
-                        self.insert_line(n, block, state, served);
+                        self.insert_line(n, block, state, served)?;
                     }
                 }
                 match action {
@@ -588,9 +838,7 @@ impl DirectoryEngine {
                 // data (and is written home).
                 let mut served_from_owner = None;
                 for m in copyset_before.iter() {
-                    let old = self.caches[m.index()]
-                        .remove(block)
-                        .expect("copyset out of sync with caches");
+                    let old = self.take_copy(m, block, "write miss")?;
                     if old.state.is_dirty() {
                         self.mem_version.insert(block, old.version);
                         served_from_owner = Some(old.version);
@@ -598,7 +846,7 @@ impl DirectoryEngine {
                     self.events.invalidations += 1;
                 }
                 let served = served_from_owner.unwrap_or_else(|| self.mem(block));
-                self.check_version(block, served, "write miss");
+                self.observe(block, served, "write miss")?;
                 if was_overflowed {
                     self.events.broadcast_invalidations += 1;
                 }
@@ -618,16 +866,37 @@ impl DirectoryEngine {
                 };
                 self.record_reclass(rc);
                 let v = self.bump_version(block);
-                self.insert_line(n, block, LineState::Dirty, v);
+                self.insert_line(n, block, LineState::Dirty, v)?;
                 StepKind::WriteMiss
             }
-        }
+        })
+    }
+
+    /// Removes `node`'s copy of `block`, which the directory claims
+    /// exists; reports a [`ViolationKind::CopysetMismatch`] if the cache
+    /// disagrees.
+    fn take_copy(
+        &mut self,
+        node: NodeId,
+        block: BlockAddr,
+        context: &'static str,
+    ) -> Result<Line, Violation> {
+        self.caches[node.index()]
+            .remove(block)
+            .ok_or_else(|| self.violation(block, ViolationKind::CopysetMismatch, context))
     }
 
     /// Inserts a line at node `n`, handling the eviction of a victim:
     /// charging §3.3 eviction traffic, writing back dirty data, and
-    /// pruning the victim's directory entry.
-    fn insert_line(&mut self, n: NodeId, block: BlockAddr, state: LineState, version: u64) {
+    /// pruning the victim's directory entry. Reports a violation when
+    /// the victim has no directory entry (directory/cache desync).
+    fn insert_line(
+        &mut self,
+        n: NodeId,
+        block: BlockAddr,
+        state: LineState,
+        version: u64,
+    ) -> Result<(), Violation> {
         let victim = self.caches[n.index()].insert(block, Line { state, version });
         if let Some((vb, vline)) = victim {
             let vhome = self.placement.home_of_block(vb, self.block_size);
@@ -639,19 +908,25 @@ impl DirectoryEngine {
             } else {
                 self.events.clean_drops += 1;
             }
+            if !self.dir.contains_key(&vb) {
+                return Err(self.violation(vb, ViolationKind::CopysetMismatch, "eviction"));
+            }
             let policy = self.policy;
             let rc = self
                 .dir
                 .get_mut(&vb)
-                .expect("victim has a directory entry")
+                .expect("contains_key checked above")
                 .on_copy_dropped(policy, n);
             self.record_reclass(rc);
         }
+        Ok(())
     }
 
     fn entry_mut(&mut self, block: BlockAddr) -> &mut DirEntry {
         let policy = self.policy;
-        self.dir.entry(block).or_insert_with(|| DirEntry::new(policy))
+        self.dir
+            .entry(block)
+            .or_insert_with(|| DirEntry::new(policy))
     }
 
     fn record_reclass(&mut self, rc: Reclassification) {
@@ -676,14 +951,42 @@ impl DirectoryEngine {
         *v
     }
 
-    #[track_caller]
-    fn check_version(&self, block: BlockAddr, observed: u64, context: &str) {
+    /// Checks an observed version against the latest write; a mismatch
+    /// means stale data became visible.
+    fn observe(
+        &self,
+        block: BlockAddr,
+        observed: u64,
+        context: &'static str,
+    ) -> Result<(), Violation> {
         let latest = self.latest(block);
-        assert_eq!(
-            observed, latest,
-            "coherence violation during {context}: {block} observed version {observed} \
-             but the latest write produced {latest}"
-        );
+        if observed == latest {
+            Ok(())
+        } else {
+            Err(self.violation(
+                block,
+                ViolationKind::StaleRead { observed, latest },
+                context,
+            ))
+        }
+    }
+
+    /// Builds a [`Violation`] report with the engine's current view of
+    /// `block` attached.
+    fn violation(&self, block: BlockAddr, kind: ViolationKind, context: &'static str) -> Violation {
+        Violation {
+            block,
+            step: self.steps,
+            kind,
+            context,
+            entry: self.dir.get(&block).copied(),
+        }
+    }
+
+    /// References processed so far (including the one in flight when
+    /// called from inside a step).
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// The protocol being simulated.
@@ -712,48 +1015,87 @@ impl DirectoryEngine {
         self.events
     }
 
-    /// Verifies global invariants linking the directory to the caches.
-    ///
-    /// # Panics
-    ///
-    /// Panics when any invariant is broken:
+    /// Sweeps the global invariants linking the directory to the caches,
+    /// reporting the first broken one:
     /// * a directory copy set disagrees with actual cache residency;
     /// * a block has an exclusive-state copy alongside other copies
     ///   (single-writer / multiple-reader);
     /// * the directory `dirty` bit disagrees with the caches;
     /// * a clean block's memory version is stale.
-    pub fn check_invariants(&self) {
-        for (&block, entry) in &self.dir {
-            let mut holders = CopySet::new();
-            let mut exclusive = 0u32;
-            let mut shared = 0u32;
-            let mut any_dirty = false;
-            for node in NodeId::first(self.nodes) {
-                if let Some(line) = self.caches[node.index()].get(block) {
-                    holders.insert(node);
-                    match line.state {
-                        LineState::Shared => shared += 1,
-                        LineState::Exclusive | LineState::MigratoryClean => exclusive += 1,
-                        LineState::Dirty => {
-                            exclusive += 1;
-                            any_dirty = true;
-                        }
+    pub fn verify(&self) -> Result<(), Violation> {
+        // One pass over the resident lines, then one pass over the
+        // directory: O(lines + entries) rather than O(entries × nodes),
+        // which matters because the monitor sweeps repeatedly over
+        // long runs.
+        #[derive(Default)]
+        struct Residency {
+            holders: CopySet,
+            exclusive: u32,
+            shared: u32,
+            any_dirty: bool,
+        }
+        let mut residency: HashMap<BlockAddr, Residency> = HashMap::new();
+        for node in NodeId::first(self.nodes) {
+            for (block, line) in self.caches[node.index()].iter() {
+                let r = residency.entry(block).or_default();
+                r.holders.insert(node);
+                match line.state {
+                    LineState::Shared => r.shared += 1,
+                    LineState::Exclusive | LineState::MigratoryClean => r.exclusive += 1,
+                    LineState::Dirty => {
+                        r.exclusive += 1;
+                        r.any_dirty = true;
                     }
                 }
             }
-            assert_eq!(entry.copyset, holders, "copyset out of sync for {block}");
-            assert!(
-                exclusive == 0 || (exclusive == 1 && shared == 0),
-                "{block}: exclusive copy coexists with other copies"
-            );
-            assert_eq!(entry.dirty, any_dirty, "{block}: directory dirty bit out of sync");
-            if !any_dirty {
-                assert_eq!(
-                    self.mem(block),
-                    self.latest(block),
-                    "{block}: memory stale while no dirty copy exists"
-                );
+        }
+        let sweep = "invariant sweep";
+        // A resident block with no directory entry is a copyset
+        // mismatch the entry-driven loop below would never visit.
+        for &block in residency.keys() {
+            if !self.dir.contains_key(&block) {
+                return Err(self.violation(block, ViolationKind::CopysetMismatch, sweep));
             }
+        }
+        for (&block, entry) in &self.dir {
+            let empty = Residency::default();
+            let r = residency.get(&block).unwrap_or(&empty);
+            let (holders, exclusive, shared, any_dirty) =
+                (r.holders, r.exclusive, r.shared, r.any_dirty);
+            if entry.copyset != holders {
+                return Err(self.violation(block, ViolationKind::CopysetMismatch, sweep));
+            }
+            if !(exclusive == 0 || (exclusive == 1 && shared == 0)) {
+                return Err(self.violation(block, ViolationKind::ExclusiveConflict, sweep));
+            }
+            if entry.dirty != any_dirty {
+                return Err(self.violation(block, ViolationKind::DirtyBitMismatch, sweep));
+            }
+            if !any_dirty && self.mem(block) != self.latest(block) {
+                return Err(self.violation(
+                    block,
+                    ViolationKind::StaleMemory {
+                        memory: self.mem(block),
+                        latest: self.latest(block),
+                    },
+                    sweep,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies global invariants linking the directory to the caches.
+    ///
+    /// Thin wrapper over [`verify`](Self::verify) for assertion-style
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any invariant is broken.
+    pub fn check_invariants(&self) {
+        if let Err(v) = self.verify() {
+            panic!("{v}");
         }
     }
 
@@ -998,7 +1340,10 @@ mod tests {
         let mut e = rr_engine(Protocol::Basic, &cfg);
         let block = Addr::new(0).block(cfg.block_size);
         e.step(MemRef::read(NodeId::new(1), Addr::new(0)));
-        assert_eq!(e.line_state(NodeId::new(1), block), Some(LineState::Exclusive));
+        assert_eq!(
+            e.line_state(NodeId::new(1), block),
+            Some(LineState::Exclusive)
+        );
         e.step(MemRef::write(NodeId::new(1), Addr::new(0)));
         assert_eq!(e.line_state(NodeId::new(1), block), Some(LineState::Dirty));
         assert!(e.entry(block).unwrap().dirty);
@@ -1007,7 +1352,10 @@ mod tests {
         assert_eq!(e.line_state(NodeId::new(2), block), Some(LineState::Shared));
         e.step(MemRef::write(NodeId::new(2), Addr::new(0)));
         assert_eq!(e.line_state(NodeId::new(1), block), None);
-        assert!(e.entry(block).unwrap().migratory, "basic classifies after one hand-off");
+        assert!(
+            e.entry(block).unwrap().migratory,
+            "basic classifies after one hand-off"
+        );
         assert_eq!(e.protocol(), Protocol::Basic);
         assert!(e.messages().total() > 0);
         assert!(e.events().read_misses > 0);
@@ -1154,5 +1502,124 @@ mod tests {
         }
         let r2 = run_rr(Protocol::Basic, &separate);
         assert!(r2.total_messages() < r.total_messages());
+    }
+
+    #[test]
+    fn reliable_fault_plan_changes_nothing() {
+        let cfg = config();
+        let t = ping_pong(25);
+        let plain = DirectorySim::new(Protocol::Basic, &cfg).run(&t);
+        let reliable = DirectorySim::new(Protocol::Basic, &cfg)
+            .with_faults(FaultPlan::reliable(7))
+            .try_run(&t)
+            .expect("reliable plan cannot fail");
+        assert_eq!(plain.messages, reliable.messages);
+        assert_eq!(plain.events, reliable.events);
+    }
+
+    #[test]
+    fn faulted_run_delivers_the_same_protocol_traffic() {
+        // Faults waste messages and stall cycles but never change what
+        // the protocol ultimately does: the delivered traffic and the
+        // protocol event counts must match the fault-free run exactly.
+        let cfg = config();
+        let t = ping_pong(50);
+        for protocol in Protocol::PAPER_SET {
+            let clean = DirectorySim::new(protocol, &cfg)
+                .try_run(&t)
+                .expect("fault-free run");
+            let faulted = DirectorySim::new(protocol, &cfg)
+                .with_faults(FaultPlan::uniform(42, 20_000))
+                .try_run(&t)
+                .expect("2% fault rate is comfortably inside the retry budget");
+            assert_eq!(clean.messages.delivered(), faulted.messages.delivered());
+            assert_eq!(clean.events.refs(), faulted.events.refs());
+            assert_eq!(clean.events.migrations, faulted.events.migrations);
+            assert_eq!(clean.events.invalidations, faulted.events.invalidations);
+            assert_eq!(faulted.messages.delivered(), clean.messages.combined());
+            assert!(
+                faulted.messages.overhead().total() > 0,
+                "a 2% fault rate over {} refs must waste some traffic",
+                t.len()
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let cfg = config();
+        let t = ping_pong(40);
+        let plan = FaultPlan::uniform(99, 50_000);
+        let a = DirectorySim::new(Protocol::Aggressive, &cfg)
+            .with_faults(plan)
+            .try_run(&t)
+            .expect("run a");
+        let b = DirectorySim::new(Protocol::Aggressive, &cfg)
+            .with_faults(plan)
+            .try_run(&t)
+            .expect("run b");
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn always_dropping_interconnect_reports_retry_exhaustion() {
+        let cfg = config();
+        let mut plan = FaultPlan::uniform(1, 1_000_000);
+        plan.max_retries = 4;
+        let t = ping_pong(2);
+        let err = DirectorySim::new(Protocol::Conventional, &cfg)
+            .with_faults(plan)
+            .try_run(&t)
+            .expect_err("nothing is ever delivered");
+        match err {
+            SimError::RetryExhausted { attempts, .. } => assert_eq!(attempts, 5),
+            SimError::Livelock { .. } => {}
+            other => panic!("expected exhaustion or livelock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn node_out_of_range_is_an_error_not_a_panic() {
+        let cfg = config();
+        let mut t = Trace::new();
+        t.push(MemRef::read(NodeId::new(99), Addr::new(0)));
+        let err = DirectorySim::new(Protocol::Basic, &cfg)
+            .try_run(&t)
+            .expect_err("node 99 with a 16-node machine");
+        assert_eq!(
+            err,
+            SimError::NodeOutOfRange {
+                node: NodeId::new(99),
+                nodes: cfg.nodes
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_stall_units_are_charged_on_faulted_retries() {
+        let cfg = config();
+        let t = ping_pong(60);
+        let faulted = DirectorySim::new(Protocol::Conventional, &cfg)
+            .with_faults(FaultPlan::uniform(3, 100_000))
+            .try_run(&t)
+            .expect("10% faults still inside the retry budget");
+        assert!(faulted.events.retries > 0);
+        assert!(faulted.events.backoff_units >= faulted.events.retries);
+    }
+
+    #[test]
+    fn try_step_reports_backoff_in_step_info() {
+        let cfg = config();
+        let mut plan = FaultPlan::uniform(11, 400_000);
+        plan.max_retries = 64;
+        let mut engine = rr_engine(Protocol::Conventional, &cfg).with_faults(plan);
+        let mut total_backoff = 0u64;
+        for r in ping_pong(40).iter() {
+            let info = engine.try_step(*r).expect("inside retry budget");
+            total_backoff += info.backoff_units;
+        }
+        assert_eq!(total_backoff, engine.events().backoff_units);
+        assert!(total_backoff > 0, "40% fault rate must trigger backoff");
     }
 }

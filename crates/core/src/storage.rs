@@ -76,7 +76,10 @@ impl DirEntryLayout {
     /// Panics if `nodes` is zero or `policy.events_required` is zero.
     pub fn adaptive(nodes: u16, policy: AdaptivePolicy) -> Self {
         assert!(nodes > 0, "node count must be positive");
-        assert!(policy.events_required > 0, "events_required must be positive");
+        assert!(
+            policy.events_required > 0,
+            "events_required must be positive"
+        );
         let hysteresis_states = u32::from(policy.events_required);
         DirEntryLayout {
             nodes,

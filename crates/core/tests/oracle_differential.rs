@@ -11,10 +11,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use proptest::prelude::*;
-
 use mcc_core::{DirectoryEngine, DirectorySimConfig, PlacementPolicy, Protocol};
 use mcc_placement::PagePlacement;
+use mcc_prng::SplitMix64;
 use mcc_trace::{Addr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 const NODES: u16 = 4;
@@ -125,23 +124,24 @@ impl Oracle {
     }
 }
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
+fn random_trace(rng: &mut SplitMix64) -> Trace {
     // Blocks spread over several pages so home locality varies.
-    prop::collection::vec((0u16..NODES, prop::bool::ANY, 0u64..1600), 1..500).prop_map(|refs| {
-        refs.into_iter()
-            .map(|(node, write, block)| {
-                let op = if write { MemOp::Write } else { MemOp::Read };
-                MemRef::new(NodeId::new(node), op, Addr::new(block * 16))
-            })
-            .collect()
-    })
+    let len = rng.gen_range(1..500);
+    (0..len)
+        .map(|_| {
+            let node = rng.gen_range(0..u64::from(NODES)) as u16;
+            let write = rng.gen_range(0..2) == 1;
+            let block = rng.gen_range(0..1600);
+            let op = if write { MemOp::Write } else { MemOp::Read };
+            MemRef::new(NodeId::new(node), op, Addr::new(block * 16))
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn engine_matches_naive_oracle_on_conventional_protocol(trace in arb_trace()) {
+#[test]
+fn engine_matches_naive_oracle_on_conventional_protocol() {
+    for case in 0..192u64 {
+        let trace = random_trace(&mut SplitMix64::new(0x0AC1 + case));
         let config = DirectorySimConfig {
             nodes: NODES,
             block_size: BlockSize::B16,
@@ -159,7 +159,13 @@ proptest! {
             oracle.step(r.node.index() as u16, r.op.is_write(), r.addr.get() / 16);
         }
         let charged = engine.messages().combined();
-        prop_assert_eq!(charged.control, oracle.control, "control messages diverged");
-        prop_assert_eq!(charged.data, oracle.data, "data messages diverged");
+        assert_eq!(
+            charged.control, oracle.control,
+            "control messages diverged, case {case}"
+        );
+        assert_eq!(
+            charged.data, oracle.data,
+            "data messages diverged, case {case}"
+        );
     }
 }

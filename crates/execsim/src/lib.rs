@@ -47,8 +47,8 @@ use std::fmt;
 
 use mcc_cache::{CacheConfig, CacheGeometry};
 use mcc_core::{
-    DirectoryEngine, DirectorySimConfig, EventCounts, MessageBreakdown, PlacementPolicy, Protocol,
-    StepKind,
+    DirectoryEngine, DirectorySimConfig, EventCounts, FaultPlan, MessageBreakdown, Monitor,
+    PlacementPolicy, Protocol, SimError, StepKind,
 };
 use mcc_placement::PagePlacement;
 use mcc_trace::{BlockSize, NodeId, Trace};
@@ -105,6 +105,10 @@ pub struct LatencyModel {
     /// Additional wire cycles per network hop between the requester and
     /// the home (used by [`Topology::Mesh2D`]).
     pub per_hop: u64,
+    /// Stall cycles per unit of NACK/timeout backoff when a
+    /// [`FaultPlan`] injects interconnect faults (one unit is the first
+    /// retry's wait; later retries wait exponentially more units).
+    pub backoff_unit: u64,
 }
 
 impl Default for LatencyModel {
@@ -116,6 +120,7 @@ impl Default for LatencyModel {
             controller_occupancy: 24,
             compute_between_refs: 4,
             per_hop: 6,
+            backoff_unit: 16,
         }
     }
 }
@@ -133,11 +138,14 @@ pub struct ExecSimConfig {
     pub latency: LatencyModel,
     /// Interconnect topology.
     pub topology: Topology,
+    /// Injected interconnect faults, if any. Faulted retries charge
+    /// [`LatencyModel::backoff_unit`] stall cycles per backoff unit.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ExecSimConfig {
     /// Sixteen nodes, 16-byte blocks, 256 KB 4-way caches (DASH-like
-    /// secondary caches), default latencies.
+    /// secondary caches), default latencies, reliable interconnect.
     fn default() -> Self {
         ExecSimConfig {
             nodes: 16,
@@ -148,6 +156,7 @@ impl Default for ExecSimConfig {
             ),
             latency: LatencyModel::default(),
             topology: Topology::Uniform,
+            faults: None,
         }
     }
 }
@@ -263,6 +272,9 @@ pub struct ExecResult {
     /// contention measure; the paper observes the adaptive protocol
     /// nearly eliminates this for read misses).
     pub contention_cycles: u64,
+    /// Cycles processors spent backed off waiting to retry NACKed or
+    /// timed-out transactions (zero on a reliable interconnect).
+    pub backoff_cycles: u64,
     /// Read misses observed.
     pub read_misses: u64,
     /// Total latency of all read misses, for average-latency reporting.
@@ -332,9 +344,26 @@ impl ExecSim {
     ///
     /// # Panics
     ///
-    /// Panics if the trace references nodes outside the configuration, or
-    /// on a coherence violation (a bug in `mcc-core`).
+    /// Panics if the trace references nodes outside the configuration, on
+    /// a coherence violation (a bug in `mcc-core`), or if a configured
+    /// fault plan exhausts its retries.
     pub fn run(&self, trace: &Trace) -> ExecResult {
+        self.simulate(trace, None).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ExecSim::run`], but reports failures — coherence
+    /// violations, retry exhaustion, livelock, bad node indices — as a
+    /// structured [`SimError`] instead of panicking, and sweeps the
+    /// engine's global invariants with a [`Monitor`] throughout the run.
+    pub fn try_run(&self, trace: &Trace) -> Result<ExecResult, SimError> {
+        self.simulate(trace, Some(Monitor::for_run_length(trace.len() as u64)))
+    }
+
+    fn simulate(
+        &self,
+        trace: &Trace,
+        mut monitor: Option<Monitor>,
+    ) -> Result<ExecResult, SimError> {
         let nodes = usize::from(self.config.nodes);
         let lat = self.config.latency;
         let dir_config = DirectorySimConfig {
@@ -347,14 +376,18 @@ impl ExecSim {
         // Round-robin placement, as the paper's execution-driven runs use.
         let placement = PagePlacement::round_robin(self.config.nodes);
         let mut engine = DirectoryEngine::new(self.protocol, &dir_config, placement);
+        if let Some(plan) = self.config.faults {
+            engine = engine.with_faults(plan);
+        }
 
         let mut streams: Vec<std::vec::IntoIter<mcc_trace::MemRef>> = {
             let mut per_node = trace.split_by_node();
-            assert!(
-                per_node.len() <= nodes,
-                "trace references {} nodes but the configuration has {nodes}",
-                per_node.len()
-            );
+            if per_node.len() > nodes {
+                return Err(SimError::NodeOutOfRange {
+                    node: NodeId::new((per_node.len() - 1) as u16),
+                    nodes: self.config.nodes,
+                });
+            }
             per_node.resize(nodes, Trace::new());
             per_node.into_iter().map(Trace::into_iter).collect()
         };
@@ -366,6 +399,7 @@ impl ExecSim {
             per_node_cycles: vec![0; nodes],
             stall_cycles: 0,
             contention_cycles: 0,
+            backoff_cycles: 0,
             read_misses: 0,
             read_miss_latency_total: 0,
             read_miss_latency: LatencyHistogram::default(),
@@ -385,7 +419,10 @@ impl ExecSim {
                 result.per_node_cycles[n] = result.per_node_cycles[n].max(now);
                 continue;
             };
-            let info = engine.step(r);
+            let info = engine.try_step(r)?;
+            if let Some(m) = monitor.as_mut() {
+                m.after_step(&engine)?;
+            }
             let mut latency = lat.cache_hit;
             if !info.kind.is_local() {
                 // The operation travels to the home (and possibly
@@ -394,7 +431,10 @@ impl ExecSim {
                 // requester-home round trip.
                 latency += lat.memory_access + lat.per_message * info.messages.total();
                 latency += lat.per_hop
-                    * self.config.topology.hops(r.node, info.home, self.config.nodes)
+                    * self
+                        .config
+                        .topology
+                        .hops(r.node, info.home, self.config.nodes)
                     * 2;
                 // Queue at the home memory controller.
                 let home = info.home.index();
@@ -406,7 +446,16 @@ impl ExecSim {
                 result.contention_cycles += queued;
                 result.stall_cycles += latency - lat.cache_hit;
             }
-            if matches!(info.kind, StepKind::ReadMissReplicate | StepKind::ReadMissMigrate) {
+            // Backed-off retries stall the requester before the
+            // transaction finally goes through.
+            let backoff = info.backoff_units * lat.backoff_unit;
+            latency += backoff;
+            result.backoff_cycles += backoff;
+            result.stall_cycles += backoff;
+            if matches!(
+                info.kind,
+                StepKind::ReadMissReplicate | StepKind::ReadMissMigrate
+            ) {
                 result.read_misses += 1;
                 result.read_miss_latency_total += latency;
                 result.read_miss_latency.record(latency);
@@ -416,10 +465,13 @@ impl ExecSim {
             ready.push(Reverse((next, n)));
         }
 
+        if monitor.is_some() {
+            engine.verify()?;
+        }
         result.cycles = result.per_node_cycles.iter().copied().max().unwrap_or(0);
         result.events = engine.events();
         result.messages = engine.messages();
-        result
+        Ok(result)
     }
 }
 
@@ -534,9 +586,7 @@ mod tests {
         let r = ExecSim::new(Protocol::Basic, &config(4)).run(&trace);
         assert_eq!(r.read_miss_latency.count(), r.read_misses);
         assert!(r.read_miss_latency.percentile(50.0) > 0);
-        assert!(
-            r.read_miss_latency.percentile(95.0) >= r.read_miss_latency.percentile(50.0)
-        );
+        assert!(r.read_miss_latency.percentile(95.0) >= r.read_miss_latency.percentile(50.0));
     }
 
     #[test]
@@ -548,8 +598,14 @@ mod tests {
         assert_eq!(t.hops(NodeId::new(0), NodeId::new(3), 16), 3);
         assert_eq!(t.hops(NodeId::new(0), NodeId::new(15), 16), 6);
         assert_eq!(t.hops(NodeId::new(5), NodeId::new(10), 16), 2);
-        assert_eq!(Topology::Uniform.hops(NodeId::new(0), NodeId::new(9), 16), 1);
-        assert_eq!(Topology::Uniform.hops(NodeId::new(4), NodeId::new(4), 16), 0);
+        assert_eq!(
+            Topology::Uniform.hops(NodeId::new(0), NodeId::new(9), 16),
+            1
+        );
+        assert_eq!(
+            Topology::Uniform.hops(NodeId::new(4), NodeId::new(4), 16),
+            0
+        );
     }
 
     #[test]
@@ -583,5 +639,78 @@ mod tests {
         let trace = migratory_trace(4, 8, 3);
         let r = ExecSim::new(Protocol::Basic, &config(4)).run(&trace);
         assert!(r.to_string().contains("cycles"));
+    }
+
+    #[test]
+    fn faults_slow_execution_without_changing_protocol_work() {
+        let trace = migratory_trace(4, 32, 10);
+        let clean = ExecSim::new(Protocol::Basic, &config(4))
+            .try_run(&trace)
+            .expect("reliable run");
+        let faulty_cfg = ExecSimConfig {
+            faults: Some(FaultPlan::uniform(5, 50_000)),
+            ..config(4)
+        };
+        let faulted = ExecSim::new(Protocol::Basic, &faulty_cfg)
+            .try_run(&trace)
+            .expect("5% faults inside the retry budget");
+        assert_eq!(clean.backoff_cycles, 0);
+        assert!(faulted.backoff_cycles > 0);
+        assert!(faulted.cycles > clean.cycles);
+        assert!(faulted.stall_cycles > clean.stall_cycles);
+        // Unlike the trace-driven simulator, the interleaving here is
+        // timing-driven, so backoff feeds back into the reference order
+        // and the delivered traffic may shift — but every reference is
+        // still executed, and only the faulted run wastes messages.
+        assert_eq!(faulted.events.refs(), clean.events.refs());
+        assert_eq!(clean.messages.overhead().total(), 0);
+        assert!(faulted.messages.overhead().total() > 0);
+    }
+
+    #[test]
+    fn faulted_exec_runs_are_deterministic() {
+        let trace = migratory_trace(4, 16, 6);
+        let cfg = ExecSimConfig {
+            faults: Some(FaultPlan::uniform(8, 80_000)),
+            ..config(4)
+        };
+        let a = ExecSim::new(Protocol::Aggressive, &cfg)
+            .try_run(&trace)
+            .unwrap();
+        let b = ExecSim::new(Protocol::Aggressive, &cfg)
+            .try_run(&trace)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn retry_exhaustion_is_an_error_not_a_panic() {
+        let mut plan = FaultPlan::uniform(1, 1_000_000);
+        plan.max_retries = 3;
+        let cfg = ExecSimConfig {
+            faults: Some(plan),
+            ..config(4)
+        };
+        let trace = migratory_trace(4, 4, 2);
+        let err = ExecSim::new(Protocol::Basic, &cfg)
+            .try_run(&trace)
+            .expect_err("nothing is ever delivered");
+        assert!(matches!(
+            err,
+            mcc_core::SimError::RetryExhausted { .. } | mcc_core::SimError::Livelock { .. }
+        ));
+    }
+
+    #[test]
+    fn overloaded_trace_is_an_error_via_try_run() {
+        let mut t = Trace::new();
+        t.push(MemRef::read(NodeId::new(7), Addr::new(0)));
+        let err = ExecSim::new(Protocol::Basic, &config(4))
+            .try_run(&t)
+            .expect_err("node 7 with a 4-node machine");
+        assert!(matches!(
+            err,
+            mcc_core::SimError::NodeOutOfRange { nodes: 4, .. }
+        ));
     }
 }

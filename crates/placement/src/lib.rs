@@ -186,8 +186,8 @@ mod tests {
     #[test]
     fn profiled_uses_max_referencer() {
         let mut refs = vec![ref_at(0, 0)];
-        refs.extend(std::iter::repeat(ref_at(3, 0)).take(5));
-        refs.extend(std::iter::repeat(ref_at(0, 0)).take(2));
+        refs.extend(std::iter::repeat_n(ref_at(3, 0), 5));
+        refs.extend(std::iter::repeat_n(ref_at(0, 0), 2));
         let p = PagePlacement::profiled(&refs.into(), 4);
         assert_eq!(p.home_of(PageAddr::new(0)), NodeId::new(3));
     }
@@ -222,7 +222,10 @@ mod tests {
 
     #[test]
     fn local_fraction_of_empty_trace_is_zero() {
-        assert_eq!(PagePlacement::round_robin(2).local_fraction(&Trace::new()), 0.0);
+        assert_eq!(
+            PagePlacement::round_robin(2).local_fraction(&Trace::new()),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Deterministic, dependency-free pseudo-random numbers.
+//!
+//! Every stochastic component of this workspace — the workload
+//! generators, the interconnect fault injector, and the randomized test
+//! harnesses — draws from an explicitly seeded [`SplitMix64`] stream.
+//! There is no global RNG and no entropy source: the same seed always
+//! produces the same sequence, on every platform, which is what makes
+//! whole simulations (including fault-injected ones) bit-reproducible.
+//!
+//! SplitMix64 (Steele, Lea & Flood, *Fast Splittable Pseudorandom Number
+//! Generators*, OOPSLA 2014) is a tiny counter-based generator with a
+//! 2^64 period and excellent statistical quality for simulation use. It
+//! is not cryptographic and must never be used where unpredictability
+//! matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcc_prng::SplitMix64;
+//!
+//! let mut a = SplitMix64::new(42);
+//! let mut b = SplitMix64::new(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//!
+//! let roll = a.gen_range(0..6);
+//! assert!(roll < 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// A seeded SplitMix64 pseudo-random number generator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an explicit seed.
+    ///
+    /// Equal seeds produce equal streams; nearby seeds produce
+    /// well-separated streams (the seed is scrambled by the first
+    /// [`SplitMix64::next_u64`] call).
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `range` (half-open, as written).
+    ///
+    /// Uses the widening-multiply reduction, which avoids the modulo
+    /// bias of `next_u64() % n` without rejection loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range over an empty range");
+        let span = range.end - range.start;
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + hi
+    }
+
+    /// A `true` draw with probability `numerator / 1_000_000`
+    /// (parts-per-million). Values of one million or more always yield
+    /// `true`; zero always yields `false`. Integer-exact, so fault plans
+    /// expressed in ppm are reproducible with no floating-point rounding.
+    pub fn chance_ppm(&mut self, numerator: u32) -> bool {
+        if numerator == 0 {
+            return false;
+        }
+        self.gen_range(0..1_000_000) < u64::from(numerator)
+    }
+
+    /// A fresh generator split off this one, advancing this stream by
+    /// one draw. Useful for giving each subsystem (or each property-test
+    /// case) an independent deterministic stream.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values_are_stable() {
+        // Known-answer test pinning the algorithm: SplitMix64 with
+        // seed 0 produces this published first output.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SplitMix64::new(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.gen_range(10..16);
+            assert!((10..16).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all values of a small range appear"
+        );
+    }
+
+    #[test]
+    fn gen_range_singleton() {
+        let mut r = SplitMix64::new(4);
+        assert_eq!(r.gen_range(9..10), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        SplitMix64::new(0).gen_range(5..5);
+    }
+
+    #[test]
+    fn chance_ppm_extremes() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..100 {
+            assert!(!r.chance_ppm(0));
+            assert!(r.chance_ppm(1_000_000));
+            assert!(r.chance_ppm(2_000_000));
+        }
+    }
+
+    #[test]
+    fn chance_ppm_rate_is_roughly_right() {
+        let mut r = SplitMix64::new(6);
+        let hits = (0..100_000).filter(|_| r.chance_ppm(100_000)).count();
+        // 10% ± 1% over 100k draws.
+        assert!((9_000..=11_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fork_gives_independent_streams() {
+        let mut a = SplitMix64::new(8);
+        let mut b = a.fork();
+        let mut c = a.fork();
+        assert_ne!(b.next_u64(), c.next_u64());
+    }
+}

@@ -15,7 +15,10 @@ use mcc_cache::{Cache, CacheConfig};
 use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 use crate::cost::BusStats;
-use crate::state::{local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopState};
+use crate::error::{SnoopError, SnoopViolation, SnoopViolationKind};
+use crate::state::{
+    local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopState,
+};
 
 /// Configuration of the bus simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +78,7 @@ pub struct BusSim {
     mem_version: HashMap<BlockAddr, u64>,
     latest: HashMap<BlockAddr, u64>,
     stats: BusStats,
+    steps: u64,
 }
 
 impl BusSim {
@@ -88,6 +92,7 @@ impl BusSim {
             mem_version: HashMap::new(),
             latest: HashMap::new(),
             stats: BusStats::new(protocol),
+            steps: 0,
         }
     }
 
@@ -104,34 +109,63 @@ impl BusSim {
         self.finish()
     }
 
+    /// Like [`BusSim::run`], but reports failures — coherence violations
+    /// or bad processor indices — as a structured [`SnoopError`] instead
+    /// of panicking, sweeping the global invariants periodically and
+    /// once more at the end.
+    pub fn try_run(mut self, trace: &Trace) -> Result<BusStats, SnoopError> {
+        const SWEEP_PERIOD: u64 = 4096;
+        for r in trace.iter() {
+            self.try_step(*r)?;
+            if self.steps.is_multiple_of(SWEEP_PERIOD) {
+                self.verify()?;
+            }
+        }
+        self.verify()?;
+        Ok(self.finish())
+    }
+
     /// Processes one reference.
     ///
     /// # Panics
     ///
     /// See [`BusSim::run`].
     pub fn step(&mut self, r: MemRef) {
+        self.try_step(r).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Processes one reference, reporting failures as a structured
+    /// [`SnoopError`] instead of panicking.
+    pub fn try_step(&mut self, r: MemRef) -> Result<(), SnoopError> {
         let block = r.addr.block(self.block_size);
-        assert!(
-            r.node.index() < usize::from(self.nodes),
-            "reference by {} but the bus has {} processors",
-            r.node,
-            self.nodes
-        );
+        if r.node.index() >= usize::from(self.nodes) {
+            return Err(SnoopError::NodeOutOfRange {
+                node: r.node,
+                nodes: self.nodes,
+            });
+        }
+        self.steps += 1;
         match (self.caches[r.node.index()].contains(block), r.op) {
             (true, MemOp::Read) => {
                 self.caches[r.node.index()].touch(block);
-                let line = self.caches[r.node.index()].get(block).expect("hit");
-                self.check_version(block, line.version, "read hit");
+                let line = self.caches[r.node.index()]
+                    .get(block)
+                    .expect("residency checked by the contains() dispatch above");
+                self.observe(block, line.version, "read hit")?;
                 self.stats.read_hits += 1;
             }
             (true, MemOp::Write) => self.write_hit(r.node, block),
-            (false, _) => self.miss(r.node, block, r.op),
+            (false, _) => self.miss(r.node, block, r.op)?,
         }
+        Ok(())
     }
 
     fn write_hit(&mut self, n: NodeId, block: BlockAddr) {
         self.caches[n.index()].touch(block);
-        let state = self.caches[n.index()].get(block).expect("hit").state;
+        let state = self.caches[n.index()]
+            .get(block)
+            .expect("residency checked by the contains() dispatch above")
+            .state;
         let response = if state.writes_silently() {
             crate::state::SnoopReply::NONE
         } else {
@@ -142,7 +176,9 @@ impl BusSim {
         let (request, new_state) = local_write_hit(state, response);
         debug_assert_eq!(request.is_some(), !state.writes_silently());
         let v = self.bump_version(block);
-        let line = self.caches[n.index()].get_mut(block).expect("hit");
+        let line = self.caches[n.index()]
+            .get_mut(block)
+            .expect("residency checked by the contains() dispatch above");
         line.state = new_state;
         line.version = v;
         if state.writes_silently() {
@@ -150,7 +186,7 @@ impl BusSim {
         }
     }
 
-    fn miss(&mut self, n: NodeId, block: BlockAddr, op: MemOp) {
+    fn miss(&mut self, n: NodeId, block: BlockAddr, op: MemOp) -> Result<(), SnoopViolation> {
         let write = op.is_write();
         let request = if write {
             self.stats.write_misses += 1;
@@ -163,7 +199,7 @@ impl BusSim {
         // Data comes from memory, which snooped any dirty provider's
         // transfer during the broadcast, so it is always current here.
         let served = self.mem(block);
-        self.check_version(block, served, "miss fill");
+        self.observe(block, served, "miss fill")?;
         let state = local_fill(self.protocol, write, response);
         if state == SnoopState::MigratoryClean || state == SnoopState::MigratoryDirty {
             self.stats.migratory_fills += 1;
@@ -175,6 +211,7 @@ impl BusSim {
             served
         };
         self.insert_line(n, block, state, version);
+        Ok(())
     }
 
     /// Puts `request` on the bus: every other cache snoops and reacts;
@@ -201,7 +238,10 @@ impl BusSim {
             }
             match next {
                 Some(new_state) => {
-                    self.caches[node.index()].get_mut(block).expect("snooped").state = new_state;
+                    self.caches[node.index()]
+                        .get_mut(block)
+                        .expect("snooped line fetched from this cache a moment ago")
+                        .state = new_state;
                 }
                 None => {
                     self.caches[node.index()].remove(block);
@@ -239,14 +279,29 @@ impl BusSim {
         *v
     }
 
-    #[track_caller]
-    fn check_version(&self, block: BlockAddr, observed: u64, context: &str) {
+    /// Checks an observed version against the latest write.
+    fn observe(
+        &self,
+        block: BlockAddr,
+        observed: u64,
+        context: &'static str,
+    ) -> Result<(), SnoopViolation> {
         let latest = self.latest(block);
-        assert_eq!(
-            observed, latest,
-            "coherence violation during {context}: {block} observed version {observed} \
-             but the latest write produced {latest}"
-        );
+        if observed == latest {
+            Ok(())
+        } else {
+            Err(SnoopViolation {
+                block,
+                step: self.steps,
+                kind: SnoopViolationKind::StaleRead { observed, latest },
+                context,
+            })
+        }
+    }
+
+    /// References processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// The protocol being simulated.
@@ -259,22 +314,26 @@ impl BusSim {
         self.caches[node.index()].get(block).map(|l| l.state)
     }
 
-    /// Verifies global invariants across the caches.
-    ///
-    /// # Panics
-    ///
-    /// Panics when an exclusive-state copy coexists with any other copy
-    /// of the same block, when two `S2` copies coexist, when more than
-    /// two copies exist alongside an `S2` copy, or when memory is stale
-    /// for a block with no dirty copy.
-    pub fn check_invariants(&self) {
+    /// Sweeps the global invariants across the caches, reporting the
+    /// first broken one: an exclusive-state copy coexisting with any
+    /// other copy of the same block, two `S2` copies, more than two
+    /// copies alongside an `S2` copy, or stale memory for a block with
+    /// no dirty copy.
+    pub fn verify(&self) -> Result<(), SnoopViolation> {
         let mut per_block: HashMap<BlockAddr, Vec<SnoopState>> = HashMap::new();
         for node in NodeId::first(self.nodes) {
             for (block, line) in self.caches[node.index()].iter() {
                 per_block.entry(block).or_default().push(line.state);
             }
         }
-        for (block, states) in &per_block {
+        let sweep = "invariant sweep";
+        let violation = |block: BlockAddr, kind: SnoopViolationKind| SnoopViolation {
+            block,
+            step: self.steps,
+            kind,
+            context: sweep,
+        };
+        for (&block, states) in &per_block {
             let exclusive = states
                 .iter()
                 .filter(|s| {
@@ -287,26 +346,53 @@ impl BusSim {
                     )
                 })
                 .count();
-            assert!(
-                exclusive == 0 || states.len() == 1,
-                "{block}: exclusive copy coexists with others: {states:?}"
-            );
+            if !(exclusive == 0 || states.len() == 1) {
+                return Err(violation(
+                    block,
+                    SnoopViolationKind::ExclusiveConflict {
+                        states: states.clone(),
+                    },
+                ));
+            }
             let s2 = states.iter().filter(|s| **s == SnoopState::Shared2).count();
-            assert!(s2 <= 1, "{block}: multiple S2 copies");
-            if s2 == 1 {
-                assert!(
-                    states.len() <= 2,
-                    "{block}: S2 promises at most two copies but {} exist",
-                    states.len()
-                );
+            if s2 > 1 {
+                return Err(violation(block, SnoopViolationKind::MultipleS2));
             }
-            if !states.iter().any(|s| s.is_dirty()) {
-                assert_eq!(
-                    self.mem(*block),
-                    self.latest(*block),
-                    "{block}: memory stale with no dirty copy"
-                );
+            if s2 == 1 && states.len() > 2 {
+                return Err(violation(
+                    block,
+                    SnoopViolationKind::S2Overcrowded {
+                        copies: states.len(),
+                    },
+                ));
             }
+            if !states.iter().any(|s| s.is_dirty()) && self.mem(block) != self.latest(block) {
+                return Err(violation(
+                    block,
+                    SnoopViolationKind::StaleMemory {
+                        memory: self.mem(block),
+                        latest: self.latest(block),
+                    },
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies global invariants across the caches.
+    ///
+    /// Thin wrapper over [`verify`](Self::verify) for assertion-style
+    /// tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an exclusive-state copy coexists with any other copy
+    /// of the same block, when two `S2` copies coexist, when more than
+    /// two copies exist alongside an `S2` copy, or when memory is stale
+    /// for a block with no dirty copy.
+    pub fn check_invariants(&self) {
+        if let Err(v) = self.verify() {
+            panic!("{v}");
         }
     }
 
@@ -372,19 +458,34 @@ mod tests {
         let mut sim = BusSim::new(SnoopProtocol::Adaptive, &cfg);
         let block = Addr::new(0).block(cfg.block_size);
         sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
-        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Dirty));
+        assert_eq!(
+            sim.line_state(NodeId::new(1), block),
+            Some(SnoopState::Dirty)
+        );
         sim.step(MemRef::read(NodeId::new(2), Addr::new(0)));
         // The older copy demotes to S2, the newer loads as S.
-        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Shared2));
-        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::Shared));
+        assert_eq!(
+            sim.line_state(NodeId::new(1), block),
+            Some(SnoopState::Shared2)
+        );
+        assert_eq!(
+            sim.line_state(NodeId::new(2), block),
+            Some(SnoopState::Shared)
+        );
         sim.step(MemRef::write(NodeId::new(2), Addr::new(0)));
         // The S2 snooper asserted Migratory: the writer lands in MD.
         assert_eq!(sim.line_state(NodeId::new(1), block), None);
-        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::MigratoryDirty));
+        assert_eq!(
+            sim.line_state(NodeId::new(2), block),
+            Some(SnoopState::MigratoryDirty)
+        );
         // Next reader migrates the block in one transaction.
         sim.step(MemRef::read(NodeId::new(3), Addr::new(0)));
         assert_eq!(sim.line_state(NodeId::new(2), block), None);
-        assert_eq!(sim.line_state(NodeId::new(3), block), Some(SnoopState::MigratoryClean));
+        assert_eq!(
+            sim.line_state(NodeId::new(3), block),
+            Some(SnoopState::MigratoryClean)
+        );
     }
 
     #[test]
@@ -397,7 +498,10 @@ mod tests {
         // Node 1 (the S2 holder, previous invalidator) writes again: the
         // newer S copy asserts nothing, so node 1 lands in D, not MD.
         sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
-        assert_eq!(sim.line_state(NodeId::new(1), block), Some(SnoopState::Dirty));
+        assert_eq!(
+            sim.line_state(NodeId::new(1), block),
+            Some(SnoopState::Dirty)
+        );
     }
 
     #[test]
@@ -428,7 +532,10 @@ mod tests {
         sim.step(MemRef::write(NodeId::new(1), Addr::new(0)));
         sim.step(MemRef::read(NodeId::new(2), Addr::new(0)));
         sim.step(MemRef::write(NodeId::new(2), Addr::new(0)));
-        assert_eq!(sim.line_state(NodeId::new(2), block), Some(SnoopState::MigratoryDirty));
+        assert_eq!(
+            sim.line_state(NodeId::new(2), block),
+            Some(SnoopState::MigratoryDirty)
+        );
         // Evict it from node 2 (writeback), then re-load at node 3.
         sim.step(MemRef::read(NodeId::new(2), Addr::new(32)));
         sim.step(MemRef::read(NodeId::new(2), Addr::new(64)));
@@ -436,7 +543,10 @@ mod tests {
         assert_eq!(sim.line_state(NodeId::new(2), block), None);
         sim.step(MemRef::read(NodeId::new(3), Addr::new(0)));
         // Loaded Exclusive, not MigratoryClean: classification lost.
-        assert_eq!(sim.line_state(NodeId::new(3), block), Some(SnoopState::Exclusive));
+        assert_eq!(
+            sim.line_state(NodeId::new(3), block),
+            Some(SnoopState::Exclusive)
+        );
     }
 
     #[test]
@@ -483,5 +593,32 @@ mod tests {
     fn rejects_out_of_range_node() {
         let mut sim = BusSim::new(SnoopProtocol::Mesi, &BusSimConfig::default());
         sim.step(MemRef::read(NodeId::new(16), Addr::new(0)));
+    }
+
+    #[test]
+    fn try_step_reports_out_of_range_node_as_error() {
+        let mut sim = BusSim::new(SnoopProtocol::Mesi, &BusSimConfig::default());
+        let err = sim
+            .try_step(MemRef::read(NodeId::new(16), Addr::new(0)))
+            .expect_err("node 16 on a 16-processor bus");
+        assert_eq!(
+            err,
+            crate::error::SnoopError::NodeOutOfRange {
+                node: NodeId::new(16),
+                nodes: 16
+            }
+        );
+        // The bad reference was not counted.
+        assert_eq!(sim.steps(), 0);
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_traces() {
+        let t = ping_pong(12);
+        let panicking = BusSim::new(SnoopProtocol::Adaptive, &BusSimConfig::default()).run(&t);
+        let checked = BusSim::new(SnoopProtocol::Adaptive, &BusSimConfig::default())
+            .try_run(&t)
+            .expect("coherent protocol");
+        assert_eq!(panicking, checked);
     }
 }

@@ -1,0 +1,179 @@
+//! Structured errors for the bus simulator, mirroring
+//! `mcc_core::SimError` for the snooping machine.
+
+use core::fmt;
+
+use mcc_trace::{BlockAddr, NodeId};
+
+use crate::state::SnoopState;
+
+/// What kind of snooping-bus invariant was broken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnoopViolationKind {
+    /// A read observed a version older than the latest write.
+    StaleRead {
+        /// Version the read observed.
+        observed: u64,
+        /// Version the latest write produced.
+        latest: u64,
+    },
+    /// An exclusive-state copy coexists with other copies.
+    ExclusiveConflict {
+        /// Every cached state of the block at detection time.
+        states: Vec<SnoopState>,
+    },
+    /// Two `S2` copies coexist (the older-copy marker must be unique).
+    MultipleS2,
+    /// An `S2` copy promises at most two copies, but more exist.
+    S2Overcrowded {
+        /// Copies cached at detection time.
+        copies: usize,
+    },
+    /// No dirty copy exists, yet main memory holds a stale version.
+    StaleMemory {
+        /// Version held by memory.
+        memory: u64,
+        /// Version the latest write produced.
+        latest: u64,
+    },
+}
+
+/// A coherence violation on the snooping bus, with its diagnosis.
+///
+/// The `Display` form is the exact message the legacy panicking API
+/// emits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnoopViolation {
+    /// The block whose invariant broke.
+    pub block: BlockAddr,
+    /// References processed before the violation was detected.
+    pub step: u64,
+    /// What broke.
+    pub kind: SnoopViolationKind,
+    /// Protocol context ("read hit", "miss fill", "invariant sweep").
+    pub context: &'static str,
+}
+
+impl fmt::Display for SnoopViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            SnoopViolationKind::StaleRead { observed, latest } => write!(
+                f,
+                "coherence violation during {}: {} observed version {observed} \
+                 but the latest write produced {latest}",
+                self.context, self.block
+            )?,
+            SnoopViolationKind::ExclusiveConflict { states } => write!(
+                f,
+                "{}: exclusive copy coexists with others: {states:?}",
+                self.block
+            )?,
+            SnoopViolationKind::MultipleS2 => write!(f, "{}: multiple S2 copies", self.block)?,
+            SnoopViolationKind::S2Overcrowded { copies } => write!(
+                f,
+                "{}: S2 promises at most two copies but {copies} exist",
+                self.block
+            )?,
+            SnoopViolationKind::StaleMemory { memory, latest } => write!(
+                f,
+                "{}: memory stale with no dirty copy (memory {memory}, latest {latest})",
+                self.block
+            )?,
+        }
+        write!(f, " [step {}]", self.step)
+    }
+}
+
+impl std::error::Error for SnoopViolation {}
+
+/// Any structured failure a bus simulation can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnoopError {
+    /// The protocol broke a coherence invariant.
+    Violation(SnoopViolation),
+    /// A reference named a processor outside the configured bus.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of processors on the bus.
+        nodes: u16,
+    },
+}
+
+impl fmt::Display for SnoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnoopError::Violation(v) => v.fmt(f),
+            SnoopError::NodeOutOfRange { node, nodes } => {
+                write!(f, "reference by {node} but the bus has {nodes} processors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnoopError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnoopError::Violation(v) => Some(v),
+            SnoopError::NodeOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<SnoopViolation> for SnoopError {
+    fn from(v: SnoopViolation) -> Self {
+        SnoopError::Violation(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_keep_legacy_phrases() {
+        let v = SnoopViolation {
+            block: BlockAddr::new(1),
+            step: 9,
+            kind: SnoopViolationKind::StaleRead {
+                observed: 1,
+                latest: 3,
+            },
+            context: "read hit",
+        };
+        let s = v.to_string();
+        assert!(s.contains("coherence violation during read hit"), "{s}");
+        assert!(s.contains("step 9"), "{s}");
+
+        let e = SnoopError::NodeOutOfRange {
+            node: NodeId::new(16),
+            nodes: 16,
+        };
+        assert!(e.to_string().contains("16 processors"));
+
+        let conflict = SnoopViolation {
+            block: BlockAddr::new(1),
+            step: 0,
+            kind: SnoopViolationKind::ExclusiveConflict {
+                states: vec![SnoopState::Exclusive, SnoopState::Shared],
+            },
+            context: "invariant sweep",
+        };
+        assert!(conflict
+            .to_string()
+            .contains("exclusive copy coexists with others"));
+    }
+
+    #[test]
+    fn violation_converts_into_error_with_source() {
+        let v = SnoopViolation {
+            block: BlockAddr::new(2),
+            step: 1,
+            kind: SnoopViolationKind::MultipleS2,
+            context: "invariant sweep",
+        };
+        let e: SnoopError = v.clone().into();
+        assert_eq!(e, SnoopError::Violation(v));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

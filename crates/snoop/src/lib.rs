@@ -42,11 +42,13 @@
 
 mod bussim;
 mod cost;
+mod error;
 mod state;
 mod update;
 
 pub use bussim::{BusSim, BusSimConfig};
 pub use cost::{BusCostModel, BusStats};
+pub use error::{SnoopError, SnoopViolation, SnoopViolationKind};
 pub use state::{
     local_fill, local_write_hit, snoop_remote, BusRequest, SnoopProtocol, SnoopReply, SnoopState,
 };

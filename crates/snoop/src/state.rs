@@ -262,7 +262,11 @@ pub fn local_write_hit(
         Shared2 => (Some(BusRequest::Invalidate), Dirty),
         Shared => (
             Some(BusRequest::Invalidate),
-            if response.migratory { MigratoryDirty } else { Dirty },
+            if response.migratory {
+                MigratoryDirty
+            } else {
+                Dirty
+            },
         ),
     }
 }
@@ -278,7 +282,8 @@ mod tests {
     #[test]
     fn figure_2_bus_request_rows() {
         // (state, request, new state, assert S, assert M, provide)
-        let rows: &[(SnoopState, BusRequest, Option<SnoopState>, bool, bool, bool)] = &[
+        type Row = (SnoopState, BusRequest, Option<SnoopState>, bool, bool, bool);
+        let rows: &[Row] = &[
             (Exclusive, ReadMiss, Some(Shared2), true, false, false),
             (Exclusive, WriteMiss, None, false, true, false),
             (Dirty, ReadMiss, Some(Shared2), true, false, true),
@@ -298,7 +303,10 @@ mod tests {
             let (got_next, got_reply) = snoop_remote(SnoopProtocol::Adaptive, state, request);
             assert_eq!(got_next, next, "{state} + {request}: state");
             assert_eq!(got_reply.shared, s, "{state} + {request}: Shared line");
-            assert_eq!(got_reply.migratory, m, "{state} + {request}: Migratory line");
+            assert_eq!(
+                got_reply.migratory, m,
+                "{state} + {request}: Migratory line"
+            );
             assert_eq!(got_reply.provide_data, provide, "{state} + {request}: data");
         }
     }
@@ -308,8 +316,14 @@ mod tests {
     #[test]
     fn figure_2_local_event_rows() {
         let none = SnoopReply::NONE;
-        let s = SnoopReply { shared: true, ..none };
-        let m = SnoopReply { migratory: true, ..none };
+        let s = SnoopReply {
+            shared: true,
+            ..none
+        };
+        let m = SnoopReply {
+            migratory: true,
+            ..none
+        };
         let p = SnoopProtocol::Adaptive;
         // I + Crm.
         assert_eq!(local_fill(p, false, none), Exclusive);
@@ -322,8 +336,14 @@ mod tests {
         assert_eq!(local_write_hit(Exclusive, none), (None, Dirty));
         assert_eq!(local_write_hit(Shared2, none), (Some(Invalidate), Dirty));
         assert_eq!(local_write_hit(Shared, none), (Some(Invalidate), Dirty));
-        assert_eq!(local_write_hit(Shared, m), (Some(Invalidate), MigratoryDirty));
-        assert_eq!(local_write_hit(MigratoryClean, none), (None, MigratoryDirty));
+        assert_eq!(
+            local_write_hit(Shared, m),
+            (Some(Invalidate), MigratoryDirty)
+        );
+        assert_eq!(
+            local_write_hit(MigratoryClean, none),
+            (None, MigratoryDirty)
+        );
     }
 
     #[test]
@@ -341,7 +361,10 @@ mod tests {
     #[test]
     fn mesi_fills_like_classic_mesi() {
         let none = SnoopReply::NONE;
-        let s = SnoopReply { shared: true, ..none };
+        let s = SnoopReply {
+            shared: true,
+            ..none
+        };
         assert_eq!(local_fill(SnoopProtocol::Mesi, false, none), Exclusive);
         assert_eq!(local_fill(SnoopProtocol::Mesi, false, s), Shared);
         assert_eq!(local_fill(SnoopProtocol::Mesi, true, none), Dirty);
@@ -355,8 +378,14 @@ mod tests {
             MigratoryClean
         );
         // With Shared asserted, replication still wins.
-        let s = SnoopReply { shared: true, ..none };
-        assert_eq!(local_fill(SnoopProtocol::AdaptiveMigrateFirst, false, s), Shared);
+        let s = SnoopReply {
+            shared: true,
+            ..none
+        };
+        assert_eq!(
+            local_fill(SnoopProtocol::AdaptiveMigrateFirst, false, s),
+            Shared
+        );
     }
 
     #[test]
@@ -381,8 +410,14 @@ mod tests {
 
     #[test]
     fn reply_merge_is_wired_or() {
-        let s = SnoopReply { shared: true, ..SnoopReply::NONE };
-        let m = SnoopReply { migratory: true, ..SnoopReply::NONE };
+        let s = SnoopReply {
+            shared: true,
+            ..SnoopReply::NONE
+        };
+        let m = SnoopReply {
+            migratory: true,
+            ..SnoopReply::NONE
+        };
         let merged = s.merge(m).merge(SnoopReply::NONE);
         assert!(merged.shared && merged.migratory && !merged.provide_data);
     }

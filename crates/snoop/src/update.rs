@@ -165,18 +165,26 @@ impl UpdateBusSim {
         match (resident, r.op) {
             (true, MemOp::Read) => {
                 self.caches[n.index()].touch(block);
-                let v = self.caches[n.index()].get(block).expect("hit").version;
+                let v = self.caches[n.index()]
+                    .get(block)
+                    .expect("residency checked by the contains() dispatch above")
+                    .version;
                 self.check_version(block, v, "read hit");
                 self.stats.read_hits += 1;
             }
             (true, MemOp::Write) => {
                 self.caches[n.index()].touch(block);
-                let state = self.caches[n.index()].get(block).expect("hit").state;
+                let state = self.caches[n.index()]
+                    .get(block)
+                    .expect("residency checked by the contains() dispatch above")
+                    .state;
                 let v = self.bump_version(block);
                 match state {
                     UpdateState::Exclusive | UpdateState::Dirty => {
                         self.stats.silent_write_hits += 1;
-                        let line = self.caches[n.index()].get_mut(block).expect("hit");
+                        let line = self.caches[n.index()]
+                            .get_mut(block)
+                            .expect("residency checked by the contains() dispatch above");
                         line.state = UpdateState::Dirty;
                         line.version = v;
                     }
@@ -186,7 +194,9 @@ impl UpdateBusSim {
                         self.stats.updates += 1;
                         let others = self.update_peers(n, block, v);
                         self.mem_version.insert(block, v);
-                        let line = self.caches[n.index()].get_mut(block).expect("hit");
+                        let line = self.caches[n.index()]
+                            .get_mut(block)
+                            .expect("residency checked by the contains() dispatch above");
                         line.version = v;
                         // Firefly-style: no other copy answered the snoop,
                         // so future writes can complete locally.
@@ -328,7 +338,10 @@ mod tests {
         let block = Addr::new(0).block(BlockSize::B16);
         s.step(MemRef::read(NodeId::new(0), Addr::new(0)));
         s.step(MemRef::read(NodeId::new(1), Addr::new(0)));
-        assert_eq!(s.line_state(NodeId::new(0), block), Some(UpdateState::Shared));
+        assert_eq!(
+            s.line_state(NodeId::new(0), block),
+            Some(UpdateState::Shared)
+        );
         for i in 0..5 {
             s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
             // The reader's copy stays valid and current.
@@ -369,7 +382,10 @@ mod tests {
         s.step(MemRef::read(NodeId::new(1), Addr::new(64)));
         s.step(MemRef::read(NodeId::new(1), Addr::new(96)));
         s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
-        assert_eq!(s.line_state(NodeId::new(0), block), Some(UpdateState::Dirty));
+        assert_eq!(
+            s.line_state(NodeId::new(0), block),
+            Some(UpdateState::Dirty)
+        );
         s.step(MemRef::write(NodeId::new(0), Addr::new(0)));
         let stats = s.finish();
         assert_eq!(stats.updates, 1, "second write is local");
@@ -389,8 +405,7 @@ mod tests {
         }
         let cfg = BusSimConfig::default();
         let update = UpdateBusSim::new(&cfg).run(&trace);
-        let invalidate =
-            crate::BusSim::new(crate::SnoopProtocol::Adaptive, &cfg).run(&trace);
+        let invalidate = crate::BusSim::new(crate::SnoopProtocol::Adaptive, &cfg).run(&trace);
         assert!(update.transactions() > 3 * invalidate.transactions());
     }
 

@@ -348,7 +348,7 @@ impl BarChart {
             } else {
                 ((value.abs() / max) * self.width as f64).round() as usize
             };
-            let bar: String = std::iter::repeat('#').take(cells).collect();
+            let bar: String = std::iter::repeat_n('#', cells).collect();
             let sign = if *value < 0.0 { "-" } else { "" };
             out.push_str(&format!(
                 "{label:<label_width$}  {sign}{bar:<width$} {value:>7.1}\n",

@@ -68,8 +68,8 @@ impl fmt::Display for SharingPattern {
 /// Per-block access digest accumulated in one pass over the trace.
 #[derive(Clone, Debug, Default)]
 struct BlockDigest {
-    readers: u64,  // bitmask of reading nodes (<= 64)
-    writers: u64,  // bitmask of writing nodes
+    readers: u64, // bitmask of reading nodes (<= 64)
+    writers: u64, // bitmask of writing nodes
     reads: u64,
     writes: u64,
     refs: u64,
@@ -93,7 +93,10 @@ impl BlockDigest {
             self.episodes += 1;
             if self.current_episode_wrote {
                 self.write_episodes += 1;
-                if self.last_write_episode_node.is_some_and(|prev| prev != node) {
+                if self
+                    .last_write_episode_node
+                    .is_some_and(|prev| prev != node)
+                {
                     self.migrating_write_episodes += 1;
                 }
                 self.last_write_episode_node = Some(node);
@@ -124,11 +127,7 @@ impl BlockDigest {
             // At least 70% of write-episode successions hand off to a
             // different node.
             SharingPattern::Migratory
-        } else if writer_count == 1
-            || self
-                .dominant_writer_fraction()
-                .is_some_and(|f| f >= 0.9)
-        {
+        } else if writer_count == 1 || self.dominant_writer_fraction().is_some_and(|f| f >= 0.9) {
             SharingPattern::ProducerConsumer
         } else {
             SharingPattern::WriteShared
@@ -232,7 +231,7 @@ impl Classification {
     /// Blocks per pattern.
     pub fn block_counts(&self) -> HashMap<SharingPattern, usize> {
         let mut out = HashMap::new();
-        for (_, (pattern, _)) in &self.blocks {
+        for (pattern, _) in self.blocks.values() {
             *out.entry(*pattern).or_insert(0) += 1;
         }
         out
@@ -242,7 +241,7 @@ impl Classification {
     /// (hot migratory blocks dominate traffic even when they are few).
     pub fn ref_counts(&self) -> HashMap<SharingPattern, u64> {
         let mut out = HashMap::new();
-        for (_, (pattern, stats)) in &self.blocks {
+        for (pattern, stats) in self.blocks.values() {
             *out.entry(*pattern).or_insert(0) += stats.refs;
         }
         out
@@ -281,7 +280,10 @@ mod tests {
             t.push(MemRef::read(NodeId::new(3), Addr::new(0)));
             t.push(MemRef::write(NodeId::new(3), Addr::new(0)));
         }
-        assert_eq!(classify(&t).pattern_of(block(0)), Some(SharingPattern::Private));
+        assert_eq!(
+            classify(&t).pattern_of(block(0)),
+            Some(SharingPattern::Private)
+        );
     }
 
     #[test]
@@ -293,7 +295,10 @@ mod tests {
         for n in 1..6u16 {
             t.push(MemRef::read(NodeId::new(n), Addr::new(0)));
         }
-        assert_eq!(classify(&t).pattern_of(block(0)), Some(SharingPattern::ReadOnly));
+        assert_eq!(
+            classify(&t).pattern_of(block(0)),
+            Some(SharingPattern::ReadOnly)
+        );
     }
 
     #[test]
@@ -304,7 +309,10 @@ mod tests {
             t.push(MemRef::read(n, Addr::new(0)));
             t.push(MemRef::write(n, Addr::new(0)));
         }
-        assert_eq!(classify(&t).pattern_of(block(0)), Some(SharingPattern::Migratory));
+        assert_eq!(
+            classify(&t).pattern_of(block(0)),
+            Some(SharingPattern::Migratory)
+        );
     }
 
     #[test]
@@ -349,10 +357,7 @@ mod tests {
             t.push(MemRef::read(NodeId::new(6), Addr::new(16)));
         }
         let c = classify(&t);
-        let total: f64 = SharingPattern::ALL
-            .iter()
-            .map(|&p| c.ref_fraction(p))
-            .sum();
+        let total: f64 = SharingPattern::ALL.iter().map(|&p| c.ref_fraction(p)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert_eq!(c.len(), 2);
     }
@@ -383,6 +388,9 @@ mod tests {
     #[test]
     fn pattern_display_names() {
         assert_eq!(SharingPattern::Migratory.to_string(), "migratory");
-        assert_eq!(SharingPattern::ProducerConsumer.to_string(), "producer-consumer");
+        assert_eq!(
+            SharingPattern::ProducerConsumer.to_string(),
+            "producer-consumer"
+        );
     }
 }

@@ -1,8 +1,13 @@
 //! Binary trace serialization.
 //!
-//! The format is deliberately simple and self-describing: an 8-byte header
-//! (magic + version) followed by fixed-width little-endian records of
-//! `(node: u16, op: u8, addr: u64)`; 11 bytes per reference.
+//! The format is deliberately simple and self-describing. Version 2
+//! streams open with an 8-byte header (magic + version) and a
+//! little-endian `u64` record count, followed by fixed-width
+//! little-endian records of `(node: u16, op: u8, addr: u64)` — 11 bytes
+//! per reference. The count lets the reader pre-allocate, detect
+//! truncation even on a record boundary, and reject absurd streams
+//! before touching memory. Version 1 streams (no count; records run to
+//! end-of-stream) are still read transparently.
 
 use std::error::Error;
 use std::fmt;
@@ -12,16 +17,36 @@ use crate::record::{MemOp, MemRef, NodeId};
 use crate::trace::Trace;
 use crate::Addr;
 
-/// Magic bytes opening every serialized trace: `MCCT` + format version 1.
-pub const TRACE_MAGIC: [u8; 8] = *b"MCCT\x01\0\0\0";
+/// Magic bytes opening every serialized trace: `MCCT` + format version 2.
+pub const TRACE_MAGIC: [u8; 8] = *b"MCCT\x02\0\0\0";
+
+/// Magic bytes of the legacy count-less version 1 format, still accepted
+/// by [`Trace::read_from`].
+pub const TRACE_MAGIC_V1: [u8; 8] = *b"MCCT\x01\0\0\0";
+
+/// Upper bound on the records pre-allocated from a v2 count prefix.
+///
+/// A corrupt or hostile count must not translate into an allocation: the
+/// reader reserves at most this many records up front and lets the
+/// stream itself prove it really contains more.
+const PREALLOC_CAP: u64 = 1 << 20;
 
 /// Error produced when deserializing a trace.
 #[derive(Debug)]
 pub enum ReadTraceError {
-    /// The stream did not start with [`TRACE_MAGIC`].
+    /// The stream did not start with [`TRACE_MAGIC`] (or the legacy
+    /// [`TRACE_MAGIC_V1`]).
     BadMagic,
     /// The stream ended in the middle of a record.
     TruncatedRecord,
+    /// A v2 stream held a different number of records than its header
+    /// declared.
+    CountMismatch {
+        /// Records the header declared.
+        declared: u64,
+        /// Records actually present.
+        read: u64,
+    },
     /// A record contained an operation byte other than 0 (read) or 1 (write).
     BadOp(u8),
     /// An underlying I/O error.
@@ -33,6 +58,10 @@ impl fmt::Display for ReadTraceError {
         match self {
             ReadTraceError::BadMagic => write!(f, "stream is not an MCCT trace"),
             ReadTraceError::TruncatedRecord => write!(f, "trace ends mid-record"),
+            ReadTraceError::CountMismatch { declared, read } => write!(
+                f,
+                "trace header declares {declared} records but the stream holds {read}"
+            ),
             ReadTraceError::BadOp(b) => write!(f, "invalid operation byte {b:#x}"),
             ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
         }
@@ -55,7 +84,7 @@ impl From<io::Error> for ReadTraceError {
 }
 
 impl Trace {
-    /// Serializes the trace to `writer` in the MCCT binary format.
+    /// Serializes the trace to `writer` in the MCCT v2 binary format.
     ///
     /// Pass `&mut writer` if you need the writer back afterwards.
     ///
@@ -79,6 +108,7 @@ impl Trace {
     /// ```
     pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
         writer.write_all(&TRACE_MAGIC)?;
+        writer.write_all(&(self.len() as u64).to_le_bytes())?;
         let mut buf = [0u8; 11];
         for r in self.iter() {
             buf[..2].copy_from_slice(&(r.node.index() as u16).to_le_bytes());
@@ -89,9 +119,15 @@ impl Trace {
         Ok(())
     }
 
-    /// Deserializes a trace from `reader`.
+    /// Deserializes a trace from `reader`, accepting both the v2 format
+    /// (with record count) and the legacy v1 format (records to
+    /// end-of-stream).
     ///
     /// Pass `&mut reader` if you need the reader back afterwards.
+    ///
+    /// Robust against corrupt input: any truncated, bit-flipped, or
+    /// hostile stream produces an error — never a panic, and never an
+    /// allocation sized by untrusted data.
     ///
     /// # Errors
     ///
@@ -100,14 +136,20 @@ impl Trace {
     pub fn read_from<R: Read>(mut reader: R) -> Result<Trace, ReadTraceError> {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
-        if magic != TRACE_MAGIC {
+        let declared = if magic == TRACE_MAGIC {
+            let mut count = [0u8; 8];
+            reader.read_exact(&mut count)?;
+            Some(u64::from_le_bytes(count))
+        } else if magic == TRACE_MAGIC_V1 {
+            None
+        } else {
             return Err(ReadTraceError::BadMagic);
-        }
-        let mut trace = Trace::new();
+        };
+        let mut trace = Trace::with_capacity(declared.unwrap_or(0).min(PREALLOC_CAP) as usize);
         let mut buf = [0u8; 11];
         loop {
             match read_record(&mut reader, &mut buf)? {
-                RecordRead::Eof => return Ok(trace),
+                RecordRead::Eof => break,
                 RecordRead::Record => {
                     let node = u16::from_le_bytes([buf[0], buf[1]]);
                     let op = match buf[2] {
@@ -120,6 +162,15 @@ impl Trace {
                 }
             }
         }
+        if let Some(declared) = declared {
+            if declared != trace.len() as u64 {
+                return Err(ReadTraceError::CountMismatch {
+                    declared,
+                    read: trace.len() as u64,
+                });
+            }
+        }
+        Ok(trace)
     }
 }
 
@@ -167,7 +218,7 @@ mod tests {
         let t = sample();
         let mut buf = Vec::new();
         t.write_to(&mut buf).unwrap();
-        assert_eq!(buf.len(), 8 + 11 * t.len());
+        assert_eq!(buf.len(), 8 + 8 + 11 * t.len());
         let back = Trace::read_from(&buf[..]).unwrap();
         assert_eq!(back, t);
     }
@@ -178,6 +229,19 @@ mod tests {
         Trace::new().write_to(&mut buf).unwrap();
         let back = Trace::read_from(&buf[..]).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn reads_legacy_v1_streams() {
+        let t = sample();
+        let mut buf = Vec::from(TRACE_MAGIC_V1);
+        for r in t.iter() {
+            buf.extend_from_slice(&(r.node.index() as u16).to_le_bytes());
+            buf.push(r.op.is_write() as u8);
+            buf.extend_from_slice(&r.addr.get().to_le_bytes());
+        }
+        let back = Trace::read_from(&buf[..]).unwrap();
+        assert_eq!(back, t);
     }
 
     #[test]
@@ -196,10 +260,37 @@ mod tests {
     }
 
     #[test]
+    fn rejects_record_count_mismatch() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        // Remove exactly one record: the stream still parses, but the
+        // count no longer matches.
+        buf.truncate(buf.len() - 11);
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::CountMismatch {
+                declared: 100,
+                read: 99
+            }
+        ));
+    }
+
+    #[test]
+    fn hostile_count_does_not_allocate() {
+        // A header declaring u64::MAX records must fail cleanly (the
+        // stream is empty), not attempt a 170-exabyte allocation.
+        let mut buf = Vec::from(TRACE_MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::CountMismatch { read: 0, .. }));
+    }
+
+    #[test]
     fn rejects_bad_op_byte() {
         let mut buf = Vec::new();
         sample().write_to(&mut buf).unwrap();
-        buf[8 + 2] = 7; // op byte of the first record
+        buf[16 + 2] = 7; // op byte of the first record
         let err = Trace::read_from(&buf[..]).unwrap_err();
         assert!(matches!(err, ReadTraceError::BadOp(7)));
     }
@@ -208,5 +299,10 @@ mod tests {
     fn error_display_is_informative() {
         assert!(ReadTraceError::BadMagic.to_string().contains("MCCT"));
         assert!(ReadTraceError::BadOp(9).to_string().contains("0x9"));
+        let mismatch = ReadTraceError::CountMismatch {
+            declared: 5,
+            read: 3,
+        };
+        assert!(mismatch.to_string().contains("declares 5"));
     }
 }

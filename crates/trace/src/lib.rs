@@ -38,7 +38,7 @@ mod trace;
 
 pub use addr::{Addr, BlockAddr, BlockSize, PageAddr, PAGE_SIZE};
 pub use classify::{BlockStats, Classification, SharingPattern};
-pub use io::{ReadTraceError, TRACE_MAGIC};
+pub use io::{ReadTraceError, TRACE_MAGIC, TRACE_MAGIC_V1};
 pub use record::{MemOp, MemRef, NodeId};
 pub use stats::TraceStats;
 pub use trace::{Interleaver, Trace};

@@ -482,7 +482,11 @@ mod tests {
     #[test]
     fn traces_are_deterministic_per_seed() {
         for w in Workload::ALL {
-            assert_eq!(w.generate(&small()), w.generate(&small()), "{w} not deterministic");
+            assert_eq!(
+                w.generate(&small()),
+                w.generate(&small()),
+                "{w} not deterministic"
+            );
         }
         let other = small().seed(2);
         assert_ne!(
@@ -531,7 +535,12 @@ mod tests {
     #[test]
     fn workload_names_parse_round_trip() {
         for w in Workload::ALL {
-            let parsed: Workload = w.name().to_ascii_lowercase().replace(' ', "").parse().unwrap();
+            let parsed: Workload = w
+                .name()
+                .to_ascii_lowercase()
+                .replace(' ', "")
+                .parse()
+                .unwrap();
             assert_eq!(parsed, w);
         }
         assert_eq!("locus".parse::<Workload>().unwrap(), Workload::LocusRoute);

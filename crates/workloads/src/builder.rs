@@ -148,12 +148,13 @@ mod tests {
 
     #[test]
     fn region_sized_reserves_explicitly() {
-        let builder = WorkloadBuilder::new(4, 1).region_sized(3 * 4096 + 1, |base| PrivateObjects {
-            base,
-            per_node_bytes: 4096,
-            sweeps: 2,
-            refs_per_sweep: 4,
-        });
+        let builder =
+            WorkloadBuilder::new(4, 1).region_sized(3 * 4096 + 1, |base| PrivateObjects {
+                base,
+                per_node_bytes: 4096,
+                sweeps: 2,
+                refs_per_sweep: 4,
+            });
         assert_eq!(builder.reserved_bytes(), 4 * 4096);
     }
 

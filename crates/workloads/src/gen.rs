@@ -9,9 +9,7 @@
 //! work each stream still has, approximating the schedules a real
 //! parallel execution produces.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
+use mcc_prng::SplitMix64;
 use mcc_trace::{MemRef, Trace};
 
 /// A burst of references that is not interleaved with other work.
@@ -62,7 +60,7 @@ pub type ChunkStream = Vec<Chunk>;
 /// Deterministic generation context: a seeded RNG plus the node count.
 #[derive(Debug)]
 pub struct GenCtx {
-    rng: SmallRng,
+    rng: SplitMix64,
     nodes: u16,
 }
 
@@ -75,7 +73,7 @@ impl GenCtx {
     pub fn new(nodes: u16, seed: u64) -> Self {
         assert!(nodes > 0, "node count must be positive");
         GenCtx {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             nodes,
         }
     }
@@ -87,7 +85,7 @@ impl GenCtx {
 
     /// A uniformly random node.
     pub fn random_node(&mut self) -> u16 {
-        self.rng.gen_range(0..self.nodes)
+        self.rng.gen_range(0..u64::from(self.nodes)) as u16
     }
 
     /// A uniformly random node different from `not`, when possible.
@@ -95,7 +93,7 @@ impl GenCtx {
         if self.nodes == 1 {
             return 0;
         }
-        let n = self.rng.gen_range(0..self.nodes - 1);
+        let n = self.rng.gen_range(0..u64::from(self.nodes) - 1) as u16;
         if n >= not {
             n + 1
         } else {
@@ -104,7 +102,7 @@ impl GenCtx {
     }
 
     /// Access to the RNG for region-specific draws.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SplitMix64 {
         &mut self.rng
     }
 }
@@ -155,7 +153,10 @@ pub fn interleave_streams(streams: Vec<ChunkStream>, ctx: &mut GenCtx) -> Trace 
             pick -= c.remaining;
         }
         let cursor = &mut cursors[index];
-        let chunk = cursor.chunks.next().expect("remaining > 0 implies more chunks");
+        let chunk = cursor
+            .chunks
+            .next()
+            .expect("remaining > 0 implies more chunks");
         cursor.remaining -= chunk.len() as u64;
         total -= chunk.len() as u64;
         out.extend(chunk.refs().iter().copied());
@@ -208,7 +209,11 @@ mod tests {
     fn interleave_is_deterministic() {
         let make = || {
             (0..3u16)
-                .map(|n| (0..20).map(|i| vec![chunk(n, u64::from(n) * 100 + i, 2)]).flatten().collect())
+                .map(|n| {
+                    (0..20)
+                        .flat_map(|i| vec![chunk(n, u64::from(n) * 100 + i, 2)])
+                        .collect()
+                })
                 .collect::<Vec<_>>()
         };
         let t1 = interleave_streams(make(), &mut GenCtx::new(3, 99));

@@ -12,7 +12,6 @@
 //! bursts that the scheduler interleaves into a global trace.
 
 use mcc_trace::{Addr, MemRef, NodeId};
-use rand::Rng;
 
 use crate::gen::{Chunk, ChunkStream, GenCtx};
 
@@ -103,7 +102,11 @@ impl Region for MigratoryObjects {
                 for visit in 0..self.visits_per_object {
                     owner = ctx.random_other_node(owner);
                     let node = NodeId::new(owner);
-                    let start = if self.rotate { (visit * 29) % fields } else { 0 };
+                    let start = if self.rotate {
+                        (visit * 29) % fields
+                    } else {
+                        0
+                    };
                     let stride = self.stride.max(1);
                     let mut chunk = Chunk::new();
                     for i in 0..self.reads_per_visit {
@@ -539,7 +542,11 @@ mod tests {
         };
         let trace = trace_of(&region, 8, 3);
         let stats = trace.stats();
-        assert!(stats.write_fraction() < 0.15, "write fraction {}", stats.write_fraction());
+        assert!(
+            stats.write_fraction() < 0.15,
+            "write fraction {}",
+            stats.write_fraction()
+        );
         // Every node reads.
         assert!(stats.refs_per_node.iter().all(|&c| c > 0));
     }
@@ -563,7 +570,10 @@ mod tests {
             let producer = stream[0].refs()[0].node;
             for round in 0..3 {
                 let produce = &stream[round * 5];
-                assert!(produce.refs().iter().all(|r| r.op.is_write() && r.node == producer));
+                assert!(produce
+                    .refs()
+                    .iter()
+                    .all(|r| r.op.is_write() && r.node == producer));
             }
         }
     }
@@ -626,7 +636,11 @@ mod tests {
         assert_eq!(region.footprint_for(4), 1024);
         for r in trace.iter() {
             let segment = r.addr.get() / 256;
-            assert_eq!(segment, r.node.index() as u64, "node strayed out of its segment");
+            assert_eq!(
+                segment,
+                r.node.index() as u64,
+                "node strayed out of its segment"
+            );
         }
     }
 

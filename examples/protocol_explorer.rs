@@ -49,10 +49,18 @@ fn main() {
                 let result = DirectorySim::new(Protocol::Custom(policy), &config).run(&trace);
                 let name = format!(
                     "{} / {} event{} / {}",
-                    if initial_migratory { "migrate" } else { "replicate" },
+                    if initial_migratory {
+                        "migrate"
+                    } else {
+                        "replicate"
+                    },
                     events_required,
                     if events_required == 1 { "" } else { "s" },
-                    if remember_when_uncached { "remember" } else { "forget" },
+                    if remember_when_uncached {
+                        "remember"
+                    } else {
+                        "forget"
+                    },
                 );
                 println!(
                     "{:<40} {:>10} {:>8.1}",

@@ -64,7 +64,10 @@ fn main() {
         ),
     ];
 
-    println!("basic adaptive protocol, block {block}, home {}\n", NodeId::new(0));
+    println!(
+        "basic adaptive protocol, block {block}, home {}\n",
+        NodeId::new(0)
+    );
     for (r, note) in script {
         let before = engine.messages().total();
         let info = engine.step(r);
@@ -93,5 +96,9 @@ fn main() {
             holders.join(" ")
         );
     }
-    println!("total: {} messages, {}", engine.messages().total(), engine.events());
+    println!(
+        "total: {} messages, {}",
+        engine.messages().total(),
+        engine.events()
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
         "conventional",
         baseline.total_messages()
     );
-    for protocol in [Protocol::Conservative, Protocol::Basic, Protocol::Aggressive] {
+    for protocol in [
+        Protocol::Conservative,
+        Protocol::Basic,
+        Protocol::Aggressive,
+    ] {
         let result = DirectorySim::new(protocol, &config).run(&trace);
         println!(
             "{:<14} {:>6} messages ({:>4.1}% fewer), {} blocks classified migratory",

@@ -1,0 +1,110 @@
+//! Workspace-wide error umbrella.
+//!
+//! Each simulator crate reports its own typed error
+//! ([`SimError`](mcc_core::SimError) for the directory machine,
+//! [`SnoopError`](mcc_snoop::SnoopError) for the bus,
+//! [`ReadTraceError`](mcc_trace::ReadTraceError) for trace files,
+//! [`GeometryError`](mcc_cache::GeometryError) for cache shapes).
+//! [`MccError`] unifies them so an application driving several
+//! subsystems can use one error type end to end with `?`.
+
+use core::fmt;
+
+/// Any failure the workspace can report.
+#[derive(Debug)]
+pub enum MccError {
+    /// A directory-machine simulation failed: coherence violation,
+    /// retry exhaustion, livelock, or a bad node index.
+    Sim(mcc_core::SimError),
+    /// A snooping-bus simulation failed.
+    Snoop(mcc_snoop::SnoopError),
+    /// A trace file could not be read.
+    Trace(mcc_trace::ReadTraceError),
+    /// An invalid cache geometry was requested.
+    Geometry(mcc_cache::GeometryError),
+}
+
+impl fmt::Display for MccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MccError::Sim(e) => write!(f, "directory simulation failed: {e}"),
+            MccError::Snoop(e) => write!(f, "bus simulation failed: {e}"),
+            MccError::Trace(e) => write!(f, "trace read failed: {e}"),
+            MccError::Geometry(e) => write!(f, "invalid cache geometry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MccError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MccError::Sim(e) => Some(e),
+            MccError::Snoop(e) => Some(e),
+            MccError::Trace(e) => Some(e),
+            MccError::Geometry(e) => Some(e),
+        }
+    }
+}
+
+impl From<mcc_core::SimError> for MccError {
+    fn from(e: mcc_core::SimError) -> Self {
+        MccError::Sim(e)
+    }
+}
+
+impl From<mcc_core::Violation> for MccError {
+    fn from(v: mcc_core::Violation) -> Self {
+        MccError::Sim(v.into())
+    }
+}
+
+impl From<mcc_snoop::SnoopError> for MccError {
+    fn from(e: mcc_snoop::SnoopError) -> Self {
+        MccError::Snoop(e)
+    }
+}
+
+impl From<mcc_snoop::SnoopViolation> for MccError {
+    fn from(v: mcc_snoop::SnoopViolation) -> Self {
+        MccError::Snoop(v.into())
+    }
+}
+
+impl From<mcc_trace::ReadTraceError> for MccError {
+    fn from(e: mcc_trace::ReadTraceError) -> Self {
+        MccError::Trace(e)
+    }
+}
+
+impl From<mcc_cache::GeometryError> for MccError {
+    fn from(e: mcc_cache::GeometryError) -> Self {
+        MccError::Geometry(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::NodeId;
+
+    #[test]
+    fn conversions_preserve_the_source_chain() {
+        let sim: MccError = mcc_core::SimError::NodeOutOfRange {
+            node: NodeId::new(9),
+            nodes: 4,
+        }
+        .into();
+        assert!(sim.to_string().contains("directory simulation failed"));
+        assert!(std::error::Error::source(&sim).is_some());
+
+        let snoop: MccError = mcc_snoop::SnoopError::NodeOutOfRange {
+            node: NodeId::new(9),
+            nodes: 4,
+        }
+        .into();
+        assert!(snoop.to_string().contains("bus simulation failed"));
+
+        let trace: MccError = mcc_trace::ReadTraceError::BadMagic.into();
+        assert!(trace.to_string().contains("trace read failed"));
+    }
+}

@@ -48,6 +48,10 @@
 
 #![forbid(unsafe_code)]
 
+mod error;
+
+pub use error::MccError;
+
 pub use mcc_cache as cache;
 pub use mcc_core as core;
 pub use mcc_execsim as execsim;

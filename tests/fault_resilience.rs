@@ -1,0 +1,199 @@
+//! Property tests for the unreliable-interconnect model.
+//!
+//! The central claim of the fault subsystem: on the trace-driven
+//! simulator, a faulted run with eventual delivery is *observationally
+//! equivalent* to a fault-free run. Retries repeat a transaction
+//! verbatim and only then is the normal message charge applied, so the
+//! delivered traffic, every protocol event, and every block
+//! classification must be bit-identical — faults may only add overhead
+//! (NACK/retry messages, backoff latency). `try_run` keeps a
+//! [`Monitor`](mcc::core::Monitor) sweeping the global coherence
+//! invariants throughout, so an `Ok` result also certifies that no
+//! invariant was violated at any sampled point.
+
+use mcc::core::{DirectorySim, DirectorySimConfig, EventCounts, FaultPlan, Protocol, SimError};
+use mcc::trace::{Addr, MemRef, NodeId, Trace};
+use mcc_prng::SplitMix64;
+
+const NODES: u16 = 8;
+
+/// A workload mixing the paper's sharing patterns: migratory
+/// read-modify-write hand-offs, read-shared data, and private blocks,
+/// with occasional conflict-miss pressure from a wide address sweep.
+fn mixed_trace(seed: u64) -> Trace {
+    let mut rng = SplitMix64::new(seed);
+    let mut trace = Trace::new();
+    for round in 0..2_000u64 {
+        let node = NodeId::new(rng.gen_range(0..NODES as u64) as u16);
+        match rng.gen_range(0..10) {
+            // Migratory: read-modify-write of a contended block.
+            0..=3 => {
+                let block = Addr::new(rng.gen_range(0..8) * 16);
+                trace.push(MemRef::read(node, block));
+                trace.push(MemRef::write(node, block));
+            }
+            // Read-shared: everyone reads, nobody writes.
+            4..=6 => {
+                let block = Addr::new(0x1000 + rng.gen_range(0..16) * 16);
+                trace.push(MemRef::read(node, block));
+            }
+            // Mostly-private with rare foreign writes.
+            7..=8 => {
+                let block = Addr::new(0x2000 + (node.index() as u64) * 64);
+                trace.push(MemRef::write(node, block));
+            }
+            // Cold sweep: fresh blocks forcing misses and evictions.
+            _ => {
+                let block = Addr::new(0x10000 + round * 16);
+                trace.push(MemRef::read(node, block));
+            }
+        }
+    }
+    trace
+}
+
+fn config() -> DirectorySimConfig {
+    DirectorySimConfig {
+        nodes: NODES,
+        ..DirectorySimConfig::default()
+    }
+}
+
+/// The faulted run's events with the fault-only counters cleared, for
+/// comparison against a fault-free run.
+fn modulo_fault_counters(mut events: EventCounts) -> EventCounts {
+    events.nacks = 0;
+    events.retries = 0;
+    events.backoff_units = 0;
+    events
+}
+
+#[test]
+fn eventual_delivery_preserves_delivered_traffic_events_and_classifications() {
+    let trace = mixed_trace(0xC0FFEE);
+    let cfg = config();
+    for protocol in Protocol::PAPER_SET {
+        let clean = DirectorySim::new(protocol, &cfg)
+            .try_run(&trace)
+            .expect("fault-free run upholds every invariant");
+        assert_eq!(clean.messages.overhead().total(), 0);
+        for ppm in [1_000, 20_000, 100_000] {
+            let faulted = DirectorySim::new(protocol, &cfg)
+                .with_faults(FaultPlan::uniform(0xFA17, ppm))
+                .try_run(&trace)
+                .unwrap_or_else(|e| panic!("{protocol} at {ppm} ppm: {e}"));
+            assert_eq!(
+                faulted.messages.delivered(),
+                clean.messages.delivered(),
+                "{protocol} at {ppm} ppm: delivered traffic changed"
+            );
+            assert_eq!(
+                modulo_fault_counters(faulted.events),
+                clean.events,
+                "{protocol} at {ppm} ppm: protocol events changed"
+            );
+            assert!(
+                faulted.messages.overhead().total() > 0,
+                "{protocol} at {ppm} ppm: faults produced no overhead"
+            );
+            assert!(faulted.events.retries > 0);
+            assert!(faulted.events.backoff_units > 0);
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let trace = mixed_trace(0xD0_0D);
+    let cfg = config();
+    let plan = FaultPlan::uniform(42, 50_000);
+    for protocol in Protocol::PAPER_SET {
+        let once = DirectorySim::new(protocol, &cfg)
+            .with_faults(plan)
+            .try_run(&trace)
+            .expect("faulted run");
+        let twice = DirectorySim::new(protocol, &cfg)
+            .with_faults(plan)
+            .try_run(&trace)
+            .expect("faulted run");
+        assert_eq!(once, twice, "{protocol}: same plan, different results");
+
+        let reseeded = DirectorySim::new(protocol, &cfg)
+            .with_faults(FaultPlan::uniform(43, 50_000))
+            .try_run(&trace)
+            .expect("faulted run");
+        assert_eq!(reseeded.messages.delivered(), once.messages.delivered());
+        assert_ne!(
+            reseeded.events.retries, once.events.retries,
+            "{protocol}: different seeds should fault different transactions"
+        );
+    }
+}
+
+#[test]
+fn reliable_plan_is_a_true_control_arm() {
+    let trace = mixed_trace(0x5EED);
+    let cfg = config();
+    for protocol in Protocol::PAPER_SET {
+        let bare = DirectorySim::new(protocol, &cfg).try_run(&trace).unwrap();
+        let reliable = DirectorySim::new(protocol, &cfg)
+            .with_faults(FaultPlan::reliable(7))
+            .try_run(&trace)
+            .unwrap();
+        assert_eq!(bare, reliable, "{protocol}: reliable plan changed the run");
+    }
+}
+
+#[test]
+fn adaptive_message_reduction_survives_faults() {
+    // The paper's headline (§6): adaptive protocols never deliver more
+    // messages than conventional. Faults must not erode that.
+    let trace = mixed_trace(0xAB1E);
+    let cfg = config();
+    for ppm in [0, 20_000, 100_000] {
+        let conventional = DirectorySim::new(Protocol::Conventional, &cfg)
+            .with_faults(FaultPlan::uniform(1, ppm))
+            .try_run(&trace)
+            .unwrap();
+        for protocol in [
+            Protocol::Conservative,
+            Protocol::Basic,
+            Protocol::Aggressive,
+        ] {
+            let adaptive = DirectorySim::new(protocol, &cfg)
+                .with_faults(FaultPlan::uniform(1, ppm))
+                .try_run(&trace)
+                .unwrap();
+            assert!(
+                adaptive.messages.delivered().total() <= conventional.messages.delivered().total(),
+                "{protocol} at {ppm} ppm delivered more than conventional"
+            );
+        }
+    }
+}
+
+#[test]
+fn retry_exhaustion_is_a_typed_error() {
+    // A fabric that drops every request can never complete a miss: the
+    // retry budget runs out and the run reports it — no panic.
+    let trace = mixed_trace(0xDEAD);
+    let plan = FaultPlan {
+        request: mcc::core::FaultRates {
+            drop_ppm: 1_000_000,
+            ..mcc::core::FaultRates::RELIABLE
+        },
+        ..FaultPlan::reliable(3)
+    };
+    let err = DirectorySim::new(Protocol::Aggressive, &config())
+        .with_faults(plan)
+        .try_run(&trace)
+        .expect_err("total request loss cannot make progress");
+    match err {
+        SimError::RetryExhausted { attempts, .. } => {
+            // The initial try plus every budgeted retry.
+            assert_eq!(attempts, plan.max_retries + 1);
+        }
+        SimError::Livelock { .. } => {}
+        other => panic!("expected retry exhaustion, got {other}"),
+    }
+}

@@ -15,11 +15,46 @@ use mcc::workloads::{Workload, WorkloadParams};
 fn pinned_message_totals() {
     // (workload, trace refs, conventional, conservative, basic, aggressive)
     let golden: &[(Workload, usize, u64, u64, u64, u64)] = &[
-        (Workload::Cholesky, 1_815_680, 3_097_918, 1_800_938, 1_701_514, 1_554_422),
-        (Workload::LocusRoute, 383_616, 537_802, 464_728, 458_622, 442_730),
-        (Workload::Mp3d, 2_067_716, 4_251_636, 2_442_808, 2_316_678, 2_127_486),
-        (Workload::Pthor, 891_840, 2_876_012, 2_469_152, 2_412_704, 2_368_130),
-        (Workload::Water, 1_331_840, 2_353_920, 1_429_530, 1_347_222, 1_300_742),
+        (
+            Workload::Cholesky,
+            1_815_680,
+            3_089_550,
+            1_794_314,
+            1_695_922,
+            1_549_900,
+        ),
+        (
+            Workload::LocusRoute,
+            383_616,
+            536_960,
+            463_802,
+            457_710,
+            442_830,
+        ),
+        (
+            Workload::Mp3d,
+            2_067_716,
+            4_252_912,
+            2_444_256,
+            2_317_814,
+            2_128_116,
+        ),
+        (
+            Workload::Pthor,
+            891_840,
+            2_876_060,
+            2_471_034,
+            2_413_880,
+            2_369_136,
+        ),
+        (
+            Workload::Water,
+            1_331_840,
+            2_346_136,
+            1_426_746,
+            1_344_348,
+            1_296_398,
+        ),
     ];
 
     let cfg = DirectorySimConfig::default();
@@ -29,7 +64,9 @@ fn pinned_message_totals() {
         assert_eq!(trace.len(), refs, "{app}: trace length drifted");
         let expected = [conv, cons, basic, aggr];
         for (protocol, want) in Protocol::PAPER_SET.into_iter().zip(expected) {
-            let got = DirectorySim::new(protocol, &cfg).run(&trace).total_messages();
+            let got = DirectorySim::new(protocol, &cfg)
+                .run(&trace)
+                .total_messages();
             assert_eq!(
                 got, want,
                 "{app}/{protocol}: total messages drifted (update via golden_dump \

@@ -1,11 +1,11 @@
 //! Smoke tests over the experiment harness and the trace file format.
 
+use mcc::trace::{BlockSize, Trace};
+use mcc::workloads::{Workload, WorkloadParams};
 use mcc_bench::{
     block_size_sweep, bus_sweep, cache_size_sweep, cost_ratio_table, exec_time_comparison,
     policy_ablation, render_message_rows, Scenario,
 };
-use mcc::trace::{BlockSize, Trace};
-use mcc::workloads::{Workload, WorkloadParams};
 
 fn tiny() -> Scenario {
     Scenario {
@@ -20,7 +20,11 @@ fn table2_section_renders_all_apps_and_protocols() {
     assert_eq!(rows.len(), 5);
     for row in &rows {
         assert_eq!(row.results.len(), 4);
-        assert!(row.pct(3) >= row.pct(1) - 1.0, "{}: aggressive below conservative", row.app);
+        assert!(
+            row.pct(3) >= row.pct(1) - 1.0,
+            "{}: aggressive below conservative",
+            row.app
+        );
     }
     let table = render_message_rows("64 Kbyte caches", &rows);
     let text = table.to_text();
@@ -55,20 +59,32 @@ fn exec_time_comparison_produces_speedups() {
         );
     }
     // The communication-bound apps gain visibly.
-    let mp3d = comparisons.iter().find(|c| c.app == Workload::Mp3d).unwrap();
+    let mp3d = comparisons
+        .iter()
+        .find(|c| c.app == Workload::Mp3d)
+        .unwrap();
     assert!(mp3d.time_reduction() > 2.0);
 }
 
 #[test]
 fn bus_sweep_produces_consistent_stats() {
     for cmp in bus_sweep(None, &tiny()) {
-        assert!(cmp.adaptive.transactions() <= cmp.mesi.transactions() + cmp.mesi.transactions() / 50,
-            "{}: adaptive bus transactions far above MESI", cmp.app);
+        assert!(
+            cmp.adaptive.transactions() <= cmp.mesi.transactions() + cmp.mesi.transactions() / 50,
+            "{}: adaptive bus transactions far above MESI",
+            cmp.app
+        );
         assert_eq!(
-            cmp.mesi.read_hits + cmp.mesi.read_misses + cmp.mesi.silent_write_hits
-                + cmp.mesi.write_misses + cmp.mesi.invalidations,
-            cmp.adaptive.read_hits + cmp.adaptive.read_misses + cmp.adaptive.silent_write_hits
-                + cmp.adaptive.write_misses + cmp.adaptive.invalidations,
+            cmp.mesi.read_hits
+                + cmp.mesi.read_misses
+                + cmp.mesi.silent_write_hits
+                + cmp.mesi.write_misses
+                + cmp.mesi.invalidations,
+            cmp.adaptive.read_hits
+                + cmp.adaptive.read_misses
+                + cmp.adaptive.silent_write_hits
+                + cmp.adaptive.write_misses
+                + cmp.adaptive.invalidations,
             "{}: reference accounting differs between protocols",
             cmp.app
         );
@@ -98,7 +114,10 @@ fn policy_ablation_covers_the_axis_grid() {
                 .any(|(l, a, p)| *l == twin && a == app && (p - pct).abs() > 0.05)
         }
     });
-    assert!(differs, "remember-when-uncached had no effect even with finite caches");
+    assert!(
+        differs,
+        "remember-when-uncached had no effect even with finite caches"
+    );
     assert!(results.iter().all(|(_, _, pct)| pct.is_finite()));
 }
 

@@ -31,8 +31,14 @@ fn both_machines_prefer_adaptivity_on_migratory_apps() {
             adaptive.cost(BusCostModel::Unit) as f64,
         );
 
-        assert!(dir_reduction > 20.0, "{app}: directory reduction {dir_reduction:.1}%");
-        assert!(bus_reduction > 20.0, "{app}: bus reduction {bus_reduction:.1}%");
+        assert!(
+            dir_reduction > 20.0,
+            "{app}: directory reduction {dir_reduction:.1}%"
+        );
+        assert!(
+            bus_reduction > 20.0,
+            "{app}: bus reduction {bus_reduction:.1}%"
+        );
         // "The two classes of protocol behave similarly."
         assert!(
             (dir_reduction - bus_reduction).abs() < 25.0,
@@ -59,7 +65,10 @@ fn bus_model_2_reduction_is_smaller_than_model_1() {
             mesi.cost(BusCostModel::ReplyWeighted) as f64,
             adaptive.cost(BusCostModel::ReplyWeighted) as f64,
         );
-        assert!(m2 < m1, "{app}: model 2 ({m2:.1}%) should be below model 1 ({m1:.1}%)");
+        assert!(
+            m2 < m1,
+            "{app}: model 2 ({m2:.1}%) should be below model 1 ({m1:.1}%)"
+        );
         assert!(m2 > 0.0, "{app}: model 2 savings vanished");
     }
 }
@@ -137,32 +146,37 @@ mod cross_validation {
     use mcc::core::DirectoryEngine;
     use mcc::placement::PagePlacement;
     use mcc::trace::{BlockSize, MemOp};
-    use proptest::prelude::*;
+    use mcc_prng::SplitMix64;
 
-    fn arb_trace() -> impl Strategy<Value = Trace> {
-        prop::collection::vec((0u16..4, prop::bool::ANY, 0u64..64), 1..300).prop_map(|refs| {
-            refs.into_iter()
-                .map(|(node, write, word)| {
-                    let op = if write { MemOp::Write } else { MemOp::Read };
-                    mcc::trace::MemRef::new(NodeId::new(node), op, Addr::new(word * 8))
-                })
-                .collect()
-        })
+    fn random_trace(rng: &mut SplitMix64) -> Trace {
+        let len = rng.gen_range(1..300);
+        (0..len)
+            .map(|_| {
+                let node = rng.gen_range(0..4) as u16;
+                let write = rng.gen_range(0..2) == 1;
+                let word = rng.gen_range(0..64);
+                let op = if write { MemOp::Write } else { MemOp::Read };
+                mcc::trace::MemRef::new(NodeId::new(node), op, Addr::new(word * 8))
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// MESI on a bus and the conventional directory protocol are
-        /// both plain write-invalidate: with identical caches they must
-        /// produce *identical* hit/miss/invalidation behaviour — only
-        /// the cost accounting differs. This cross-validates the two
-        /// independently written engines against each other.
-        #[test]
-        fn mesi_and_conventional_directory_agree_on_cache_behaviour(trace in arb_trace()) {
+    /// MESI on a bus and the conventional directory protocol are both
+    /// plain write-invalidate: with identical caches they must produce
+    /// *identical* hit/miss/invalidation behaviour — only the cost
+    /// accounting differs. This cross-validates the two independently
+    /// written engines against each other.
+    #[test]
+    fn mesi_and_conventional_directory_agree_on_cache_behaviour() {
+        for case in 0..48u64 {
+            let trace = random_trace(&mut SplitMix64::new(0xC805 + case));
             let tiny = CacheGeometry::new(64, BlockSize::B16, 2).unwrap();
             for cache in [CacheConfig::Infinite, CacheConfig::Finite(tiny)] {
-                let bus_cfg = BusSimConfig { nodes: 4, block_size: BlockSize::B16, cache };
+                let bus_cfg = BusSimConfig {
+                    nodes: 4,
+                    block_size: BlockSize::B16,
+                    cache,
+                };
                 let mut bus = BusSim::new(SnoopProtocol::Mesi, &bus_cfg);
                 let dir_cfg = DirectorySimConfig {
                     nodes: 4,
@@ -171,31 +185,45 @@ mod cross_validation {
                     placement: PlacementPolicy::RoundRobin,
                     ..DirectorySimConfig::default()
                 };
-                let mut dir =
-                    DirectoryEngine::new(Protocol::Conventional, &dir_cfg, PagePlacement::round_robin(4));
+                let mut dir = DirectoryEngine::new(
+                    Protocol::Conventional,
+                    &dir_cfg,
+                    PagePlacement::round_robin(4),
+                );
                 for r in trace.iter() {
                     bus.step(*r);
                     dir.step(*r);
                 }
                 let bus_stats = bus.finish();
                 let dir_events = dir.events();
-                prop_assert_eq!(bus_stats.read_hits, dir_events.read_hits, "read hits");
-                prop_assert_eq!(bus_stats.read_misses, dir_events.read_misses, "read misses");
-                prop_assert_eq!(bus_stats.write_misses, dir_events.write_misses, "write misses");
+                assert_eq!(
+                    bus_stats.read_hits, dir_events.read_hits,
+                    "read hits, case {case}"
+                );
+                assert_eq!(
+                    bus_stats.read_misses, dir_events.read_misses,
+                    "read misses, case {case}"
+                );
+                assert_eq!(
+                    bus_stats.write_misses, dir_events.write_misses,
+                    "write misses, case {case}"
+                );
                 // MESI upgrades E->D silently; the directory charges the
                 // home but the cache-state effect is the same, so shared
                 // upgrades (Bir) must match the directory's.
-                prop_assert_eq!(
-                    bus_stats.invalidations,
-                    dir_events.shared_upgrades,
-                    "shared-copy upgrades"
+                assert_eq!(
+                    bus_stats.invalidations, dir_events.shared_upgrades,
+                    "shared-copy upgrades, case {case}"
                 );
-                prop_assert_eq!(
+                assert_eq!(
                     bus_stats.silent_write_hits,
                     dir_events.silent_write_hits + dir_events.exclusive_upgrades,
-                    "write hits with a writable copy"
+                    "write hits with a writable copy, case {case}"
                 );
-                prop_assert_eq!(bus_stats.writebacks, dir_events.writebacks, "writebacks");
+                assert_eq!(
+                    bus_stats.writebacks, dir_events.writebacks,
+                    "writebacks, case {case}"
+                );
             }
         }
     }

@@ -188,7 +188,11 @@ fn pure_migratory_matches_aggressive_on_migratory_apps_only() {
     let pure = DirectorySim::new(Protocol::PureMigratory, &config).run(&trace);
     let diff = (pure.total_messages() as f64 - aggressive.total_messages() as f64).abs()
         / aggressive.total_messages() as f64;
-    assert!(diff < 0.15, "pure vs aggressive differ {:.1}% on Water", diff * 100.0);
+    assert!(
+        diff < 0.15,
+        "pure vs aggressive differ {:.1}% on Water",
+        diff * 100.0
+    );
 
     // On the read-mostly-heavy Locus Route, pure-migratory inflates read
     // misses relative to the adaptive protocol.

@@ -57,7 +57,10 @@ fn pthor_is_mixed() {
     .iter()
     .map(|&p| c.ref_fraction(p))
     .sum();
-    assert!(other > 0.05, "Pthor lost its non-migratory structure ({other:.3})");
+    assert!(
+        other > 0.05,
+        "Pthor lost its non-migratory structure ({other:.3})"
+    );
 }
 
 #[test]
@@ -96,14 +99,20 @@ fn classifier_agrees_with_protocol_behaviour() {
     let mp3d = Workload::Mp3d.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
     let r = DirectorySim::new(Protocol::Aggressive, &config).run(&mp3d);
     let migrate_share = r.events.migrations as f64 / r.events.read_misses as f64;
-    assert!(migrate_share > 0.8, "MP3D migrations/read-misses = {migrate_share:.2}");
+    assert!(
+        migrate_share > 0.8,
+        "MP3D migrations/read-misses = {migrate_share:.2}"
+    );
 
     let locus = Workload::LocusRoute.generate(&WorkloadParams::new(16).scale(0.05).seed(0));
     let r = DirectorySim::new(Protocol::Aggressive, &config).run(&locus);
     let locus_share = r.events.migrations as f64 / r.events.read_misses as f64;
     // Locus Route still migrates its route records and grid updates, but
     // far less of its miss stream than MP3D's.
-    assert!(locus_share < 0.8, "Locus migrations/read-misses = {locus_share:.2}");
+    assert!(
+        locus_share < 0.8,
+        "Locus migrations/read-misses = {locus_share:.2}"
+    );
     assert!(
         migrate_share > locus_share + 0.15,
         "MP3D ({migrate_share:.2}) should out-migrate Locus ({locus_share:.2})"
