@@ -13,6 +13,9 @@ pub struct Scenario {
     pub seed: u64,
     /// Emit CSV instead of aligned text.
     pub csv: bool,
+    /// Address shards for the parallel trace-driven engine (1 =
+    /// sequential).
+    pub shards: usize,
 }
 
 impl Default for Scenario {
@@ -22,6 +25,7 @@ impl Default for Scenario {
             scale: crate::DEFAULT_SCALE,
             seed: 0,
             csv: false,
+            shards: 1,
         }
     }
 }
@@ -43,13 +47,23 @@ impl Scenario {
                 "--nodes" => s.nodes = parse(bin, "--nodes", &value("--nodes")),
                 "--scale" => s.scale = parse(bin, "--scale", &value("--scale")),
                 "--seed" => s.seed = parse(bin, "--seed", &value("--seed")),
+                "--shards" => {
+                    s.shards = parse(bin, "--shards", &value("--shards"));
+                    if s.shards == 0 {
+                        eprintln!("{bin}: --shards must be at least 1");
+                        exit(2);
+                    }
+                }
                 "--csv" => s.csv = true,
                 "--help" | "-h" => {
                     println!(
-                        "{bin} — {what}\n\nUsage: {bin} [--nodes N] [--scale X] [--seed N] [--csv]\n\
+                        "{bin} — {what}\n\nUsage: {bin} [--nodes N] [--scale X] [--seed N] \
+                         [--shards K] [--csv]\n\
                          \n  --nodes N   simulated machine size (default 16)\
                          \n  --scale X   workload work multiplier (default {})\
                          \n  --seed N    workload RNG seed (default 0)\
+                         \n  --shards K  address shards for the parallel engine (default 1;\
+                         \n              requires infinite caches, results are bit-identical)\
                          \n  --csv       emit CSV instead of aligned text",
                         crate::DEFAULT_SCALE
                     );

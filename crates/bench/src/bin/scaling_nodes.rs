@@ -6,8 +6,8 @@
 //! hand-offs stay detectable) but also wider read-sharing fan-out, so
 //! the study answers whether the 16-node conclusions generalize.
 
-use mcc_bench::Scenario;
-use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc_bench::{run_protocol, Scenario};
+use mcc_core::{DirectorySimConfig, Protocol};
 use mcc_stats::{BarChart, Table};
 use mcc_workloads::{Workload, WorkloadParams};
 
@@ -28,8 +28,8 @@ fn main() {
                     .scale(scenario.scale)
                     .seed(scenario.seed),
             );
-            let conv = DirectorySim::new(Protocol::Conventional, &cfg).run(&trace);
-            let aggr = DirectorySim::new(Protocol::Aggressive, &cfg).run(&trace);
+            let conv = run_protocol(Protocol::Conventional, &cfg, &trace, scenario.shards);
+            let aggr = run_protocol(Protocol::Aggressive, &cfg, &trace, scenario.shards);
             pcts.push(aggr.percent_reduction_vs(&conv));
         }
         per_app.push((app, pcts));

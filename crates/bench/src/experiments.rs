@@ -33,6 +33,25 @@ impl MessageRow {
     }
 }
 
+/// Runs `protocol` over `trace`, routing through the address-sharded
+/// parallel engine when `shards > 1` and the configuration supports it
+/// (infinite caches). Finite-cache configurations silently fall back to
+/// the sequential engine — the results are identical either way, the
+/// sharded path is purely a wall-clock optimisation.
+pub fn run_protocol(
+    protocol: Protocol,
+    cfg: &DirectorySimConfig,
+    trace: &mcc_trace::Trace,
+    shards: usize,
+) -> SimResult {
+    let sim = DirectorySim::new(protocol, cfg);
+    if shards > 1 && cfg.cache == CacheConfig::Infinite {
+        sim.run_sharded(trace, shards)
+    } else {
+        sim.run(trace)
+    }
+}
+
 fn run_all_protocols(cfg: &DirectorySimConfig, scenario: &Scenario, app: Workload) -> MessageRow {
     let params = WorkloadParams::new(scenario.nodes)
         .scale(scenario.scale)
@@ -40,7 +59,7 @@ fn run_all_protocols(cfg: &DirectorySimConfig, scenario: &Scenario, app: Workloa
     let trace = app.generate(&params);
     let results = Protocol::PAPER_SET
         .iter()
-        .map(|&p| DirectorySim::new(p, cfg).run(&trace))
+        .map(|&p| run_protocol(p, cfg, &trace, scenario.shards))
         .collect();
     MessageRow { app, results }
 }

@@ -44,6 +44,28 @@ pub fn bench<T>(name: &str, elements: u64, mut f: impl FnMut() -> T) {
     }
 }
 
+/// Runs `f` once as warm-up and `samples` timed times, returning the
+/// median wall time in seconds. The programmatic sibling of [`bench`]
+/// for harness binaries that post-process timings (speedup tables)
+/// instead of printing them directly.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn measure<T>(samples: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(samples > 0, "sample count must be positive");
+    let _warmup = f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let _keep = f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
 fn format_secs(s: f64) -> String {
     if s < 1e-6 {
         format!("{:.1}ns", s * 1e9)
@@ -65,6 +87,20 @@ mod tests {
         let mut calls = 0u32;
         bench("counter", 0, || calls += 1);
         assert_eq!(calls, 1 + SAMPLES as u32);
+    }
+
+    #[test]
+    fn measure_runs_closure_samples_plus_warmup() {
+        let mut calls = 0u32;
+        let median = measure(5, || calls += 1);
+        assert_eq!(calls, 6);
+        assert!(median >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be positive")]
+    fn measure_rejects_zero_samples() {
+        let _ = measure(0, || ());
     }
 
     #[test]

@@ -161,6 +161,15 @@ pub enum SimError {
         /// Number of nodes in the configuration.
         nodes: u16,
     },
+    /// The configuration cannot run on the sharded parallel engine.
+    ///
+    /// Sharding assumes blocks never interact; finite set-associative
+    /// caches break that (an insertion may evict a block owned by
+    /// another shard), so sharded runs require infinite caches.
+    ShardingUnsupported {
+        /// Why the configuration cannot shard.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -191,6 +200,9 @@ impl fmt::Display for SimError {
                 f,
                 "reference by {node} but the configuration has {nodes} nodes"
             ),
+            SimError::ShardingUnsupported { reason } => {
+                write!(f, "configuration cannot run sharded: {reason}")
+            }
         }
     }
 }
@@ -263,6 +275,16 @@ mod tests {
             nodes: 16,
         };
         assert!(e.to_string().contains("16 nodes"));
+    }
+
+    #[test]
+    fn sharding_unsupported_display_names_the_reason() {
+        let e = SimError::ShardingUnsupported {
+            reason: "finite caches couple blocks through eviction",
+        };
+        let s = e.to_string();
+        assert!(s.contains("cannot run sharded"), "{s}");
+        assert!(s.contains("finite caches"), "{s}");
     }
 
     #[test]

@@ -155,6 +155,29 @@ impl FaultPlan {
     pub const fn is_reliable(&self) -> bool {
         self.request.is_reliable() && self.response.is_reliable() && self.invalidation.is_reliable()
     }
+
+    /// The plan a single shard of a sharded run draws from: identical
+    /// rates and limits, but a fresh seed derived deterministically from
+    /// `(self.seed, shard_id)`.
+    ///
+    /// Each shard needs its own stream — replaying the sequential stream
+    /// on every shard would correlate faults across shards, and handing
+    /// shards slices of one stream would make a shard's draws depend on
+    /// how many transactions *other* shards issued. Mixing the shard id
+    /// through one SplitMix64 step gives independent, well-separated
+    /// streams while keeping a K-shard run bit-reproducible run-to-run.
+    /// Shard 0 of a 1-shard run intentionally does *not* reuse the base
+    /// seed verbatim, so overhead counters are comparable across K for a
+    /// fixed K only.
+    pub fn for_shard(&self, shard_id: u32) -> FaultPlan {
+        let stream = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(shard_id) + 1));
+        FaultPlan {
+            seed: SplitMix64::new(stream).next_u64(),
+            ..*self
+        }
+    }
 }
 
 /// Exponential backoff schedule: attempt `k` (0-based retry index)
@@ -441,6 +464,30 @@ mod tests {
         assert_eq!(backoff_units(10), 1024);
         assert_eq!(backoff_units(11), 1024);
         assert_eq!(backoff_units(u32::MAX), 1024);
+    }
+
+    #[test]
+    fn shard_plans_are_deterministic_distinct_and_rate_preserving() {
+        let base = FaultPlan::uniform(42, 10_000);
+        let a = base.for_shard(0);
+        assert_eq!(a, base.for_shard(0), "same (seed, shard) must re-derive");
+        let seeds: Vec<u64> = (0..8).map(|i| base.for_shard(i).seed).collect();
+        for (i, &s) in seeds.iter().enumerate() {
+            assert_ne!(s, base.seed, "shard {i} must not reuse the base stream");
+            for &t in &seeds[..i] {
+                assert_ne!(s, t, "shard seeds must be pairwise distinct");
+            }
+        }
+        // Only the seed changes: rates and limits carry over.
+        assert_eq!(a.request, base.request);
+        assert_eq!(a.invalidation, base.invalidation);
+        assert_eq!(a.max_retries, base.max_retries);
+        assert_eq!(a.max_total_backoff, base.max_total_backoff);
+        // Different base seeds give different shard streams.
+        assert_ne!(
+            FaultPlan::uniform(1, 0).for_shard(3).seed,
+            FaultPlan::uniform(2, 0).for_shard(3).seed
+        );
     }
 
     #[test]

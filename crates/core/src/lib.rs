@@ -22,7 +22,9 @@
 //! * [`charge`] / [`charge_eviction`] — the Table 1 / §3.3 inter-node
 //!   message cost model;
 //! * [`DirectorySim`] / [`DirectoryEngine`] — the trace-driven CC-NUMA
-//!   memory-system simulator with a built-in coherence checker.
+//!   memory-system simulator with a built-in coherence checker, plus an
+//!   address-sharded parallel path ([`DirectorySim::run_sharded`]) that
+//!   reproduces the sequential result bit-exactly.
 //!
 //! # Examples
 //!
@@ -61,6 +63,7 @@ mod policy;
 mod repr;
 mod result;
 mod sim;
+mod sim_parallel;
 mod storage;
 
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};

@@ -10,7 +10,7 @@ use crate::policy::Protocol;
 ///
 /// The paper's tables report two totals (messages with and without data);
 /// the per-cause split here supports the ablation studies and debugging.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct MessageBreakdown {
     /// Messages caused by read misses (including migrations).
     pub read_miss: MessageCount,
@@ -91,7 +91,7 @@ impl fmt::Display for MessageBreakdown {
 }
 
 /// Counts of the protocol-visible events a simulation observed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct EventCounts {
     /// Reads that hit a valid local copy.
     pub read_hits: u64,
@@ -222,7 +222,10 @@ impl fmt::Display for EventCounts {
 }
 
 /// The outcome of one trace-driven directory simulation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` is derived so the determinism tests can fingerprint a whole
+/// result in one value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SimResult {
     /// The protocol simulated.
     pub protocol: Protocol,
@@ -233,6 +236,16 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// A result with every counter at zero — the identity of the
+    /// sharded-run merge.
+    pub fn empty(protocol: Protocol) -> SimResult {
+        SimResult {
+            protocol,
+            messages: MessageBreakdown::default(),
+            events: EventCounts::default(),
+        }
+    }
+
     /// Combined message count (both classes, all causes).
     pub fn message_count(&self) -> MessageCount {
         self.messages.combined()
@@ -253,6 +266,37 @@ impl SimResult {
         } else {
             100.0 * (base as f64 - self.total_messages() as f64) / base as f64
         }
+    }
+}
+
+impl Add for SimResult {
+    type Output = SimResult;
+
+    /// Merges two partial results of the same protocol — the shard fold
+    /// of the parallel engine. Counter addition is associative and
+    /// commutative, but the engine folds shards in index order anyway so
+    /// any future non-commutative field cannot silently reorder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocols differ: summing results across protocols
+    /// is always a bug.
+    fn add(self, rhs: SimResult) -> SimResult {
+        assert_eq!(
+            self.protocol, rhs.protocol,
+            "cannot merge results of different protocols"
+        );
+        SimResult {
+            protocol: self.protocol,
+            messages: self.messages + rhs.messages,
+            events: self.events + rhs.events,
+        }
+    }
+}
+
+impl AddAssign for SimResult {
+    fn add_assign(&mut self, rhs: SimResult) {
+        *self = *self + rhs;
     }
 }
 
@@ -364,6 +408,36 @@ mod tests {
         e.backoff_units = 100;
         assert_eq!(e.refs(), refs);
         assert!(e.to_string().contains("7 nacks"));
+    }
+
+    #[test]
+    fn empty_result_is_the_merge_identity() {
+        let r = sample();
+        let zero = SimResult::empty(r.protocol);
+        assert_eq!(zero.total_messages(), 0);
+        assert_eq!(zero + r, r);
+        assert_eq!(r + zero, r);
+    }
+
+    #[test]
+    fn result_merge_sums_every_counter() {
+        let r = sample();
+        let mut sum = SimResult::empty(r.protocol);
+        sum += r;
+        sum += r;
+        assert_eq!(sum.total_messages(), 2 * r.total_messages());
+        assert_eq!(sum.events.refs(), 2 * r.events.refs());
+        assert_eq!(sum.protocol, r.protocol);
+    }
+
+    #[test]
+    #[should_panic(expected = "different protocols")]
+    fn result_merge_rejects_mixed_protocols() {
+        let mut a = sample();
+        let mut b = sample();
+        a.protocol = Protocol::Basic;
+        b.protocol = Protocol::Conventional;
+        let _ = a + b;
     }
 
     #[test]

@@ -198,9 +198,9 @@ pub struct StepInfo {
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct DirectorySim {
-    protocol: Protocol,
-    config: DirectorySimConfig,
-    faults: Option<FaultPlan>,
+    pub(crate) protocol: Protocol,
+    pub(crate) config: DirectorySimConfig,
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl DirectorySim {

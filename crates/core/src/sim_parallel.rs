@@ -1,0 +1,314 @@
+//! The address-sharded parallel execution path of [`DirectorySim`].
+//!
+//! Directory coherence state is keyed by block: the caches, the
+//! directory, the version tables, and every message/event counter are
+//! all charged per block, and with infinite caches no reference to one
+//! block can touch another block's state. The address space can
+//! therefore be split into K shards by a fixed hash of the block index
+//! ([`shard_of_block`](mcc_trace::shard_of_block)), the trace partitioned into per-shard
+//! sub-traces that preserve global reference order within each shard,
+//! and each shard replayed on its own [`DirectoryEngine`] on its own
+//! thread. Summing the per-shard [`SimResult`]s reproduces the
+//! sequential result **bit-exactly** — the `parallel_equivalence`
+//! integration tests hold the engine to that claim.
+//!
+//! Three details make the decomposition exact rather than approximate:
+//!
+//! * **Placement is resolved once, from the full trace.** Profiled and
+//!   first-touch placements are trace-derived; profiling each sub-trace
+//!   separately could home pages differently than the sequential run.
+//!   Each shard engine receives a clone of the same placement.
+//! * **Finite caches are rejected.** Set-associative eviction lets an
+//!   insertion of one block evict another, coupling blocks that the
+//!   shard function may have separated. Sharded runs therefore require
+//!   [`CacheConfig::Infinite`] and return
+//!   [`SimError::ShardingUnsupported`] otherwise.
+//! * **Fault streams are derived per shard.** Each shard draws from its
+//!   own PRNG stream, seeded deterministically from
+//!   `(plan.seed, shard_id)` by [`FaultPlan::for_shard`], so a K-shard
+//!   faulted run is bit-reproducible run-to-run regardless of thread
+//!   scheduling. (Faulted *overhead* counters differ from the
+//!   sequential run's — the draws come in different orders — but
+//!   delivered traffic and every protocol event still match exactly,
+//!   because eventual delivery charges the same Table 1 costs.)
+//!
+//! Merging is a fold over shards in index order, starting from
+//! [`SimResult::empty`]: thread completion order never influences the
+//! output, and when several shards fail, the error of the
+//! lowest-indexed shard is reported deterministically.
+
+use std::thread;
+
+use mcc_cache::CacheConfig;
+use mcc_placement::PagePlacement;
+use mcc_trace::Trace;
+
+use crate::error::SimError;
+use crate::monitor::Monitor;
+use crate::result::SimResult;
+use crate::sim::{DirectoryEngine, DirectorySim, PlacementPolicy};
+
+#[cfg(doc)]
+use crate::faults::FaultPlan;
+
+impl DirectorySim {
+    /// Runs the trace on `shards` parallel engines partitioned by block
+    /// address, producing exactly the result [`DirectorySim::run`]
+    /// would.
+    ///
+    /// `shards == 1` still routes through the partition-and-merge
+    /// machinery (on the calling thread's scope), which keeps the two
+    /// code paths honest against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, on anything [`DirectorySim::run`]
+    /// panics on, and if the configuration cannot shard (finite
+    /// caches). Use [`DirectorySim::try_run_sharded`] to observe
+    /// failures as values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+    /// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+    ///
+    /// let mut t = Trace::new();
+    /// for i in 0..256u64 {
+    ///     t.push(MemRef::write(NodeId::new((i % 4) as u16), Addr::new(i * 16)));
+    /// }
+    /// let sim = DirectorySim::new(Protocol::Basic, &DirectorySimConfig::default());
+    /// assert_eq!(sim.run_sharded(&t, 4), sim.run(&t));
+    /// ```
+    pub fn run_sharded(&self, trace: &Trace, shards: usize) -> SimResult {
+        self.sharded(trace, shards, false)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`DirectorySim::run_sharded`], but reports failures as a
+    /// structured [`SimError`] and monitors global invariants
+    /// throughout each shard's run, mirroring [`DirectorySim::try_run`].
+    ///
+    /// When several shards fail, the lowest-indexed shard's error is
+    /// returned — never whichever thread happened to finish first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn try_run_sharded(&self, trace: &Trace, shards: usize) -> Result<SimResult, SimError> {
+        self.sharded(trace, shards, true)
+    }
+
+    fn sharded(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        monitored: bool,
+    ) -> Result<SimResult, SimError> {
+        assert!(shards > 0, "shard count must be positive");
+        if self.config.cache != CacheConfig::Infinite {
+            return Err(SimError::ShardingUnsupported {
+                reason: "finite caches couple blocks through set eviction; \
+                         sharded runs require CacheConfig::Infinite",
+            });
+        }
+
+        // Placement must come from the FULL trace: profiling a sub-trace
+        // could home pages differently than the sequential run would.
+        let placement = match self.config.placement {
+            PlacementPolicy::RoundRobin => PagePlacement::round_robin(self.config.nodes),
+            PlacementPolicy::FirstTouch => PagePlacement::first_touch(trace, self.config.nodes),
+            PlacementPolicy::Profiled => PagePlacement::profiled(trace, self.config.nodes),
+        };
+
+        let sub = trace.partition_by_block(self.config.block_size, shards);
+        let outcomes: Vec<Result<SimResult, SimError>> = thread::scope(|scope| {
+            let handles: Vec<_> = sub
+                .iter()
+                .enumerate()
+                .map(|(id, shard_trace)| {
+                    let placement = placement.clone();
+                    let sim = *self;
+                    scope.spawn(move || sim.run_shard(shard_trace, placement, id as u32, monitored))
+                })
+                .collect();
+            // Joining in spawn order (not completion order) fixes the
+            // fold order, so the merge — and the chosen error, if any —
+            // is independent of thread scheduling.
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        });
+
+        let mut merged = SimResult::empty(self.protocol);
+        for outcome in outcomes {
+            merged += outcome?;
+        }
+        Ok(merged)
+    }
+
+    fn run_shard(
+        &self,
+        shard_trace: &Trace,
+        placement: PagePlacement,
+        shard_id: u32,
+        monitored: bool,
+    ) -> Result<SimResult, SimError> {
+        let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
+        if let Some(plan) = self.faults {
+            engine = engine.with_faults(plan.for_shard(shard_id));
+        }
+        let mut monitor = monitored.then(|| Monitor::for_run_length(shard_trace.len() as u64));
+        for r in shard_trace.iter() {
+            engine.try_step(*r)?;
+            if let Some(m) = monitor.as_mut() {
+                m.after_step(&engine)?;
+            }
+        }
+        if monitored {
+            engine.verify()?;
+        }
+        Ok(engine.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mcc_cache::{CacheConfig, CacheGeometry};
+    use mcc_trace::{Addr, BlockSize, MemRef, NodeId, Trace};
+
+    use crate::error::SimError;
+    use crate::faults::FaultPlan;
+    use crate::policy::Protocol;
+    use crate::sim::{DirectorySim, DirectorySimConfig};
+
+    /// A few nodes passing a handful of blocks around: enough migratory
+    /// and shared behaviour to exercise every protocol path.
+    fn mixed_trace() -> Trace {
+        let mut t = Trace::new();
+        for round in 0..50u64 {
+            for obj in 0..16u64 {
+                let node = NodeId::new(((round + obj) % 8) as u16);
+                let addr = Addr::new(obj * 64);
+                t.push(MemRef::read(node, addr));
+                t.push(MemRef::read(node, addr));
+                t.push(MemRef::write(node, addr));
+            }
+            // One widely shared block, read by everyone.
+            for n in 0..8u16 {
+                t.push(MemRef::read(NodeId::new(n), Addr::new(0x4000)));
+            }
+        }
+        t
+    }
+
+    fn config() -> DirectorySimConfig {
+        DirectorySimConfig {
+            nodes: 8,
+            ..DirectorySimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_every_protocol() {
+        let trace = mixed_trace();
+        for protocol in Protocol::PAPER_SET {
+            let sim = DirectorySim::new(protocol, &config());
+            let sequential = sim.run(&trace);
+            for shards in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    sim.run_sharded(&trace, shards),
+                    sequential,
+                    "{protocol}/{shards} shards diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_sharded_matches_try_run() {
+        let trace = mixed_trace();
+        let sim = DirectorySim::new(Protocol::Aggressive, &config());
+        assert_eq!(
+            sim.try_run_sharded(&trace, 4).unwrap(),
+            sim.try_run(&trace).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_trace_shards_to_an_empty_result() {
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let r = sim.run_sharded(&Trace::new(), 8);
+        assert_eq!(r.total_messages(), 0);
+        assert_eq!(r.events.refs(), 0);
+        assert_eq!(r.protocol, Protocol::Basic);
+    }
+
+    #[test]
+    fn finite_caches_cannot_shard() {
+        let cfg = DirectorySimConfig {
+            cache: CacheConfig::Finite(CacheGeometry::new(4 * 1024, BlockSize::B16, 4).unwrap()),
+            ..config()
+        };
+        let sim = DirectorySim::new(Protocol::Basic, &cfg);
+        match sim.try_run_sharded(&mixed_trace(), 2) {
+            Err(SimError::ShardingUnsupported { reason }) => {
+                assert!(reason.contains("Infinite"), "{reason}");
+            }
+            other => panic!("expected ShardingUnsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected() {
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let _ = sim.run_sharded(&Trace::new(), 0);
+    }
+
+    #[test]
+    fn out_of_range_node_reported_from_any_shard() {
+        let mut trace = mixed_trace();
+        trace.push(MemRef::read(NodeId::new(200), Addr::new(0x9000)));
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        match sim.try_run_sharded(&trace, 4) {
+            Err(SimError::NodeOutOfRange { node, nodes }) => {
+                assert_eq!(node, NodeId::new(200));
+                assert_eq!(nodes, 8);
+            }
+            other => panic!("expected NodeOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_sharded_runs_are_reproducible() {
+        let trace = mixed_trace();
+        let sim = DirectorySim::new(Protocol::Basic, &config())
+            .with_faults(FaultPlan::uniform(7, 50_000));
+        let first = sim.try_run_sharded(&trace, 4).unwrap();
+        for _ in 0..3 {
+            assert_eq!(sim.try_run_sharded(&trace, 4).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn faulted_sharded_delivers_the_sequential_protocol_traffic() {
+        let trace = mixed_trace();
+        let cfg = config();
+        for protocol in Protocol::PAPER_SET {
+            let reliable = DirectorySim::new(protocol, &cfg).run(&trace);
+            let faulted = DirectorySim::new(protocol, &cfg)
+                .with_faults(FaultPlan::uniform(11, 50_000))
+                .try_run_sharded(&trace, 4)
+                .unwrap();
+            assert_eq!(faulted.messages.delivered(), reliable.messages.delivered());
+            // Protocol events must match except the fault-overhead trio.
+            let mut scrubbed = faulted;
+            scrubbed.events.nacks = 0;
+            scrubbed.events.retries = 0;
+            scrubbed.events.backoff_units = 0;
+            assert_eq!(scrubbed.events, reliable.events);
+        }
+    }
+}

@@ -141,6 +141,13 @@ pub struct ExecSimConfig {
     /// Injected interconnect faults, if any. Faulted retries charge
     /// [`LatencyModel::backoff_unit`] stall cycles per backoff unit.
     pub faults: Option<FaultPlan>,
+    /// Number of address shards stall cycles are attributed to in
+    /// [`ExecResult::per_shard_stall_cycles`], using the same
+    /// [`shard_of_block`](mcc_trace::shard_of_block) function as the
+    /// parallel trace-driven engine. Purely an accounting view — the
+    /// timing simulation itself is unaffected. Values below 1 are
+    /// treated as 1.
+    pub stall_shards: usize,
 }
 
 impl Default for ExecSimConfig {
@@ -157,6 +164,7 @@ impl Default for ExecSimConfig {
             latency: LatencyModel::default(),
             topology: Topology::Uniform,
             faults: None,
+            stall_shards: 1,
         }
     }
 }
@@ -268,6 +276,11 @@ pub struct ExecResult {
     pub per_node_cycles: Vec<u64>,
     /// Cycles processors spent stalled on coherence operations.
     pub stall_cycles: u64,
+    /// Stall cycles attributed to each address shard (length
+    /// [`ExecSimConfig::stall_shards`]); sums to `stall_cycles`. Shows
+    /// which slice of the address space a sharded trace-driven run
+    /// would spend its time on.
+    pub per_shard_stall_cycles: Vec<u64>,
     /// Cycles spent queueing for busy home memory controllers (a
     /// contention measure; the paper observes the adaptive protocol
     /// nearly eliminates this for read misses).
@@ -392,12 +405,14 @@ impl ExecSim {
             per_node.into_iter().map(Trace::into_iter).collect()
         };
 
+        let stall_shards = self.config.stall_shards.max(1);
         let mut controller_free = vec![0u64; nodes];
         let mut result = ExecResult {
             protocol: self.protocol,
             cycles: 0,
             per_node_cycles: vec![0; nodes],
             stall_cycles: 0,
+            per_shard_stall_cycles: vec![0; stall_shards],
             contention_cycles: 0,
             backoff_cycles: 0,
             read_misses: 0,
@@ -423,6 +438,8 @@ impl ExecSim {
             if let Some(m) = monitor.as_mut() {
                 m.after_step(&engine)?;
             }
+            let shard =
+                mcc_trace::shard_of_block(r.addr.block(self.config.block_size), stall_shards);
             let mut latency = lat.cache_hit;
             if !info.kind.is_local() {
                 // The operation travels to the home (and possibly
@@ -445,6 +462,7 @@ impl ExecSim {
                 latency += queued;
                 result.contention_cycles += queued;
                 result.stall_cycles += latency - lat.cache_hit;
+                result.per_shard_stall_cycles[shard] += latency - lat.cache_hit;
             }
             // Backed-off retries stall the requester before the
             // transaction finally goes through.
@@ -452,6 +470,7 @@ impl ExecSim {
             latency += backoff;
             result.backoff_cycles += backoff;
             result.stall_cycles += backoff;
+            result.per_shard_stall_cycles[shard] += backoff;
             if matches!(
                 info.kind,
                 StepKind::ReadMissReplicate | StepKind::ReadMissMigrate
@@ -632,6 +651,70 @@ mod tests {
         let conv = ExecSim::new(Protocol::Conventional, &cfg).run(&trace);
         let basic = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
         assert!(basic.cycles < conv.cycles);
+    }
+
+    #[test]
+    fn per_shard_stalls_sum_to_the_total() {
+        let trace = migratory_trace(8, 64, 10);
+        for stall_shards in [1usize, 4, 8] {
+            let cfg = ExecSimConfig {
+                stall_shards,
+                ..config(8)
+            };
+            let r = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
+            assert_eq!(r.per_shard_stall_cycles.len(), stall_shards);
+            assert_eq!(
+                r.per_shard_stall_cycles.iter().sum::<u64>(),
+                r.stall_cycles,
+                "{stall_shards} shards: attribution must be exact"
+            );
+            assert!(r.stall_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn shard_attribution_does_not_change_the_timing() {
+        let trace = migratory_trace(8, 64, 10);
+        let one = ExecSim::new(Protocol::Basic, &config(8)).run(&trace);
+        let eight = ExecSim::new(
+            Protocol::Basic,
+            &ExecSimConfig {
+                stall_shards: 8,
+                ..config(8)
+            },
+        )
+        .run(&trace);
+        assert_eq!(one.cycles, eight.cycles);
+        assert_eq!(one.stall_cycles, eight.stall_cycles);
+        assert_eq!(one.messages, eight.messages);
+        assert_eq!(one.events, eight.events);
+        // With 64 hot blocks and 8 shards, every shard should see work.
+        assert!(eight.per_shard_stall_cycles.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn zero_stall_shards_clamps_to_one() {
+        let trace = migratory_trace(4, 16, 5);
+        let cfg = ExecSimConfig {
+            stall_shards: 0,
+            ..config(4)
+        };
+        let r = ExecSim::new(Protocol::Basic, &cfg).run(&trace);
+        assert_eq!(r.per_shard_stall_cycles.len(), 1);
+        assert_eq!(r.per_shard_stall_cycles[0], r.stall_cycles);
+    }
+
+    #[test]
+    fn faulted_backoff_is_attributed_to_shards() {
+        let trace = migratory_trace(4, 32, 10);
+        let cfg = ExecSimConfig {
+            faults: Some(FaultPlan::uniform(5, 50_000)),
+            stall_shards: 4,
+            ..config(4)
+        };
+        let r = ExecSim::new(Protocol::Basic, &cfg).try_run(&trace).unwrap();
+        assert!(r.backoff_cycles > 0);
+        assert_eq!(r.per_shard_stall_cycles.iter().sum::<u64>(), r.stall_cycles);
     }
 
     #[test]

@@ -55,6 +55,50 @@ pub fn thousands(count: u64) -> String {
     format!("{}", (count + 500) / 1000)
 }
 
+/// Speedup of `seconds` relative to `base_seconds`, as the scaling
+/// benchmark reports it. Greater than 1 means faster than the baseline.
+///
+/// Returns `0.0` when `seconds` is zero or negative (a degenerate
+/// measurement), so a broken timer reads as "no speedup" rather than
+/// infinity.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mcc_stats::speedup(8.0, 2.0), 4.0);
+/// assert_eq!(mcc_stats::speedup(8.0, 0.0), 0.0);
+/// ```
+pub fn speedup(base_seconds: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        base_seconds / seconds
+    }
+}
+
+/// Folds per-shard partial results into one total, in the order given —
+/// always left to right, index 0 first.
+///
+/// Counter addition is associative and commutative, so any order would
+/// produce the same sums today; fixing the fold order here means a
+/// future non-commutative merge (first-error selection, min/max
+/// tracking) inherits determinism instead of depending on thread
+/// completion order. Returns `None` for an empty input: the caller
+/// owns the identity element.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mcc_stats::merge_ordered(vec![1u64, 2, 3]), Some(6));
+/// assert_eq!(mcc_stats::merge_ordered(Vec::<u64>::new()), None);
+/// ```
+pub fn merge_ordered<T>(parts: impl IntoIterator<Item = T>) -> Option<T>
+where
+    T: core::ops::Add<Output = T>,
+{
+    parts.into_iter().reduce(|acc, part| acc + part)
+}
+
 /// A simple rectangular table with named columns.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Table {
@@ -221,6 +265,31 @@ mod tests {
         assert_eq!(thousands(499), "0");
         assert_eq!(thousands(500), "1");
         assert_eq!(thousands(1_769_432), "1769");
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(10.0, 5.0), 2.0);
+        assert_eq!(speedup(5.0, 10.0), 0.5);
+        assert_eq!(speedup(1.0, 0.0), 0.0);
+        assert_eq!(speedup(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn merge_ordered_folds_left_to_right() {
+        // A non-commutative Add observes the order.
+        #[derive(Debug, PartialEq)]
+        struct Chain(String);
+        impl core::ops::Add for Chain {
+            type Output = Chain;
+            fn add(self, rhs: Chain) -> Chain {
+                Chain(format!("{}{}", self.0, rhs.0))
+            }
+        }
+        let parts = vec![Chain("a".into()), Chain("b".into()), Chain("c".into())];
+        assert_eq!(merge_ordered(parts), Some(Chain("abc".into())));
+        assert_eq!(merge_ordered(Vec::<Chain>::new()), None);
+        assert_eq!(merge_ordered([7u64]), Some(7));
     }
 
     #[test]

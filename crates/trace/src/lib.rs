@@ -33,6 +33,7 @@ mod addr;
 mod classify;
 mod io;
 mod record;
+mod shard;
 mod stats;
 mod trace;
 
@@ -40,5 +41,6 @@ pub use addr::{Addr, BlockAddr, BlockSize, PageAddr, PAGE_SIZE};
 pub use classify::{BlockStats, Classification, SharingPattern};
 pub use io::{ReadTraceError, TRACE_MAGIC, TRACE_MAGIC_V1};
 pub use record::{MemOp, MemRef, NodeId};
+pub use shard::shard_of_block;
 pub use stats::TraceStats;
 pub use trace::{Interleaver, Trace};

@@ -1,0 +1,218 @@
+//! Address sharding: partitioning traces by cache block for the
+//! parallel simulation engine.
+//!
+//! Directory coherence state is per-block, and (absent finite-cache
+//! eviction) blocks never interact, so a trace can be split into
+//! per-shard sub-traces — every reference to a given block lands in the
+//! same shard — and each shard simulated independently. The shard
+//! function is a fixed integer hash of the block index: deterministic,
+//! platform-independent, and balanced even for strided address
+//! patterns. The same function must be used by every consumer
+//! (partitioner, engines, stall accounting) or the shards disagree
+//! about block ownership.
+
+use crate::addr::{BlockAddr, BlockSize};
+use crate::trace::Trace;
+
+/// The shard owning `block` when the address space is split `shards`
+/// ways.
+///
+/// Uses the SplitMix64 finalizer as an avalanching integer hash so
+/// consecutive or strided block indices spread evenly across shards.
+/// Deterministic: the same `(block, shards)` pair always maps to the
+/// same shard, on every platform and in every run.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use mcc_trace::{shard_of_block, BlockAddr};
+///
+/// let shard = shard_of_block(BlockAddr::new(7), 4);
+/// assert!(shard < 4);
+/// assert_eq!(shard, shard_of_block(BlockAddr::new(7), 4));
+/// assert_eq!(shard_of_block(BlockAddr::new(7), 1), 0);
+/// ```
+pub fn shard_of_block(block: BlockAddr, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    if shards == 1 {
+        return 0;
+    }
+    let mut z = block.index().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+impl Trace {
+    /// Partitions the trace into `shards` sub-traces by block address
+    /// under `block_size`, preserving the global reference order inside
+    /// every shard (which also preserves each node's per-shard program
+    /// order).
+    ///
+    /// Every reference to a given block lands in the shard
+    /// [`shard_of_block`] assigns it; a shard owning no referenced
+    /// blocks comes back empty. The partition is exact: shard lengths
+    /// sum to the trace length and `shards == 1` returns the original
+    /// trace unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcc_trace::{Addr, BlockSize, MemRef, NodeId, Trace};
+    ///
+    /// let mut t = Trace::new();
+    /// for i in 0..32u64 {
+    ///     t.push(MemRef::read(NodeId::new(0), Addr::new(i * 16)));
+    /// }
+    /// let parts = t.partition_by_block(BlockSize::B16, 4);
+    /// assert_eq!(parts.len(), 4);
+    /// assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), t.len());
+    /// ```
+    pub fn partition_by_block(&self, block_size: BlockSize, shards: usize) -> Vec<Trace> {
+        assert!(shards > 0, "shard count must be positive");
+        let mut out = vec![Trace::new(); shards];
+        for r in self.iter() {
+            out[shard_of_block(r.addr.block(block_size), shards)].push(*r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::record::{MemRef, NodeId};
+
+    fn strided(n: u64, stride: u64) -> Trace {
+        (0..n)
+            .map(|i| MemRef::read(NodeId::new((i % 4) as u16), Addr::new(i * stride)))
+            .collect()
+    }
+
+    #[test]
+    fn shard_function_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 4, 8, 16] {
+            for b in 0..1000u64 {
+                let s = shard_of_block(BlockAddr::new(b), shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of_block(BlockAddr::new(b), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_function_balances_strided_blocks() {
+        // Block indices 0, 4, 8, ... (a 64-byte stride over 16-byte
+        // blocks) must not all collapse into a few shards, which a plain
+        // modulo would do.
+        let shards = 8;
+        let mut counts = vec![0u64; shards];
+        for b in (0..8000u64).step_by(4) {
+            counts[shard_of_block(BlockAddr::new(b), shards)] += 1;
+        }
+        let expect = 2000 / shards as u64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "shard {i} holds {c} of {expect} expected blocks"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected_by_hash() {
+        let _ = shard_of_block(BlockAddr::new(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must be positive")]
+    fn zero_shards_rejected_by_partitioner() {
+        let _ = Trace::new().partition_by_block(BlockSize::B16, 0);
+    }
+
+    #[test]
+    fn empty_trace_partitions_into_empty_shards() {
+        let parts = Trace::new().partition_by_block(BlockSize::B16, 4);
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(Trace::is_empty));
+    }
+
+    #[test]
+    fn single_record_lands_in_exactly_one_shard() {
+        let mut t = Trace::new();
+        t.push(MemRef::write(NodeId::new(3), Addr::new(0x40)));
+        for shards in [1usize, 2, 4, 8] {
+            let parts = t.partition_by_block(BlockSize::B16, shards);
+            assert_eq!(parts.len(), shards);
+            let non_empty: Vec<&Trace> = parts.iter().filter(|p| !p.is_empty()).collect();
+            assert_eq!(non_empty.len(), 1, "one record, one non-empty shard");
+            assert_eq!(non_empty[0].as_slice(), t.as_slice());
+        }
+    }
+
+    #[test]
+    fn single_shard_round_trips_the_trace() {
+        let t = strided(100, 24);
+        let parts = t.partition_by_block(BlockSize::B16, 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], t);
+    }
+
+    #[test]
+    fn partition_is_exact_and_consistent_with_the_shard_function() {
+        let t = strided(500, 16);
+        for shards in [2usize, 3, 4, 8] {
+            let parts = t.partition_by_block(BlockSize::B16, shards);
+            assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), t.len());
+            for (i, part) in parts.iter().enumerate() {
+                for r in part.iter() {
+                    assert_eq!(shard_of_block(r.addr.block(BlockSize::B16), shards), i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shards_preserve_global_suborder() {
+        // Each shard must be the subsequence of the original trace
+        // owned by that shard, in the original order.
+        let t = strided(300, 48);
+        for shards in [2usize, 4, 8] {
+            let parts = t.partition_by_block(BlockSize::B16, shards);
+            for (i, part) in parts.iter().enumerate() {
+                let expected: Vec<MemRef> = t
+                    .iter()
+                    .filter(|r| shard_of_block(r.addr.block(BlockSize::B16), shards) == i)
+                    .copied()
+                    .collect();
+                assert_eq!(part.as_slice(), expected.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_blocks_yields_empty_shards() {
+        // Two distinct blocks, sixteen shards: at least fourteen shards
+        // must be empty, and the union must round-trip.
+        let mut t = Trace::new();
+        for _ in 0..10 {
+            t.push(MemRef::read(NodeId::new(0), Addr::new(0)));
+            t.push(MemRef::write(NodeId::new(1), Addr::new(0x100)));
+        }
+        let parts = t.partition_by_block(BlockSize::B16, 16);
+        let empty = parts.iter().filter(|p| p.is_empty()).count();
+        assert!(empty >= 14);
+        assert_eq!(parts.iter().map(Trace::len).sum::<usize>(), t.len());
+    }
+}

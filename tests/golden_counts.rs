@@ -11,6 +11,19 @@
 use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
 use mcc::workloads::{Workload, WorkloadParams};
 
+/// Shard count for the parallel-path assertions: `MCC_TEST_SHARDS` when
+/// set (the CI matrix runs 1 and 4), 4 otherwise.
+fn test_shards() -> usize {
+    match std::env::var("MCC_TEST_SHARDS") {
+        Ok(raw) => {
+            raw.parse().ok().filter(|&k| k > 0).unwrap_or_else(|| {
+                panic!("MCC_TEST_SHARDS must be a positive integer, got {raw:?}")
+            })
+        }
+        Err(_) => 4,
+    }
+}
+
 #[test]
 fn pinned_message_totals() {
     // (workload, trace refs, conventional, conservative, basic, aggressive)
@@ -59,18 +72,25 @@ fn pinned_message_totals() {
 
     let cfg = DirectorySimConfig::default();
     let params = WorkloadParams::new(16).scale(0.1).seed(42);
+    let shards = test_shards();
     for &(app, refs, conv, cons, basic, aggr) in golden {
         let trace = app.generate(&params);
         assert_eq!(trace.len(), refs, "{app}: trace length drifted");
         let expected = [conv, cons, basic, aggr];
         for (protocol, want) in Protocol::PAPER_SET.into_iter().zip(expected) {
-            let got = DirectorySim::new(protocol, &cfg)
-                .run(&trace)
-                .total_messages();
+            let sim = DirectorySim::new(protocol, &cfg);
+            let got = sim.run(&trace).total_messages();
             assert_eq!(
                 got, want,
                 "{app}/{protocol}: total messages drifted (update via golden_dump \
                  if the change was intentional)"
+            );
+            // The sharded merge path is pinned to the same goldens: a
+            // regression in partitioning or merging fails tier-1.
+            let sharded = sim.run_sharded(&trace, shards).total_messages();
+            assert_eq!(
+                sharded, want,
+                "{app}/{protocol}: K={shards} sharded total diverged from the golden count"
             );
         }
     }
