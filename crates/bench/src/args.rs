@@ -1,9 +1,14 @@
 //! Minimal command-line handling shared by the harness binaries.
 
+use std::path::PathBuf;
 use std::process::exit;
 
+use mcc_core::CheckpointPolicy;
+
+use crate::experiments::RunOptions;
+
 /// A run scenario: machine size, work scale, and RNG seed.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
     /// Nodes in the simulated machine.
     pub nodes: u16,
@@ -16,6 +21,13 @@ pub struct Scenario {
     /// Address shards for the parallel trace-driven engine (1 =
     /// sequential).
     pub shards: usize,
+    /// Snapshot cadence in records for crash-safe runs (0 = only a
+    /// final snapshot when a checkpoint path is set).
+    pub checkpoint_every: u64,
+    /// File periodic snapshots are written to.
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot file to resume a killed run from.
+    pub resume: Option<PathBuf>,
 }
 
 impl Default for Scenario {
@@ -26,6 +38,9 @@ impl Default for Scenario {
             seed: 0,
             csv: false,
             shards: 1,
+            checkpoint_every: 0,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -55,16 +70,26 @@ impl Scenario {
                     }
                 }
                 "--csv" => s.csv = true,
+                "--checkpoint-every" => {
+                    s.checkpoint_every =
+                        parse(bin, "--checkpoint-every", &value("--checkpoint-every"));
+                }
+                "--checkpoint" => s.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
+                "--resume" => s.resume = Some(PathBuf::from(value("--resume"))),
                 "--help" | "-h" => {
                     println!(
                         "{bin} — {what}\n\nUsage: {bin} [--nodes N] [--scale X] [--seed N] \
                          [--shards K] [--csv]\n\
-                         \n  --nodes N   simulated machine size (default 16)\
-                         \n  --scale X   workload work multiplier (default {})\
-                         \n  --seed N    workload RNG seed (default 0)\
-                         \n  --shards K  address shards for the parallel engine (default 1;\
-                         \n              requires infinite caches, results are bit-identical)\
-                         \n  --csv       emit CSV instead of aligned text",
+                         \n  --nodes N             simulated machine size (default 16)\
+                         \n  --scale X             workload work multiplier (default {})\
+                         \n  --seed N              workload RNG seed (default 0)\
+                         \n  --shards K            address shards for the parallel engine (default 1;\
+                         \n                        requires infinite caches, results are bit-identical)\
+                         \n  --csv                 emit CSV instead of aligned text\
+                         \n  --checkpoint-every N  snapshot a crash-safe run every N records\
+                         \n  --checkpoint PATH     file snapshots are written to (default\
+                         \n                        mcc-bench.ckpt when a cadence is set)\
+                         \n  --resume PATH         resume a killed run from its snapshot",
                         crate::DEFAULT_SCALE
                     );
                     exit(0);
@@ -76,6 +101,26 @@ impl Scenario {
             }
         }
         s
+    }
+}
+
+impl Scenario {
+    /// The [`RunOptions`] this scenario's checkpoint flags describe:
+    /// `--shards`, `--checkpoint`/`--checkpoint-every` (folded into a
+    /// [`CheckpointPolicy`]; the path defaults to `mcc-bench.ckpt` when
+    /// only a cadence was given), and `--resume`.
+    pub fn run_options(&self) -> RunOptions {
+        let checkpoint = match (self.checkpoint_every, &self.checkpoint) {
+            (0, None) => None,
+            (every, Some(path)) => Some(CheckpointPolicy::new(every, path)),
+            (every, None) => Some(CheckpointPolicy::new(every, "mcc-bench.ckpt")),
+        };
+        RunOptions {
+            shards: self.shards,
+            checkpoint,
+            resume: self.resume.clone(),
+            faults: None,
+        }
     }
 }
 

@@ -1,0 +1,307 @@
+//! Crash-safe sweep supervisor: runs a manifest of simulation cells,
+//! checkpointing as it goes, and skips already-completed cells when
+//! restarted — so a sweep that takes hours survives being killed at any
+//! point and never repeats finished work.
+//!
+//! The manifest is a text file with one cell per line:
+//!
+//! ```text
+//! # protocol workload [fault_ppm]
+//! conventional mp3d
+//! aggressive water
+//! basic cholesky 20000
+//! ```
+//!
+//! For each cell the supervisor keeps two files in the state directory:
+//! `<cell>.ckpt`, the crash-safe in-flight snapshot (rewritten every
+//! `--checkpoint-every` records and deleted on completion), and
+//! `<cell>.result`, the finished counters in `key value` lines. A cell
+//! with a `.result` file is skipped on restart; a cell with only a
+//! `.ckpt` resumes from the snapshot and replays just the unprocessed
+//! tail. A snapshot that fails to load or no longer matches the cell
+//! (different flags, edited manifest) degrades gracefully: the
+//! supervisor says so, discards it, and reruns the cell from scratch.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use mcc_bench::{try_run_protocol, RunOptions};
+use mcc_core::{CheckpointPolicy, DirectorySimConfig, FaultPlan, Protocol, SimError, SimResult};
+use mcc_stats::kv_lines;
+use mcc_workloads::{Workload, WorkloadParams};
+
+const BIN: &str = "supervisor";
+
+struct Args {
+    manifest: PathBuf,
+    state: PathBuf,
+    nodes: u16,
+    scale: f64,
+    seed: u64,
+    shards: usize,
+    every: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Cell {
+    protocol: Protocol,
+    workload: Workload,
+    fault_ppm: u32,
+}
+
+impl Cell {
+    /// Stable per-cell file stem: `basic-mp3d` or `basic-mp3d-f20000`.
+    fn key(&self) -> String {
+        let mut key = format!(
+            "{}-{}",
+            self.protocol,
+            self.workload.name().to_lowercase().replace(' ', "-")
+        );
+        if self.fault_ppm > 0 {
+            key.push_str(&format!("-f{}", self.fault_ppm));
+        }
+        key
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cells = parse_manifest(&args.manifest);
+    if cells.is_empty() {
+        eprintln!("{BIN}: manifest {} has no cells", args.manifest.display());
+        exit(2);
+    }
+    if let Err(e) = fs::create_dir_all(&args.state) {
+        eprintln!("{BIN}: cannot create {}: {e}", args.state.display());
+        exit(2);
+    }
+
+    let total = cells.len();
+    let mut completed = 0usize;
+    let mut failed = 0usize;
+    for (i, cell) in cells.iter().enumerate() {
+        let key = cell.key();
+        let result_path = args.state.join(format!("{key}.result"));
+        let ckpt_path = args.state.join(format!("{key}.ckpt"));
+        if result_path.exists() {
+            println!("[{}/{total}] {key}: already complete, skipping", i + 1);
+            completed += 1;
+            continue;
+        }
+        match run_cell(&args, cell, &ckpt_path) {
+            Ok(result) => {
+                if let Err(e) = write_result(&result_path, cell, &result) {
+                    eprintln!("{BIN}: writing {}: {e}", result_path.display());
+                    failed += 1;
+                    continue;
+                }
+                // The snapshot is now redundant; the .result file is the
+                // completion marker restarts key off.
+                fs::remove_file(&ckpt_path).ok();
+                println!(
+                    "[{}/{total}] {key}: done ({} messages over {} references)",
+                    i + 1,
+                    result.total_messages(),
+                    result.events.refs()
+                );
+                completed += 1;
+            }
+            Err(e) => {
+                eprintln!("[{}/{total}] {key}: FAILED: {e}", i + 1);
+                failed += 1;
+            }
+        }
+    }
+    println!("{completed}/{total} cells complete, {failed} failed");
+    exit(i32::from(failed > 0));
+}
+
+/// Runs one cell, resuming from its snapshot when one exists. A
+/// snapshot the run rejects (corrupt, or taken under different flags)
+/// is discarded with a notice and the cell reruns from scratch —
+/// supervision must degrade, not wedge.
+fn run_cell(args: &Args, cell: &Cell, ckpt_path: &Path) -> Result<SimResult, SimError> {
+    let cfg = DirectorySimConfig {
+        nodes: args.nodes,
+        ..DirectorySimConfig::default()
+    };
+    let faults = (cell.fault_ppm > 0).then(|| FaultPlan::uniform(args.seed, cell.fault_ppm));
+    let params = WorkloadParams::new(args.nodes)
+        .scale(args.scale)
+        .seed(args.seed);
+    let trace = cell.workload.generate(&params);
+    let policy = CheckpointPolicy::new(args.every, ckpt_path);
+    let fresh = RunOptions {
+        shards: args.shards,
+        checkpoint: Some(policy.clone()),
+        resume: None,
+        faults,
+    };
+    if !ckpt_path.exists() {
+        return try_run_protocol(cell.protocol, &cfg, &trace, &fresh);
+    }
+    let resume = RunOptions {
+        resume: Some(ckpt_path.to_path_buf()),
+        ..fresh.clone()
+    };
+    match try_run_protocol(cell.protocol, &cfg, &trace, &resume) {
+        Err(SimError::BadCheckpoint { reason }) => {
+            eprintln!(
+                "{BIN}: {}: snapshot unusable ({reason}); rerunning the cell from scratch",
+                cell.key()
+            );
+            fs::remove_file(ckpt_path).ok();
+            try_run_protocol(cell.protocol, &cfg, &trace, &fresh)
+        }
+        other => other,
+    }
+}
+
+/// Writes the cell's counters atomically (temp file + rename), so a
+/// kill mid-write can never fabricate a completed cell.
+fn write_result(path: &Path, cell: &Cell, result: &SimResult) -> std::io::Result<()> {
+    let c = result.message_count();
+    let body = kv_lines([
+        ("protocol", cell.protocol.to_string()),
+        ("workload", cell.workload.name().to_string()),
+        ("fault_ppm", cell.fault_ppm.to_string()),
+        ("references", result.events.refs().to_string()),
+        ("messages_control", c.control.to_string()),
+        ("messages_data", c.data.to_string()),
+        ("messages_total", result.total_messages().to_string()),
+        ("migrations", result.events.migrations.to_string()),
+        ("invalidations", result.events.invalidations.to_string()),
+    ]);
+    let tmp = path.with_extension("result.tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)
+}
+
+fn parse_manifest(path: &Path) -> Vec<Cell> {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{BIN}: cannot read manifest {}: {e}", path.display());
+        exit(2);
+    });
+    let mut cells = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let bad = |what: &str| -> ! {
+            eprintln!(
+                "{BIN}: manifest line {}: {what} (expected: <protocol> <workload> [fault_ppm])",
+                lineno + 1
+            );
+            exit(2);
+        };
+        let protocol = match fields.next().map(parse_protocol) {
+            Some(Some(p)) => p,
+            _ => bad("unknown protocol"),
+        };
+        let workload = match fields.next().map(str::parse::<Workload>) {
+            Some(Ok(w)) => w,
+            _ => bad("unknown workload"),
+        };
+        let fault_ppm = match fields.next() {
+            None => 0,
+            Some(raw) => match raw.parse() {
+                Ok(ppm) => ppm,
+                Err(_) => bad("invalid fault_ppm"),
+            },
+        };
+        if fields.next().is_some() {
+            bad("trailing fields");
+        }
+        cells.push(Cell {
+            protocol,
+            workload,
+            fault_ppm,
+        });
+    }
+    cells
+}
+
+/// The protocol names [`Protocol`]'s `Display` prints.
+fn parse_protocol(name: &str) -> Option<Protocol> {
+    match name {
+        "conventional" => Some(Protocol::Conventional),
+        "conservative" => Some(Protocol::Conservative),
+        "basic" => Some(Protocol::Basic),
+        "aggressive" => Some(Protocol::Aggressive),
+        "pure-migratory" => Some(Protocol::PureMigratory),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut manifest = None;
+    let mut state = None;
+    let mut nodes = 16u16;
+    let mut scale = mcc_bench::DEFAULT_SCALE;
+    let mut seed = 0u64;
+    let mut shards = 1usize;
+    let mut every = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{BIN}: {name} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--manifest" => manifest = Some(PathBuf::from(value("--manifest"))),
+            "--state" => state = Some(PathBuf::from(value("--state"))),
+            "--nodes" => nodes = parse(&value("--nodes"), "--nodes"),
+            "--scale" => scale = parse(&value("--scale"), "--scale"),
+            "--seed" => seed = parse(&value("--seed"), "--seed"),
+            "--shards" => shards = parse(&value("--shards"), "--shards"),
+            "--checkpoint-every" => {
+                every = parse(&value("--checkpoint-every"), "--checkpoint-every")
+            }
+            "--help" | "-h" => {
+                println!(
+                    "{BIN} — crash-safe sweep supervisor\n\n\
+                     Usage: {BIN} --manifest FILE --state DIR [--nodes N] [--scale X] \
+                     [--seed N] [--shards K] [--checkpoint-every N]\n\
+                     \n  --manifest FILE       sweep cells, one '<protocol> <workload> [fault_ppm]' per line\
+                     \n  --state DIR           where per-cell .ckpt/.result files live\
+                     \n  --nodes N             simulated machine size (default 16)\
+                     \n  --scale X             workload work multiplier (default {})\
+                     \n  --seed N              workload RNG seed (default 0)\
+                     \n  --shards K            address shards for the parallel engine (default 1)\
+                     \n  --checkpoint-every N  snapshot cadence in records (default 10000)",
+                    mcc_bench::DEFAULT_SCALE
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("{BIN}: unknown argument {other:?} (try --help)");
+                exit(2);
+            }
+        }
+    }
+    let (Some(manifest), Some(state)) = (manifest, state) else {
+        eprintln!("{BIN}: --manifest and --state are required (try --help)");
+        exit(2);
+    };
+    Args {
+        manifest,
+        state,
+        nodes,
+        scale,
+        seed,
+        shards,
+        every,
+    }
+}
+
+fn parse<T: std::str::FromStr>(raw: &str, name: &str) -> T {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{BIN}: invalid value {raw:?} for {name}");
+        exit(2);
+    })
+}

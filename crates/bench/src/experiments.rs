@@ -1,7 +1,12 @@
 //! The paper's experiments as reusable functions.
 
+use std::path::PathBuf;
+
 use mcc_cache::{CacheConfig, CacheGeometry};
-use mcc_core::{DirectorySim, DirectorySimConfig, PlacementPolicy, Protocol, SimResult};
+use mcc_core::{
+    Checkpoint, CheckpointPolicy, DirectorySim, DirectorySimConfig, FaultPlan, PlacementPolicy,
+    Protocol, SimError, SimResult,
+};
 use mcc_stats::{thousands, Table};
 use mcc_trace::BlockSize;
 use mcc_workloads::{Workload, WorkloadParams};
@@ -33,23 +38,112 @@ impl MessageRow {
     }
 }
 
+/// How [`try_run_protocol`] executes one simulation: shard count,
+/// optional crash-safe snapshotting, and an optional snapshot to resume
+/// from. The checkpoint flags a binary parses land here via
+/// [`Scenario::run_options`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Address shards for the parallel engine (0 and 1 both mean
+    /// sequential).
+    pub shards: usize,
+    /// When set, write crash-safe snapshots per
+    /// [`CheckpointPolicy::every`] and once on completion.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// When set, load this snapshot and replay only the unprocessed
+    /// tail instead of starting over.
+    pub resume: Option<PathBuf>,
+    /// Injected interconnect faults for the run, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl RunOptions {
+    /// Sequential, no snapshots — plain [`DirectorySim::try_run`].
+    pub fn sequential() -> Self {
+        RunOptions::default()
+    }
+
+    /// `shards`-way parallel, no snapshots.
+    pub fn sharded(shards: usize) -> Self {
+        RunOptions {
+            shards,
+            ..RunOptions::default()
+        }
+    }
+}
+
 /// Runs `protocol` over `trace`, routing through the address-sharded
-/// parallel engine when `shards > 1` and the configuration supports it
-/// (infinite caches). Finite-cache configurations silently fall back to
-/// the sequential engine — the results are identical either way, the
-/// sharded path is purely a wall-clock optimisation.
+/// parallel engine when more than one shard is requested and the
+/// configuration supports it (infinite caches). Finite-cache
+/// configurations cannot shard — an insertion may evict a block owned
+/// by another shard — so the router degrades them to the sequential
+/// engine and says so once on stderr: the results are identical either
+/// way, the sharded path is purely a wall-clock optimisation.
+///
+/// With [`RunOptions::checkpoint`] set the run writes crash-safe
+/// snapshots as it goes; with [`RunOptions::resume`] set it continues a
+/// killed run from its snapshot instead of starting over.
+///
+/// # Errors
+///
+/// Everything [`DirectorySim::try_run`] reports, plus
+/// [`SimError::BadCheckpoint`] for an unreadable, corrupt, or
+/// mismatched snapshot.
+pub fn try_run_protocol(
+    protocol: Protocol,
+    cfg: &DirectorySimConfig,
+    trace: &mcc_trace::Trace,
+    opts: &RunOptions,
+) -> Result<SimResult, SimError> {
+    let mut sim = DirectorySim::new(protocol, cfg);
+    if let Some(plan) = opts.faults {
+        sim = sim.with_faults(plan);
+    }
+    let mut shards = opts.shards.max(1);
+    if shards > 1 && cfg.cache != CacheConfig::Infinite {
+        degradation_notice(shards);
+        shards = 1;
+    }
+    if let Some(path) = &opts.resume {
+        let checkpoint = Checkpoint::load(path).map_err(|e| SimError::BadCheckpoint {
+            reason: format!("loading {}: {e}", path.display()),
+        })?;
+        return sim.resume_from(trace, &checkpoint, opts.checkpoint.as_ref());
+    }
+    if let Some(policy) = &opts.checkpoint {
+        return sim.run_resumable(trace, shards, policy);
+    }
+    if shards > 1 {
+        sim.try_run_sharded(trace, shards)
+    } else {
+        sim.try_run(trace)
+    }
+}
+
+/// One-line, once-per-process notice that a sharded request degraded to
+/// the sequential engine (the sweeps call the router hundreds of times;
+/// repeating the notice would bury the tables it accompanies).
+fn degradation_notice(requested: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "mcc-bench: finite caches cannot shard (an eviction may touch another shard's \
+             block); degraded the {requested}-shard request to the sequential engine"
+        );
+    });
+}
+
+/// Panicking convenience wrapper over [`try_run_protocol`] for the
+/// table binaries, which have no error path of their own: any
+/// simulation failure is a bug worth dying loudly on.
 pub fn run_protocol(
     protocol: Protocol,
     cfg: &DirectorySimConfig,
     trace: &mcc_trace::Trace,
     shards: usize,
 ) -> SimResult {
-    let sim = DirectorySim::new(protocol, cfg);
-    if shards > 1 && cfg.cache == CacheConfig::Infinite {
-        sim.run_sharded(trace, shards)
-    } else {
-        sim.run(trace)
-    }
+    try_run_protocol(protocol, cfg, trace, &RunOptions::sharded(shards))
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_all_protocols(cfg: &DirectorySimConfig, scenario: &Scenario, app: Workload) -> MessageRow {
@@ -57,11 +151,72 @@ fn run_all_protocols(cfg: &DirectorySimConfig, scenario: &Scenario, app: Workloa
         .scale(scenario.scale)
         .seed(scenario.seed);
     let trace = app.generate(&params);
+    let base = scenario.run_options();
     let results = Protocol::PAPER_SET
         .iter()
-        .map(|&p| run_protocol(p, cfg, &trace, scenario.shards))
+        .map(|&p| run_protocol_cell(p, cfg, &trace, app, &base))
         .collect();
     MessageRow { app, results }
+}
+
+/// The snapshot file for one sweep cell: the user-supplied base path
+/// suffixed with the cell's workload, protocol, and a hash of its
+/// config — a sweep visits the same (app, protocol) pair once per cache
+/// or block size, and each cell needs its own snapshot.
+fn cell_path(
+    base: &std::path::Path,
+    cfg: &DirectorySimConfig,
+    app: Workload,
+    p: Protocol,
+) -> PathBuf {
+    let cfg_hash = mcc_core::checkpoint::fnv1a_64(format!("{cfg:?}").as_bytes());
+    let mut name = base
+        .file_name()
+        .map_or_else(|| "ckpt".into(), |n| n.to_string_lossy().into_owned());
+    name.push_str(&format!(
+        ".{}-{p}-{:08x}",
+        app.name().to_lowercase().replace(' ', "-"),
+        cfg_hash as u32
+    ));
+    base.with_file_name(name)
+}
+
+/// [`run_protocol`] for one cell of a checkpointed sweep: snapshots and
+/// resumes use the cell's own derived path, a cell whose snapshot is
+/// already complete resumes straight to its result (so a restarted
+/// sweep skips finished cells), and an unusable snapshot degrades to a
+/// fresh run with a stderr notice instead of failing the sweep.
+fn run_protocol_cell(
+    protocol: Protocol,
+    cfg: &DirectorySimConfig,
+    trace: &mcc_trace::Trace,
+    app: Workload,
+    base: &RunOptions,
+) -> SimResult {
+    let mut opts = base.clone();
+    if let Some(policy) = &base.checkpoint {
+        opts.checkpoint = Some(CheckpointPolicy::new(
+            policy.every,
+            cell_path(&policy.path, cfg, app, protocol),
+        ));
+    }
+    if let Some(resume_base) = &base.resume {
+        let path = cell_path(resume_base, cfg, app, protocol);
+        opts.resume = path.exists().then_some(path);
+    }
+    let resuming = opts.resume.is_some();
+    match try_run_protocol(protocol, cfg, trace, &opts) {
+        Err(SimError::BadCheckpoint { reason }) if resuming => {
+            opts.resume = None;
+            eprintln!(
+                "mcc-bench: {}/{protocol}: snapshot unusable ({reason}); \
+                 rerunning the cell from scratch",
+                app.name()
+            );
+            try_run_protocol(protocol, cfg, trace, &opts).unwrap_or_else(|e| panic!("{e}"))
+        }
+        other => other.unwrap_or_else(|e| panic!("{e}")),
+    }
 }
 
 /// One cache-size section of Table 2: message counts for every

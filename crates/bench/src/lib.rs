@@ -16,8 +16,8 @@ pub mod timing;
 pub use args::Scenario;
 pub use experiments::{
     block_size_sweep, bus_sweep, cache_size_sweep, cost_ratio_table, exec_time_comparison,
-    policy_ablation, render_message_rows, run_protocol, BusComparison, ExecComparison, MessageRow,
-    BLOCK_SIZES, CACHE_SIZES_KB,
+    policy_ablation, render_message_rows, run_protocol, try_run_protocol, BusComparison,
+    ExecComparison, MessageRow, RunOptions, BLOCK_SIZES, CACHE_SIZES_KB,
 };
 
 /// Default work-scale used by the table binaries: large enough for

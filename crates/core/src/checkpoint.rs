@@ -1,0 +1,1496 @@
+//! Crash-safe checkpoint/restore for directory simulations.
+//!
+//! Long sweeps — four protocols × fault rates × shard counts over
+//! multi-minute traces — should survive a panic, a wedged machine, or
+//! an operator Ctrl-C without losing completed work. This module
+//! provides a versioned, checksummed binary snapshot of a run in
+//! flight: the [`DirectoryEngine`]'s complete coherence state (cache
+//! residency in LRU order, directory entries, version tables), the
+//! [`FaultInjector`](crate::FaultInjector) PRNG stream position, the
+//! accumulated message/event counters, and the trace cursor at a record
+//! boundary. [`DirectorySim::run_resumable`] writes snapshots every N
+//! records; [`DirectorySim::resume_from`] replays only the tail. A
+//! resumed run is **bit-exact** against the uninterrupted run — same
+//! [`SimResult`], regardless of where the kill landed — a property the
+//! `resume_equivalence` integration tests check at every record
+//! boundary.
+//!
+//! # On-disk format
+//!
+//! The envelope follows the MCCT trace container's style
+//! (`crates/trace/src/io.rs`): an 8-byte magic-plus-version header,
+//! explicit little-endian integers, and typed rejection of anything
+//! malformed.
+//!
+//! ```text
+//! "MCCK" 0x01 0x00 0x00 0x00   magic + format version + padding
+//! u64   payload length
+//! u64   FNV-1a-64 checksum of the payload
+//! [u8]  payload (protocol, configuration echo, per-shard snapshots)
+//! ```
+//!
+//! The payload opens with the protocol, the full simulator
+//! configuration, and the fault plan; [`DirectorySim::resume_from`]
+//! refuses a snapshot whose identity does not match the run being
+//! resumed (different trace, protocol, configuration, fault plan, or
+//! shard count) with [`SimError::BadCheckpoint`]. Each shard records a
+//! fingerprint of its sub-trace, so resuming against the wrong trace —
+//! or the right trace partitioned into the wrong number of shards — is
+//! caught before any state is rebuilt. Corrupt files (truncation, bit
+//! flips, wrong magic, wrong version) are rejected with a typed
+//! [`CheckpointError`], never a panic.
+//!
+//! What is *not* captured: the trace itself (the caller must supply the
+//! identical trace; only its fingerprint is stored) and the page
+//! placement (recomputed deterministically from the full trace, exactly
+//! as an uninterrupted run would).
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::thread;
+
+use mcc_cache::{CacheConfig, CacheGeometry};
+use mcc_placement::PagePlacement;
+use mcc_trace::{BlockSize, Trace};
+
+use crate::directory::{CopiesCreated, CopySet, DirEntry};
+use crate::error::SimError;
+use crate::faults::{FaultPlan, FaultRates};
+use crate::policy::{AdaptivePolicy, Protocol};
+use crate::repr::DirectoryRepr;
+use crate::result::{EventCounts, MessageBreakdown, SimResult};
+use crate::sim::{DirectoryEngine, DirectorySim, DirectorySimConfig, LineState, PlacementPolicy};
+
+use mcc_trace::NodeId;
+
+/// Magic + format version header of a checkpoint file: `MCCK`, version
+/// 1, three bytes of padding (the MCCT convention).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"MCCK\x01\0\0\0";
+
+/// Why a checkpoint file could not be read or written.
+///
+/// Every malformed input maps to a typed variant — corrupt snapshots
+/// must never panic the supervisor that is trying to recover from a
+/// crash.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file does not start with the `MCCK` magic.
+    BadMagic,
+    /// The magic matched but the format version is not understood.
+    UnsupportedVersion(u8),
+    /// The file ended before the declared payload (or the header) was
+    /// complete.
+    Truncated,
+    /// The payload's checksum does not match the header: the file was
+    /// corrupted (bit flips, partial overwrite).
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload actually read.
+        computed: u64,
+    },
+    /// The envelope was intact but the payload decodes to nonsense
+    /// (an unknown tag, an impossible geometry, trailing bytes…).
+    Corrupt(&'static str),
+    /// An underlying I/O failure (file missing, permissions, disk).
+    Io(io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (header {stored:#018x}, payload {computed:#018x})"
+            ),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint payload: {what}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        // EOF mid-read means the file ended early, which callers reason
+        // about as truncation, not as an environment failure.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CheckpointError::Truncated
+        } else {
+            CheckpointError::Io(e)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire primitives: little-endian integers, FNV-1a checksums, and the
+// magic/length/checksum envelope. Public so sibling crates (the
+// execution-driven simulator) can build their own snapshots in the same
+// format family.
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash of `bytes` — the checkpoint checksum. Not
+/// cryptographic; it detects the accidental corruption (truncation,
+/// bit rot, interrupted writes) a crash-recovery path must survive.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Appends a little-endian `u16` to a payload under construction.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u32` to a payload under construction.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64` to a payload under construction.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A bounds-checked reader over a decoded payload. Every read that runs
+/// off the end reports [`CheckpointError::Truncated`] instead of
+/// panicking.
+#[derive(Debug)]
+pub struct PayloadReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Wraps a payload for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        PayloadReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Declares decoding finished; trailing payload bytes are corruption.
+    pub fn finish(self) -> Result<(), CheckpointError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CheckpointError::Corrupt("trailing bytes after payload"))
+        }
+    }
+
+    /// A conservative sanity bound for declared element counts: a count
+    /// larger than the bytes remaining cannot be honest, so reject it
+    /// before any allocation is attempted (the MCCT hostile-count
+    /// discipline).
+    pub fn check_count(&self, count: u64, min_bytes_each: usize) -> Result<usize, CheckpointError> {
+        let remaining = (self.buf.len() - self.pos) as u64;
+        let need = count.checked_mul(min_bytes_each as u64);
+        match need {
+            Some(n) if n <= remaining => Ok(count as usize),
+            _ => Err(CheckpointError::Truncated),
+        }
+    }
+}
+
+/// Writes `payload` under `magic` with the length/checksum envelope.
+///
+/// # Errors
+///
+/// Any I/O failure of the underlying writer.
+pub fn write_envelope<W: Write>(
+    w: &mut W,
+    magic: [u8; 8],
+    payload: &[u8],
+) -> Result<(), CheckpointError> {
+    w.write_all(&magic)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())?;
+    w.write_all(&fnv1a_64(payload).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Reads and verifies an envelope written by [`write_envelope`],
+/// returning the payload.
+///
+/// Rejects wrong magic, unsupported versions, truncation, checksum
+/// mismatches, and trailing bytes after the payload — each as its own
+/// [`CheckpointError`] variant. A hostile declared length does not
+/// cause a huge allocation: the buffer grows only as real bytes arrive.
+///
+/// # Errors
+///
+/// See [`CheckpointError`].
+pub fn read_envelope<R: Read>(r: &mut R, magic: [u8; 8]) -> Result<Vec<u8>, CheckpointError> {
+    let mut header = [0u8; 8];
+    read_exact_or_truncated(r, &mut header)?;
+    if header[..4] != magic[..4] || header[5..] != magic[5..] {
+        return Err(CheckpointError::BadMagic);
+    }
+    if header[4] != magic[4] {
+        return Err(CheckpointError::UnsupportedVersion(header[4]));
+    }
+    let mut word = [0u8; 8];
+    read_exact_or_truncated(r, &mut word)?;
+    let declared = u64::from_le_bytes(word);
+    read_exact_or_truncated(r, &mut word)?;
+    let stored = u64::from_le_bytes(word);
+
+    let mut payload = Vec::new();
+    r.take(declared).read_to_end(&mut payload)?;
+    if (payload.len() as u64) < declared {
+        return Err(CheckpointError::Truncated);
+    }
+    let computed = fnv1a_64(&payload);
+    if computed != stored {
+        return Err(CheckpointError::ChecksumMismatch { stored, computed });
+    }
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(CheckpointError::Corrupt("trailing bytes after payload"));
+    }
+    Ok(payload)
+}
+
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), CheckpointError> {
+    r.read_exact(buf).map_err(CheckpointError::from)
+}
+
+/// A position-independent fingerprint of a trace: length plus FNV-1a
+/// over every record's `(node, op, addr)`. Stored per shard so a
+/// checkpoint refuses to resume against a different trace — or the same
+/// trace partitioned differently.
+pub fn trace_fingerprint(trace: &Trace) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + trace.len() * 11);
+    put_u64(&mut bytes, trace.len() as u64);
+    for r in trace.iter() {
+        put_u16(&mut bytes, r.node.index() as u16);
+        bytes.push(u8::from(r.op.is_write()));
+        put_u64(&mut bytes, r.addr.get());
+    }
+    fnv1a_64(&bytes)
+}
+
+// ---------------------------------------------------------------------
+// Engine snapshots
+// ---------------------------------------------------------------------
+
+/// The complete replayable state of one [`DirectoryEngine`] at a record
+/// boundary.
+///
+/// Captured by [`EngineSnapshot::capture`], restored by
+/// [`EngineSnapshot::restore`]; an engine restored from a snapshot
+/// processes the remaining references exactly as the original would
+/// have. Cache lines are stored least-recently-used first (see
+/// [`Cache::snapshot_lines`](mcc_cache::Cache::snapshot_lines)), so
+/// finite-cache replacement decisions survive the round trip; maps are
+/// stored sorted by block index, so identical states serialize to
+/// identical bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSnapshot {
+    pub(crate) rwitm: bool,
+    pub(crate) steps: u64,
+    pub(crate) injector_rng: Option<u64>,
+    pub(crate) messages: MessageBreakdown,
+    pub(crate) events: EventCounts,
+    /// Per node, `(block index, line state, version)` in restore order.
+    pub(crate) caches: Vec<Vec<(u64, LineState, u64)>>,
+    pub(crate) dir: Vec<(u64, DirEntry)>,
+    pub(crate) mem_version: Vec<(u64, u64)>,
+    pub(crate) latest: Vec<(u64, u64)>,
+}
+
+impl EngineSnapshot {
+    /// Captures the engine's state. Cheap relative to simulation: one
+    /// pass over resident lines and directory entries.
+    pub fn capture(engine: &DirectoryEngine) -> EngineSnapshot {
+        engine.snapshot()
+    }
+
+    /// Rebuilds an engine that will continue exactly where the captured
+    /// one left off.
+    ///
+    /// `protocol`, `config`, and `placement` must be the ones the
+    /// original engine was built with; `faults` is the plan whose
+    /// injector position was captured (`None` if the original ran
+    /// reliable).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCheckpoint`] when the snapshot cannot describe an
+    /// engine of this configuration (wrong node count, lines that do
+    /// not fit the cache geometry, fault-plan presence mismatch).
+    pub fn restore(
+        &self,
+        protocol: Protocol,
+        config: &DirectorySimConfig,
+        placement: PagePlacement,
+        faults: Option<FaultPlan>,
+    ) -> Result<DirectoryEngine, SimError> {
+        DirectoryEngine::from_snapshot(self, protocol, config, placement, faults)
+            .map_err(|reason| SimError::BadCheckpoint { reason })
+    }
+
+    /// References the captured engine had processed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Serializes the snapshot into a payload under construction.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.rwitm));
+        put_u64(out, self.steps);
+        match self.injector_rng {
+            Some(state) => {
+                out.push(1);
+                put_u64(out, state);
+            }
+            None => out.push(0),
+        }
+        for c in [
+            self.messages.read_miss,
+            self.messages.write_miss,
+            self.messages.write_hit,
+            self.messages.eviction,
+            self.messages.nacks,
+            self.messages.retries,
+        ] {
+            put_u64(out, c.control);
+            put_u64(out, c.data);
+        }
+        for v in event_fields(&self.events) {
+            put_u64(out, v);
+        }
+        put_u16(out, self.caches.len() as u16);
+        for lines in &self.caches {
+            put_u64(out, lines.len() as u64);
+            for &(block, state, version) in lines {
+                put_u64(out, block);
+                out.push(line_state_tag(state));
+                put_u64(out, version);
+            }
+        }
+        put_u64(out, self.dir.len() as u64);
+        for &(block, ref e) in &self.dir {
+            put_u64(out, block);
+            put_u64(
+                out,
+                e.copyset.iter().fold(0u64, |m, n| m | (1 << n.index())),
+            );
+            out.push(match e.created {
+                CopiesCreated::Zero => 0,
+                CopiesCreated::One => 1,
+                CopiesCreated::Two => 2,
+                CopiesCreated::ThreeOrMore => 3,
+            });
+            out.push(u8::from(e.migratory));
+            out.push(u8::from(e.dirty));
+            match e.last_invalidator {
+                Some(n) => {
+                    out.push(1);
+                    put_u16(out, n.index() as u16);
+                }
+                None => {
+                    out.push(0);
+                    put_u16(out, 0);
+                }
+            }
+            out.push(e.evidence);
+            out.push(u8::from(e.overflowed));
+        }
+        for map in [&self.mem_version, &self.latest] {
+            put_u64(out, map.len() as u64);
+            for &(block, version) in map {
+                put_u64(out, block);
+                put_u64(out, version);
+            }
+        }
+    }
+
+    /// Decodes a snapshot from a payload reader.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] or [`CheckpointError::Corrupt`]
+    /// on malformed input; never panics.
+    pub fn decode(r: &mut PayloadReader<'_>) -> Result<EngineSnapshot, CheckpointError> {
+        let rwitm = decode_bool(r.u8()?)?;
+        let steps = r.u64()?;
+        let injector_rng = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            _ => return Err(CheckpointError::Corrupt("bad injector presence tag")),
+        };
+        let mut counts = [crate::msg::MessageCount::ZERO; 6];
+        for c in &mut counts {
+            c.control = r.u64()?;
+            c.data = r.u64()?;
+        }
+        let messages = MessageBreakdown {
+            read_miss: counts[0],
+            write_miss: counts[1],
+            write_hit: counts[2],
+            eviction: counts[3],
+            nacks: counts[4],
+            retries: counts[5],
+        };
+        let mut ev = [0u64; 18];
+        for v in &mut ev {
+            *v = r.u64()?;
+        }
+        let events = events_from_fields(&ev);
+        let nodes = r.u16()?;
+        let mut caches = Vec::with_capacity(usize::from(nodes));
+        for _ in 0..nodes {
+            let lines = r.u64()?;
+            let lines = r.check_count(lines, 17)?;
+            let mut v = Vec::with_capacity(lines);
+            for _ in 0..lines {
+                let block = r.u64()?;
+                let state = line_state_from_tag(r.u8()?)?;
+                let version = r.u64()?;
+                v.push((block, state, version));
+            }
+            caches.push(v);
+        }
+        let entries = r.u64()?;
+        let entries = r.check_count(entries, 23)?;
+        let mut dir = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let block = r.u64()?;
+            let mask = r.u64()?;
+            let mut copyset = CopySet::new();
+            for i in 0..64u16 {
+                if mask & (1 << i) != 0 {
+                    copyset.insert(NodeId::new(i));
+                }
+            }
+            let created = match r.u8()? {
+                0 => CopiesCreated::Zero,
+                1 => CopiesCreated::One,
+                2 => CopiesCreated::Two,
+                3 => CopiesCreated::ThreeOrMore,
+                _ => return Err(CheckpointError::Corrupt("bad copies-created tag")),
+            };
+            let migratory = decode_bool(r.u8()?)?;
+            let dirty = decode_bool(r.u8()?)?;
+            let has_invalidator = decode_bool(r.u8()?)?;
+            let invalidator = r.u16()?;
+            let last_invalidator = has_invalidator.then(|| NodeId::new(invalidator));
+            let evidence = r.u8()?;
+            let overflowed = decode_bool(r.u8()?)?;
+            dir.push((
+                block,
+                DirEntry {
+                    copyset,
+                    created,
+                    migratory,
+                    dirty,
+                    last_invalidator,
+                    evidence,
+                    overflowed,
+                },
+            ));
+        }
+        let mut maps = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let n = r.u64()?;
+            let n = r.check_count(n, 16)?;
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push((r.u64()?, r.u64()?));
+            }
+            maps.push(v);
+        }
+        let latest = maps.pop().expect("two maps decoded");
+        let mem_version = maps.pop().expect("two maps decoded");
+        Ok(EngineSnapshot {
+            rwitm,
+            steps,
+            injector_rng,
+            messages,
+            events,
+            caches,
+            dir,
+            mem_version,
+            latest,
+        })
+    }
+}
+
+fn decode_bool(b: u8) -> Result<bool, CheckpointError> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(CheckpointError::Corrupt("bad boolean tag")),
+    }
+}
+
+const fn line_state_tag(s: LineState) -> u8 {
+    match s {
+        LineState::Shared => 0,
+        LineState::Exclusive => 1,
+        LineState::MigratoryClean => 2,
+        LineState::Dirty => 3,
+    }
+}
+
+fn line_state_from_tag(tag: u8) -> Result<LineState, CheckpointError> {
+    match tag {
+        0 => Ok(LineState::Shared),
+        1 => Ok(LineState::Exclusive),
+        2 => Ok(LineState::MigratoryClean),
+        3 => Ok(LineState::Dirty),
+        _ => Err(CheckpointError::Corrupt("bad line-state tag")),
+    }
+}
+
+fn event_fields(e: &EventCounts) -> [u64; 18] {
+    [
+        e.read_hits,
+        e.silent_write_hits,
+        e.write_grants_used,
+        e.exclusive_upgrades,
+        e.shared_upgrades,
+        e.read_misses,
+        e.write_misses,
+        e.migrations,
+        e.replications,
+        e.invalidations,
+        e.clean_drops,
+        e.writebacks,
+        e.became_migratory,
+        e.became_other,
+        e.broadcast_invalidations,
+        e.nacks,
+        e.retries,
+        e.backoff_units,
+    ]
+}
+
+fn events_from_fields(v: &[u64; 18]) -> EventCounts {
+    EventCounts {
+        read_hits: v[0],
+        silent_write_hits: v[1],
+        write_grants_used: v[2],
+        exclusive_upgrades: v[3],
+        shared_upgrades: v[4],
+        read_misses: v[5],
+        write_misses: v[6],
+        migrations: v[7],
+        replications: v[8],
+        invalidations: v[9],
+        clean_drops: v[10],
+        writebacks: v[11],
+        became_migratory: v[12],
+        became_other: v[13],
+        broadcast_invalidations: v[14],
+        nacks: v[15],
+        retries: v[16],
+        backoff_units: v[17],
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol / configuration / fault-plan wire forms
+// ---------------------------------------------------------------------
+
+fn encode_protocol(out: &mut Vec<u8>, p: Protocol) {
+    match p {
+        Protocol::Conventional => out.push(0),
+        Protocol::Conservative => out.push(1),
+        Protocol::Basic => out.push(2),
+        Protocol::Aggressive => out.push(3),
+        Protocol::PureMigratory => out.push(4),
+        Protocol::Custom(policy) => {
+            out.push(5);
+            out.push(u8::from(policy.initial_migratory));
+            out.push(policy.events_required);
+            out.push(u8::from(policy.remember_when_uncached));
+            out.push(u8::from(policy.demote_on_write_miss));
+        }
+    }
+}
+
+fn decode_protocol(r: &mut PayloadReader<'_>) -> Result<Protocol, CheckpointError> {
+    Ok(match r.u8()? {
+        0 => Protocol::Conventional,
+        1 => Protocol::Conservative,
+        2 => Protocol::Basic,
+        3 => Protocol::Aggressive,
+        4 => Protocol::PureMigratory,
+        5 => Protocol::Custom(AdaptivePolicy {
+            initial_migratory: decode_bool(r.u8()?)?,
+            events_required: r.u8()?,
+            remember_when_uncached: decode_bool(r.u8()?)?,
+            demote_on_write_miss: decode_bool(r.u8()?)?,
+        }),
+        _ => return Err(CheckpointError::Corrupt("bad protocol tag")),
+    })
+}
+
+fn encode_config(out: &mut Vec<u8>, c: &DirectorySimConfig) {
+    put_u16(out, c.nodes);
+    out.push(c.block_size.log2() as u8);
+    match c.cache {
+        CacheConfig::Infinite => out.push(0),
+        CacheConfig::Finite(g) => {
+            out.push(1);
+            put_u64(out, g.size_bytes());
+            put_u32(out, g.associativity());
+        }
+    }
+    out.push(match c.placement {
+        PlacementPolicy::RoundRobin => 0,
+        PlacementPolicy::FirstTouch => 1,
+        PlacementPolicy::Profiled => 2,
+    });
+    match c.directory {
+        DirectoryRepr::FullMap => {
+            out.push(0);
+            out.push(0);
+        }
+        DirectoryRepr::LimitedPointer { pointers } => {
+            out.push(1);
+            out.push(pointers);
+        }
+    }
+}
+
+fn decode_config(r: &mut PayloadReader<'_>) -> Result<DirectorySimConfig, CheckpointError> {
+    let nodes = r.u16()?;
+    let block_size = BlockSize::new(1u64 << r.u8()?.min(63))
+        .ok_or(CheckpointError::Corrupt("bad block size"))?;
+    let cache = match r.u8()? {
+        0 => CacheConfig::Infinite,
+        1 => {
+            let size_bytes = r.u64()?;
+            let associativity = r.u32()?;
+            CacheConfig::Finite(
+                CacheGeometry::new(size_bytes, block_size, associativity)
+                    .map_err(|_| CheckpointError::Corrupt("impossible cache geometry"))?,
+            )
+        }
+        _ => return Err(CheckpointError::Corrupt("bad cache tag")),
+    };
+    let placement = match r.u8()? {
+        0 => PlacementPolicy::RoundRobin,
+        1 => PlacementPolicy::FirstTouch,
+        2 => PlacementPolicy::Profiled,
+        _ => return Err(CheckpointError::Corrupt("bad placement tag")),
+    };
+    let directory = match (r.u8()?, r.u8()?) {
+        (0, _) => DirectoryRepr::FullMap,
+        (1, pointers) => DirectoryRepr::LimitedPointer { pointers },
+        _ => return Err(CheckpointError::Corrupt("bad directory tag")),
+    };
+    Ok(DirectorySimConfig {
+        nodes,
+        block_size,
+        cache,
+        placement,
+        directory,
+    })
+}
+
+fn encode_fault_plan(out: &mut Vec<u8>, plan: Option<&FaultPlan>) {
+    match plan {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_u64(out, p.seed);
+            for rates in [p.request, p.response, p.invalidation] {
+                put_u32(out, rates.drop_ppm);
+                put_u32(out, rates.nack_ppm);
+                put_u32(out, rates.delay_ppm);
+                put_u32(out, rates.duplicate_ppm);
+            }
+            put_u32(out, p.max_retries);
+            put_u64(out, p.max_total_backoff);
+        }
+    }
+}
+
+fn decode_fault_plan(r: &mut PayloadReader<'_>) -> Result<Option<FaultPlan>, CheckpointError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let seed = r.u64()?;
+            let mut rates = [FaultRates::RELIABLE; 3];
+            for x in &mut rates {
+                x.drop_ppm = r.u32()?;
+                x.nack_ppm = r.u32()?;
+                x.delay_ppm = r.u32()?;
+                x.duplicate_ppm = r.u32()?;
+            }
+            Ok(Some(FaultPlan {
+                seed,
+                request: rates[0],
+                response: rates[1],
+                invalidation: rates[2],
+                max_retries: r.u32()?,
+                max_total_backoff: r.u64()?,
+            }))
+        }
+        _ => Err(CheckpointError::Corrupt("bad fault-plan presence tag")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------
+
+/// One shard's progress: how far into its sub-trace it got, the
+/// sub-trace's fingerprint, and the engine state at that boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSnapshot {
+    pub(crate) cursor: u64,
+    pub(crate) trace_len: u64,
+    pub(crate) trace_hash: u64,
+    pub(crate) engine: EngineSnapshot,
+}
+
+impl ShardSnapshot {
+    /// Records of this shard's sub-trace already processed.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Records in this shard's sub-trace.
+    pub fn trace_len(&self) -> u64 {
+        self.trace_len
+    }
+}
+
+/// A complete, resumable snapshot of a directory simulation in flight.
+///
+/// Produced by [`DirectorySim::run_resumable`] (written to disk every N
+/// records) and [`DirectorySim::checkpoint_after`]; consumed by
+/// [`DirectorySim::resume_from`]. Carries the run's identity (protocol,
+/// configuration, fault plan, shard count) so a snapshot cannot be
+/// silently applied to the wrong run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    pub(crate) protocol: Protocol,
+    pub(crate) config: DirectorySimConfig,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) shards: Vec<ShardSnapshot>,
+}
+
+impl Checkpoint {
+    /// The protocol the snapshotted run simulates.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of shards the run was partitioned into (1 = sequential).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard progress snapshots.
+    pub fn shards(&self) -> &[ShardSnapshot] {
+        &self.shards
+    }
+
+    /// Total records already processed across all shards.
+    pub fn completed_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.cursor).sum()
+    }
+
+    /// Total records of the partitioned trace.
+    pub fn total_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.trace_len).sum()
+    }
+
+    /// Whether every shard has consumed its whole sub-trace (resuming
+    /// returns the final result without replaying anything).
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| s.cursor == s.trace_len)
+    }
+
+    /// Serializes the checkpoint to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure of the writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CheckpointError> {
+        let mut payload = Vec::new();
+        encode_protocol(&mut payload, self.protocol);
+        encode_config(&mut payload, &self.config);
+        encode_fault_plan(&mut payload, self.faults.as_ref());
+        put_u32(&mut payload, self.shards.len() as u32);
+        for s in &self.shards {
+            put_u64(&mut payload, s.cursor);
+            put_u64(&mut payload, s.trace_len);
+            put_u64(&mut payload, s.trace_hash);
+            s.engine.encode_into(&mut payload);
+        }
+        write_envelope(w, CHECKPOINT_MAGIC, &payload)
+    }
+
+    /// Deserializes a checkpoint from a reader, verifying magic,
+    /// version, length, and checksum.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CheckpointError`] for every way the input can be
+    /// malformed; never panics.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Checkpoint, CheckpointError> {
+        let payload = read_envelope(r, CHECKPOINT_MAGIC)?;
+        let mut r = PayloadReader::new(&payload);
+        let protocol = decode_protocol(&mut r)?;
+        let config = decode_config(&mut r)?;
+        let faults = decode_fault_plan(&mut r)?;
+        let count = r.u32()?;
+        let count = r.check_count(u64::from(count), 24)?;
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            let cursor = r.u64()?;
+            let trace_len = r.u64()?;
+            let trace_hash = r.u64()?;
+            let engine = EngineSnapshot::decode(&mut r)?;
+            if cursor > trace_len {
+                return Err(CheckpointError::Corrupt("cursor beyond sub-trace length"));
+            }
+            if engine.steps != cursor {
+                return Err(CheckpointError::Corrupt(
+                    "engine steps disagree with cursor",
+                ));
+            }
+            shards.push(ShardSnapshot {
+                cursor,
+                trace_len,
+                trace_hash,
+                engine,
+            });
+        }
+        if shards.is_empty() {
+            return Err(CheckpointError::Corrupt("checkpoint with zero shards"));
+        }
+        r.finish()?;
+        Ok(Checkpoint {
+            protocol,
+            config,
+            faults,
+            shards,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: the bytes land in a
+    /// sibling temporary file first and are renamed into place, so a
+    /// crash mid-write leaves the previous checkpoint intact rather
+    /// than a truncated one.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let tmp = sibling_tmp_path(path);
+        let mut bytes = Vec::new();
+        self.write_to(&mut bytes)?;
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, path).map_err(CheckpointError::from)
+    }
+
+    /// Reads a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checkpoint::read_from`]; file-open failures surface as
+    /// [`CheckpointError::Io`].
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let bytes = fs::read(path).map_err(CheckpointError::Io)?;
+        Checkpoint::read_from(&mut bytes.as_slice())
+    }
+}
+
+fn sibling_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// When and where [`DirectorySim::run_resumable`] writes snapshots.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Snapshot every `every` records (per shard, measured from the
+    /// start of the sub-trace, so resumed runs checkpoint at the same
+    /// boundaries). `0` disables periodic snapshots; the final complete
+    /// snapshot is still written.
+    pub every: u64,
+    /// File the snapshot is (atomically) written to.
+    pub path: PathBuf,
+}
+
+impl CheckpointPolicy {
+    /// Snapshot every `every` records into `path`.
+    pub fn new(every: u64, path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            every,
+            path: path.into(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Resumable runs
+// ---------------------------------------------------------------------
+
+/// Shared progress ledger the shards of a resumable run write through:
+/// a checkpoint file always contains *every* shard's latest snapshot,
+/// taken under one lock, so a kill at any moment leaves a consistent
+/// (if per-shard uneven) file behind.
+struct Ledger<'a> {
+    sim: &'a DirectorySim,
+    policy: &'a CheckpointPolicy,
+    shards: Mutex<Vec<ShardSnapshot>>,
+}
+
+impl Ledger<'_> {
+    fn publish(&self, shard: usize, snapshot: ShardSnapshot) -> Result<(), SimError> {
+        let mut shards = self.shards.lock().expect("ledger lock poisoned");
+        shards[shard] = snapshot;
+        let checkpoint = Checkpoint {
+            protocol: self.sim.protocol,
+            config: self.sim.config,
+            faults: self.sim.faults,
+            shards: shards.clone(),
+        };
+        checkpoint
+            .save(&self.policy.path)
+            .map_err(|e| SimError::BadCheckpoint {
+                reason: format!("writing {}: {e}", self.policy.path.display()),
+            })
+    }
+}
+
+impl DirectorySim {
+    /// Runs the trace with periodic crash-safe snapshots, producing
+    /// exactly the result of an uninterrupted [`DirectorySim::try_run`]
+    /// (for `shards == 1`) or [`DirectorySim::try_run_sharded`] (for
+    /// `shards > 1`).
+    ///
+    /// A snapshot is written atomically to `policy.path` every
+    /// `policy.every` records per shard, and once more on completion.
+    /// If the process dies at any point, [`DirectorySim::resume_from`]
+    /// with the last snapshot replays only the unprocessed tail and
+    /// reaches a bit-identical [`SimResult`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DirectorySim::try_run_sharded`] can report, plus
+    /// [`SimError::BadCheckpoint`] when a snapshot cannot be written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn run_resumable(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        policy: &CheckpointPolicy,
+    ) -> Result<SimResult, SimError> {
+        self.resumable(trace, shards, None, Some(policy))
+    }
+
+    /// Continues a run from `checkpoint`, replaying only the
+    /// unprocessed tail of each shard's sub-trace. Pass the *same*
+    /// trace the original run was given — a fingerprint mismatch is
+    /// rejected with [`SimError::BadCheckpoint`]. When `policy` is
+    /// given, the resumed run keeps writing snapshots at the same
+    /// absolute boundaries the original would have.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCheckpoint`] when the snapshot does not belong to
+    /// this simulation (protocol, configuration, fault plan, shard
+    /// count, or trace differ), plus everything the replay itself can
+    /// report.
+    pub fn resume_from(
+        &self,
+        trace: &Trace,
+        checkpoint: &Checkpoint,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<SimResult, SimError> {
+        self.resumable(trace, checkpoint.shard_count(), Some(checkpoint), policy)
+    }
+
+    /// Replays the first `records` references (per shard, clamped to
+    /// each sub-trace's length) and captures the state as a
+    /// [`Checkpoint`], without touching the filesystem. This is the
+    /// programmatic kill: the returned snapshot is byte-for-byte what
+    /// [`DirectorySim::run_resumable`] would have persisted at that
+    /// boundary, which makes every-boundary resume-equivalence tests
+    /// cheap to express.
+    ///
+    /// # Errors
+    ///
+    /// Everything the replayed prefix can report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn checkpoint_after(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        records: u64,
+    ) -> Result<Checkpoint, SimError> {
+        assert!(shards > 0, "shard count must be positive");
+        self.check_shardable(shards)?;
+        let placement = self.resolve_placement(trace);
+        let subs = self.subtraces(trace, shards);
+        let mut snapshots = Vec::with_capacity(shards);
+        for (id, sub) in subs.iter().enumerate() {
+            let cut = records.min(sub.len() as u64);
+            let mut engine = self.fresh_engine(placement.clone(), id as u32, shards);
+            for r in sub.iter().take(cut as usize) {
+                engine.try_step(*r)?;
+            }
+            snapshots.push(ShardSnapshot {
+                cursor: cut,
+                trace_len: sub.len() as u64,
+                trace_hash: trace_fingerprint(sub),
+                engine: EngineSnapshot::capture(&engine),
+            });
+        }
+        Ok(Checkpoint {
+            protocol: self.protocol,
+            config: self.config,
+            faults: self.faults,
+            shards: snapshots,
+        })
+    }
+
+    fn check_shardable(&self, shards: usize) -> Result<(), SimError> {
+        if shards > 1 && self.config.cache != CacheConfig::Infinite {
+            return Err(SimError::ShardingUnsupported {
+                reason: "finite caches couple blocks through set eviction; \
+                         sharded runs require CacheConfig::Infinite",
+            });
+        }
+        Ok(())
+    }
+
+    /// The per-shard sub-traces of a resumable run. A 1-shard run is
+    /// the sequential engine over the whole trace (matching
+    /// [`DirectorySim::try_run`], including its fault stream); K > 1
+    /// partitions by block exactly as the sharded engine does.
+    fn subtraces(&self, trace: &Trace, shards: usize) -> Vec<Trace> {
+        if shards == 1 {
+            vec![trace.clone()]
+        } else {
+            trace.partition_by_block(self.config.block_size, shards)
+        }
+    }
+
+    /// The engine a fresh (non-resumed) shard of a resumable run
+    /// starts from. Sequential runs draw the base fault stream, like
+    /// [`DirectorySim::try_run`]; sharded runs derive per-shard streams,
+    /// like [`DirectorySim::try_run_sharded`].
+    fn fresh_engine(
+        &self,
+        placement: PagePlacement,
+        shard_id: u32,
+        shards: usize,
+    ) -> DirectoryEngine {
+        let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
+        if let Some(plan) = self.faults {
+            let plan = if shards == 1 {
+                plan
+            } else {
+                plan.for_shard(shard_id)
+            };
+            engine = engine.with_faults(plan);
+        }
+        engine
+    }
+
+    /// The shard fault plan used to *restore* an injector: must mirror
+    /// [`DirectorySim::fresh_engine`]'s choice.
+    fn shard_plan(&self, shard_id: u32, shards: usize) -> Option<FaultPlan> {
+        self.faults.map(|plan| {
+            if shards == 1 {
+                plan
+            } else {
+                plan.for_shard(shard_id)
+            }
+        })
+    }
+
+    fn resumable(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        start: Option<&Checkpoint>,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<SimResult, SimError> {
+        assert!(shards > 0, "shard count must be positive");
+        self.check_shardable(shards)?;
+        if let Some(ckpt) = start {
+            self.validate_identity(ckpt)?;
+        }
+
+        let placement = self.resolve_placement(trace);
+        let subs = self.subtraces(trace, shards);
+
+        // Validate each shard's sub-trace against the snapshot before
+        // rebuilding any engine state.
+        if let Some(ckpt) = start {
+            for (id, (sub, snap)) in subs.iter().zip(&ckpt.shards).enumerate() {
+                if snap.trace_len != sub.len() as u64 {
+                    return Err(SimError::BadCheckpoint {
+                        reason: format!(
+                            "shard {id}: snapshot covers {} records but the trace partitions \
+                             into {}",
+                            snap.trace_len,
+                            sub.len()
+                        ),
+                    });
+                }
+                if snap.trace_hash != trace_fingerprint(sub) {
+                    return Err(SimError::BadCheckpoint {
+                        reason: format!("shard {id}: trace fingerprint mismatch"),
+                    });
+                }
+            }
+        }
+
+        let initial: Vec<ShardSnapshot> = match start {
+            Some(ckpt) => ckpt.shards.clone(),
+            None => subs
+                .iter()
+                .enumerate()
+                .map(|(id, sub)| ShardSnapshot {
+                    cursor: 0,
+                    trace_len: sub.len() as u64,
+                    trace_hash: trace_fingerprint(sub),
+                    engine: EngineSnapshot::capture(&self.fresh_engine(
+                        placement.clone(),
+                        id as u32,
+                        shards,
+                    )),
+                })
+                .collect(),
+        };
+
+        let ledger = policy.map(|p| Ledger {
+            sim: self,
+            policy: p,
+            shards: Mutex::new(initial.clone()),
+        });
+
+        let run_one = |id: usize, sub: &Trace| -> Result<SimResult, SimError> {
+            let snap = &initial[id];
+            let mut engine = snap.engine.restore(
+                self.protocol,
+                &self.config,
+                placement.clone(),
+                self.shard_plan(id as u32, shards),
+            )?;
+            let every = policy.map_or(0, |p| p.every);
+            let mut cursor = snap.cursor as usize;
+            for r in sub.iter().skip(cursor) {
+                engine.try_step(*r)?;
+                cursor += 1;
+                if every > 0 && cursor.is_multiple_of(every as usize) && cursor < sub.len() {
+                    if let Some(ledger) = &ledger {
+                        ledger.publish(
+                            id,
+                            ShardSnapshot {
+                                cursor: cursor as u64,
+                                trace_len: snap.trace_len,
+                                trace_hash: snap.trace_hash,
+                                engine: EngineSnapshot::capture(&engine),
+                            },
+                        )?;
+                    }
+                }
+            }
+            engine.verify()?;
+            if let Some(ledger) = &ledger {
+                ledger.publish(
+                    id,
+                    ShardSnapshot {
+                        cursor: cursor as u64,
+                        trace_len: snap.trace_len,
+                        trace_hash: snap.trace_hash,
+                        engine: EngineSnapshot::capture(&engine),
+                    },
+                )?;
+            }
+            Ok(engine.finish())
+        };
+
+        let outcomes: Vec<Result<SimResult, SimError>> = if shards == 1 {
+            vec![run_one(0, &subs[0])]
+        } else {
+            thread::scope(|scope| {
+                let run_one = &run_one;
+                let handles: Vec<_> = subs
+                    .iter()
+                    .enumerate()
+                    .map(|(id, sub)| scope.spawn(move || run_one(id, sub)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("resumable shard thread panicked"))
+                    .collect()
+            })
+        };
+
+        let mut merged = SimResult::empty(self.protocol);
+        for outcome in outcomes {
+            merged += outcome?;
+        }
+        Ok(merged)
+    }
+
+    fn validate_identity(&self, ckpt: &Checkpoint) -> Result<(), SimError> {
+        if ckpt.protocol != self.protocol {
+            return Err(SimError::BadCheckpoint {
+                reason: format!(
+                    "snapshot is of protocol {} but this run simulates {}",
+                    ckpt.protocol, self.protocol
+                ),
+            });
+        }
+        if ckpt.config != self.config {
+            return Err(SimError::BadCheckpoint {
+                reason: "snapshot configuration differs from this run's".to_string(),
+            });
+        }
+        if ckpt.faults != self.faults {
+            return Err(SimError::BadCheckpoint {
+                reason: "snapshot fault plan differs from this run's".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::{Addr, MemRef};
+
+    fn small_trace() -> Trace {
+        let mut t = Trace::new();
+        for round in 0..30u64 {
+            for obj in 0..6u64 {
+                let node = NodeId::new(((round + obj) % 4) as u16);
+                let addr = Addr::new(obj * 64);
+                t.push(MemRef::read(node, addr));
+                t.push(MemRef::write(node, addr));
+            }
+        }
+        t
+    }
+
+    fn config() -> DirectorySimConfig {
+        DirectorySimConfig {
+            nodes: 4,
+            ..DirectorySimConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let trace = small_trace();
+        let sim = DirectorySim::new(Protocol::Aggressive, &config())
+            .with_faults(FaultPlan::uniform(5, 40_000));
+        let ckpt = sim.checkpoint_after(&trace, 1, 100).unwrap();
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).unwrap();
+        let back = Checkpoint::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.completed_records(), 100);
+        assert_eq!(back.total_records(), trace.len() as u64);
+        assert!(!back.is_complete());
+    }
+
+    #[test]
+    fn resume_matches_straight_run_at_a_boundary() {
+        let trace = small_trace();
+        for shards in [1usize, 3] {
+            let sim = DirectorySim::new(Protocol::Basic, &config());
+            let straight = if shards == 1 {
+                sim.try_run(&trace).unwrap()
+            } else {
+                sim.try_run_sharded(&trace, shards).unwrap()
+            };
+            let ckpt = sim.checkpoint_after(&trace, shards, 77).unwrap();
+            let resumed = sim.resume_from(&trace, &ckpt, None).unwrap();
+            assert_eq!(resumed, straight, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_the_wrong_identity() {
+        let trace = small_trace();
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let ckpt = sim.checkpoint_after(&trace, 1, 50).unwrap();
+
+        let other = DirectorySim::new(Protocol::Conventional, &config());
+        match other.resume_from(&trace, &ckpt, None) {
+            Err(SimError::BadCheckpoint { reason }) => {
+                assert!(reason.contains("protocol"), "{reason}");
+            }
+            other => panic!("expected BadCheckpoint, got {other:?}"),
+        }
+
+        let mut tampered = trace.clone();
+        tampered.push(MemRef::read(NodeId::new(0), Addr::new(0x7777)));
+        match sim.resume_from(&tampered, &ckpt, None) {
+            Err(SimError::BadCheckpoint { reason }) => {
+                assert!(
+                    reason.contains("records") || reason.contains("fingerprint"),
+                    "{reason}"
+                );
+            }
+            other => panic!("expected BadCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_shard_count() {
+        let trace = small_trace();
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let ckpt = sim.checkpoint_after(&trace, 2, 40).unwrap();
+        // Resuming uses the snapshot's own shard count; repartitioning
+        // the same trace 3 ways must be caught by the fingerprints if
+        // the snapshot is doctored.
+        let mut doctored = ckpt.clone();
+        doctored.shards.pop();
+        match sim.resume_from(&trace, &doctored, None) {
+            Err(SimError::BadCheckpoint { .. }) => {}
+            other => panic!("expected BadCheckpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_resumable_writes_a_loadable_final_checkpoint() {
+        let trace = small_trace();
+        let path = std::env::temp_dir().join(format!(
+            "mcc-ckpt-test-{}-{}.mcck",
+            std::process::id(),
+            line!()
+        ));
+        let sim = DirectorySim::new(Protocol::Conservative, &config());
+        let policy = CheckpointPolicy::new(64, &path);
+        let result = sim.run_resumable(&trace, 1, &policy).unwrap();
+        assert_eq!(result, sim.try_run(&trace).unwrap());
+
+        let ckpt = Checkpoint::load(&path).unwrap();
+        assert!(ckpt.is_complete());
+        // Resuming a complete checkpoint replays nothing and agrees.
+        assert_eq!(sim.resume_from(&trace, &ckpt, None).unwrap(), result);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces() {
+        let a = small_trace();
+        let mut b = small_trace();
+        b.push(MemRef::write(NodeId::new(1), Addr::new(64)));
+        assert_ne!(trace_fingerprint(&a), trace_fingerprint(&b));
+        assert_eq!(trace_fingerprint(&a), trace_fingerprint(&small_trace()));
+    }
+
+    #[test]
+    fn envelope_rejects_tampering_with_typed_errors() {
+        let trace = small_trace();
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let ckpt = sim.checkpoint_after(&trace, 1, 10).unwrap();
+        let mut bytes = Vec::new();
+        ckpt.write_to(&mut bytes).unwrap();
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Checkpoint::read_from(&mut bad.as_slice()),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            Checkpoint::read_from(&mut bad.as_slice()),
+            Err(CheckpointError::UnsupportedVersion(9))
+        ));
+
+        // Truncation.
+        let bad = &bytes[..bytes.len() - 1];
+        assert!(matches!(
+            Checkpoint::read_from(&mut &bad[..]),
+            Err(CheckpointError::Truncated)
+        ));
+
+        // Payload bit flip.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            Checkpoint::read_from(&mut bad.as_slice()),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        // Trailing garbage after the payload.
+        let mut bad = bytes.clone();
+        bad.push(0xEE);
+        assert!(matches!(
+            Checkpoint::read_from(&mut bad.as_slice()),
+            Err(CheckpointError::Corrupt(_))
+        ));
+    }
+}

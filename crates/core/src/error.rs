@@ -170,6 +170,32 @@ pub enum SimError {
         /// Why the configuration cannot shard.
         reason: &'static str,
     },
+    /// A shard thread of a supervised parallel run panicked. The panic
+    /// was caught at the shard boundary: other shards' results survive
+    /// and are salvaged by the supervisor.
+    ShardPanicked {
+        /// Index of the shard whose thread panicked.
+        shard: u32,
+        /// The panic payload, when it was a string (the overwhelmingly
+        /// common case); a fixed placeholder otherwise.
+        message: String,
+    },
+    /// A shard of a supervised parallel run exceeded its wall-clock
+    /// budget. The supervisor stops waiting and reports the shards that
+    /// did finish; the stuck thread is abandoned, never joined.
+    ShardTimedOut {
+        /// Index of the shard that blew its deadline.
+        shard: u32,
+        /// The wall-clock budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A checkpoint could not be used or produced: the snapshot does
+    /// not match the run being resumed (different trace, protocol,
+    /// configuration, or shard count), or writing it to disk failed.
+    BadCheckpoint {
+        /// Human-readable diagnosis of the mismatch or I/O failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -202,6 +228,15 @@ impl fmt::Display for SimError {
             ),
             SimError::ShardingUnsupported { reason } => {
                 write!(f, "configuration cannot run sharded: {reason}")
+            }
+            SimError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} panicked: {message}")
+            }
+            SimError::ShardTimedOut { shard, budget_ms } => {
+                write!(f, "shard {shard} exceeded its {budget_ms} ms deadline")
+            }
+            SimError::BadCheckpoint { reason } => {
+                write!(f, "checkpoint unusable: {reason}")
             }
         }
     }
@@ -285,6 +320,32 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("cannot run sharded"), "{s}");
         assert!(s.contains("finite caches"), "{s}");
+    }
+
+    #[test]
+    fn supervision_errors_display_the_diagnosis() {
+        let p = SimError::ShardPanicked {
+            shard: 3,
+            message: "CopySet supports at most 64 nodes".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("shard 3 panicked"), "{s}");
+        assert!(s.contains("at most 64 nodes"), "{s}");
+
+        let t = SimError::ShardTimedOut {
+            shard: 1,
+            budget_ms: 250,
+        };
+        let s = t.to_string();
+        assert!(s.contains("shard 1"), "{s}");
+        assert!(s.contains("250 ms"), "{s}");
+
+        let c = SimError::BadCheckpoint {
+            reason: "trace fingerprint mismatch".into(),
+        };
+        let s = c.to_string();
+        assert!(s.contains("checkpoint unusable"), "{s}");
+        assert!(s.contains("fingerprint"), "{s}");
     }
 
     #[test]

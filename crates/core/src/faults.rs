@@ -239,9 +239,25 @@ impl FaultInjector {
         }
     }
 
+    /// Recreates an injector mid-stream from a checkpointed
+    /// [`FaultInjector::rng_state`]. The resumed injector draws exactly
+    /// the verdicts the original would have drawn next.
+    pub fn resume(plan: FaultPlan, rng_state: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: SplitMix64::new(rng_state),
+        }
+    }
+
     /// The plan this injector draws from.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// The injector's current PRNG stream position, for checkpointing.
+    /// Feed it back through [`FaultInjector::resume`].
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
     }
 
     /// Subjects one delivery attempt of a transaction to the plan.
@@ -488,6 +504,19 @@ mod tests {
             FaultPlan::uniform(1, 0).for_shard(3).seed,
             FaultPlan::uniform(2, 0).for_shard(3).seed
         );
+    }
+
+    #[test]
+    fn resume_continues_the_fault_stream_exactly() {
+        let plan = FaultPlan::uniform(13, 150_000);
+        let mut a = FaultInjector::new(plan);
+        for _ in 0..500 {
+            a.attempt(SHAPE);
+        }
+        let mut b = FaultInjector::resume(plan, a.rng_state());
+        for _ in 0..500 {
+            assert_eq!(a.attempt(SHAPE), b.attempt(SHAPE));
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod directory;
 mod error;
 mod faults;
@@ -66,6 +67,9 @@ mod sim;
 mod sim_parallel;
 mod storage;
 
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointPolicy, EngineSnapshot, ShardSnapshot,
+};
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};
 pub use error::{SimError, Violation, ViolationKind};
 pub use faults::{
@@ -82,4 +86,5 @@ pub use sim::{
     DirectoryEngine, DirectorySim, DirectorySimConfig, LineState, PlacementPolicy, StepInfo,
     StepKind,
 };
+pub use sim_parallel::ShardedReport;
 pub use storage::DirEntryLayout;

@@ -255,12 +255,20 @@ impl DirectorySim {
         Ok(engine.finish())
     }
 
-    fn build_engine(&self, trace: &Trace) -> DirectoryEngine {
-        let placement = match self.config.placement {
+    /// Resolves the page placement exactly as an end-to-end run would:
+    /// trace-derived policies (profiled, first-touch) always profile
+    /// the *full* trace, which is what keeps sharded and resumed runs
+    /// bit-identical to sequential ones.
+    pub(crate) fn resolve_placement(&self, trace: &Trace) -> PagePlacement {
+        match self.config.placement {
             PlacementPolicy::RoundRobin => PagePlacement::round_robin(self.config.nodes),
             PlacementPolicy::FirstTouch => PagePlacement::first_touch(trace, self.config.nodes),
             PlacementPolicy::Profiled => PagePlacement::profiled(trace, self.config.nodes),
-        };
+        }
+    }
+
+    fn build_engine(&self, trace: &Trace) -> DirectoryEngine {
+        let placement = self.resolve_placement(trace);
         let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             engine = engine.with_faults(plan);
@@ -353,6 +361,102 @@ impl DirectoryEngine {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(FaultInjector::new(plan));
         self
+    }
+
+    /// Captures the engine's complete replayable state for a
+    /// checkpoint: cache residency in LRU order, directory entries and
+    /// version tables in block order, accumulated counters, and the
+    /// fault injector's stream position.
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::EngineSnapshot {
+        let mut dir: Vec<(u64, DirEntry)> = self.dir.iter().map(|(b, e)| (b.index(), *e)).collect();
+        dir.sort_by_key(|&(b, _)| b);
+        let mut mem_version: Vec<(u64, u64)> = self
+            .mem_version
+            .iter()
+            .map(|(b, v)| (b.index(), *v))
+            .collect();
+        mem_version.sort_unstable();
+        let mut latest: Vec<(u64, u64)> =
+            self.latest.iter().map(|(b, v)| (b.index(), *v)).collect();
+        latest.sort_unstable();
+        crate::checkpoint::EngineSnapshot {
+            rwitm: self.rwitm,
+            steps: self.steps,
+            injector_rng: self.faults.as_ref().map(|f| f.rng_state()),
+            messages: self.messages,
+            events: self.events,
+            caches: self
+                .caches
+                .iter()
+                .map(|c| {
+                    c.snapshot_lines()
+                        .into_iter()
+                        .map(|(b, l)| (b.index(), l.state, l.version))
+                        .collect()
+                })
+                .collect(),
+            dir,
+            mem_version,
+            latest,
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot so it continues exactly where
+    /// the captured one left off. The error string diagnoses snapshots
+    /// that cannot describe an engine of this configuration.
+    pub(crate) fn from_snapshot(
+        snap: &crate::checkpoint::EngineSnapshot,
+        protocol: Protocol,
+        config: &DirectorySimConfig,
+        placement: PagePlacement,
+        faults: Option<FaultPlan>,
+    ) -> Result<DirectoryEngine, String> {
+        let mut engine = DirectoryEngine::new(protocol, config, placement);
+        if snap.caches.len() != usize::from(config.nodes) {
+            return Err(format!(
+                "snapshot has {} node caches but the configuration has {} nodes",
+                snap.caches.len(),
+                config.nodes
+            ));
+        }
+        for (node, lines) in snap.caches.iter().enumerate() {
+            for &(block, state, version) in lines {
+                let block = BlockAddr::new(block);
+                if engine.caches[node].contains(block) {
+                    return Err(format!("duplicate cache line for {block} at node {node}"));
+                }
+                if engine.caches[node]
+                    .insert(block, Line { state, version })
+                    .is_some()
+                {
+                    return Err("cache snapshot does not fit the configured geometry".to_string());
+                }
+            }
+        }
+        for &(block, entry) in &snap.dir {
+            engine.dir.insert(BlockAddr::new(block), entry);
+        }
+        for &(block, version) in &snap.mem_version {
+            engine.mem_version.insert(BlockAddr::new(block), version);
+        }
+        for &(block, version) in &snap.latest {
+            engine.latest.insert(BlockAddr::new(block), version);
+        }
+        engine.rwitm = snap.rwitm;
+        engine.steps = snap.steps;
+        engine.messages = snap.messages;
+        engine.events = snap.events;
+        engine.faults = match (faults, snap.injector_rng) {
+            (Some(plan), Some(state)) => Some(FaultInjector::resume(plan, state)),
+            (None, None) => None,
+            (Some(_), None) => {
+                return Err("run has a fault plan but the snapshot captured no injector".into())
+            }
+            (None, Some(_)) => {
+                return Err("snapshot captured a fault injector but the run has no plan".into())
+            }
+        };
+        Ok(engine)
     }
 
     /// Processes one reference and reports how it resolved.

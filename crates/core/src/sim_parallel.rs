@@ -36,8 +36,23 @@
 //! [`SimResult::empty`]: thread completion order never influences the
 //! output, and when several shards fail, the error of the
 //! lowest-indexed shard is reported deterministically.
+//!
+//! All sharded entry points run through one *supervised* core
+//! ([`DirectorySim::run_supervised`]): every shard thread is detached
+//! and isolated behind `catch_unwind`, so a panicking shard becomes a
+//! typed [`SimError::ShardPanicked`] while the other shards' results
+//! are salvaged into a [`ShardedReport`]; an optional wall-clock
+//! deadline turns a wedged shard into [`SimError::ShardTimedOut`]
+//! rather than a hang. [`DirectorySim::try_run_auto`] adds graceful
+//! degradation: configurations that cannot shard (finite caches) fall
+//! back to the sequential engine and report the reason instead of
+//! erroring.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use mcc_cache::CacheConfig;
 use mcc_placement::PagePlacement;
@@ -45,11 +60,86 @@ use mcc_trace::Trace;
 
 use crate::error::SimError;
 use crate::monitor::Monitor;
+use crate::policy::Protocol;
 use crate::result::SimResult;
-use crate::sim::{DirectoryEngine, DirectorySim, PlacementPolicy};
+use crate::sim::{DirectoryEngine, DirectorySim};
 
 #[cfg(doc)]
 use crate::faults::FaultPlan;
+
+/// How often a shard's replay loop polls its wall-clock deadline, in
+/// records. Checking at every reference would put an `Instant::now()`
+/// on the hot path; every 1024 references bounds the overshoot to well
+/// under a millisecond of simulation work.
+const DEADLINE_STRIDE: usize = 1024;
+
+/// The salvageable outcome of a supervised sharded run: one
+/// [`SimResult`] or one typed [`SimError`] per shard, in shard order.
+///
+/// Produced by [`DirectorySim::run_supervised`]. A single shard
+/// panicking or blowing its deadline no longer discards the sweep:
+/// [`ShardedReport::salvaged`] folds whatever completed, while
+/// [`ShardedReport::merged`] reproduces the strict all-or-nothing
+/// semantics of [`DirectorySim::try_run_sharded`].
+#[derive(Clone, Debug)]
+pub struct ShardedReport {
+    protocol: Protocol,
+    outcomes: Vec<Result<SimResult, SimError>>,
+}
+
+impl ShardedReport {
+    /// Per-shard outcomes, indexed by shard id.
+    pub fn outcomes(&self) -> &[Result<SimResult, SimError>] {
+        &self.outcomes
+    }
+
+    /// The strict merge: the fold of every shard's result, or — when
+    /// any shard failed — the error of the *lowest-indexed* failed
+    /// shard (deterministic regardless of thread scheduling).
+    pub fn merged(&self) -> Result<SimResult, SimError> {
+        let mut merged = SimResult::empty(self.protocol);
+        for outcome in &self.outcomes {
+            merged += outcome.clone()?;
+        }
+        Ok(merged)
+    }
+
+    /// The partial merge: the fold of the shards that *did* complete.
+    /// Counters cover only the surviving shards' sub-traces; pair with
+    /// [`ShardedReport::failed_shards`] when reporting.
+    pub fn salvaged(&self) -> SimResult {
+        let mut merged = SimResult::empty(self.protocol);
+        for outcome in self.outcomes.iter().flatten() {
+            merged += *outcome;
+        }
+        merged
+    }
+
+    /// Ids of the shards that failed, with their errors.
+    pub fn failed_shards(&self) -> Vec<(u32, &SimError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(id, o)| o.as_ref().err().map(|e| (id as u32, e)))
+            .collect()
+    }
+
+    /// Whether every shard completed.
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+}
+
+/// Renders a caught panic payload for [`SimError::ShardPanicked`].
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 impl DirectorySim {
     /// Runs the trace on `shards` parallel engines partitioned by block
@@ -99,12 +189,105 @@ impl DirectorySim {
         self.sharded(trace, shards, true)
     }
 
+    /// Runs the shards under full supervision — every shard thread is
+    /// isolated behind `catch_unwind`, and an optional wall-clock
+    /// `deadline` bounds how long the supervisor waits — returning the
+    /// per-shard outcomes instead of failing the whole run.
+    ///
+    /// * A shard that **panics** becomes [`SimError::ShardPanicked`]
+    ///   with the panic message; the other shards' results survive.
+    /// * A shard that **exceeds the deadline** becomes
+    ///   [`SimError::ShardTimedOut`]. Shards poll the deadline
+    ///   cooperatively inside their replay loop, and the supervisor
+    ///   additionally stops waiting once the budget is spent, so no
+    ///   call hangs past its deadline even if a shard wedges: the stuck
+    ///   thread is abandoned (its channel send is dropped), never
+    ///   joined.
+    /// * Global invariants are monitored throughout each shard's run,
+    ///   as in [`DirectorySim::try_run_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ShardingUnsupported`] when the configuration cannot
+    /// shard at all (finite caches) — per-shard outcomes would be
+    /// meaningless. All per-shard failures are reported inside the
+    /// [`ShardedReport`], not as this function's error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+    /// use mcc_trace::{Addr, MemRef, NodeId, Trace};
+    ///
+    /// let mut t = Trace::new();
+    /// for i in 0..256u64 {
+    ///     t.push(MemRef::write(NodeId::new((i % 4) as u16), Addr::new(i * 16)));
+    /// }
+    /// let sim = DirectorySim::new(Protocol::Basic, &DirectorySimConfig::default());
+    /// let report = sim.run_supervised(&t, 4, None).unwrap();
+    /// assert!(report.all_completed());
+    /// assert_eq!(report.merged().unwrap(), sim.run(&t));
+    /// ```
+    pub fn run_supervised(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        deadline: Option<Duration>,
+    ) -> Result<ShardedReport, SimError> {
+        self.supervised(trace, shards, true, deadline)
+    }
+
+    /// Routes a run through the sharded engine when the configuration
+    /// supports it, and **degrades gracefully** to the sequential
+    /// engine when it does not (finite caches), instead of erroring at
+    /// the caller. Returns the result together with the degradation
+    /// reason, when one applies, so callers can log a notice.
+    ///
+    /// `shards <= 1` runs sequentially without attempting to shard.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DirectorySim::try_run`] /
+    /// [`DirectorySim::try_run_sharded`] can report — except
+    /// [`SimError::ShardingUnsupported`], which is absorbed by the
+    /// fallback.
+    pub fn try_run_auto(
+        &self,
+        trace: &Trace,
+        shards: usize,
+    ) -> Result<(SimResult, Option<&'static str>), SimError> {
+        if shards <= 1 {
+            return Ok((self.try_run(trace)?, None));
+        }
+        match self.try_run_sharded(trace, shards) {
+            Ok(result) => Ok((result, None)),
+            Err(SimError::ShardingUnsupported { reason }) => {
+                Ok((self.try_run(trace)?, Some(reason)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     fn sharded(
         &self,
         trace: &Trace,
         shards: usize,
         monitored: bool,
     ) -> Result<SimResult, SimError> {
+        self.supervised(trace, shards, monitored, None)?.merged()
+    }
+
+    fn supervised(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        monitored: bool,
+        deadline: Option<Duration>,
+    ) -> Result<ShardedReport, SimError> {
         assert!(shards > 0, "shard count must be positive");
         if self.config.cache != CacheConfig::Infinite {
             return Err(SimError::ShardingUnsupported {
@@ -115,37 +298,96 @@ impl DirectorySim {
 
         // Placement must come from the FULL trace: profiling a sub-trace
         // could home pages differently than the sequential run would.
-        let placement = match self.config.placement {
-            PlacementPolicy::RoundRobin => PagePlacement::round_robin(self.config.nodes),
-            PlacementPolicy::FirstTouch => PagePlacement::first_touch(trace, self.config.nodes),
-            PlacementPolicy::Profiled => PagePlacement::profiled(trace, self.config.nodes),
-        };
+        let placement = self.resolve_placement(trace);
+        let deadline_at = deadline.map(|d| (Instant::now() + d, d));
 
-        let sub = trace.partition_by_block(self.config.block_size, shards);
-        let outcomes: Vec<Result<SimResult, SimError>> = thread::scope(|scope| {
-            let handles: Vec<_> = sub
-                .iter()
-                .enumerate()
-                .map(|(id, shard_trace)| {
-                    let placement = placement.clone();
-                    let sim = *self;
-                    scope.spawn(move || sim.run_shard(shard_trace, placement, id as u32, monitored))
-                })
-                .collect();
-            // Joining in spawn order (not completion order) fixes the
-            // fold order, so the merge — and the chosen error, if any —
-            // is independent of thread scheduling.
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard thread panicked"))
-                .collect()
-        });
-
-        let mut merged = SimResult::empty(self.protocol);
-        for outcome in outcomes {
-            merged += outcome?;
+        // Shard threads are detached, not scoped: a wedged shard must
+        // not be able to block the supervisor on a join. Results come
+        // back over a channel tagged with the shard id; `catch_unwind`
+        // guarantees every healthy thread sends exactly one message,
+        // even when the shard's own code panics.
+        let (tx, rx) = mpsc::channel::<(usize, Result<SimResult, SimError>)>();
+        for (id, sub) in trace
+            .partition_by_block(self.config.block_size, shards)
+            .into_iter()
+            .enumerate()
+        {
+            let shard_tx = tx.clone();
+            let placement = placement.clone();
+            let sim = *self;
+            let spawned = thread::Builder::new()
+                .name(format!("mcc-shard-{id}"))
+                .spawn(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        sim.run_shard(&sub, placement, id as u32, monitored, deadline_at)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(SimError::ShardPanicked {
+                            shard: id as u32,
+                            message: panic_message(payload),
+                        })
+                    });
+                    let _ = shard_tx.send((id, outcome));
+                });
+            if let Err(e) = spawned {
+                let _ = tx.send((
+                    id,
+                    Err(SimError::ShardPanicked {
+                        shard: id as u32,
+                        message: format!("thread spawn failed: {e}"),
+                    }),
+                ));
+            }
         }
-        Ok(merged)
+        drop(tx);
+
+        let mut outcomes: Vec<Option<Result<SimResult, SimError>>> = vec![None; shards];
+        let mut received = 0usize;
+        while received < shards {
+            let message = match deadline_at {
+                None => rx.recv().ok(),
+                Some((at, _)) => {
+                    let remaining = at.saturating_duration_since(Instant::now());
+                    rx.recv_timeout(remaining).ok()
+                }
+            };
+            match message {
+                Some((id, outcome)) => {
+                    outcomes[id] = Some(outcome);
+                    received += 1;
+                }
+                // Timeout, or every sender gone without reporting.
+                None => break,
+            }
+        }
+
+        let budget_ms = deadline_at.map_or(0, |(_, d)| d.as_millis() as u64);
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(id, o)| {
+                o.unwrap_or_else(|| {
+                    Err(if deadline_at.is_some() {
+                        SimError::ShardTimedOut {
+                            shard: id as u32,
+                            budget_ms,
+                        }
+                    } else {
+                        // No deadline was set, yet the thread vanished
+                        // without reporting: only possible if it died
+                        // outside `catch_unwind`'s reach.
+                        SimError::ShardPanicked {
+                            shard: id as u32,
+                            message: "shard thread vanished without reporting".to_string(),
+                        }
+                    })
+                })
+            })
+            .collect();
+        Ok(ShardedReport {
+            protocol: self.protocol,
+            outcomes,
+        })
     }
 
     fn run_shard(
@@ -154,13 +396,24 @@ impl DirectorySim {
         placement: PagePlacement,
         shard_id: u32,
         monitored: bool,
+        deadline_at: Option<(Instant, Duration)>,
     ) -> Result<SimResult, SimError> {
         let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             engine = engine.with_faults(plan.for_shard(shard_id));
         }
         let mut monitor = monitored.then(|| Monitor::for_run_length(shard_trace.len() as u64));
-        for r in shard_trace.iter() {
+        for (i, r) in shard_trace.iter().enumerate() {
+            // Cooperative deadline poll, including at record zero so a
+            // zero budget times out deterministically.
+            if let Some((at, budget)) = deadline_at {
+                if i % DEADLINE_STRIDE == 0 && Instant::now() >= at {
+                    return Err(SimError::ShardTimedOut {
+                        shard: shard_id,
+                        budget_ms: budget.as_millis() as u64,
+                    });
+                }
+            }
             engine.try_step(*r)?;
             if let Some(m) = monitor.as_mut() {
                 m.after_step(&engine)?;
@@ -279,6 +532,109 @@ mod tests {
             }
             other => panic!("expected NodeOutOfRange, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn supervised_run_matches_unsupervised_when_healthy() {
+        let trace = mixed_trace();
+        let sim = DirectorySim::new(Protocol::Aggressive, &config());
+        let report = sim.run_supervised(&trace, 4, None).unwrap();
+        assert!(report.all_completed());
+        assert!(report.failed_shards().is_empty());
+        assert_eq!(
+            report.merged().unwrap(),
+            sim.try_run_sharded(&trace, 4).unwrap()
+        );
+        assert_eq!(report.salvaged(), report.merged().unwrap());
+    }
+
+    #[test]
+    fn shard_panic_is_isolated_and_others_salvaged() {
+        // 80 nodes exceed CopySet's 64-node limit, so the first
+        // reference by node 70 panics the engine of exactly the shard
+        // owning that block — a deterministic stand-in for any shard
+        // crash.
+        let mut trace = mixed_trace();
+        trace.push(MemRef::write(NodeId::new(70), Addr::new(0x8000)));
+        let cfg = DirectorySimConfig {
+            nodes: 80,
+            ..DirectorySimConfig::default()
+        };
+        let sim = DirectorySim::new(Protocol::Basic, &cfg);
+        let report = sim.run_supervised(&trace, 4, None).unwrap();
+
+        let failed = report.failed_shards();
+        assert_eq!(failed.len(), 1, "exactly one shard owns the poison block");
+        let (shard, err) = (failed[0].0, failed[0].1);
+        match err {
+            SimError::ShardPanicked { shard: s, message } => {
+                assert_eq!(*s, shard);
+                assert!(message.contains("64 nodes"), "{message}");
+            }
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+        assert!(!report.all_completed());
+
+        // The strict merge reports the panic; the salvage keeps the
+        // three healthy shards' counters.
+        assert!(matches!(
+            report.merged(),
+            Err(SimError::ShardPanicked { .. })
+        ));
+        let healthy_refs: u64 = report
+            .outcomes()
+            .iter()
+            .flatten()
+            .map(|r| r.events.refs())
+            .sum();
+        assert!(healthy_refs > 0);
+        assert_eq!(report.salvaged().events.refs(), healthy_refs);
+    }
+
+    #[test]
+    fn zero_deadline_times_out_instead_of_hanging() {
+        let trace = mixed_trace();
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let report = sim
+            .run_supervised(&trace, 4, Some(std::time::Duration::ZERO))
+            .unwrap();
+        match report.merged() {
+            Err(SimError::ShardTimedOut { budget_ms, .. }) => assert_eq!(budget_ms, 0),
+            other => panic!("expected ShardTimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_completes_normally() {
+        let trace = mixed_trace();
+        let sim = DirectorySim::new(Protocol::Conservative, &config());
+        let report = sim
+            .run_supervised(&trace, 2, Some(std::time::Duration::from_secs(600)))
+            .unwrap();
+        assert!(report.all_completed());
+        assert_eq!(
+            report.merged().unwrap(),
+            sim.try_run_sharded(&trace, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_degrades_finite_caches_to_sequential_with_a_reason() {
+        let trace = mixed_trace();
+        let cfg = DirectorySimConfig {
+            cache: CacheConfig::Finite(CacheGeometry::new(4 * 1024, BlockSize::B16, 4).unwrap()),
+            ..config()
+        };
+        let sim = DirectorySim::new(Protocol::Basic, &cfg);
+        let (result, degraded) = sim.try_run_auto(&trace, 4).unwrap();
+        assert!(degraded.unwrap().contains("Infinite"));
+        assert_eq!(result, sim.try_run(&trace).unwrap());
+
+        // Shardable configurations do not degrade.
+        let sim = DirectorySim::new(Protocol::Basic, &config());
+        let (result, degraded) = sim.try_run_auto(&trace, 4).unwrap();
+        assert!(degraded.is_none());
+        assert_eq!(result, sim.try_run_sharded(&trace, 4).unwrap());
     }
 
     #[test]

@@ -44,14 +44,21 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::Path;
 
 use mcc_cache::{CacheConfig, CacheGeometry};
+use mcc_core::checkpoint::{
+    fnv1a_64, put_u16, put_u64, read_envelope, trace_fingerprint, write_envelope, PayloadReader,
+};
 use mcc_core::{
-    DirectoryEngine, DirectorySimConfig, EventCounts, FaultPlan, MessageBreakdown, Monitor,
-    PlacementPolicy, Protocol, SimError, StepKind,
+    CheckpointError, CheckpointPolicy, DirectoryEngine, DirectorySimConfig, EngineSnapshot,
+    EventCounts, FaultPlan, MessageBreakdown, Monitor, PlacementPolicy, Protocol, SimError,
+    StepKind,
 };
 use mcc_placement::PagePlacement;
-use mcc_trace::{BlockSize, NodeId, Trace};
+use mcc_trace::{BlockSize, MemRef, NodeId, Trace};
 
 /// The interconnect shape used to turn message counts into wire time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -372,11 +379,99 @@ impl ExecSim {
         self.simulate(trace, Some(Monitor::for_run_length(trace.len() as u64)))
     }
 
-    fn simulate(
+    /// Runs the trace with periodic crash-safe snapshots.
+    ///
+    /// Every [`CheckpointPolicy::every`] processed references the full
+    /// simulation state — protocol engine, per-node stream cursors, the
+    /// issue heap, controller occupancy, and every accumulated counter
+    /// (stall, contention, backoff, read-miss latency histogram) — is
+    /// written atomically to [`CheckpointPolicy::path`]. A killed run
+    /// restarts from the latest snapshot via [`ExecSim::resume_from`]
+    /// and finishes with a bit-identical [`ExecResult`]. A final,
+    /// complete snapshot is written when the run finishes.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExecSim::try_run`] reports, plus
+    /// [`SimError::BadCheckpoint`] when a snapshot cannot be written.
+    pub fn run_resumable(
+        &self,
+        trace: &Trace,
+        policy: &CheckpointPolicy,
+    ) -> Result<ExecResult, SimError> {
+        let monitor = Monitor::for_run_length(trace.len() as u64);
+        match self.simulate_inner(trace, Some(monitor), None, None, Some(policy))? {
+            ExecOutcome::Finished { result, .. } => Ok(*result),
+            ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
+        }
+    }
+
+    /// Continues a run from `checkpoint` to completion.
+    ///
+    /// The result is bit-identical to the uninterrupted run — including
+    /// the stall, contention, and backoff cycle counters and the
+    /// read-miss latency histogram, which resume from their snapshotted
+    /// values. Pass a `policy` to keep writing snapshots while the
+    /// resumed run progresses.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCheckpoint`] when the checkpoint does not match
+    /// this simulation (different trace, protocol, or configuration),
+    /// plus everything [`ExecSim::try_run`] reports.
+    pub fn resume_from(
+        &self,
+        trace: &Trace,
+        checkpoint: &ExecCheckpoint,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<ExecResult, SimError> {
+        let monitor = Monitor::for_run_length(trace.len() as u64);
+        match self.simulate_inner(trace, Some(monitor), Some(checkpoint), None, policy)? {
+            ExecOutcome::Finished { result, .. } => Ok(*result),
+            ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
+        }
+    }
+
+    /// Runs until `refs` references have been processed and returns the
+    /// snapshot at that boundary — a programmatic "kill" for testing
+    /// resume equivalence. If the trace has fewer than `refs`
+    /// references, the returned checkpoint is the complete final state.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ExecSim::try_run`] reports.
+    pub fn checkpoint_after(&self, trace: &Trace, refs: u64) -> Result<ExecCheckpoint, SimError> {
+        let monitor = Monitor::for_run_length(trace.len() as u64);
+        match self.simulate_inner(trace, Some(monitor), None, Some(refs), None)? {
+            ExecOutcome::Suspended(ck) => Ok(*ck),
+            ExecOutcome::Finished { checkpoint, .. } => {
+                Ok(*checkpoint.expect("suspension budget forces a final snapshot"))
+            }
+        }
+    }
+
+    /// Canonical identity of this simulation: protocol plus every
+    /// configuration field, hashed. A checkpoint taken under one
+    /// identity refuses to resume under another.
+    fn config_hash(&self) -> u64 {
+        fnv1a_64(format!("{:?}|{:?}", self.protocol, self.config).as_bytes())
+    }
+
+    fn simulate(&self, trace: &Trace, monitor: Option<Monitor>) -> Result<ExecResult, SimError> {
+        match self.simulate_inner(trace, monitor, None, None, None)? {
+            ExecOutcome::Finished { result, .. } => Ok(*result),
+            ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
+        }
+    }
+
+    fn simulate_inner(
         &self,
         trace: &Trace,
         mut monitor: Option<Monitor>,
-    ) -> Result<ExecResult, SimError> {
+        resume: Option<&ExecCheckpoint>,
+        suspend_after: Option<u64>,
+        policy: Option<&CheckpointPolicy>,
+    ) -> Result<ExecOutcome, SimError> {
         let nodes = usize::from(self.config.nodes);
         let lat = self.config.latency;
         let dir_config = DirectorySimConfig {
@@ -388,12 +483,8 @@ impl ExecSim {
         };
         // Round-robin placement, as the paper's execution-driven runs use.
         let placement = PagePlacement::round_robin(self.config.nodes);
-        let mut engine = DirectoryEngine::new(self.protocol, &dir_config, placement);
-        if let Some(plan) = self.config.faults {
-            engine = engine.with_faults(plan);
-        }
 
-        let mut streams: Vec<std::vec::IntoIter<mcc_trace::MemRef>> = {
+        let streams: Vec<Vec<MemRef>> = {
             let mut per_node = trace.split_by_node();
             if per_node.len() > nodes {
                 return Err(SimError::NodeOutOfRange {
@@ -402,38 +493,70 @@ impl ExecSim {
                 });
             }
             per_node.resize(nodes, Trace::new());
-            per_node.into_iter().map(Trace::into_iter).collect()
+            per_node
+                .into_iter()
+                .map(|t| t.into_iter().collect())
+                .collect()
         };
 
         let stall_shards = self.config.stall_shards.max(1);
-        let mut controller_free = vec![0u64; nodes];
-        let mut result = ExecResult {
-            protocol: self.protocol,
-            cycles: 0,
-            per_node_cycles: vec![0; nodes],
-            stall_cycles: 0,
-            per_shard_stall_cycles: vec![0; stall_shards],
-            contention_cycles: 0,
-            backoff_cycles: 0,
-            read_misses: 0,
-            read_miss_latency_total: 0,
-            read_miss_latency: LatencyHistogram::default(),
-            events: EventCounts::default(),
-            messages: MessageBreakdown::default(),
-        };
-
-        // Min-heap of (next issue time, node): the least-advanced node
-        // issues its next reference.
-        let mut ready: BinaryHeap<Reverse<(u64, usize)>> = (0..nodes)
-            .filter(|&n| streams[n].len() > 0)
-            .map(|n| Reverse((0u64, n)))
-            .collect();
+        let mut engine;
+        let mut cursors;
+        let mut controller_free;
+        let mut processed;
+        let mut result;
+        let mut ready: BinaryHeap<Reverse<(u64, usize)>>;
+        if let Some(ck) = resume {
+            ck.validate(self, trace, &streams, stall_shards)?;
+            engine =
+                ck.engine
+                    .restore(self.protocol, &dir_config, placement, self.config.faults)?;
+            cursors = ck.cursors.iter().map(|&c| c as usize).collect::<Vec<_>>();
+            controller_free = ck.controller_free.clone();
+            processed = ck.processed;
+            result = ck.rebuild_result(self.protocol);
+            ready = ck
+                .queued
+                .iter()
+                .enumerate()
+                .filter_map(|(n, t)| t.map(|t| Reverse((t, n))))
+                .collect();
+        } else {
+            engine = DirectoryEngine::new(self.protocol, &dir_config, placement);
+            if let Some(plan) = self.config.faults {
+                engine = engine.with_faults(plan);
+            }
+            cursors = vec![0usize; nodes];
+            controller_free = vec![0u64; nodes];
+            processed = 0;
+            result = ExecResult {
+                protocol: self.protocol,
+                cycles: 0,
+                per_node_cycles: vec![0; nodes],
+                stall_cycles: 0,
+                per_shard_stall_cycles: vec![0; stall_shards],
+                contention_cycles: 0,
+                backoff_cycles: 0,
+                read_misses: 0,
+                read_miss_latency_total: 0,
+                read_miss_latency: LatencyHistogram::default(),
+                events: EventCounts::default(),
+                messages: MessageBreakdown::default(),
+            };
+            // Min-heap of (next issue time, node): the least-advanced
+            // node issues its next reference.
+            ready = (0..nodes)
+                .filter(|&n| !streams[n].is_empty())
+                .map(|n| Reverse((0u64, n)))
+                .collect();
+        }
 
         while let Some(Reverse((now, n))) = ready.pop() {
-            let Some(r) = streams[n].next() else {
+            let Some(r) = streams[n].get(cursors[n]).copied() else {
                 result.per_node_cycles[n] = result.per_node_cycles[n].max(now);
                 continue;
             };
+            cursors[n] += 1;
             let info = engine.try_step(r)?;
             if let Some(m) = monitor.as_mut() {
                 m.after_step(&engine)?;
@@ -482,15 +605,428 @@ impl ExecSim {
             let next = now + latency + lat.compute_between_refs;
             result.per_node_cycles[n] = result.per_node_cycles[n].max(next);
             ready.push(Reverse((next, n)));
+            processed += 1;
+
+            // The boundary is measured in absolute processed references,
+            // so a resumed run snapshots at the same points the original
+            // would have.
+            let at_save = policy.is_some_and(|p| p.every > 0 && processed % p.every == 0);
+            let at_suspend = suspend_after == Some(processed);
+            if at_save || at_suspend {
+                let ck = self.capture(
+                    trace,
+                    processed,
+                    &cursors,
+                    &ready,
+                    &controller_free,
+                    &result,
+                    &engine,
+                );
+                if at_save {
+                    save_checkpoint(&ck, policy.expect("at_save implies a policy"))?;
+                }
+                if at_suspend {
+                    return Ok(ExecOutcome::Suspended(Box::new(ck)));
+                }
+            }
         }
 
         if monitor.is_some() {
             engine.verify()?;
         }
+        let checkpoint = if policy.is_some() || suspend_after.is_some() {
+            let ck = self.capture(
+                trace,
+                processed,
+                &cursors,
+                &ready,
+                &controller_free,
+                &result,
+                &engine,
+            );
+            if let Some(p) = policy {
+                save_checkpoint(&ck, p)?;
+            }
+            Some(Box::new(ck))
+        } else {
+            None
+        };
         result.cycles = result.per_node_cycles.iter().copied().max().unwrap_or(0);
         result.events = engine.events();
         result.messages = engine.messages();
-        Ok(result)
+        Ok(ExecOutcome::Finished {
+            result: Box::new(result),
+            checkpoint,
+        })
+    }
+
+    /// Freezes the loop state between two heap iterations.
+    #[allow(clippy::too_many_arguments)]
+    fn capture(
+        &self,
+        trace: &Trace,
+        processed: u64,
+        cursors: &[usize],
+        ready: &BinaryHeap<Reverse<(u64, usize)>>,
+        controller_free: &[u64],
+        result: &ExecResult,
+        engine: &DirectoryEngine,
+    ) -> ExecCheckpoint {
+        let mut queued: Vec<Option<u64>> = vec![None; cursors.len()];
+        for &Reverse((t, n)) in ready.iter() {
+            queued[n] = Some(t);
+        }
+        let h = &result.read_miss_latency;
+        ExecCheckpoint {
+            config_hash: self.config_hash(),
+            trace_len: trace.len() as u64,
+            trace_hash: trace_fingerprint(trace),
+            processed,
+            cursors: cursors.iter().map(|&c| c as u64).collect(),
+            queued,
+            controller_free: controller_free.to_vec(),
+            per_node_cycles: result.per_node_cycles.clone(),
+            stall_cycles: result.stall_cycles,
+            per_shard_stall_cycles: result.per_shard_stall_cycles.clone(),
+            contention_cycles: result.contention_cycles,
+            backoff_cycles: result.backoff_cycles,
+            read_misses: result.read_misses,
+            read_miss_latency_total: result.read_miss_latency_total,
+            hist_bucket_width: h.bucket_width,
+            hist_buckets: h.buckets.clone(),
+            hist_overflow: h.overflow,
+            hist_count: h.count,
+            hist_max: h.max,
+            engine: EngineSnapshot::capture(engine),
+        }
+    }
+}
+
+/// What a supervised simulation loop hands back: either the finished
+/// result (plus the final snapshot, when one was requested) or the
+/// checkpoint at the requested suspension boundary.
+enum ExecOutcome {
+    Finished {
+        result: Box<ExecResult>,
+        checkpoint: Option<Box<ExecCheckpoint>>,
+    },
+    Suspended(Box<ExecCheckpoint>),
+}
+
+fn save_checkpoint(ck: &ExecCheckpoint, policy: &CheckpointPolicy) -> Result<(), SimError> {
+    ck.save(&policy.path).map_err(|e| SimError::BadCheckpoint {
+        reason: format!("writing {}: {e}", policy.path.display()),
+    })
+}
+
+/// Magic bytes opening every serialized execution-driven checkpoint:
+/// `MCCX` + format version 1, in the family of
+/// [`mcc_core::checkpoint::CHECKPOINT_MAGIC`] and the MCCT trace header.
+pub const EXEC_CHECKPOINT_MAGIC: [u8; 8] = *b"MCCX\x01\0\0\0";
+
+/// A crash-safe snapshot of an execution-driven simulation in flight.
+///
+/// Captures everything the timing loop needs to continue bit-exactly:
+/// the protocol engine (via [`EngineSnapshot`]), each node's position in
+/// its reference stream, the pending issue heap, per-home controller
+/// occupancy, and every accumulated counter — stall, contention, and
+/// backoff cycles, per-shard stall attribution, and the read-miss
+/// latency histogram. Serialized in the same checksummed envelope as the
+/// trace-driven [`mcc_core::Checkpoint`], under its own magic
+/// ([`EXEC_CHECKPOINT_MAGIC`]).
+///
+/// Produced by [`ExecSim::run_resumable`] and
+/// [`ExecSim::checkpoint_after`]; consumed by [`ExecSim::resume_from`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecCheckpoint {
+    config_hash: u64,
+    trace_len: u64,
+    trace_hash: u64,
+    processed: u64,
+    cursors: Vec<u64>,
+    queued: Vec<Option<u64>>,
+    controller_free: Vec<u64>,
+    per_node_cycles: Vec<u64>,
+    stall_cycles: u64,
+    per_shard_stall_cycles: Vec<u64>,
+    contention_cycles: u64,
+    backoff_cycles: u64,
+    read_misses: u64,
+    read_miss_latency_total: u64,
+    hist_bucket_width: u64,
+    hist_buckets: Vec<u64>,
+    hist_overflow: u64,
+    hist_count: u64,
+    hist_max: u64,
+    engine: EngineSnapshot,
+}
+
+impl ExecCheckpoint {
+    /// References processed when the snapshot was taken.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// References in the trace the snapshot belongs to.
+    pub fn total_records(&self) -> u64 {
+        self.trace_len
+    }
+
+    /// Whether the snapshotted run had already processed every
+    /// reference (resuming only re-verifies and reports).
+    pub fn is_complete(&self) -> bool {
+        self.processed == self.trace_len
+    }
+
+    /// Rejects snapshots that do not describe *this* simulation of
+    /// *this* trace, before any state is rebuilt from them.
+    fn validate(
+        &self,
+        sim: &ExecSim,
+        trace: &Trace,
+        streams: &[Vec<MemRef>],
+        stall_shards: usize,
+    ) -> Result<(), SimError> {
+        let bad = |reason: String| Err(SimError::BadCheckpoint { reason });
+        if self.config_hash != sim.config_hash() {
+            return bad("protocol or configuration differs from the snapshotted run".into());
+        }
+        if self.trace_len != trace.len() as u64 {
+            return bad(format!(
+                "trace has {} references but the snapshot expects {}",
+                trace.len(),
+                self.trace_len
+            ));
+        }
+        if self.trace_hash != trace_fingerprint(trace) {
+            return bad("trace fingerprint differs from the snapshotted run".into());
+        }
+        let nodes = streams.len();
+        if self.cursors.len() != nodes
+            || self.queued.len() != nodes
+            || self.controller_free.len() != nodes
+            || self.per_node_cycles.len() != nodes
+        {
+            return bad(format!("snapshot does not describe {nodes} nodes"));
+        }
+        if self.per_shard_stall_cycles.len() != stall_shards {
+            return bad(format!(
+                "snapshot attributes stalls to {} shards, configuration wants {stall_shards}",
+                self.per_shard_stall_cycles.len()
+            ));
+        }
+        for (n, (&cursor, stream)) in self.cursors.iter().zip(streams).enumerate() {
+            if cursor > stream.len() as u64 {
+                return bad(format!(
+                    "node {n} cursor {cursor} past its {}-reference stream",
+                    stream.len()
+                ));
+            }
+        }
+        if self.cursors.iter().sum::<u64>() != self.processed {
+            return bad("per-node cursors disagree with the processed count".into());
+        }
+        if self.engine.steps() != self.processed {
+            return bad("engine step count disagrees with the processed count".into());
+        }
+        if self.hist_bucket_width == 0 {
+            return bad("histogram bucket width is zero".into());
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the in-flight accumulators (`events`/`messages` stay at
+    /// their defaults — the finish path reads them off the engine, which
+    /// carries its own cumulative tallies through the snapshot).
+    fn rebuild_result(&self, protocol: Protocol) -> ExecResult {
+        ExecResult {
+            protocol,
+            cycles: 0,
+            per_node_cycles: self.per_node_cycles.clone(),
+            stall_cycles: self.stall_cycles,
+            per_shard_stall_cycles: self.per_shard_stall_cycles.clone(),
+            contention_cycles: self.contention_cycles,
+            backoff_cycles: self.backoff_cycles,
+            read_misses: self.read_misses,
+            read_miss_latency_total: self.read_miss_latency_total,
+            read_miss_latency: LatencyHistogram {
+                bucket_width: self.hist_bucket_width,
+                buckets: self.hist_buckets.clone(),
+                overflow: self.hist_overflow,
+                count: self.hist_count,
+                max: self.hist_max,
+            },
+            events: EventCounts::default(),
+            messages: MessageBreakdown::default(),
+        }
+    }
+
+    /// Serializes the snapshot to `w` in the checksummed MCCX envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error produced by the underlying writer.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), CheckpointError> {
+        let mut p = Vec::new();
+        put_u64(&mut p, self.config_hash);
+        put_u64(&mut p, self.trace_len);
+        put_u64(&mut p, self.trace_hash);
+        put_u64(&mut p, self.processed);
+        put_u16(&mut p, self.cursors.len() as u16);
+        put_u64(&mut p, self.per_shard_stall_cycles.len() as u64);
+        for &c in &self.cursors {
+            put_u64(&mut p, c);
+        }
+        for q in &self.queued {
+            match q {
+                Some(t) => {
+                    p.push(1);
+                    put_u64(&mut p, *t);
+                }
+                None => p.push(0),
+            }
+        }
+        for &f in &self.controller_free {
+            put_u64(&mut p, f);
+        }
+        for &c in &self.per_node_cycles {
+            put_u64(&mut p, c);
+        }
+        for &s in &self.per_shard_stall_cycles {
+            put_u64(&mut p, s);
+        }
+        put_u64(&mut p, self.stall_cycles);
+        put_u64(&mut p, self.contention_cycles);
+        put_u64(&mut p, self.backoff_cycles);
+        put_u64(&mut p, self.read_misses);
+        put_u64(&mut p, self.read_miss_latency_total);
+        put_u64(&mut p, self.hist_bucket_width);
+        put_u64(&mut p, self.hist_buckets.len() as u64);
+        for &b in &self.hist_buckets {
+            put_u64(&mut p, b);
+        }
+        put_u64(&mut p, self.hist_overflow);
+        put_u64(&mut p, self.hist_count);
+        put_u64(&mut p, self.hist_max);
+        self.engine.encode_into(&mut p);
+        write_envelope(w, EXEC_CHECKPOINT_MAGIC, &p)
+    }
+
+    /// Deserializes a snapshot from `r`.
+    ///
+    /// Robust against corrupt input: truncated, bit-flipped,
+    /// wrong-magic, or wrong-version streams produce a typed
+    /// [`CheckpointError`], never a panic and never an allocation sized
+    /// by untrusted data.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] describing the first defect found.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<ExecCheckpoint, CheckpointError> {
+        let payload = read_envelope(r, EXEC_CHECKPOINT_MAGIC)?;
+        let mut r = PayloadReader::new(&payload);
+        let config_hash = r.u64()?;
+        let trace_len = r.u64()?;
+        let trace_hash = r.u64()?;
+        let processed = r.u64()?;
+        let nodes = usize::from(r.u16()?);
+        let shards = r.u64()?;
+        r.check_count(nodes as u64, 8)?;
+        let mut cursors = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            cursors.push(r.u64()?);
+        }
+        let mut queued = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            queued.push(match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(CheckpointError::Corrupt("bad queued-entry presence tag")),
+            });
+        }
+        let mut controller_free = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            controller_free.push(r.u64()?);
+        }
+        let mut per_node_cycles = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            per_node_cycles.push(r.u64()?);
+        }
+        let shards = r.check_count(shards, 8)?;
+        let mut per_shard_stall_cycles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            per_shard_stall_cycles.push(r.u64()?);
+        }
+        let stall_cycles = r.u64()?;
+        let contention_cycles = r.u64()?;
+        let backoff_cycles = r.u64()?;
+        let read_misses = r.u64()?;
+        let read_miss_latency_total = r.u64()?;
+        let hist_bucket_width = r.u64()?;
+        let declared_buckets = r.u64()?;
+        let buckets = r.check_count(declared_buckets, 8)?;
+        let mut hist_buckets = Vec::with_capacity(buckets);
+        for _ in 0..buckets {
+            hist_buckets.push(r.u64()?);
+        }
+        let hist_overflow = r.u64()?;
+        let hist_count = r.u64()?;
+        let hist_max = r.u64()?;
+        let engine = EngineSnapshot::decode(&mut r)?;
+        r.finish()?;
+        if processed > trace_len {
+            return Err(CheckpointError::Corrupt("cursor past the end of the trace"));
+        }
+        Ok(ExecCheckpoint {
+            config_hash,
+            trace_len,
+            trace_hash,
+            processed,
+            cursors,
+            queued,
+            controller_free,
+            per_node_cycles,
+            stall_cycles,
+            per_shard_stall_cycles,
+            contention_cycles,
+            backoff_cycles,
+            read_misses,
+            read_miss_latency_total,
+            hist_bucket_width,
+            hist_buckets,
+            hist_overflow,
+            hist_count,
+            hist_max,
+            engine,
+        })
+    }
+
+    /// Atomically writes the snapshot to `path` (via a sibling
+    /// temporary file and rename, so a crash mid-write never leaves a
+    /// half-written checkpoint behind).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the filesystem fails.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".tmp");
+        let tmp = path.with_file_name(name);
+        let mut bytes = Vec::new();
+        self.write_to(&mut bytes)?;
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads a snapshot previously [`save`](ExecCheckpoint::save)d.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on I/O failure or a corrupt file.
+    pub fn load(path: &Path) -> Result<ExecCheckpoint, CheckpointError> {
+        let bytes = fs::read(path)?;
+        ExecCheckpoint::read_from(&mut &bytes[..])
     }
 }
 
@@ -715,6 +1251,104 @@ mod tests {
         let r = ExecSim::new(Protocol::Basic, &cfg).try_run(&trace).unwrap();
         assert!(r.backoff_cycles > 0);
         assert_eq!(r.per_shard_stall_cycles.iter().sum::<u64>(), r.stall_cycles);
+    }
+
+    #[test]
+    fn resume_is_bit_exact_including_stall_counters() {
+        let trace = migratory_trace(8, 32, 10);
+        let cfg = ExecSimConfig {
+            stall_shards: 4,
+            ..config(8)
+        };
+        let sim = ExecSim::new(Protocol::Aggressive, &cfg);
+        let straight = sim.try_run(&trace).unwrap();
+        let len = trace.len() as u64;
+        for cut in [1u64, 7, len / 3, len / 2, len - 1] {
+            let ck = sim.checkpoint_after(&trace, cut).unwrap();
+            assert_eq!(ck.processed(), cut);
+            assert!(!ck.is_complete());
+            let resumed = sim.resume_from(&trace, &ck, None).unwrap();
+            // Full structural equality: cycles, per-node finish times,
+            // stall/contention/backoff counters, per-shard attribution,
+            // and the read-miss latency histogram all continue exactly.
+            assert_eq!(resumed, straight, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn faulted_resume_replays_the_fault_stream() {
+        let trace = migratory_trace(4, 32, 10);
+        let cfg = ExecSimConfig {
+            faults: Some(FaultPlan::uniform(5, 50_000)),
+            stall_shards: 2,
+            ..config(4)
+        };
+        let sim = ExecSim::new(Protocol::Basic, &cfg);
+        let straight = sim.try_run(&trace).unwrap();
+        assert!(straight.backoff_cycles > 0, "faults must actually fire");
+        let cut = trace.len() as u64 / 2;
+        let ck = sim.checkpoint_after(&trace, cut).unwrap();
+        let resumed = sim.resume_from(&trace, &ck, None).unwrap();
+        assert_eq!(resumed, straight);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_bytes() {
+        let trace = migratory_trace(4, 16, 5);
+        let sim = ExecSim::new(Protocol::Basic, &config(4));
+        let ck = sim.checkpoint_after(&trace, 25).unwrap();
+        let mut bytes = Vec::new();
+        ck.write_to(&mut bytes).unwrap();
+        let back = ExecCheckpoint::read_from(&mut &bytes[..]).unwrap();
+        assert_eq!(back, ck);
+        let resumed = sim.resume_from(&trace, &back, None).unwrap();
+        assert_eq!(resumed, sim.try_run(&trace).unwrap());
+    }
+
+    #[test]
+    fn complete_checkpoint_resumes_to_the_same_result() {
+        let trace = migratory_trace(4, 16, 5);
+        let sim = ExecSim::new(Protocol::Conservative, &config(4));
+        let ck = sim.checkpoint_after(&trace, u64::MAX).unwrap();
+        assert!(ck.is_complete());
+        assert_eq!(ck.total_records(), trace.len() as u64);
+        let resumed = sim.resume_from(&trace, &ck, None).unwrap();
+        assert_eq!(resumed, sim.try_run(&trace).unwrap());
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected_with_a_typed_error() {
+        let trace = migratory_trace(4, 16, 5);
+        let ck = ExecSim::new(Protocol::Basic, &config(4))
+            .checkpoint_after(&trace, 10)
+            .unwrap();
+        // Wrong protocol.
+        let err = ExecSim::new(Protocol::Conventional, &config(4))
+            .resume_from(&trace, &ck, None)
+            .expect_err("protocol differs");
+        assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
+        // Wrong trace.
+        let other = migratory_trace(4, 16, 6);
+        let err = ExecSim::new(Protocol::Basic, &config(4))
+            .resume_from(&other, &ck, None)
+            .expect_err("trace differs");
+        assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
+    }
+
+    #[test]
+    fn run_resumable_leaves_a_loadable_complete_snapshot() {
+        let trace = migratory_trace(4, 16, 5);
+        let sim = ExecSim::new(Protocol::Basic, &config(4));
+        let path =
+            std::env::temp_dir().join(format!("mcc-execsim-resumable-{}.mccx", std::process::id()));
+        let policy = CheckpointPolicy::new(17, &path);
+        let supervised = sim.run_resumable(&trace, &policy).unwrap();
+        assert_eq!(supervised, sim.try_run(&trace).unwrap());
+        let ck = ExecCheckpoint::load(&path).unwrap();
+        assert!(ck.is_complete());
+        let resumed = sim.resume_from(&trace, &ck, None).unwrap();
+        assert_eq!(resumed, supervised);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -47,6 +47,24 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The generator's current internal state.
+    ///
+    /// Together with [`SplitMix64::new`] this makes the stream position
+    /// checkpointable: `SplitMix64::new(r.state())` continues exactly
+    /// where `r` left off, because the state *is* the whole generator.
+    ///
+    /// ```
+    /// use mcc_prng::SplitMix64;
+    ///
+    /// let mut r = SplitMix64::new(42);
+    /// r.next_u64();
+    /// let mut resumed = SplitMix64::new(r.state());
+    /// assert_eq!(resumed.next_u64(), r.next_u64());
+    /// ```
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
     /// The next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -165,6 +183,18 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.chance_ppm(100_000)).count();
         // 10% ± 1% over 100k draws.
         assert!((9_000..=11_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..17 {
+            r.next_u64();
+        }
+        let mut resumed = SplitMix64::new(r.state());
+        for _ in 0..100 {
+            assert_eq!(resumed.next_u64(), r.next_u64());
+        }
     }
 
     #[test]

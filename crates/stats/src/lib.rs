@@ -99,6 +99,54 @@ where
     parts.into_iter().reduce(|acc, part| acc + part)
 }
 
+/// Renders `key value` pairs as one stable line each — the format the
+/// sweep supervisor's per-cell result files use, chosen so two runs of
+/// the same cell can be compared with a byte-for-byte `diff`.
+///
+/// Keys must contain no whitespace; values may (everything after the
+/// first space is the value).
+///
+/// # Examples
+///
+/// ```
+/// let s = mcc_stats::kv_lines([("protocol", "basic"), ("messages", "1227")]);
+/// assert_eq!(s, "protocol basic\nmessages 1227\n");
+/// ```
+pub fn kv_lines<'a>(pairs: impl IntoIterator<Item = (&'a str, impl fmt::Display)>) -> String {
+    let mut out = String::new();
+    for (key, value) in pairs {
+        debug_assert!(
+            !key.chars().any(char::is_whitespace),
+            "kv key {key:?} contains whitespace"
+        );
+        out.push_str(key);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses lines written by [`kv_lines`] back into pairs, skipping blank
+/// lines. Lines without a space parse as a key with an empty value.
+///
+/// # Examples
+///
+/// ```
+/// let pairs = mcc_stats::parse_kv_lines("protocol basic\nmessages 1227\n");
+/// assert_eq!(pairs.len(), 2);
+/// assert_eq!(pairs[1], ("messages".to_string(), "1227".to_string()));
+/// ```
+pub fn parse_kv_lines(s: &str) -> Vec<(String, String)> {
+    s.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| match l.split_once(' ') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (l.to_string(), String::new()),
+        })
+        .collect()
+}
+
 /// A simple rectangular table with named columns.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Table {

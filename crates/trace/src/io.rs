@@ -4,10 +4,11 @@
 //! streams open with an 8-byte header (magic + version) and a
 //! little-endian `u64` record count, followed by fixed-width
 //! little-endian records of `(node: u16, op: u8, addr: u64)` — 11 bytes
-//! per reference. The count lets the reader pre-allocate, detect
-//! truncation even on a record boundary, and reject absurd streams
-//! before touching memory. Version 1 streams (no count; records run to
-//! end-of-stream) are still read transparently.
+//! per reference. The count is authoritative: the reader pre-allocates
+//! (boundedly), detects truncation even on a record boundary, rejects
+//! absurd counts before touching memory, and rejects streams that
+//! continue past the declared payload. Version 1 streams (no count;
+//! records run to end-of-stream) are still read transparently.
 
 use std::error::Error;
 use std::fmt;
@@ -47,6 +48,14 @@ pub enum ReadTraceError {
         /// Records actually present.
         read: u64,
     },
+    /// A v2 stream continued past its declared record count. Trailing
+    /// bytes mean the header and the payload disagree — the stream was
+    /// corrupted, concatenated, or tampered with — so the whole trace is
+    /// rejected rather than silently ignoring the tail.
+    TrailingBytes {
+        /// Records the header declared (all of which parsed cleanly).
+        declared: u64,
+    },
     /// A record contained an operation byte other than 0 (read) or 1 (write).
     BadOp(u8),
     /// An underlying I/O error.
@@ -61,6 +70,10 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::CountMismatch { declared, read } => write!(
                 f,
                 "trace header declares {declared} records but the stream holds {read}"
+            ),
+            ReadTraceError::TrailingBytes { declared } => write!(
+                f,
+                "trace stream continues past its declared {declared} records"
             ),
             ReadTraceError::BadOp(b) => write!(f, "invalid operation byte {b:#x}"),
             ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
@@ -147,28 +160,36 @@ impl Trace {
         };
         let mut trace = Trace::with_capacity(declared.unwrap_or(0).min(PREALLOC_CAP) as usize);
         let mut buf = [0u8; 11];
-        loop {
-            match read_record(&mut reader, &mut buf)? {
-                RecordRead::Eof => break,
-                RecordRead::Record => {
-                    let node = u16::from_le_bytes([buf[0], buf[1]]);
-                    let op = match buf[2] {
-                        0 => MemOp::Read,
-                        1 => MemOp::Write,
-                        b => return Err(ReadTraceError::BadOp(b)),
-                    };
-                    let addr = u64::from_le_bytes(buf[3..].try_into().expect("8 bytes"));
-                    trace.push(MemRef::new(NodeId::new(node), op, Addr::new(addr)));
+        match declared {
+            // v2: the header is authoritative. Read exactly `declared`
+            // records, then require the stream to end — trailing bytes
+            // are as much a header/payload disagreement as a shortfall.
+            Some(declared) => {
+                for read in 0..declared {
+                    match read_record(&mut reader, &mut buf)? {
+                        RecordRead::Eof => {
+                            return Err(ReadTraceError::CountMismatch { declared, read })
+                        }
+                        RecordRead::Record => trace.push(parse_record(&buf)?),
+                    }
+                }
+                let mut probe = [0u8; 1];
+                loop {
+                    match reader.read(&mut probe) {
+                        Ok(0) => break,
+                        Ok(_) => return Err(ReadTraceError::TrailingBytes { declared }),
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(ReadTraceError::Io(e)),
+                    }
                 }
             }
-        }
-        if let Some(declared) = declared {
-            if declared != trace.len() as u64 {
-                return Err(ReadTraceError::CountMismatch {
-                    declared,
-                    read: trace.len() as u64,
-                });
-            }
+            // v1: no count; records run to end-of-stream.
+            None => loop {
+                match read_record(&mut reader, &mut buf)? {
+                    RecordRead::Eof => break,
+                    RecordRead::Record => trace.push(parse_record(&buf)?),
+                }
+            },
         }
         Ok(trace)
     }
@@ -177,6 +198,17 @@ impl Trace {
 enum RecordRead {
     Eof,
     Record,
+}
+
+fn parse_record(buf: &[u8; 11]) -> Result<MemRef, ReadTraceError> {
+    let node = u16::from_le_bytes([buf[0], buf[1]]);
+    let op = match buf[2] {
+        0 => MemOp::Read,
+        1 => MemOp::Write,
+        b => return Err(ReadTraceError::BadOp(b)),
+    };
+    let addr = u64::from_le_bytes(buf[3..].try_into().expect("8 bytes"));
+    Ok(MemRef::new(NodeId::new(node), op, Addr::new(addr)))
 }
 
 fn read_record<R: Read>(reader: &mut R, buf: &mut [u8; 11]) -> Result<RecordRead, ReadTraceError> {
@@ -287,6 +319,35 @@ mod tests {
     }
 
     #[test]
+    fn rejects_trailing_bytes_after_declared_records() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        // A few stray bytes after the declared payload: not even a whole
+        // record, but enough to prove the header lies about the length.
+        buf.extend_from_slice(&[0xde, 0xad]);
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::TrailingBytes { declared: 100 }
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_whole_records_too() {
+        // A concatenated second payload parses as valid records, but the
+        // header still only declares the first — reject, don't truncate.
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        let extra = buf[16..27].to_vec(); // first record, again
+        buf.extend_from_slice(&extra);
+        let err = Trace::read_from(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::TrailingBytes { declared: 100 }
+        ));
+    }
+
+    #[test]
     fn rejects_bad_op_byte() {
         let mut buf = Vec::new();
         sample().write_to(&mut buf).unwrap();
@@ -304,5 +365,7 @@ mod tests {
             read: 3,
         };
         assert!(mismatch.to_string().contains("declares 5"));
+        let trailing = ReadTraceError::TrailingBytes { declared: 7 };
+        assert!(trailing.to_string().contains("past its declared 7 records"));
     }
 }

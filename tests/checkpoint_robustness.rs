@@ -1,0 +1,221 @@
+//! Corrupt-input robustness for the MCCK/MCCX checkpoint formats.
+//!
+//! Checkpoints are read back by a process that just crashed — possibly
+//! *because* the machine is failing — so the reader must treat the file
+//! as untrusted: every truncated, bit-flipped, wrong-version, or
+//! wrong-magic stream produces a typed [`CheckpointError`], never a
+//! panic, and never an allocation sized by corrupt data. A snapshot
+//! that parses but belongs to a different run is rejected with a typed
+//! [`SimError::BadCheckpoint`] before any state is rebuilt from it.
+
+use mcc::core::checkpoint::CHECKPOINT_MAGIC;
+use mcc::core::{
+    Checkpoint, CheckpointError, DirectorySim, DirectorySimConfig, FaultPlan, Protocol, SimError,
+};
+use mcc::execsim::{ExecCheckpoint, ExecSim, ExecSimConfig};
+use mcc::trace::{Addr, MemRef, NodeId, Trace};
+use mcc_prng::SplitMix64;
+
+fn sample_trace(nodes: u16) -> Trace {
+    let mut t = Trace::new();
+    for round in 0..5u64 {
+        for obj in 0..6u64 {
+            let n = NodeId::new(((round + obj) % u64::from(nodes)) as u16);
+            t.push(MemRef::read(n, Addr::new(obj * 64)));
+            t.push(MemRef::write(n, Addr::new(obj * 64)));
+        }
+    }
+    t
+}
+
+/// A representative mid-run checkpoint, serialized.
+fn sample_bytes() -> Vec<u8> {
+    let trace = sample_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let ck = DirectorySim::new(Protocol::Aggressive, &cfg)
+        .with_faults(FaultPlan::uniform(7, 30_000))
+        .checkpoint_after(&trace, 2, 20)
+        .expect("prefix replays cleanly");
+    let mut bytes = Vec::new();
+    ck.write_to(&mut bytes).expect("vec write");
+    bytes
+}
+
+#[test]
+fn every_truncation_is_a_typed_error() {
+    let bytes = sample_bytes();
+    assert!(bytes.len() > 24, "sample must be non-trivial");
+    for len in 0..bytes.len() {
+        match Checkpoint::read_from(&mut &bytes[..len]) {
+            Err(_) => {}
+            Ok(_) => panic!("truncation to {len} bytes parsed as a whole checkpoint"),
+        }
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected() {
+    // Unlike a trace, a checkpoint carries a whole-payload checksum, so
+    // corruption anywhere — header, length, checksum, payload — must be
+    // *detected*, not merely decoded differently.
+    let bytes = sample_bytes();
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let mut positions: Vec<usize> = (0..32.min(bytes.len())).collect();
+    for _ in 0..256 {
+        positions.push(rng.gen_range(0..bytes.len() as u64) as usize);
+    }
+    for pos in positions {
+        for bit in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert!(
+                Checkpoint::read_from(&mut &corrupt[..]).is_err(),
+                "flipping bit {bit} of byte {pos} was silently absorbed"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_version_and_wrong_magic_are_distinct_errors() {
+    let bytes = sample_bytes();
+
+    let mut wrong_version = bytes.clone();
+    wrong_version[4] = 9; // the version byte of the MCCK magic
+    let err = Checkpoint::read_from(&mut &wrong_version[..]).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::UnsupportedVersion(9)),
+        "got {err}"
+    );
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[..4].copy_from_slice(b"MCCT"); // a trace, not a checkpoint
+    let err = Checkpoint::read_from(&mut &wrong_magic[..]).unwrap_err();
+    assert!(matches!(err, CheckpointError::BadMagic), "got {err}");
+
+    // Checksum damage reports as exactly that.
+    let mut bad_sum = bytes.clone();
+    let n = bad_sum.len();
+    bad_sum[n - 1] ^= 0xFF; // last payload byte
+    let err = Checkpoint::read_from(&mut &bad_sum[..]).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ChecksumMismatch { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn trailing_bytes_after_the_envelope_are_rejected() {
+    let mut bytes = sample_bytes();
+    bytes.extend_from_slice(&[0xAB, 0xCD]);
+    let err = Checkpoint::read_from(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(err, CheckpointError::Corrupt(_)), "got {err}");
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    let mut rng = SplitMix64::new(0xDEC0DE);
+    for _ in 0..512 {
+        let len = rng.gen_range(0..512) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256) as u8).collect();
+        let _ = Checkpoint::read_from(&mut &garbage[..]);
+        let _ = ExecCheckpoint::read_from(&mut &garbage[..]);
+    }
+    // Garbage wearing a valid magic must still fail cleanly on the body.
+    for magic_garbage in 0..128 {
+        let mut bytes = Vec::from(CHECKPOINT_MAGIC);
+        let len = rng.gen_range(0..256) as usize;
+        bytes.extend((0..len).map(|_| rng.gen_range(0..256) as u8));
+        let _ = Checkpoint::read_from(&mut &bytes[..]);
+        let _ = magic_garbage;
+    }
+}
+
+#[test]
+fn hostile_counts_inside_the_payload_do_not_allocate() {
+    // A 16 MB "length" on an 80-byte stream must fail on the evidence
+    // of the stream, not trust the prefix with an allocation.
+    let mut bytes = Vec::from(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes()); // absurd payload length
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+    bytes.extend_from_slice(&[0u8; 64]); // far less than promised
+    let err = Checkpoint::read_from(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(err, CheckpointError::Truncated), "got {err}");
+}
+
+#[test]
+fn loading_a_missing_file_is_an_io_error() {
+    let path = std::env::temp_dir().join(format!(
+        "mcc-checkpoint-does-not-exist-{}",
+        std::process::id()
+    ));
+    let err = Checkpoint::load(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "got {err}");
+    let err = ExecCheckpoint::load(&path).unwrap_err();
+    assert!(matches!(err, CheckpointError::Io(_)), "got {err}");
+}
+
+#[test]
+fn mismatched_checkpoints_are_rejected_before_any_replay() {
+    let trace = sample_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let sim = DirectorySim::new(Protocol::Basic, &cfg);
+    let ck = sim.checkpoint_after(&trace, 1, 10).expect("prefix");
+
+    // Different protocol.
+    let other = DirectorySim::new(Protocol::Conventional, &cfg);
+    let err = other.resume_from(&trace, &ck, None).unwrap_err();
+    assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
+
+    // Different trace (the fingerprint in the snapshot disagrees).
+    let mut reordered = sample_trace(4);
+    reordered.push(MemRef::read(NodeId::new(0), Addr::new(0x9999)));
+    let err = sim.resume_from(&reordered, &ck, None).unwrap_err();
+    assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
+
+    // Different fault plan (reliable vs faulted).
+    let faulted = DirectorySim::new(Protocol::Basic, &cfg).with_faults(FaultPlan::uniform(1, 1000));
+    let err = faulted.resume_from(&trace, &ck, None).unwrap_err();
+    assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
+}
+
+#[test]
+fn exec_checkpoints_survive_the_same_corruption_sweep() {
+    let trace = sample_trace(4);
+    let cfg = ExecSimConfig {
+        nodes: 4,
+        ..ExecSimConfig::default()
+    };
+    let ck = ExecSim::new(Protocol::Basic, &cfg)
+        .checkpoint_after(&trace, 15)
+        .expect("prefix");
+    let mut bytes = Vec::new();
+    ck.write_to(&mut bytes).expect("vec write");
+
+    for len in 0..bytes.len() {
+        assert!(
+            ExecCheckpoint::read_from(&mut &bytes[..len]).is_err(),
+            "truncation to {len} bytes parsed"
+        );
+    }
+    let mut rng = SplitMix64::new(0xEC5);
+    for _ in 0..256 {
+        let pos = rng.gen_range(0..bytes.len() as u64) as usize;
+        let bit = rng.gen_range(0..8) as u8;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 1 << bit;
+        assert!(
+            ExecCheckpoint::read_from(&mut &corrupt[..]).is_err(),
+            "flipping bit {bit} of byte {pos} was silently absorbed"
+        );
+    }
+    // An MCCK checkpoint is not an MCCX checkpoint, and vice versa.
+    let err = ExecCheckpoint::read_from(&mut &sample_bytes()[..]).unwrap_err();
+    assert!(matches!(err, CheckpointError::BadMagic), "got {err}");
+}

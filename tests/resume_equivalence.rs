@@ -1,0 +1,230 @@
+//! Kill-and-resume equivalence: a run interrupted at *any* record
+//! boundary and resumed from its checkpoint must finish with a
+//! bit-identical result — for every paper protocol, fault-free and
+//! under injected faults, sequential and sharded, in memory and through
+//! the serialized on-disk format.
+
+use std::path::PathBuf;
+
+use mcc::core::{
+    Checkpoint, CheckpointPolicy, DirectorySim, DirectorySimConfig, FaultPlan, Protocol,
+};
+use mcc::execsim::{ExecCheckpoint, ExecSim, ExecSimConfig};
+use mcc::trace::{Addr, MemRef, NodeId, Trace};
+use mcc::workloads::{Workload, WorkloadParams};
+use mcc_bench::{try_run_protocol, RunOptions};
+
+/// A small mixed workload: migratory hand-offs, read-shared blocks, and
+/// some write bursts — enough to exercise every protocol action while
+/// staying cheap to replay from every boundary.
+fn small_trace(nodes: u16) -> Trace {
+    let mut t = Trace::new();
+    for round in 0..6u64 {
+        // Migratory counters handed around the machine.
+        for obj in 0..8u64 {
+            let n = NodeId::new(((round + obj) % u64::from(nodes)) as u16);
+            t.push(MemRef::read(n, Addr::new(obj * 64)));
+            t.push(MemRef::write(n, Addr::new(obj * 64)));
+        }
+        // A read-shared table everyone scans.
+        for n in 0..nodes {
+            t.push(MemRef::read(NodeId::new(n), Addr::new(0x2000 + round * 16)));
+        }
+        // One producer republishing it.
+        t.push(MemRef::write(
+            NodeId::new(0),
+            Addr::new(0x2000 + round * 16),
+        ));
+    }
+    t
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mcc-resume-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn every_boundary_resumes_bit_exactly_under_every_protocol() {
+    let trace = small_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    for protocol in Protocol::PAPER_SET {
+        for faults in [None, Some(FaultPlan::uniform(11, 40_000))] {
+            let mut sim = DirectorySim::new(protocol, &cfg);
+            if let Some(plan) = faults {
+                sim = sim.with_faults(plan);
+            }
+            let straight = sim.try_run(&trace).expect("uninterrupted run");
+            for cut in 0..=trace.len() as u64 {
+                let ck = sim
+                    .checkpoint_after(&trace, 1, cut)
+                    .expect("prefix replays cleanly");
+                // Through the serialized format, so the wire encoding is
+                // exercised at every boundary too.
+                let mut bytes = Vec::new();
+                ck.write_to(&mut bytes).expect("vec write");
+                let back = Checkpoint::read_from(&mut &bytes[..]).expect("own bytes read back");
+                assert_eq!(back, ck, "{protocol} cut {cut}: roundtrip must be lossless");
+                let resumed = sim
+                    .resume_from(&trace, &back, None)
+                    .expect("resumed tail replays cleanly");
+                assert_eq!(
+                    resumed,
+                    straight,
+                    "{protocol} faults={} cut {cut}",
+                    faults.is_some()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_resume_bit_exactly() {
+    let trace = small_trace(8);
+    let cfg = DirectorySimConfig {
+        nodes: 8,
+        ..DirectorySimConfig::default()
+    };
+    for protocol in Protocol::PAPER_SET {
+        let sim = DirectorySim::new(protocol, &cfg);
+        let straight = sim.try_run_sharded(&trace, 4).expect("sharded run");
+        for cut in [0u64, 1, 5, 17, trace.len() as u64 / 2, trace.len() as u64] {
+            let ck = sim.checkpoint_after(&trace, 4, cut).expect("prefix");
+            let resumed = sim.resume_from(&trace, &ck, None).expect("resume");
+            assert_eq!(resumed, straight, "{protocol} sharded cut {cut}");
+        }
+    }
+}
+
+#[test]
+fn on_disk_checkpoints_roundtrip_and_resume() {
+    let trace = small_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let sim = DirectorySim::new(Protocol::Aggressive, &cfg);
+    let straight = sim.try_run(&trace).expect("uninterrupted run");
+
+    // A supervised run leaves a final, complete snapshot behind.
+    let path = scratch("final.ckpt");
+    let policy = CheckpointPolicy::new(13, &path);
+    let supervised = sim
+        .run_resumable(&trace, 1, &policy)
+        .expect("supervised run");
+    assert_eq!(supervised, straight);
+    let ck = Checkpoint::load(&path).expect("final snapshot loads");
+    assert!(ck.is_complete());
+    assert_eq!(ck.completed_records(), trace.len() as u64);
+
+    // A mid-run snapshot saved to disk resumes to the same result.
+    let mid = sim
+        .checkpoint_after(&trace, 1, trace.len() as u64 / 3)
+        .expect("prefix");
+    mid.save(&path).expect("atomic save");
+    let reloaded = Checkpoint::load(&path).expect("mid snapshot loads");
+    assert!(!reloaded.is_complete());
+    let resumed = sim.resume_from(&trace, &reloaded, None).expect("resume");
+    assert_eq!(resumed, straight);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn resumed_runs_keep_checkpointing_at_the_same_boundaries() {
+    // Kill a supervised run, resume it with the same policy, and the
+    // final snapshot must match the one an uninterrupted supervised run
+    // writes: cadence is measured in absolute records, not records
+    // since resume.
+    let trace = small_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let sim = DirectorySim::new(Protocol::Basic, &cfg);
+    let path = scratch("cadence.ckpt");
+    let policy = CheckpointPolicy::new(10, &path);
+    let straight = sim.run_resumable(&trace, 1, &policy).expect("supervised");
+    let uninterrupted_final = Checkpoint::load(&path).expect("final snapshot");
+
+    let mid = sim
+        .checkpoint_after(&trace, 1, 25)
+        .expect("killed at record 25");
+    let resumed = sim
+        .resume_from(&trace, &mid, Some(&policy))
+        .expect("resume with policy");
+    assert_eq!(resumed, straight);
+    let resumed_final = Checkpoint::load(&path).expect("final snapshot after resume");
+    assert_eq!(resumed_final, uninterrupted_final);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bench_router_runs_checkpointed_and_resumes() {
+    // The full CLI path: --checkpoint-every via RunOptions, then
+    // --resume from the snapshot the first run left behind. Workload
+    // scales clamp to 0.1, so this is a ~2M-record trace; the cadence
+    // below keeps it to a handful of snapshots.
+    let params = WorkloadParams::new(4).scale(0.1).seed(3);
+    let trace = Workload::Mp3d.generate(&params);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let plain = try_run_protocol(Protocol::Basic, &cfg, &trace, &RunOptions::sequential())
+        .expect("plain run");
+
+    let path = scratch("bench.ckpt");
+    let opts = RunOptions {
+        checkpoint: Some(CheckpointPolicy::new(500_000, &path)),
+        ..RunOptions::default()
+    };
+    let supervised =
+        try_run_protocol(Protocol::Basic, &cfg, &trace, &opts).expect("supervised run");
+    assert_eq!(supervised, plain);
+
+    // "Kill" mid-run: take a mid-run snapshot, overwrite the file with
+    // it, and resume through the router.
+    let sim = DirectorySim::new(Protocol::Basic, &cfg);
+    sim.checkpoint_after(&trace, 1, trace.len() as u64 / 2)
+        .expect("prefix")
+        .save(&path)
+        .expect("save");
+    let resume_opts = RunOptions {
+        resume: Some(path.clone()),
+        ..RunOptions::default()
+    };
+    let resumed =
+        try_run_protocol(Protocol::Basic, &cfg, &trace, &resume_opts).expect("resumed run");
+    assert_eq!(resumed, plain);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn execsim_resume_preserves_stall_cycle_counters() {
+    let trace = small_trace(4);
+    let cfg = ExecSimConfig {
+        nodes: 4,
+        stall_shards: 2,
+        ..ExecSimConfig::default()
+    };
+    let sim = ExecSim::new(Protocol::Aggressive, &cfg);
+    let straight = sim.try_run(&trace).expect("uninterrupted run");
+    assert!(straight.stall_cycles > 0);
+    for cut in [1u64, trace.len() as u64 / 2, trace.len() as u64 - 1] {
+        let ck = sim.checkpoint_after(&trace, cut).expect("prefix");
+        let mut bytes = Vec::new();
+        ck.write_to(&mut bytes).expect("vec write");
+        let back = ExecCheckpoint::read_from(&mut &bytes[..]).expect("roundtrip");
+        let resumed = sim.resume_from(&trace, &back, None).expect("resume");
+        assert_eq!(resumed, straight, "cut {cut}");
+        assert_eq!(resumed.stall_cycles, straight.stall_cycles);
+        assert_eq!(resumed.contention_cycles, straight.contention_cycles);
+        assert_eq!(
+            resumed.per_shard_stall_cycles,
+            straight.per_shard_stall_cycles
+        );
+    }
+}

@@ -87,6 +87,24 @@ fn random_garbage_never_panics() {
 }
 
 #[test]
+fn trailing_bytes_after_declared_payload_are_rejected() {
+    // The v2 count is authoritative in both directions: a stream that
+    // keeps going after its declared records is corrupt (concatenated,
+    // tampered with, or mis-counted) and must be rejected wholesale,
+    // not silently truncated to the declared prefix.
+    let (_, valid) = sample_bytes();
+    for extra in [1usize, 5, 11, 22] {
+        let mut buf = valid.clone();
+        buf.extend(std::iter::repeat_n(0xA5, extra));
+        let err = Trace::read_from(&buf[..]).expect_err("stream outruns its header");
+        assert!(
+            matches!(err, ReadTraceError::TrailingBytes { declared: 300 }),
+            "{extra} trailing bytes: got {err}"
+        );
+    }
+}
+
+#[test]
 fn hostile_record_counts_do_not_preallocate() {
     // Headers declaring absurd record counts must fail on the evidence
     // of the stream, not trust the count with an allocation.
