@@ -6,6 +6,7 @@ use std::process::exit;
 use mcc_core::CheckpointPolicy;
 
 use crate::experiments::RunOptions;
+use crate::obs::ObsOptions;
 
 /// A run scenario: machine size, work scale, and RNG seed.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +29,12 @@ pub struct Scenario {
     pub checkpoint: Option<PathBuf>,
     /// Snapshot file to resume a killed run from.
     pub resume: Option<PathBuf>,
+    /// File the merged protocol event stream is written to (JSONL).
+    pub events_out: Option<PathBuf>,
+    /// File the metrics registry is written to (JSON).
+    pub metrics_out: Option<PathBuf>,
+    /// Flight-recorder ring size (0 = not requested).
+    pub events_ring: usize,
 }
 
 impl Default for Scenario {
@@ -41,6 +48,9 @@ impl Default for Scenario {
             checkpoint_every: 0,
             checkpoint: None,
             resume: None,
+            events_out: None,
+            metrics_out: None,
+            events_ring: 0,
         }
     }
 }
@@ -76,6 +86,15 @@ impl Scenario {
                 }
                 "--checkpoint" => s.checkpoint = Some(PathBuf::from(value("--checkpoint"))),
                 "--resume" => s.resume = Some(PathBuf::from(value("--resume"))),
+                "--events-out" => s.events_out = Some(PathBuf::from(value("--events-out"))),
+                "--metrics-out" => s.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+                "--events-ring" => {
+                    s.events_ring = parse(bin, "--events-ring", &value("--events-ring"));
+                    if s.events_ring == 0 {
+                        eprintln!("{bin}: --events-ring must be at least 1");
+                        exit(2);
+                    }
+                }
                 "--help" | "-h" => {
                     println!(
                         "{bin} — {what}\n\nUsage: {bin} [--nodes N] [--scale X] [--seed N] \
@@ -89,7 +108,12 @@ impl Scenario {
                          \n  --checkpoint-every N  snapshot a crash-safe run every N records\
                          \n  --checkpoint PATH     file snapshots are written to (default\
                          \n                        mcc-bench.ckpt when a cadence is set)\
-                         \n  --resume PATH         resume a killed run from its snapshot",
+                         \n  --resume PATH         resume a killed run from its snapshot\
+                         \n  --events-out PATH     write the protocol event stream as JSON Lines\
+                         \n  --metrics-out PATH    write the metrics registry (counters, histograms,\
+                         \n                        interval snapshots) as JSON\
+                         \n  --events-ring K       keep the last K events for the flight-recorder\
+                         \n                        dump rendered when a run fails",
                         crate::DEFAULT_SCALE
                     );
                     exit(0);
@@ -120,6 +144,11 @@ impl Scenario {
             checkpoint,
             resume: self.resume.clone(),
             faults: None,
+            obs: ObsOptions {
+                events_out: self.events_out.clone(),
+                metrics_out: self.metrics_out.clone(),
+                events_ring: self.events_ring,
+            },
         }
     }
 }

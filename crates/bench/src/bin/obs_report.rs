@@ -1,0 +1,204 @@
+//! Renders the observability artifacts of a run — the metrics JSON
+//! written by `--metrics-out` and/or the event JSONL written by
+//! `--events-out` — into human-readable summary tables: overall
+//! totals, per-interval traffic and classification-flip deltas, the
+//! messages-per-reference histogram, and per-event-type counts.
+//!
+//! Doubles as the CI validator: every JSONL line must parse back into
+//! an event and the metrics JSON must round-trip through the registry
+//! parser byte-identically, or the process exits non-zero.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use mcc_obs::metrics::names;
+use mcc_obs::{Event, Log2Histogram, Registry};
+use mcc_stats::Table;
+
+const BIN: &str = "obs_report";
+
+/// The per-interval columns worth a delta table: traffic and the
+/// classification churn the paper's detection rules produce.
+const INTERVAL_COLUMNS: [&str; 5] = [
+    names::CONTROL,
+    names::DATA,
+    names::PROMOTES,
+    names::DEMOTES,
+    names::INVALIDATIONS,
+];
+
+fn main() {
+    let (metrics, events) = parse_args();
+    if metrics.is_none() && events.is_none() {
+        eprintln!("{BIN}: nothing to do — pass --metrics and/or --events (try --help)");
+        exit(2);
+    }
+    if let Some(path) = &metrics {
+        report_metrics(path);
+    }
+    if let Some(path) = &events {
+        report_events(path);
+    }
+}
+
+/// Loads, validates (round-trip), and renders a metrics JSON file.
+fn report_metrics(path: &Path) {
+    let text = read(path);
+    let registry = Registry::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{BIN}: {}: invalid metrics JSON: {e}", path.display());
+        exit(1);
+    });
+    // The registry must survive its own serializer byte-identically —
+    // this is the CI round-trip check.
+    let reserialized = registry.to_json();
+    match Registry::from_json(&reserialized) {
+        Ok(back) if back.to_json() == reserialized => {}
+        _ => {
+            eprintln!(
+                "{BIN}: {}: metrics JSON does not round-trip",
+                path.display()
+            );
+            exit(1);
+        }
+    }
+
+    println!("== metrics: {} ==\n", path.display());
+    let mut totals = registry.totals_table();
+    totals.title("Totals");
+    println!("{}", totals.to_text());
+
+    let intervals = registry.intervals_table(&INTERVAL_COLUMNS);
+    if !registry.intervals().is_empty() {
+        let mut intervals = intervals;
+        intervals.title("Per-interval deltas (cumulative record boundary per row)");
+        println!("{}", intervals.to_text());
+    }
+
+    if let Some(hist) = registry.histogram(names::MESSAGES_PER_REF) {
+        println!(
+            "{}",
+            histogram_table(names::MESSAGES_PER_REF, hist).to_text()
+        );
+    }
+}
+
+/// A `bucket,count` table for one log2 histogram.
+fn histogram_table(name: &str, hist: &Log2Histogram) -> Table {
+    let mut table = Table::new(["bucket", "count"]);
+    table.title(format!("Histogram: {name} (count={})", hist.count()));
+    let hi = hist.max_bucket().map_or(0, |i| i + 1);
+    for (i, &count) in hist.buckets()[..hi].iter().enumerate() {
+        table.row([Log2Histogram::bucket_label(i), count.to_string()]);
+    }
+    table
+}
+
+/// Parses every JSONL line (exiting non-zero on the first bad one) and
+/// renders per-event-type counts plus promote/demote rule breakdowns.
+fn report_events(path: &Path) {
+    let text = read(path);
+    let mut by_label: Vec<(&'static str, u64)> = Vec::new();
+    let mut rules: Vec<(String, u64)> = Vec::new();
+    let mut lines = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = Event::from_json(line).unwrap_or_else(|e| {
+            eprintln!(
+                "{BIN}: {}:{}: bad event line: {e}",
+                path.display(),
+                lineno + 1
+            );
+            exit(1);
+        });
+        lines += 1;
+        bump(&mut by_label, event.label());
+        match event {
+            Event::Promote { rule, .. } => {
+                bump_string(&mut rules, format!("promote via {}", rule.label()));
+            }
+            Event::Demote { rule, .. } => {
+                bump_string(&mut rules, format!("demote via {}", rule.label()));
+            }
+            _ => {}
+        }
+    }
+
+    println!(
+        "== events: {} ({lines} lines, all parsed) ==\n",
+        path.display()
+    );
+    let mut table = Table::new(["event", "count"]);
+    table.title("Event counts");
+    for (label, count) in &by_label {
+        table.row([(*label).to_string(), count.to_string()]);
+    }
+    println!("{}", table.to_text());
+
+    if !rules.is_empty() {
+        let mut table = Table::new(["classification flip", "count"]);
+        table.title("Detection-rule breakdown (DESIGN.md §10 maps rules to the paper)");
+        for (label, count) in &rules {
+            table.row([label.clone(), count.to_string()]);
+        }
+        println!("{}", table.to_text());
+    }
+}
+
+fn bump(counts: &mut Vec<(&'static str, u64)>, label: &'static str) {
+    match counts.iter_mut().find(|(l, _)| *l == label) {
+        Some((_, n)) => *n += 1,
+        None => counts.push((label, 1)),
+    }
+}
+
+fn bump_string(counts: &mut Vec<(String, u64)>, label: String) {
+    match counts.iter_mut().find(|(l, _)| *l == label) {
+        Some((_, n)) => *n += 1,
+        None => counts.push((label, 1)),
+    }
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{BIN}: cannot read {}: {e}", path.display());
+        exit(1);
+    })
+}
+
+fn parse_args() -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut metrics = None;
+    let mut events = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{BIN}: {name} needs a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--metrics" => metrics = Some(PathBuf::from(value("--metrics"))),
+            "--events" => events = Some(PathBuf::from(value("--events"))),
+            "--help" | "-h" => {
+                println!(
+                    "{BIN} — render observability artifacts into summary tables\n\n\
+                     Usage: {BIN} [--metrics FILE] [--events FILE]\n\
+                     \n  --metrics FILE  metrics JSON written by a --metrics-out run; validated\
+                     \n                  (parse + round-trip) and rendered as totals, per-interval\
+                     \n                  deltas, and histograms\
+                     \n  --events FILE   event JSONL written by a --events-out run; every line is\
+                     \n                  parsed (non-zero exit on failure) and counted by type\n\
+                     \nExit status: 0 on success, 1 when an artifact fails validation."
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("{BIN}: unknown argument {other:?} (try --help)");
+                exit(2);
+            }
+        }
+    }
+    (metrics, events)
+}

@@ -26,7 +26,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use mcc_bench::{try_run_protocol, RunOptions};
+use mcc_bench::{try_run_protocol, ObsOptions, RunOptions};
 use mcc_core::{CheckpointPolicy, DirectorySimConfig, FaultPlan, Protocol, SimError, SimResult};
 use mcc_stats::kv_lines;
 use mcc_workloads::{Workload, WorkloadParams};
@@ -41,6 +41,8 @@ struct Args {
     seed: u64,
     shards: usize,
     every: u64,
+    events_ring: usize,
+    obs: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -85,10 +87,29 @@ fn main() {
         let result_path = args.state.join(format!("{key}.result"));
         let ckpt_path = args.state.join(format!("{key}.ckpt"));
         if result_path.exists() {
-            println!("[{}/{total}] {key}: already complete, skipping", i + 1);
+            // Say *which* file justified the skip — a restarted sweep
+            // that silently skips cells is indistinguishable from one
+            // that lost them.
+            println!(
+                "[{}/{total}] {key}: already complete ({} exists), skipping",
+                i + 1,
+                result_path.display()
+            );
             completed += 1;
             continue;
         }
+        // Per-cell heartbeat: what is running right now and from where,
+        // so a watcher of a long sweep always knows where it is.
+        if ckpt_path.exists() {
+            println!(
+                "[{}/{total}] {key}: running (resuming from snapshot {})",
+                i + 1,
+                ckpt_path.display()
+            );
+        } else {
+            println!("[{}/{total}] {key}: running (fresh)", i + 1);
+        }
+        let started = std::time::Instant::now();
         match run_cell(&args, cell, &ckpt_path) {
             Ok(result) => {
                 if let Err(e) = write_result(&result_path, cell, &result) {
@@ -100,8 +121,9 @@ fn main() {
                 // completion marker restarts key off.
                 fs::remove_file(&ckpt_path).ok();
                 println!(
-                    "[{}/{total}] {key}: done ({} messages over {} references)",
+                    "[{}/{total}] {key}: done in {:.1}s ({} messages over {} references)",
                     i + 1,
+                    started.elapsed().as_secs_f64(),
                     result.total_messages(),
                     result.events.refs()
                 );
@@ -137,6 +159,19 @@ fn run_cell(args: &Args, cell: &Cell, ckpt_path: &Path) -> Result<SimResult, Sim
         checkpoint: Some(policy.clone()),
         resume: None,
         faults,
+        // With --obs set, each cell leaves its event stream and metrics
+        // registry next to its .result file; with --events-ring set, a
+        // failing cell renders the flight recorder (last-K events + the
+        // offending block's classification timeline) onto stderr.
+        obs: ObsOptions {
+            events_out: args
+                .obs
+                .then(|| args.state.join(format!("{}.events.jsonl", cell.key()))),
+            metrics_out: args
+                .obs
+                .then(|| args.state.join(format!("{}.metrics.json", cell.key()))),
+            events_ring: args.events_ring,
+        },
     };
     if !ckpt_path.exists() {
         return try_run_protocol(cell.protocol, &cfg, &trace, &fresh);
@@ -244,6 +279,8 @@ fn parse_args() -> Args {
     let mut seed = 0u64;
     let mut shards = 1usize;
     let mut every = 10_000u64;
+    let mut events_ring = 0usize;
+    let mut obs = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -262,18 +299,24 @@ fn parse_args() -> Args {
             "--checkpoint-every" => {
                 every = parse(&value("--checkpoint-every"), "--checkpoint-every")
             }
+            "--events-ring" => events_ring = parse(&value("--events-ring"), "--events-ring"),
+            "--obs" => obs = true,
             "--help" | "-h" => {
                 println!(
                     "{BIN} — crash-safe sweep supervisor\n\n\
                      Usage: {BIN} --manifest FILE --state DIR [--nodes N] [--scale X] \
-                     [--seed N] [--shards K] [--checkpoint-every N]\n\
+                     [--seed N] [--shards K] [--checkpoint-every N] [--events-ring K] [--obs]\n\
                      \n  --manifest FILE       sweep cells, one '<protocol> <workload> [fault_ppm]' per line\
                      \n  --state DIR           where per-cell .ckpt/.result files live\
                      \n  --nodes N             simulated machine size (default 16)\
                      \n  --scale X             workload work multiplier (default {})\
                      \n  --seed N              workload RNG seed (default 0)\
                      \n  --shards K            address shards for the parallel engine (default 1)\
-                     \n  --checkpoint-every N  snapshot cadence in records (default 10000)",
+                     \n  --checkpoint-every N  snapshot cadence in records (default 10000)\
+                     \n  --events-ring K       keep the last K protocol events per cell and dump\
+                     \n                        them (flight recorder) when a cell fails\
+                     \n  --obs                 write per-cell <cell>.events.jsonl and\
+                     \n                        <cell>.metrics.json into the state directory",
                     mcc_bench::DEFAULT_SCALE
                 );
                 exit(0);
@@ -296,6 +339,8 @@ fn parse_args() -> Args {
         seed,
         shards,
         every,
+        events_ring,
+        obs,
     }
 }
 

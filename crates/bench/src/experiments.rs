@@ -11,6 +11,7 @@ use mcc_stats::{thousands, Table};
 use mcc_trace::BlockSize;
 use mcc_workloads::{Workload, WorkloadParams};
 
+use crate::obs::ObsOptions;
 use crate::Scenario;
 
 /// The per-node cache capacities of Table 2, in kilobytes.
@@ -55,6 +56,10 @@ pub struct RunOptions {
     pub resume: Option<PathBuf>,
     /// Injected interconnect faults for the run, if any.
     pub faults: Option<FaultPlan>,
+    /// Observability outputs (event JSONL, metrics JSON, flight-recorder
+    /// ring). When none are requested the router takes the exact
+    /// un-instrumented code path.
+    pub obs: ObsOptions,
 }
 
 impl RunOptions {
@@ -103,6 +108,9 @@ pub fn try_run_protocol(
     if shards > 1 && cfg.cache != CacheConfig::Infinite {
         degradation_notice(shards);
         shards = 1;
+    }
+    if opts.obs.is_active() {
+        return crate::obs::run_observed(&sim, trace, shards, opts);
     }
     if let Some(path) = &opts.resume {
         let checkpoint = Checkpoint::load(path).map_err(|e| SimError::BadCheckpoint {
@@ -186,6 +194,9 @@ fn cell_path(
 /// already complete resumes straight to its result (so a restarted
 /// sweep skips finished cells), and an unusable snapshot degrades to a
 /// fresh run with a stderr notice instead of failing the sweep.
+/// Observability outputs are likewise suffixed per cell, so a sweep
+/// with `--events-out`/`--metrics-out` leaves one artifact pair per
+/// (workload, protocol, config) instead of overwriting a single file.
 fn run_protocol_cell(
     protocol: Protocol,
     cfg: &DirectorySimConfig,
@@ -203,6 +214,12 @@ fn run_protocol_cell(
     if let Some(resume_base) = &base.resume {
         let path = cell_path(resume_base, cfg, app, protocol);
         opts.resume = path.exists().then_some(path);
+    }
+    if let Some(events_base) = &base.obs.events_out {
+        opts.obs.events_out = Some(cell_path(events_base, cfg, app, protocol));
+    }
+    if let Some(metrics_base) = &base.obs.metrics_out {
+        opts.obs.metrics_out = Some(cell_path(metrics_base, cfg, app, protocol));
     }
     let resuming = opts.resume.is_some();
     match try_run_protocol(protocol, cfg, trace, &opts) {

@@ -11,6 +11,7 @@
 
 pub mod args;
 pub mod experiments;
+pub mod obs;
 pub mod timing;
 
 pub use args::Scenario;
@@ -19,6 +20,7 @@ pub use experiments::{
     policy_ablation, render_message_rows, run_protocol, try_run_protocol, BusComparison,
     ExecComparison, MessageRow, RunOptions, BLOCK_SIZES, CACHE_SIZES_KB,
 };
+pub use obs::ObsOptions;
 
 /// Default work-scale used by the table binaries: large enough for
 /// stable percentages, small enough to finish a full table in minutes.

@@ -53,6 +53,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use mcc_cache::{CacheConfig, CacheGeometry};
+use mcc_obs::{Event as ObsEvent, SharedSink};
 use mcc_placement::PagePlacement;
 use mcc_trace::{BlockSize, Trace};
 
@@ -1038,7 +1039,35 @@ impl DirectorySim {
         shards: usize,
         policy: &CheckpointPolicy,
     ) -> Result<SimResult, SimError> {
-        self.resumable(trace, shards, None, Some(policy))
+        self.resumable(trace, shards, None, Some(policy), None)
+    }
+
+    /// Like [`DirectorySim::run_resumable`], but streams each shard's
+    /// events into its entry of `sinks`; every published snapshot
+    /// additionally emits a `CheckpointSaved` event. The result stays
+    /// bit-exact with the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::run_resumable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `sinks.len() != shards`.
+    pub fn run_resumable_with_sinks(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        policy: &CheckpointPolicy,
+        sinks: &[SharedSink],
+    ) -> Result<SimResult, SimError> {
+        assert_eq!(
+            sinks.len(),
+            shards,
+            "need exactly one sink per shard ({} sinks for {shards} shards)",
+            sinks.len()
+        );
+        self.resumable(trace, shards, None, Some(policy), Some(sinks))
     }
 
     /// Continues a run from `checkpoint`, replaying only the
@@ -1060,7 +1089,50 @@ impl DirectorySim {
         checkpoint: &Checkpoint,
         policy: Option<&CheckpointPolicy>,
     ) -> Result<SimResult, SimError> {
-        self.resumable(trace, checkpoint.shard_count(), Some(checkpoint), policy)
+        self.resumable(
+            trace,
+            checkpoint.shard_count(),
+            Some(checkpoint),
+            policy,
+            None,
+        )
+    }
+
+    /// Like [`DirectorySim::resume_from`], but streams each shard's
+    /// events into its entry of `sinks`. Each shard resumed past record
+    /// zero opens its stream with a `CheckpointLoaded` event carrying
+    /// the restored cursor, so the event stream itself shows that the
+    /// run skipped its already-processed prefix.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::resume_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sinks.len()` differs from the checkpoint's shard
+    /// count.
+    pub fn resume_from_with_sinks(
+        &self,
+        trace: &Trace,
+        checkpoint: &Checkpoint,
+        policy: Option<&CheckpointPolicy>,
+        sinks: &[SharedSink],
+    ) -> Result<SimResult, SimError> {
+        assert_eq!(
+            sinks.len(),
+            checkpoint.shard_count(),
+            "need exactly one sink per shard ({} sinks for {} shards)",
+            sinks.len(),
+            checkpoint.shard_count()
+        );
+        self.resumable(
+            trace,
+            checkpoint.shard_count(),
+            Some(checkpoint),
+            policy,
+            Some(sinks),
+        )
     }
 
     /// Replays the first `records` references (per shard, clamped to
@@ -1172,6 +1244,7 @@ impl DirectorySim {
         shards: usize,
         start: Option<&Checkpoint>,
         policy: Option<&CheckpointPolicy>,
+        sinks: Option<&[SharedSink]>,
     ) -> Result<SimResult, SimError> {
         assert!(shards > 0, "shard count must be positive");
         self.check_shardable(shards)?;
@@ -1236,6 +1309,15 @@ impl DirectorySim {
                 placement.clone(),
                 self.shard_plan(id as u32, shards),
             )?;
+            // Snapshots deliberately exclude sinks; re-attach after the
+            // restore and announce a resumed (cursor > 0) stream.
+            engine.set_sink(sinks.map(|s| s[id].clone()));
+            if snap.cursor > 0 {
+                engine.emit_obs(&ObsEvent::CheckpointLoaded {
+                    step: engine.steps(),
+                    records: snap.cursor,
+                });
+            }
             let every = policy.map_or(0, |p| p.every);
             let mut cursor = snap.cursor as usize;
             for r in sub.iter().skip(cursor) {
@@ -1252,6 +1334,10 @@ impl DirectorySim {
                                 engine: EngineSnapshot::capture(&engine),
                             },
                         )?;
+                        engine.emit_obs(&ObsEvent::CheckpointSaved {
+                            step: engine.steps(),
+                            records: cursor as u64,
+                        });
                     }
                 }
             }
@@ -1266,6 +1352,10 @@ impl DirectorySim {
                         engine: EngineSnapshot::capture(&engine),
                     },
                 )?;
+                engine.emit_obs(&ObsEvent::CheckpointSaved {
+                    step: engine.steps(),
+                    records: cursor as u64,
+                });
             }
             Ok(engine.finish())
         };

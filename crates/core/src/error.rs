@@ -198,6 +198,27 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// The block the failure is about, when the failure names one:
+    /// coherence violations, retry exhaustion, and livelock all pin a
+    /// specific block, which is what a flight-recorder dump keys its
+    /// classification timeline on. Structural errors (sharding,
+    /// checkpoints, bad node indices) name no block.
+    pub fn block(&self) -> Option<BlockAddr> {
+        match self {
+            SimError::Violation(v) => Some(v.block),
+            SimError::RetryExhausted { block, .. } | SimError::Livelock { block, .. } => {
+                Some(*block)
+            }
+            SimError::NodeOutOfRange { .. }
+            | SimError::ShardingUnsupported { .. }
+            | SimError::ShardPanicked { .. }
+            | SimError::ShardTimedOut { .. }
+            | SimError::BadCheckpoint { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

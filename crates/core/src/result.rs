@@ -256,6 +256,64 @@ impl SimResult {
         self.messages.total()
     }
 
+    /// Checks the arithmetic identities that hold for every result a
+    /// correct engine can produce, reporting the first broken one:
+    ///
+    /// * every read miss was serviced by exactly one of migration or
+    ///   replication;
+    /// * every NACK was followed by a retry, so retries ≥ NACKs;
+    /// * the combined message count equals the sum over the per-cause
+    ///   classes (guards [`MessageBreakdown::combined`] against a
+    ///   future field being added to the struct but dropped from the
+    ///   total).
+    ///
+    /// A violation means counters were corrupted — a bad checkpoint
+    /// restore, a buggy shard merge, or memory unsafety elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first broken identity.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let e = &self.events;
+        if e.read_misses != e.migrations + e.replications {
+            return Err(format!(
+                "{} read misses but {} migrations + {} replications",
+                e.read_misses, e.migrations, e.replications
+            ));
+        }
+        if e.nacks > e.retries {
+            return Err(format!(
+                "{} nacks exceed {} retries (every NACK is retried)",
+                e.nacks, e.retries
+            ));
+        }
+        let m = &self.messages;
+        let by_class = m.read_miss + m.write_miss + m.write_hit + m.eviction + m.nacks + m.retries;
+        if m.combined() != by_class {
+            return Err(format!(
+                "combined messages {} disagree with the per-class sum {}",
+                m.combined(),
+                by_class
+            ));
+        }
+        Ok(())
+    }
+
+    /// Debug-build sanity gate: panics on a broken
+    /// [`check_consistency`](Self::check_consistency) identity. Compiles
+    /// to nothing in release builds, so the engines call it on every
+    /// finished and merged result for free.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, when the result is internally inconsistent.
+    pub fn debug_assert_consistent(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(why) = self.check_consistency() {
+            panic!("inconsistent SimResult: {why}");
+        }
+    }
+
     /// Percentage reduction in total messages relative to `baseline`
     /// (positive = fewer messages than the baseline), as reported in the
     /// `%` columns of Tables 2 and 3.
@@ -438,6 +496,53 @@ mod tests {
         a.protocol = Protocol::Basic;
         b.protocol = Protocol::Conventional;
         let _ = a + b;
+    }
+
+    fn consistent() -> SimResult {
+        let mut r = sample();
+        r.events.migrations = 8;
+        r.events.replications = 12;
+        r
+    }
+
+    #[test]
+    fn consistency_accepts_well_formed_results() {
+        assert_eq!(consistent().check_consistency(), Ok(()));
+        consistent().debug_assert_consistent();
+        SimResult::empty(Protocol::Basic)
+            .check_consistency()
+            .expect("the zero result is consistent");
+    }
+
+    #[test]
+    fn consistency_catches_corrupted_counters() {
+        let mut r = consistent();
+        r.events.migrations += 1;
+        let why = r
+            .check_consistency()
+            .expect_err("corruption must be caught");
+        assert!(why.contains("read misses"), "unexpected diagnosis: {why}");
+
+        let mut r = consistent();
+        r.events.nacks = 3;
+        r.events.retries = 2;
+        let why = r
+            .check_consistency()
+            .expect_err("corruption must be caught");
+        assert!(why.contains("nacks"), "unexpected diagnosis: {why}");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "inconsistent SimResult"))]
+    fn debug_assertion_trips_on_corruption() {
+        let mut r = consistent();
+        r.events.replications += 5;
+        r.debug_assert_consistent();
+        // Without debug assertions the gate is compiled out; make the
+        // test meaningful either way.
+        #[cfg(not(debug_assertions))]
+        r.check_consistency()
+            .expect_err("corruption must still be detectable");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 
 use mcc_cache::{Cache, CacheConfig};
+use mcc_obs::{Event as ObsEvent, Rule, SharedSink};
 use mcc_placement::PagePlacement;
 use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
@@ -147,6 +148,21 @@ impl StepKind {
             StepKind::ReadMissReplicate | StepKind::ReadMissMigrate | StepKind::WriteMiss
         )
     }
+
+    /// The observability vocabulary for this outcome (the [`mcc_obs`]
+    /// event stream is engine-agnostic, so it carries its own enum).
+    pub const fn obs(self) -> mcc_obs::StepKind {
+        match self {
+            StepKind::ReadHit => mcc_obs::StepKind::ReadHit,
+            StepKind::SilentWrite => mcc_obs::StepKind::SilentWrite,
+            StepKind::GrantedWrite => mcc_obs::StepKind::GrantedWrite,
+            StepKind::ExclusiveUpgrade => mcc_obs::StepKind::ExclusiveUpgrade,
+            StepKind::SharedUpgrade => mcc_obs::StepKind::SharedUpgrade,
+            StepKind::ReadMissReplicate => mcc_obs::StepKind::ReadMissReplicate,
+            StepKind::ReadMissMigrate => mcc_obs::StepKind::ReadMissMigrate,
+            StepKind::WriteMiss => mcc_obs::StepKind::WriteMiss,
+        }
+    }
 }
 
 /// Per-reference outcome returned by [`DirectoryEngine::step`], used by
@@ -255,6 +271,25 @@ impl DirectorySim {
         Ok(engine.finish())
     }
 
+    /// Like [`DirectorySim::try_run`], but streams structured
+    /// observability events into `sink` as the run progresses. Events
+    /// are derived observations — the simulation result is bit-exact
+    /// with an unobserved [`DirectorySim::try_run`].
+    pub fn try_run_with_sink(
+        &self,
+        trace: &Trace,
+        sink: SharedSink,
+    ) -> Result<SimResult, SimError> {
+        let mut engine = self.build_engine(trace).with_sink(sink);
+        let mut monitor = Monitor::for_run_length(trace.len() as u64);
+        for r in trace.iter() {
+            engine.try_step(*r)?;
+            monitor.after_step(&engine)?;
+        }
+        engine.verify()?;
+        Ok(engine.finish())
+    }
+
     /// Resolves the page placement exactly as an end-to-end run would:
     /// trace-derived policies (profiled, first-touch) always profile
     /// the *full* trace, which is what keeps sharded and resumed runs
@@ -275,6 +310,12 @@ impl DirectorySim {
         }
         engine
     }
+}
+
+/// The node's zero-based index in the observability event vocabulary
+/// (`mcc_obs` speaks raw `u16`s so it needs no trace types).
+const fn obs_node(n: NodeId) -> u16 {
+    n.index() as u16
 }
 
 /// Sentinel policy for the non-adaptive protocols: never classifies a
@@ -329,6 +370,11 @@ pub struct DirectoryEngine {
     steps: u64,
     messages: MessageBreakdown,
     events: EventCounts,
+    /// Observability sink; `None` (the default) keeps every emission a
+    /// single branch. Events describe transitions the engine already
+    /// performs — no protocol decision ever reads the sink, so
+    /// attaching one cannot perturb results.
+    sink: Option<SharedSink>,
 }
 
 impl DirectoryEngine {
@@ -352,6 +398,31 @@ impl DirectoryEngine {
             steps: 0,
             messages: MessageBreakdown::default(),
             events: EventCounts::default(),
+            sink: None,
+        }
+    }
+
+    /// Attaches an observability sink: every subsequent step streams
+    /// structured [`mcc_obs::Event`]s (reference outcomes, migratory
+    /// promotions/demotions with the triggering detection rule,
+    /// invalidations, fault NACK/retry/backoff) into it.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches (`Some`) or detaches (`None`) the observability sink on
+    /// an engine in place — used when restoring from a checkpoint,
+    /// since snapshots deliberately exclude sinks.
+    pub fn set_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Emits `event` into the attached sink, if any.
+    pub(crate) fn emit_obs(&self, event: &ObsEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(event);
         }
     }
 
@@ -504,12 +575,23 @@ impl DirectoryEngine {
             self.miss(r.node, block, home, r.op)?
         };
         let after = self.critical_path_messages();
-        Ok(StepInfo {
+        let info = StepInfo {
             kind,
             home,
             messages: MessageCount::new(after.control - before.control, after.data - before.data),
             backoff_units: backoff,
-        })
+        };
+        if self.sink.is_some() {
+            self.emit_obs(&ObsEvent::Step {
+                step: self.steps,
+                block: block.index(),
+                node: obs_node(r.node),
+                kind: kind.obs(),
+                control: info.messages.control,
+                data: info.messages.data,
+            });
+        }
+        Ok(info)
     }
 
     /// Replays delivery attempts for the transaction this reference
@@ -535,6 +617,16 @@ impl DirectoryEngine {
             // Local or cache-contained work never touches the fabric.
             return Ok(0);
         };
+        // The injector borrow spans the retry loop, so clone the sink
+        // handle (an `Arc`) for fault-event emission inside it.
+        let sink = self.sink.clone();
+        let step = self.steps;
+        let emit = |event: &ObsEvent| {
+            if let Some(sink) = &sink {
+                sink.emit(event);
+            }
+        };
+        let (ob, on) = (block.index(), obs_node(n));
         let injector = self.faults.as_mut().expect("checked is_some above");
         let plan = *injector.plan();
         let mut attempt = 0u32;
@@ -550,11 +642,29 @@ impl DirectoryEngine {
                 AttemptOutcome::Dropped => {
                     self.messages.retries += report.wasted;
                     self.events.retries += 1;
+                    emit(&ObsEvent::Retry {
+                        step,
+                        block: ob,
+                        node: on,
+                        attempt: attempt + 1,
+                    });
                 }
                 AttemptOutcome::Nacked => {
                     self.messages.nacks += report.wasted;
                     self.events.nacks += 1;
                     self.events.retries += 1;
+                    emit(&ObsEvent::Nack {
+                        step,
+                        block: ob,
+                        node: on,
+                        attempt: attempt + 1,
+                    });
+                    emit(&ObsEvent::Retry {
+                        step,
+                        block: ob,
+                        node: on,
+                        attempt: attempt + 1,
+                    });
                 }
             }
             if attempt >= plan.max_retries {
@@ -575,6 +685,14 @@ impl DirectoryEngine {
                 });
             }
             attempt += 1;
+        }
+        if backoff_total > 0 {
+            emit(&ObsEvent::Backoff {
+                step,
+                block: ob,
+                node: on,
+                units: backoff_total,
+            });
         }
         self.events.backoff_units += backoff_total;
         Ok(backoff_total)
@@ -743,7 +861,7 @@ impl DirectoryEngine {
                             self.entry_mut(block)
                                 .on_write_hit_clean_exclusive(policy, n)
                         };
-                        self.record_reclass(rc);
+                        self.record_reclass(rc, block, n, Rule::WriteHitCleanExclusive);
                         self.caches[n.index()]
                             .get_mut(block)
                             .expect("residency checked by the contains() dispatch above")
@@ -786,8 +904,9 @@ impl DirectoryEngine {
                             let removed = self.caches[m.index()].remove(block);
                             debug_assert!(removed.is_some(), "copyset out of sync with caches");
                             self.events.invalidations += 1;
+                            self.emit_invalidation(block, m);
                         }
-                        self.record_reclass(rc);
+                        self.record_reclass(rc, block, n, Rule::WriteHitShared);
                         self.caches[n.index()]
                             .get_mut(block)
                             .expect("residency checked by the contains() dispatch above")
@@ -850,6 +969,7 @@ impl DirectoryEngine {
                         served_from_owner = Some(old.version);
                     }
                     self.events.invalidations += 1;
+                    self.emit_invalidation(block, m);
                 }
                 let served = served_from_owner.unwrap_or_else(|| self.mem(block));
                 self.observe(block, served, "read-with-ownership")?;
@@ -875,7 +995,7 @@ impl DirectoryEngine {
                         e.on_read_miss(policy)
                     }
                 };
-                self.record_reclass(rc);
+                self.record_reclass(rc, block, n, Rule::ReadMiss);
                 match action {
                     ReadMissAction::Migrate => {
                         self.events.migrations += 1;
@@ -887,6 +1007,7 @@ impl DirectoryEngine {
                                 self.mem_version.insert(block, old.version);
                             }
                             self.events.invalidations += 1;
+                            self.emit_invalidation(block, owner);
                             old.version
                         } else {
                             debug_assert!(copyset_before.is_empty());
@@ -948,6 +1069,7 @@ impl DirectoryEngine {
                         served_from_owner = Some(old.version);
                     }
                     self.events.invalidations += 1;
+                    self.emit_invalidation(block, m);
                 }
                 let served = served_from_owner.unwrap_or_else(|| self.mem(block));
                 self.observe(block, served, "write miss")?;
@@ -968,7 +1090,7 @@ impl DirectoryEngine {
                     e.overflowed = false;
                     rc
                 };
-                self.record_reclass(rc);
+                self.record_reclass(rc, block, n, Rule::WriteMiss);
                 let v = self.bump_version(block);
                 self.insert_line(n, block, LineState::Dirty, v)?;
                 StepKind::WriteMiss
@@ -1021,7 +1143,7 @@ impl DirectoryEngine {
                 .get_mut(&vb)
                 .expect("contains_key checked above")
                 .on_copy_dropped(policy, n);
-            self.record_reclass(rc);
+            self.record_reclass(rc, vb, n, Rule::CopyDropped);
         }
         Ok(())
     }
@@ -1033,11 +1155,42 @@ impl DirectoryEngine {
             .or_insert_with(|| DirEntry::new(policy))
     }
 
-    fn record_reclass(&mut self, rc: Reclassification) {
+    /// Tallies a reclassification and, when the block actually flipped,
+    /// emits the promote/demote event tagged with the §2 detection
+    /// `rule` that was consulted and the `node` whose reference
+    /// triggered it.
+    fn record_reclass(&mut self, rc: Reclassification, block: BlockAddr, node: NodeId, rule: Rule) {
         match rc {
             Reclassification::Unchanged => {}
-            Reclassification::BecameMigratory => self.events.became_migratory += 1,
-            Reclassification::BecameOther => self.events.became_other += 1,
+            Reclassification::BecameMigratory => {
+                self.events.became_migratory += 1;
+                self.emit_obs(&ObsEvent::Promote {
+                    step: self.steps,
+                    block: block.index(),
+                    node: obs_node(node),
+                    rule,
+                });
+            }
+            Reclassification::BecameOther => {
+                self.events.became_other += 1;
+                self.emit_obs(&ObsEvent::Demote {
+                    step: self.steps,
+                    block: block.index(),
+                    node: obs_node(node),
+                    rule,
+                });
+            }
+        }
+    }
+
+    /// Emits the invalidation of `node`'s copy of `block`.
+    fn emit_invalidation(&self, block: BlockAddr, node: NodeId) {
+        if self.sink.is_some() {
+            self.emit_obs(&ObsEvent::Invalidation {
+                step: self.steps,
+                block: block.index(),
+                node: obs_node(node),
+            });
         }
     }
 
@@ -1205,11 +1358,13 @@ impl DirectoryEngine {
 
     /// Consumes the engine and returns the tally.
     pub fn finish(self) -> SimResult {
-        SimResult {
+        let result = SimResult {
             protocol: self.protocol,
             messages: self.messages,
             events: self.events,
-        }
+        };
+        result.debug_assert_consistent();
+        result
     }
 }
 

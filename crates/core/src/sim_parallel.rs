@@ -55,6 +55,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mcc_cache::CacheConfig;
+use mcc_obs::{Event as ObsEvent, SharedSink};
 use mcc_placement::PagePlacement;
 use mcc_trace::Trace;
 
@@ -238,7 +239,68 @@ impl DirectorySim {
         shards: usize,
         deadline: Option<Duration>,
     ) -> Result<ShardedReport, SimError> {
-        self.supervised(trace, shards, true, deadline)
+        self.supervised(trace, shards, true, deadline, None)
+    }
+
+    /// Like [`DirectorySim::run_supervised`], but attaches one
+    /// observability sink per shard: shard `i` streams its events —
+    /// framed by `ShardStarted`/`ShardFinished` — into `sinks[i]`.
+    /// Callers that want one global stream merge the per-shard buffers
+    /// in shard index order after the run; per-shard sinks keep the
+    /// hot path free of cross-thread contention.
+    ///
+    /// Events are derived observations: the report is bit-exact with
+    /// [`DirectorySim::run_supervised`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::run_supervised`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `sinks.len() != shards`.
+    pub fn run_supervised_with_sinks(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        deadline: Option<Duration>,
+        sinks: &[SharedSink],
+    ) -> Result<ShardedReport, SimError> {
+        assert_eq!(
+            sinks.len(),
+            shards,
+            "need exactly one sink per shard ({} sinks for {shards} shards)",
+            sinks.len()
+        );
+        self.supervised(trace, shards, true, deadline, Some(sinks))
+    }
+
+    /// Like [`DirectorySim::try_run_sharded`], but streams each shard's
+    /// events into its entry of `sinks`. See
+    /// [`DirectorySim::run_supervised_with_sinks`] for the sink
+    /// contract.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::try_run_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `sinks.len() != shards`.
+    pub fn try_run_sharded_with_sinks(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        sinks: &[SharedSink],
+    ) -> Result<SimResult, SimError> {
+        assert_eq!(
+            sinks.len(),
+            shards,
+            "need exactly one sink per shard ({} sinks for {shards} shards)",
+            sinks.len()
+        );
+        self.supervised(trace, shards, true, None, Some(sinks))?
+            .merged()
     }
 
     /// Routes a run through the sharded engine when the configuration
@@ -278,7 +340,8 @@ impl DirectorySim {
         shards: usize,
         monitored: bool,
     ) -> Result<SimResult, SimError> {
-        self.supervised(trace, shards, monitored, None)?.merged()
+        self.supervised(trace, shards, monitored, None, None)?
+            .merged()
     }
 
     fn supervised(
@@ -287,6 +350,7 @@ impl DirectorySim {
         shards: usize,
         monitored: bool,
         deadline: Option<Duration>,
+        sinks: Option<&[SharedSink]>,
     ) -> Result<ShardedReport, SimError> {
         assert!(shards > 0, "shard count must be positive");
         if self.config.cache != CacheConfig::Infinite {
@@ -315,11 +379,12 @@ impl DirectorySim {
             let shard_tx = tx.clone();
             let placement = placement.clone();
             let sim = *self;
+            let sink = sinks.map(|s| s[id].clone());
             let spawned = thread::Builder::new()
                 .name(format!("mcc-shard-{id}"))
                 .spawn(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        sim.run_shard(&sub, placement, id as u32, monitored, deadline_at)
+                        sim.run_shard(&sub, placement, id as u32, monitored, deadline_at, sink)
                     }))
                     .unwrap_or_else(|payload| {
                         Err(SimError::ShardPanicked {
@@ -397,11 +462,18 @@ impl DirectorySim {
         shard_id: u32,
         monitored: bool,
         deadline_at: Option<(Instant, Duration)>,
+        sink: Option<SharedSink>,
     ) -> Result<SimResult, SimError> {
+        let records = shard_trace.len() as u64;
         let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             engine = engine.with_faults(plan.for_shard(shard_id));
         }
+        engine.set_sink(sink);
+        engine.emit_obs(&ObsEvent::ShardStarted {
+            shard: shard_id,
+            records,
+        });
         let mut monitor = monitored.then(|| Monitor::for_run_length(shard_trace.len() as u64));
         for (i, r) in shard_trace.iter().enumerate() {
             // Cooperative deadline poll, including at record zero so a
@@ -422,6 +494,10 @@ impl DirectorySim {
         if monitored {
             engine.verify()?;
         }
+        engine.emit_obs(&ObsEvent::ShardFinished {
+            shard: shard_id,
+            records,
+        });
         Ok(engine.finish())
     }
 }

@@ -57,6 +57,7 @@ use mcc_core::{
     EventCounts, FaultPlan, MessageBreakdown, Monitor, PlacementPolicy, Protocol, SimError,
     StepKind,
 };
+use mcc_obs::{Event as ObsEvent, SharedSink};
 use mcc_placement::PagePlacement;
 use mcc_trace::{BlockSize, MemRef, NodeId, Trace};
 
@@ -379,6 +380,28 @@ impl ExecSim {
         self.simulate(trace, Some(Monitor::for_run_length(trace.len() as u64)))
     }
 
+    /// Like [`ExecSim::try_run`], but streams the inner protocol
+    /// engine's structured observability events into `sink` as the
+    /// timing simulation progresses. Step numbering follows the
+    /// timing-driven interleaving, which is deterministic for a given
+    /// trace and configuration. The result is bit-exact with an
+    /// unobserved [`ExecSim::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ExecSim::try_run`].
+    pub fn try_run_with_sink(
+        &self,
+        trace: &Trace,
+        sink: SharedSink,
+    ) -> Result<ExecResult, SimError> {
+        let monitor = Monitor::for_run_length(trace.len() as u64);
+        match self.simulate_inner(trace, Some(monitor), None, None, None, Some(&sink))? {
+            ExecOutcome::Finished { result, .. } => Ok(*result),
+            ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
+        }
+    }
+
     /// Runs the trace with periodic crash-safe snapshots.
     ///
     /// Every [`CheckpointPolicy::every`] processed references the full
@@ -400,7 +423,7 @@ impl ExecSim {
         policy: &CheckpointPolicy,
     ) -> Result<ExecResult, SimError> {
         let monitor = Monitor::for_run_length(trace.len() as u64);
-        match self.simulate_inner(trace, Some(monitor), None, None, Some(policy))? {
+        match self.simulate_inner(trace, Some(monitor), None, None, Some(policy), None)? {
             ExecOutcome::Finished { result, .. } => Ok(*result),
             ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
         }
@@ -426,7 +449,7 @@ impl ExecSim {
         policy: Option<&CheckpointPolicy>,
     ) -> Result<ExecResult, SimError> {
         let monitor = Monitor::for_run_length(trace.len() as u64);
-        match self.simulate_inner(trace, Some(monitor), Some(checkpoint), None, policy)? {
+        match self.simulate_inner(trace, Some(monitor), Some(checkpoint), None, policy, None)? {
             ExecOutcome::Finished { result, .. } => Ok(*result),
             ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
         }
@@ -442,7 +465,7 @@ impl ExecSim {
     /// Everything [`ExecSim::try_run`] reports.
     pub fn checkpoint_after(&self, trace: &Trace, refs: u64) -> Result<ExecCheckpoint, SimError> {
         let monitor = Monitor::for_run_length(trace.len() as u64);
-        match self.simulate_inner(trace, Some(monitor), None, Some(refs), None)? {
+        match self.simulate_inner(trace, Some(monitor), None, Some(refs), None, None)? {
             ExecOutcome::Suspended(ck) => Ok(*ck),
             ExecOutcome::Finished { checkpoint, .. } => {
                 Ok(*checkpoint.expect("suspension budget forces a final snapshot"))
@@ -458,7 +481,7 @@ impl ExecSim {
     }
 
     fn simulate(&self, trace: &Trace, monitor: Option<Monitor>) -> Result<ExecResult, SimError> {
-        match self.simulate_inner(trace, monitor, None, None, None)? {
+        match self.simulate_inner(trace, monitor, None, None, None, None)? {
             ExecOutcome::Finished { result, .. } => Ok(*result),
             ExecOutcome::Suspended(_) => unreachable!("no suspension budget was set"),
         }
@@ -471,6 +494,7 @@ impl ExecSim {
         resume: Option<&ExecCheckpoint>,
         suspend_after: Option<u64>,
         policy: Option<&CheckpointPolicy>,
+        sink: Option<&SharedSink>,
     ) -> Result<ExecOutcome, SimError> {
         let nodes = usize::from(self.config.nodes);
         let lat = self.config.latency;
@@ -521,6 +545,12 @@ impl ExecSim {
                 .enumerate()
                 .filter_map(|(n, t)| t.map(|t| Reverse((t, n))))
                 .collect();
+            if let Some(s) = sink {
+                s.emit(&ObsEvent::CheckpointLoaded {
+                    step: engine.steps(),
+                    records: processed,
+                });
+            }
         } else {
             engine = DirectoryEngine::new(self.protocol, &dir_config, placement);
             if let Some(plan) = self.config.faults {
@@ -549,6 +579,9 @@ impl ExecSim {
                 .filter(|&n| !streams[n].is_empty())
                 .map(|n| Reverse((0u64, n)))
                 .collect();
+        }
+        if let Some(s) = sink {
+            engine.set_sink(Some(s.clone()));
         }
 
         while let Some(Reverse((now, n))) = ready.pop() {
@@ -624,6 +657,12 @@ impl ExecSim {
                 );
                 if at_save {
                     save_checkpoint(&ck, policy.expect("at_save implies a policy"))?;
+                    if let Some(s) = sink {
+                        s.emit(&ObsEvent::CheckpointSaved {
+                            step: engine.steps(),
+                            records: processed,
+                        });
+                    }
                 }
                 if at_suspend {
                     return Ok(ExecOutcome::Suspended(Box::new(ck)));
@@ -646,6 +685,12 @@ impl ExecSim {
             );
             if let Some(p) = policy {
                 save_checkpoint(&ck, p)?;
+                if let Some(s) = sink {
+                    s.emit(&ObsEvent::CheckpointSaved {
+                        step: engine.steps(),
+                        records: processed,
+                    });
+                }
             }
             Some(Box::new(ck))
         } else {

@@ -1,0 +1,666 @@
+//! The structured protocol event vocabulary.
+//!
+//! Every engine in the workspace (the directory engine, the snooping
+//! bus simulator, and the execution-driven simulator, which embeds the
+//! directory engine) narrates its run as a stream of [`Event`] values.
+//! Events are compact `Copy` records with no heap data, so emitting one
+//! into a ring buffer is a handful of stores and the null-sink path
+//! reduces to a single `Option` test.
+//!
+//! Events are *derived observations*: they are computed from values the
+//! engine already holds and never feed back into protocol decisions, so
+//! attaching or detaching a sink cannot perturb simulation results.
+
+use crate::json::Json;
+use std::fmt;
+
+/// What a single reference did, as charged by the engine.
+///
+/// The directory variants mirror `mcc-core`'s per-step outcome
+/// vocabulary one-to-one; the `Bus*` variants belong to the snooping
+/// simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Directory: read serviced locally, no traffic.
+    ReadHit,
+    /// Directory: write hit on a Dirty copy, no coherence activity.
+    SilentWrite,
+    /// Directory: first write to a migratory-clean copy — pre-granted
+    /// permission used, zero messages (the adaptive win).
+    GrantedWrite,
+    /// Directory: write hit on a clean Exclusive copy; permission
+    /// fetched from the home.
+    ExclusiveUpgrade,
+    /// Directory: write hit on a Shared copy — an upgrade that
+    /// invalidates the other copies.
+    SharedUpgrade,
+    /// Directory: read miss serviced by *migrating* the only copy.
+    ReadMissMigrate,
+    /// Directory: read miss serviced by replicating a copy.
+    ReadMissReplicate,
+    /// Directory: write miss.
+    WriteMiss,
+    /// Bus: read hit, no bus transaction.
+    BusReadHit,
+    /// Bus: write hit on a line held with write permission (silent).
+    BusWriteHitSilent,
+    /// Bus: write hit that must broadcast an invalidation.
+    BusWriteHitInvalidate,
+    /// Bus: read miss.
+    BusReadMiss,
+    /// Bus: write miss.
+    BusWriteMiss,
+}
+
+impl StepKind {
+    /// All kinds, for table rendering and parser validation.
+    pub const ALL: [StepKind; 13] = [
+        StepKind::ReadHit,
+        StepKind::SilentWrite,
+        StepKind::GrantedWrite,
+        StepKind::ExclusiveUpgrade,
+        StepKind::SharedUpgrade,
+        StepKind::ReadMissMigrate,
+        StepKind::ReadMissReplicate,
+        StepKind::WriteMiss,
+        StepKind::BusReadHit,
+        StepKind::BusWriteHitSilent,
+        StepKind::BusWriteHitInvalidate,
+        StepKind::BusReadMiss,
+        StepKind::BusWriteMiss,
+    ];
+
+    /// Stable wire label (used in JSONL and metric names).
+    pub const fn label(self) -> &'static str {
+        match self {
+            StepKind::ReadHit => "read-hit",
+            StepKind::SilentWrite => "silent-write",
+            StepKind::GrantedWrite => "granted-write",
+            StepKind::ExclusiveUpgrade => "exclusive-upgrade",
+            StepKind::SharedUpgrade => "shared-upgrade",
+            StepKind::ReadMissMigrate => "read-miss-migrate",
+            StepKind::ReadMissReplicate => "read-miss-replicate",
+            StepKind::WriteMiss => "write-miss",
+            StepKind::BusReadHit => "bus-read-hit",
+            StepKind::BusWriteHitSilent => "bus-write-hit-silent",
+            StepKind::BusWriteHitInvalidate => "bus-write-hit-invalidate",
+            StepKind::BusReadMiss => "bus-read-miss",
+            StepKind::BusWriteMiss => "bus-write-miss",
+        }
+    }
+
+    /// Inverse of [`StepKind::label`].
+    pub fn from_label(label: &str) -> Option<StepKind> {
+        StepKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// The detection rule (§2 of the paper, Figure 3 transitions) that
+/// triggered a migratory promotion or demotion.
+///
+/// Each variant names the protocol transition at which the directory
+/// (or the snooping cache) re-examined a block's classification; the
+/// taxonomy table in DESIGN.md §10 maps them back to the paper's text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Write hit on a clean-exclusive line: the writer differs from the
+    /// last invalidator while exactly one copy exists — migration
+    /// evidence that spans an interval in which the block left all
+    /// caches (the "remember when uncached" refinement).
+    WriteHitCleanExclusive,
+    /// Write hit on a shared line: exactly two copies exist and the
+    /// writer is not the node that performed the last invalidation —
+    /// the paper's core read-then-write migration detector.
+    WriteHitShared,
+    /// Write miss: either fresh evidence (single remote copy, different
+    /// invalidator) or counter-evidence (the Stenström variant demotes
+    /// here when the copy moved without being written).
+    WriteMiss,
+    /// Read miss on a migratory block whose only copy is still clean:
+    /// the block is about to move *unmodified*, which contradicts the
+    /// migratory hypothesis, so it is demoted.
+    ReadMiss,
+    /// The last cached copy was dropped and the policy does not
+    /// remember classifications for uncached blocks: reset to the
+    /// initial (non-migratory) state.
+    CopyDropped,
+    /// Snooping bus: a miss was filled in a migratory state because the
+    /// previous holder (in S2/dirty) asserted migration on the snoop.
+    BusMigratoryFill,
+}
+
+impl Rule {
+    /// All rules, for taxonomy tables and parser validation.
+    pub const ALL: [Rule; 6] = [
+        Rule::WriteHitCleanExclusive,
+        Rule::WriteHitShared,
+        Rule::WriteMiss,
+        Rule::ReadMiss,
+        Rule::CopyDropped,
+        Rule::BusMigratoryFill,
+    ];
+
+    /// Stable wire label (used in JSONL and metric names).
+    pub const fn label(self) -> &'static str {
+        match self {
+            Rule::WriteHitCleanExclusive => "write-hit-clean-exclusive",
+            Rule::WriteHitShared => "write-hit-shared",
+            Rule::WriteMiss => "write-miss",
+            Rule::ReadMiss => "read-miss",
+            Rule::CopyDropped => "copy-dropped",
+            Rule::BusMigratoryFill => "bus-migratory-fill",
+        }
+    }
+
+    /// Inverse of [`Rule::label`].
+    pub fn from_label(label: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.label() == label)
+    }
+}
+
+/// One observed protocol event.
+///
+/// `step` is the engine's reference counter at emission time (1-based:
+/// the value *after* the reference was counted). `block` is the block
+/// index (address divided by block size) and `node` the requesting
+/// cache. Shard framing events carry the shard id instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// A reference completed; `control`/`data` are the messages it was
+    /// charged (after any fault-retry overhead, which is reported
+    /// separately via [`Event::Nack`] / [`Event::Retry`]).
+    Step {
+        step: u64,
+        block: u64,
+        node: u16,
+        kind: StepKind,
+        control: u64,
+        data: u64,
+    },
+    /// A block was reclassified *to* migratory.
+    Promote {
+        step: u64,
+        block: u64,
+        node: u16,
+        rule: Rule,
+    },
+    /// A block was reclassified *away from* migratory.
+    Demote {
+        step: u64,
+        block: u64,
+        node: u16,
+        rule: Rule,
+    },
+    /// A remote copy was invalidated (one event per invalidated copy;
+    /// `node` is the cache that lost its copy).
+    Invalidation { step: u64, block: u64, node: u16 },
+    /// A request was NACKed by the unreliable fabric.
+    Nack {
+        step: u64,
+        block: u64,
+        node: u16,
+        attempt: u32,
+    },
+    /// A transaction attempt failed and will be retried.
+    Retry {
+        step: u64,
+        block: u64,
+        node: u16,
+        attempt: u32,
+    },
+    /// Exponential backoff charged before a retry.
+    Backoff {
+        step: u64,
+        block: u64,
+        node: u16,
+        units: u64,
+    },
+    /// A checkpoint snapshot was published at this record cursor.
+    CheckpointSaved { step: u64, records: u64 },
+    /// A run resumed from a checkpoint at this record cursor.
+    CheckpointLoaded { step: u64, records: u64 },
+    /// A shard began simulating its sub-trace of `records` references.
+    ShardStarted { shard: u32, records: u64 },
+    /// A shard finished its sub-trace.
+    ShardFinished { shard: u32, records: u64 },
+}
+
+impl Event {
+    /// Stable wire label for the event type.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Event::Step { .. } => "step",
+            Event::Promote { .. } => "promote",
+            Event::Demote { .. } => "demote",
+            Event::Invalidation { .. } => "invalidation",
+            Event::Nack { .. } => "nack",
+            Event::Retry { .. } => "retry",
+            Event::Backoff { .. } => "backoff",
+            Event::CheckpointSaved { .. } => "checkpoint-saved",
+            Event::CheckpointLoaded { .. } => "checkpoint-loaded",
+            Event::ShardStarted { .. } => "shard-started",
+            Event::ShardFinished { .. } => "shard-finished",
+        }
+    }
+
+    /// The block the event concerns, when it concerns one.
+    pub const fn block(&self) -> Option<u64> {
+        match *self {
+            Event::Step { block, .. }
+            | Event::Promote { block, .. }
+            | Event::Demote { block, .. }
+            | Event::Invalidation { block, .. }
+            | Event::Nack { block, .. }
+            | Event::Retry { block, .. }
+            | Event::Backoff { block, .. } => Some(block),
+            _ => None,
+        }
+    }
+
+    /// The engine step (reference counter) at emission, when the event
+    /// is tied to one.
+    pub const fn step(&self) -> Option<u64> {
+        match *self {
+            Event::Step { step, .. }
+            | Event::Promote { step, .. }
+            | Event::Demote { step, .. }
+            | Event::Invalidation { step, .. }
+            | Event::Nack { step, .. }
+            | Event::Retry { step, .. }
+            | Event::Backoff { step, .. }
+            | Event::CheckpointSaved { step, .. }
+            | Event::CheckpointLoaded { step, .. } => Some(step),
+            Event::ShardStarted { .. } | Event::ShardFinished { .. } => None,
+        }
+    }
+
+    /// Encodes the event as one compact JSON object (one JSONL line,
+    /// without the trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut fields: Vec<(String, Json)> =
+            vec![("ev".to_string(), Json::Str(self.label().to_string()))];
+        let num = |fields: &mut Vec<(String, Json)>, key: &str, v: u64| {
+            fields.push((key.to_string(), Json::u64(v)));
+        };
+        match *self {
+            Event::Step {
+                step,
+                block,
+                node,
+                kind,
+                control,
+                data,
+            } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "block", block);
+                num(&mut fields, "node", u64::from(node));
+                fields.push(("kind".to_string(), Json::Str(kind.label().to_string())));
+                num(&mut fields, "control", control);
+                num(&mut fields, "data", data);
+            }
+            Event::Promote {
+                step,
+                block,
+                node,
+                rule,
+            }
+            | Event::Demote {
+                step,
+                block,
+                node,
+                rule,
+            } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "block", block);
+                num(&mut fields, "node", u64::from(node));
+                fields.push(("rule".to_string(), Json::Str(rule.label().to_string())));
+            }
+            Event::Invalidation { step, block, node } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "block", block);
+                num(&mut fields, "node", u64::from(node));
+            }
+            Event::Nack {
+                step,
+                block,
+                node,
+                attempt,
+            }
+            | Event::Retry {
+                step,
+                block,
+                node,
+                attempt,
+            } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "block", block);
+                num(&mut fields, "node", u64::from(node));
+                num(&mut fields, "attempt", u64::from(attempt));
+            }
+            Event::Backoff {
+                step,
+                block,
+                node,
+                units,
+            } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "block", block);
+                num(&mut fields, "node", u64::from(node));
+                num(&mut fields, "units", units);
+            }
+            Event::CheckpointSaved { step, records }
+            | Event::CheckpointLoaded { step, records } => {
+                num(&mut fields, "step", step);
+                num(&mut fields, "records", records);
+            }
+            Event::ShardStarted { shard, records } | Event::ShardFinished { shard, records } => {
+                num(&mut fields, "shard", u64::from(shard));
+                num(&mut fields, "records", records);
+            }
+        }
+        Json::Obj(fields).to_string()
+    }
+
+    /// Decodes one JSONL line produced by [`Event::to_json`].
+    pub fn from_json(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let label = v
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing \"ev\" field".to_string())?;
+        let u = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer \"{key}\" field"))
+        };
+        let node = |key: &str| -> Result<u16, String> {
+            u16::try_from(u(key)?).map_err(|_| format!("\"{key}\" out of range"))
+        };
+        let ev = match label {
+            "step" => Event::Step {
+                step: u("step")?,
+                block: u("block")?,
+                node: node("node")?,
+                kind: v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(StepKind::from_label)
+                    .ok_or_else(|| "missing or unknown \"kind\"".to_string())?,
+                control: u("control")?,
+                data: u("data")?,
+            },
+            "promote" | "demote" => {
+                let step = u("step")?;
+                let block = u("block")?;
+                let node = node("node")?;
+                let rule = v
+                    .get("rule")
+                    .and_then(Json::as_str)
+                    .and_then(Rule::from_label)
+                    .ok_or_else(|| "missing or unknown \"rule\"".to_string())?;
+                if label == "promote" {
+                    Event::Promote {
+                        step,
+                        block,
+                        node,
+                        rule,
+                    }
+                } else {
+                    Event::Demote {
+                        step,
+                        block,
+                        node,
+                        rule,
+                    }
+                }
+            }
+            "invalidation" => Event::Invalidation {
+                step: u("step")?,
+                block: u("block")?,
+                node: node("node")?,
+            },
+            "nack" | "retry" => {
+                let step = u("step")?;
+                let block = u("block")?;
+                let node = node("node")?;
+                let attempt = u32::try_from(u("attempt")?)
+                    .map_err(|_| "\"attempt\" out of range".to_string())?;
+                if label == "nack" {
+                    Event::Nack {
+                        step,
+                        block,
+                        node,
+                        attempt,
+                    }
+                } else {
+                    Event::Retry {
+                        step,
+                        block,
+                        node,
+                        attempt,
+                    }
+                }
+            }
+            "backoff" => Event::Backoff {
+                step: u("step")?,
+                block: u("block")?,
+                node: node("node")?,
+                units: u("units")?,
+            },
+            "checkpoint-saved" => Event::CheckpointSaved {
+                step: u("step")?,
+                records: u("records")?,
+            },
+            "checkpoint-loaded" => Event::CheckpointLoaded {
+                step: u("step")?,
+                records: u("records")?,
+            },
+            "shard-started" | "shard-finished" => {
+                let shard =
+                    u32::try_from(u("shard")?).map_err(|_| "\"shard\" out of range".to_string())?;
+                let records = u("records")?;
+                if label == "shard-started" {
+                    Event::ShardStarted { shard, records }
+                } else {
+                    Event::ShardFinished { shard, records }
+                }
+            }
+            other => return Err(format!("unknown event type {other:?}")),
+        };
+        Ok(ev)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Step {
+                step,
+                block,
+                node,
+                kind,
+                control,
+                data,
+            } => write!(
+                f,
+                "[{step}] {} block={block} node={node} control={control} data={data}",
+                kind.label()
+            ),
+            Event::Promote {
+                step,
+                block,
+                node,
+                rule,
+            } => write!(
+                f,
+                "[{step}] promote block={block} node={node} rule={}",
+                rule.label()
+            ),
+            Event::Demote {
+                step,
+                block,
+                node,
+                rule,
+            } => write!(
+                f,
+                "[{step}] demote block={block} node={node} rule={}",
+                rule.label()
+            ),
+            Event::Invalidation { step, block, node } => {
+                write!(f, "[{step}] invalidation block={block} node={node}")
+            }
+            Event::Nack {
+                step,
+                block,
+                node,
+                attempt,
+            } => write!(
+                f,
+                "[{step}] nack block={block} node={node} attempt={attempt}"
+            ),
+            Event::Retry {
+                step,
+                block,
+                node,
+                attempt,
+            } => write!(
+                f,
+                "[{step}] retry block={block} node={node} attempt={attempt}"
+            ),
+            Event::Backoff {
+                step,
+                block,
+                node,
+                units,
+            } => write!(
+                f,
+                "[{step}] backoff block={block} node={node} units={units}"
+            ),
+            Event::CheckpointSaved { step, records } => {
+                write!(f, "[{step}] checkpoint-saved records={records}")
+            }
+            Event::CheckpointLoaded { step, records } => {
+                write!(f, "[{step}] checkpoint-loaded records={records}")
+            }
+            Event::ShardStarted { shard, records } => {
+                write!(f, "[-] shard-started shard={shard} records={records}")
+            }
+            Event::ShardFinished { shard, records } => {
+                write!(f, "[-] shard-finished shard={shard} records={records}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::Step {
+                step: 1,
+                block: 2,
+                node: 3,
+                kind: StepKind::ReadMissMigrate,
+                control: 2,
+                data: 2,
+            },
+            Event::Promote {
+                step: 4,
+                block: 5,
+                node: 6,
+                rule: Rule::WriteHitShared,
+            },
+            Event::Demote {
+                step: 7,
+                block: 8,
+                node: 9,
+                rule: Rule::ReadMiss,
+            },
+            Event::Invalidation {
+                step: 10,
+                block: 11,
+                node: 12,
+            },
+            Event::Nack {
+                step: 13,
+                block: 14,
+                node: 15,
+                attempt: 1,
+            },
+            Event::Retry {
+                step: 16,
+                block: 17,
+                node: 18,
+                attempt: 2,
+            },
+            Event::Backoff {
+                step: 19,
+                block: 20,
+                node: 21,
+                units: 8,
+            },
+            Event::CheckpointSaved {
+                step: 22,
+                records: 1000,
+            },
+            Event::CheckpointLoaded {
+                step: 23,
+                records: 1000,
+            },
+            Event::ShardStarted {
+                shard: 2,
+                records: 500,
+            },
+            Event::ShardFinished {
+                shard: 2,
+                records: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for ev in one_of_each() {
+            let line = ev.to_json();
+            let back = Event::from_json(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "round trip of {line}");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for k in StepKind::ALL {
+            assert_eq!(StepKind::from_label(k.label()), Some(k));
+        }
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_label(r.label()), Some(r));
+        }
+        assert_eq!(StepKind::from_label("nope"), None);
+        assert_eq!(Rule::from_label("nope"), None);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        for bad in [
+            "",
+            "{}",
+            "{\"ev\":\"wat\"}",
+            "{\"ev\":\"step\",\"step\":1}",
+            "{\"ev\":\"step\",\"step\":1,\"block\":2,\"node\":99999,\"kind\":\"read-hit\",\"control\":0,\"data\":0}",
+            "{\"ev\":\"promote\",\"step\":1,\"block\":2,\"node\":3,\"rule\":\"bogus\"}",
+        ] {
+            assert!(Event::from_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_is_compact_and_single_line() {
+        for ev in one_of_each() {
+            let text = ev.to_string();
+            assert!(!text.contains('\n'));
+            assert!(text.contains(ev.label()) || matches!(ev, Event::Step { .. }));
+        }
+    }
+}

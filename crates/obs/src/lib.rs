@@ -1,0 +1,45 @@
+//! Observability for the coherence simulators: structured protocol
+//! event tracing, a metrics registry, and a flight recorder.
+//!
+//! The simulators' aggregate counters answer *how much* traffic a
+//! protocol generated; this crate answers *when and why*. Engines emit
+//! a stream of compact [`Event`] values — reference steps with their
+//! message charges, migratory promotions/demotions tagged with the
+//! paper's detection rule, invalidations, fault NACK/retry/backoff,
+//! checkpoint saves/loads, and shard framing — through a pluggable
+//! [`EventSink`]:
+//!
+//! * [`NullSink`] — the default "not attached" behavior; engines hold
+//!   `Option<SharedSink>` and the `None` path is a single branch, so
+//!   un-instrumented runs stay bit-exact with the pre-observability
+//!   code.
+//! * [`RingSink`] — a bounded ring of the most recent events.
+//! * [`BufferSink`] — the full stream, for post-run export/merging.
+//! * [`JsonlSink`] — streams JSON Lines to a file.
+//! * [`MetricsRecorder`] — aggregates into a [`Registry`] of named
+//!   counters, gauges, and log2 histograms with per-N-records interval
+//!   snapshots.
+//! * [`FlightRecorder`] — ring + per-block classification timelines,
+//!   rendered into error context when a run dies.
+//!
+//! Events are observations derived from state the engines already
+//! compute; no decision in any engine reads a sink, so observability
+//! can never perturb simulation results.
+//!
+//! The crate is dependency-light by design (only `mcc-stats`, itself
+//! dependency-free) and carries its own minimal [`json`] module, since
+//! the workspace builds fully offline with no external crates.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+
+pub use event::{Event, Rule, StepKind};
+pub use json::{Json, JsonError};
+pub use metrics::{IntervalSnapshot, Log2Histogram, MetricsRecorder, Registry, DEFAULT_INTERVAL};
+pub use recorder::{FlightRecorder, TimelineEntry, DEFAULT_RING};
+pub use sink::{
+    lock_sink, shared, BufferSink, EventSink, FanoutSink, JsonlSink, NullSink, RingSink, SharedSink,
+};

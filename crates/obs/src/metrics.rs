@@ -1,0 +1,607 @@
+//! The metrics registry: named counters, gauges, and log2-bucket
+//! histograms, with interval (per-N-records) snapshots.
+//!
+//! A [`Registry`] is a plain data structure — it does not observe
+//! anything by itself. [`MetricsRecorder`] is the [`EventSink`] that
+//! feeds one from a protocol event stream, cutting a cumulative
+//! snapshot of all counters every `interval` references so sweeps can
+//! plot traffic and classification-flip rate over time.
+//!
+//! Export formats: JSON (via the crate's own writer/parser, so the CI
+//! round-trip check needs no external dependency) and CSV/text tables
+//! via `mcc-stats`.
+
+use crate::event::Event;
+use crate::json::{Json, JsonError};
+use crate::sink::EventSink;
+use mcc_stats::Table;
+use std::collections::BTreeMap;
+
+/// A histogram with power-of-two buckets.
+///
+/// Bucket 0 counts the value `0`; bucket `i > 0` counts values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Human label for a bucket: `"0"`, `"1"`, `"[2,4)"`, …
+    pub fn bucket_label(i: usize) -> String {
+        match i {
+            0 => "0".to_string(),
+            1 => "1".to_string(),
+            _ => format!("[{},{})", 1u128 << (i - 1), 1u128 << i),
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any value was
+    /// recorded.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// A cumulative snapshot of all counters, cut at a record boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalSnapshot {
+    /// References observed when the snapshot was cut (cumulative).
+    pub records: u64,
+    /// Cumulative counter values at that point.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Named counters, gauges, and histograms, plus interval snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Log2Histogram>,
+    intervals: Vec<IntervalSnapshot>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds `delta` (possibly negative) to a gauge.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        *self.gauges.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads a gauge (0 if never touched).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a value into a histogram, creating it if needed.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Looks up a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &BTreeMap<String, i64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &BTreeMap<String, Log2Histogram> {
+        &self.histograms
+    }
+
+    /// The interval snapshots, in cut order.
+    pub fn intervals(&self) -> &[IntervalSnapshot] {
+        &self.intervals
+    }
+
+    /// Cuts a cumulative snapshot of all counters at `records`
+    /// references. Idempotent per boundary: a second cut at the same
+    /// record count replaces the first.
+    pub fn snapshot_interval(&mut self, records: u64) {
+        if let Some(last) = self.intervals.last_mut() {
+            if last.records == records {
+                last.counters = self.counters.clone();
+                return;
+            }
+        }
+        self.intervals.push(IntervalSnapshot {
+            records,
+            counters: self.counters.clone(),
+        });
+    }
+
+    /// Serializes the registry to JSON.
+    pub fn to_json(&self) -> String {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::i64(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let hi = h.max_bucket().map_or(0, |i| i + 1);
+                    (
+                        k.clone(),
+                        Json::Arr(h.buckets[..hi].iter().map(|&c| Json::u64(c)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        let intervals = Json::Arr(
+            self.intervals
+                .iter()
+                .map(|snap| {
+                    Json::Obj(vec![
+                        ("records".to_string(), Json::u64(snap.records)),
+                        (
+                            "counters".to_string(),
+                            Json::Obj(
+                                snap.counters
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("counters".to_string(), counters),
+            ("gauges".to_string(), gauges),
+            ("histograms".to_string(), histograms),
+            ("intervals".to_string(), intervals),
+        ])
+        .to_string()
+    }
+
+    /// Parses a registry back from [`Registry::to_json`] output.
+    ///
+    /// Histogram `count`/`sum` are reconstructed from the buckets using
+    /// each bucket's lower bound, so a parsed histogram's `sum` is a
+    /// lower bound rather than exact; bucket counts round-trip exactly.
+    pub fn from_json(text: &str) -> Result<Registry, String> {
+        let v = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        if v.as_obj().is_none() {
+            return Err("top-level value is not an object".to_string());
+        }
+        let mut reg = Registry::new();
+        let obj_u64 = |v: &Json, what: &str| -> Result<BTreeMap<String, u64>, String> {
+            v.as_obj()
+                .ok_or_else(|| format!("{what} is not an object"))?
+                .iter()
+                .map(|(k, val)| {
+                    val.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("{what}.{k} is not a u64"))
+                })
+                .collect()
+        };
+        if let Some(counters) = v.get("counters") {
+            reg.counters = obj_u64(counters, "counters")?;
+        }
+        if let Some(gauges) = v.get("gauges") {
+            for (k, val) in gauges
+                .as_obj()
+                .ok_or_else(|| "gauges is not an object".to_string())?
+            {
+                let n = val
+                    .as_i64()
+                    .ok_or_else(|| format!("gauges.{k} is not an i64"))?;
+                reg.gauges.insert(k.clone(), n);
+            }
+        }
+        if let Some(hists) = v.get("histograms") {
+            for (k, val) in hists
+                .as_obj()
+                .ok_or_else(|| "histograms is not an object".to_string())?
+            {
+                let arr = val
+                    .as_arr()
+                    .ok_or_else(|| format!("histograms.{k} is not an array"))?;
+                if arr.len() > 65 {
+                    return Err(format!("histograms.{k} has too many buckets"));
+                }
+                let mut h = Log2Histogram::new();
+                for (i, c) in arr.iter().enumerate() {
+                    let c = c
+                        .as_u64()
+                        .ok_or_else(|| format!("histograms.{k}[{i}] is not a u64"))?;
+                    h.buckets[i] = c;
+                    h.count += c;
+                    let lower = if i <= 1 { i as u128 } else { 1u128 << (i - 1) };
+                    h.sum += lower * u128::from(c);
+                }
+                reg.histograms.insert(k.clone(), h);
+            }
+        }
+        if let Some(intervals) = v.get("intervals") {
+            for (i, snap) in intervals
+                .as_arr()
+                .ok_or_else(|| "intervals is not an array".to_string())?
+                .iter()
+                .enumerate()
+            {
+                let records = snap
+                    .get("records")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("intervals[{i}].records missing"))?;
+                let counters = obj_u64(
+                    snap.get("counters")
+                        .ok_or_else(|| format!("intervals[{i}].counters missing"))?,
+                    "interval counters",
+                )?;
+                reg.intervals.push(IntervalSnapshot { records, counters });
+            }
+        }
+        Ok(reg)
+    }
+
+    /// A per-interval *delta* table over the given counter names: one
+    /// row per snapshot, each cell the increase since the previous
+    /// snapshot. Render it with `to_text`/`to_markdown`/`to_csv`.
+    pub fn intervals_table(&self, columns: &[&str]) -> Table {
+        let mut headers = vec!["records".to_string()];
+        headers.extend(columns.iter().map(|c| c.to_string()));
+        let mut table = Table::new(headers);
+        let mut prev: BTreeMap<&str, u64> = BTreeMap::new();
+        for snap in &self.intervals {
+            let mut cells = vec![snap.records.to_string()];
+            for &col in columns {
+                let now = snap.counters.get(col).copied().unwrap_or(0);
+                let before = prev.get(col).copied().unwrap_or(0);
+                cells.push(now.saturating_sub(before).to_string());
+                prev.insert(col, now);
+            }
+            table.row(cells);
+        }
+        table
+    }
+
+    /// A `name,value` table of all counters and gauges.
+    pub fn totals_table(&self) -> Table {
+        let mut table = Table::new(["metric", "value"]);
+        for (name, value) in &self.counters {
+            table.row([name.clone(), value.to_string()]);
+        }
+        for (name, value) in &self.gauges {
+            table.row([format!("{name} (gauge)"), value.to_string()]);
+        }
+        table
+    }
+}
+
+/// Counter names the recorder maintains (the interesting subset; the
+/// full set also includes one `step.<kind>` counter per step kind and
+/// one `promote.<rule>` / `demote.<rule>` counter per rule).
+pub mod names {
+    /// References observed (one per `Step` event).
+    pub const RECORDS: &str = "records";
+    /// Control messages charged.
+    pub const CONTROL: &str = "messages.control";
+    /// Data messages charged.
+    pub const DATA: &str = "messages.data";
+    /// Promotions to migratory.
+    pub const PROMOTES: &str = "classification.promotes";
+    /// Demotions from migratory.
+    pub const DEMOTES: &str = "classification.demotes";
+    /// Remote copies invalidated.
+    pub const INVALIDATIONS: &str = "invalidations";
+    /// Fabric NACKs observed.
+    pub const NACKS: &str = "faults.nacks";
+    /// Transaction retries observed.
+    pub const RETRIES: &str = "faults.retries";
+    /// Backoff units charged.
+    pub const BACKOFF_UNITS: &str = "faults.backoff_units";
+    /// Checkpoints published.
+    pub const CHECKPOINT_SAVES: &str = "checkpoint.saves";
+    /// Checkpoint restores.
+    pub const CHECKPOINT_LOADS: &str = "checkpoint.loads";
+    /// Shards started.
+    pub const SHARDS_STARTED: &str = "shards.started";
+    /// Shards finished.
+    pub const SHARDS_FINISHED: &str = "shards.finished";
+    /// Gauge: promotions minus demotions (net migratory flips).
+    pub const NET_MIGRATORY: &str = "classification.net_migratory";
+    /// Histogram: messages charged per reference.
+    pub const MESSAGES_PER_REF: &str = "messages_per_ref";
+    /// Histogram: backoff units per backoff episode.
+    pub const BACKOFF_HIST: &str = "backoff_units";
+}
+
+/// Default snapshot cadence: one cumulative snapshot every this many
+/// references.
+pub const DEFAULT_INTERVAL: u64 = 50_000;
+
+/// An [`EventSink`] that aggregates the event stream into a
+/// [`Registry`], cutting an interval snapshot every `interval`
+/// references.
+///
+/// Reference counting is local (one per observed `Step` event), so the
+/// recorder works identically on a live engine stream and on a merged
+/// multi-shard replay.
+#[derive(Clone, Debug)]
+pub struct MetricsRecorder {
+    interval: u64,
+    records_seen: u64,
+    registry: Registry,
+}
+
+impl MetricsRecorder {
+    /// A recorder cutting snapshots every `interval` references
+    /// (minimum 1).
+    pub fn new(interval: u64) -> MetricsRecorder {
+        MetricsRecorder {
+            interval: interval.max(1),
+            records_seen: 0,
+            registry: Registry::new(),
+        }
+    }
+
+    /// Replays a recorded event stream through a fresh recorder.
+    pub fn replay<'a>(events: impl IntoIterator<Item = &'a Event>, interval: u64) -> Registry {
+        let mut rec = MetricsRecorder::new(interval);
+        for ev in events {
+            rec.emit(ev);
+        }
+        rec.finish()
+    }
+
+    /// The registry built so far.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Finalizes the recorder: cuts a final snapshot at the last
+    /// observed record count (if it is not already on a boundary) and
+    /// returns the registry.
+    pub fn finish(mut self) -> Registry {
+        if self.records_seen > 0 {
+            self.registry.snapshot_interval(self.records_seen);
+        }
+        self.registry
+    }
+}
+
+impl EventSink for MetricsRecorder {
+    fn emit(&mut self, event: &Event) {
+        let reg = &mut self.registry;
+        match *event {
+            Event::Step {
+                kind,
+                control,
+                data,
+                ..
+            } => {
+                self.records_seen += 1;
+                reg.counter_add(names::RECORDS, 1);
+                reg.counter_add(names::CONTROL, control);
+                reg.counter_add(names::DATA, data);
+                reg.counter_add(&format!("step.{}", kind.label()), 1);
+                reg.histogram_record(names::MESSAGES_PER_REF, control + data);
+                if self.records_seen.is_multiple_of(self.interval) {
+                    reg.snapshot_interval(self.records_seen);
+                }
+            }
+            Event::Promote { rule, .. } => {
+                reg.counter_add(names::PROMOTES, 1);
+                reg.counter_add(&format!("promote.{}", rule.label()), 1);
+                reg.gauge_add(names::NET_MIGRATORY, 1);
+            }
+            Event::Demote { rule, .. } => {
+                reg.counter_add(names::DEMOTES, 1);
+                reg.counter_add(&format!("demote.{}", rule.label()), 1);
+                reg.gauge_add(names::NET_MIGRATORY, -1);
+            }
+            Event::Invalidation { .. } => reg.counter_add(names::INVALIDATIONS, 1),
+            Event::Nack { .. } => reg.counter_add(names::NACKS, 1),
+            Event::Retry { .. } => reg.counter_add(names::RETRIES, 1),
+            Event::Backoff { units, .. } => {
+                reg.counter_add(names::BACKOFF_UNITS, units);
+                reg.histogram_record(names::BACKOFF_HIST, units);
+            }
+            Event::CheckpointSaved { .. } => reg.counter_add(names::CHECKPOINT_SAVES, 1),
+            Event::CheckpointLoaded { .. } => reg.counter_add(names::CHECKPOINT_LOADS, 1),
+            Event::ShardStarted { .. } => reg.counter_add(names::SHARDS_STARTED, 1),
+            Event::ShardFinished { .. } => reg.counter_add(names::SHARDS_FINISHED, 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Rule, StepKind};
+
+    fn step(step: u64, control: u64, data: u64) -> Event {
+        Event::Step {
+            step,
+            block: 1,
+            node: 0,
+            kind: StepKind::WriteMiss,
+            control,
+            data,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.max_bucket(), Some(10));
+        assert_eq!(Log2Histogram::bucket_label(2), "[2,4)");
+    }
+
+    #[test]
+    fn recorder_counts_and_snapshots() {
+        let mut rec = MetricsRecorder::new(2);
+        rec.emit(&step(1, 2, 1));
+        rec.emit(&Event::Promote {
+            step: 1,
+            block: 1,
+            node: 0,
+            rule: Rule::WriteHitShared,
+        });
+        rec.emit(&step(2, 1, 0));
+        rec.emit(&step(3, 0, 0));
+        let reg = rec.finish();
+        assert_eq!(reg.counter(names::RECORDS), 3);
+        assert_eq!(reg.counter(names::CONTROL), 3);
+        assert_eq!(reg.counter(names::DATA), 1);
+        assert_eq!(reg.counter(names::PROMOTES), 1);
+        assert_eq!(reg.counter("promote.write-hit-shared"), 1);
+        assert_eq!(reg.gauge(names::NET_MIGRATORY), 1);
+        // One snapshot at the 2-record boundary, one final at 3.
+        assert_eq!(reg.intervals().len(), 2);
+        assert_eq!(reg.intervals()[0].records, 2);
+        assert_eq!(reg.intervals()[1].records, 3);
+        // The interval table shows deltas.
+        let table = reg.intervals_table(&[names::CONTROL]);
+        let csv = table.to_csv();
+        assert!(csv.contains("2,3"), "csv was: {csv}");
+        assert!(csv.contains("3,0"), "csv was: {csv}");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything_observable() {
+        let mut rec = MetricsRecorder::new(2);
+        for i in 1..=5 {
+            rec.emit(&step(i, i, 1));
+        }
+        rec.emit(&Event::Backoff {
+            step: 5,
+            block: 1,
+            node: 0,
+            units: 12,
+        });
+        rec.emit(&Event::Demote {
+            step: 5,
+            block: 1,
+            node: 0,
+            rule: Rule::ReadMiss,
+        });
+        let reg = rec.finish();
+        let text = reg.to_json();
+        let back = Registry::from_json(&text).unwrap();
+        assert_eq!(back.counters(), reg.counters());
+        assert_eq!(back.gauges(), reg.gauges());
+        assert_eq!(back.intervals(), reg.intervals());
+        for (name, h) in reg.histograms() {
+            assert_eq!(back.histogram(name).unwrap().buckets(), h.buckets());
+        }
+        // And the re-serialized form is byte-identical.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        for bad in [
+            "",
+            "[1]",
+            "{\"counters\":[1]}",
+            "{\"counters\":{\"a\":-1}}",
+            "{\"histograms\":{\"h\":[1,\"x\"]}}",
+            "{\"intervals\":[{\"counters\":{}}]}",
+        ] {
+            assert!(Registry::from_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

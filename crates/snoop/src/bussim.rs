@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use mcc_cache::{Cache, CacheConfig};
+use mcc_obs::{Event as ObsEvent, Rule as ObsRule, SharedSink, StepKind as ObsStepKind};
 use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 use crate::cost::BusStats;
@@ -79,6 +80,9 @@ pub struct BusSim {
     latest: HashMap<BlockAddr, u64>,
     stats: BusStats,
     steps: u64,
+    /// Observability sink; `None` (the default) keeps emission a single
+    /// branch. Events never influence protocol decisions.
+    sink: Option<SharedSink>,
 }
 
 impl BusSim {
@@ -93,6 +97,41 @@ impl BusSim {
             latest: HashMap::new(),
             stats: BusStats::new(protocol),
             steps: 0,
+            sink: None,
+        }
+    }
+
+    /// Attaches an observability sink: every subsequent step streams
+    /// structured [`mcc_obs::Event`]s (bus reference outcomes, snoop
+    /// invalidations, migratory fills) into it. The statistics stay
+    /// bit-exact with an unobserved run.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Emits `event` into the attached sink, if any.
+    fn emit_obs(&self, event: &ObsEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(event);
+        }
+    }
+
+    /// Emits the per-reference summary event. Bus machines count whole
+    /// transactions rather than split control/data messages, so the
+    /// transaction count rides in the `control` slot and `data` is
+    /// always zero.
+    fn emit_step(&self, block: BlockAddr, node: NodeId, kind: ObsStepKind, transactions: u64) {
+        if self.sink.is_some() {
+            self.emit_obs(&ObsEvent::Step {
+                step: self.steps,
+                block: block.index(),
+                node: node.index() as u16,
+                kind,
+                control: transactions,
+                data: 0,
+            });
         }
     }
 
@@ -153,6 +192,7 @@ impl BusSim {
                     .expect("residency checked by the contains() dispatch above");
                 self.observe(block, line.version, "read hit")?;
                 self.stats.read_hits += 1;
+                self.emit_step(block, r.node, ObsStepKind::BusReadHit, 0);
             }
             (true, MemOp::Write) => self.write_hit(r.node, block),
             (false, _) => self.miss(r.node, block, r.op)?,
@@ -183,6 +223,9 @@ impl BusSim {
         line.version = v;
         if state.writes_silently() {
             self.stats.silent_write_hits += 1;
+            self.emit_step(block, n, ObsStepKind::BusWriteHitSilent, 0);
+        } else {
+            self.emit_step(block, n, ObsStepKind::BusWriteHitInvalidate, 1);
         }
     }
 
@@ -203,6 +246,14 @@ impl BusSim {
         let state = local_fill(self.protocol, write, response);
         if state == SnoopState::MigratoryClean || state == SnoopState::MigratoryDirty {
             self.stats.migratory_fills += 1;
+            // The bus analogue of a promotion: the snooped Migratory
+            // assertion made this fill arrive with write permission.
+            self.emit_obs(&ObsEvent::Promote {
+                step: self.steps,
+                block: block.index(),
+                node: n.index() as u16,
+                rule: ObsRule::BusMigratoryFill,
+            });
         }
         let version = if write {
             debug_assert!(state.is_dirty());
@@ -211,6 +262,16 @@ impl BusSim {
             served
         };
         self.insert_line(n, block, state, version);
+        self.emit_step(
+            block,
+            n,
+            if write {
+                ObsStepKind::BusWriteMiss
+            } else {
+                ObsStepKind::BusReadMiss
+            },
+            1,
+        );
         Ok(())
     }
 
@@ -246,6 +307,11 @@ impl BusSim {
                 None => {
                     self.caches[node.index()].remove(block);
                     self.stats.snoop_invalidated += 1;
+                    self.emit_obs(&ObsEvent::Invalidation {
+                        step: self.steps,
+                        block: block.index(),
+                        node: node.index() as u16,
+                    });
                 }
             }
             merged = merged.merge(reply);

@@ -26,6 +26,8 @@
 //! * [`workloads`] — synthetic SPLASH-analogue workload generators.
 //! * [`execsim`] — execution-driven timing simulation (§4.2).
 //! * [`stats`] — cost models and table rendering.
+//! * [`obs`] — protocol event tracing, the metrics registry, and the
+//!   flight recorder (see DESIGN.md §10).
 //!
 //! # Quick start
 //!
@@ -55,6 +57,7 @@ pub use error::MccError;
 pub use mcc_cache as cache;
 pub use mcc_core as core;
 pub use mcc_execsim as execsim;
+pub use mcc_obs as obs;
 pub use mcc_placement as placement;
 pub use mcc_snoop as snoop;
 pub use mcc_stats as stats;

@@ -24,6 +24,18 @@ fn test_shards() -> usize {
     }
 }
 
+/// Ring-sink capacity for the observability-is-inert assertion:
+/// `MCC_TEST_EVENTS_RING` when set (CI re-runs the goldens with a ring
+/// attached), otherwise `None` and the instrumented re-run is skipped.
+fn test_events_ring() -> Option<usize> {
+    match std::env::var("MCC_TEST_EVENTS_RING") {
+        Ok(raw) => Some(raw.parse().ok().filter(|&k| k > 0).unwrap_or_else(|| {
+            panic!("MCC_TEST_EVENTS_RING must be a positive integer, got {raw:?}")
+        })),
+        Err(_) => None,
+    }
+}
+
 #[test]
 fn pinned_message_totals() {
     // (workload, trace refs, conventional, conservative, basic, aggressive)
@@ -92,6 +104,24 @@ fn pinned_message_totals() {
                 sharded, want,
                 "{app}/{protocol}: K={shards} sharded total diverged from the golden count"
             );
+            // With MCC_TEST_EVENTS_RING set, re-run with a bounded ring
+            // sink attached: observability must be inert, so the golden
+            // count must hold bit-exactly with events flowing.
+            if let Some(capacity) = test_events_ring() {
+                let (ring, handle) = mcc::obs::shared(mcc::obs::RingSink::new(capacity));
+                let observed = sim
+                    .try_run_with_sink(&trace, handle)
+                    .expect("instrumented golden run")
+                    .total_messages();
+                assert_eq!(
+                    observed, want,
+                    "{app}/{protocol}: a ring sink perturbed the golden count"
+                );
+                assert!(
+                    mcc::obs::lock_sink(&ring).total_seen() > 0,
+                    "{app}/{protocol}: the attached ring observed nothing"
+                );
+            }
         }
     }
 }
