@@ -6,13 +6,17 @@
 //!
 //! Doubles as the CI validator: every JSONL line must parse back into
 //! an event and the metrics JSON must round-trip through the registry
-//! parser byte-identically, or the process exits non-zero.
+//! parser byte-identically, or the process exits non-zero. With
+//! `--modelcheck` it additionally validates a `modelcheck` JSON
+//! summary: the document must parse, carry the expected shape, and
+//! report zero violations (unless it was a `--planted-bug` fixture
+//! run, where violations are the point).
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use mcc_obs::metrics::names;
-use mcc_obs::{Event, Log2Histogram, Registry};
+use mcc_obs::{Event, Json, Log2Histogram, Registry};
 use mcc_stats::Table;
 
 const BIN: &str = "obs_report";
@@ -28,9 +32,9 @@ const INTERVAL_COLUMNS: [&str; 5] = [
 ];
 
 fn main() {
-    let (metrics, events) = parse_args();
-    if metrics.is_none() && events.is_none() {
-        eprintln!("{BIN}: nothing to do — pass --metrics and/or --events (try --help)");
+    let (metrics, events, modelcheck) = parse_args();
+    if metrics.is_none() && events.is_none() && modelcheck.is_none() {
+        eprintln!("{BIN}: nothing to do — pass --metrics, --events, and/or --modelcheck");
         exit(2);
     }
     if let Some(path) = &metrics {
@@ -38,6 +42,9 @@ fn main() {
     }
     if let Some(path) = &events {
         report_events(path);
+    }
+    if let Some(path) = &modelcheck {
+        report_modelcheck(path);
     }
 }
 
@@ -146,6 +153,101 @@ fn report_events(path: &Path) {
     }
 }
 
+/// Validates a `modelcheck` JSON summary (parse + shape + zero
+/// violations outside fixture mode) and renders the coverage table.
+fn report_modelcheck(path: &Path) {
+    let text = read(path);
+    let fail = |why: &str| -> ! {
+        eprintln!("{BIN}: {}: bad modelcheck summary: {why}", path.display());
+        exit(1);
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("invalid JSON: {e}")),
+    };
+    if doc.get("tool").and_then(Json::as_str) != Some("modelcheck") {
+        fail("missing or wrong \"tool\" field");
+    }
+    let planted = match doc.get("planted_bug") {
+        Some(Json::Bool(b)) => *b,
+        _ => fail("missing \"planted_bug\" boolean"),
+    };
+    let Some(exhaustive) = doc.get("exhaustive").and_then(Json::as_arr) else {
+        fail("missing \"exhaustive\" array");
+    };
+    let Some(counterexamples) = doc.get("counterexamples").and_then(Json::as_arr) else {
+        fail("missing \"counterexamples\" array");
+    };
+
+    println!("== modelcheck: {} ==\n", path.display());
+    let mut violations = 0u64;
+    let mut table = Table::new(["protocol", "states", "complete", "violations"]);
+    table.title("Exhaustive coverage");
+    for row in exhaustive {
+        let (Some(protocol), Some(states), Some(complete), Some(v)) = (
+            row.get("protocol").and_then(Json::as_str),
+            row.get("states").and_then(Json::as_u64),
+            row.get("complete"),
+            row.get("violations").and_then(Json::as_u64),
+        ) else {
+            fail("exhaustive row missing protocol/states/complete/violations");
+        };
+        if !matches!(complete, Json::Bool(true)) {
+            fail(&format!("exhaustive sweep of {protocol} was truncated"));
+        }
+        violations += v;
+        table.row([
+            protocol.to_string(),
+            states.to_string(),
+            "yes".to_string(),
+            v.to_string(),
+        ]);
+    }
+    if !exhaustive.is_empty() {
+        println!("{}", table.to_text());
+    }
+
+    match doc.get("fuzz") {
+        Some(Json::Null) | None => {}
+        Some(fuzz) => {
+            let (Some(cases), Some(refs), Some(v)) = (
+                fuzz.get("cases").and_then(Json::as_u64),
+                fuzz.get("refs").and_then(Json::as_u64),
+                fuzz.get("violations").and_then(Json::as_u64),
+            ) else {
+                fail("fuzz summary missing cases/refs/violations");
+            };
+            violations += v;
+            println!("fuzz: {cases} cases, {refs} refs, {v} violations\n");
+        }
+    }
+
+    if counterexamples.len() as u64 != violations {
+        fail(&format!(
+            "{violations} violations reported but {} counterexamples listed",
+            counterexamples.len()
+        ));
+    }
+    for cx in counterexamples {
+        let (Some(protocol), Some(invariant), Some(len)) = (
+            cx.get("protocol").and_then(Json::as_str),
+            cx.get("invariant").and_then(Json::as_str),
+            cx.get("len").and_then(Json::as_u64),
+        ) else {
+            fail("counterexample row missing protocol/invariant/len");
+        };
+        println!("counterexample: [{protocol}] {invariant}, {len} records");
+    }
+    if planted {
+        if violations == 0 {
+            fail("planted-bug fixture run found nothing");
+        }
+        println!("planted-bug fixture: bug found, as required");
+    } else if violations > 0 {
+        fail(&format!("{violations} violations"));
+    }
+}
+
 fn bump(counts: &mut Vec<(&'static str, u64)>, label: &'static str) {
     match counts.iter_mut().find(|(l, _)| *l == label) {
         Some((_, n)) => *n += 1,
@@ -167,9 +269,10 @@ fn read(path: &Path) -> String {
     })
 }
 
-fn parse_args() -> (Option<PathBuf>, Option<PathBuf>) {
+fn parse_args() -> (Option<PathBuf>, Option<PathBuf>, Option<PathBuf>) {
     let mut metrics = None;
     let mut events = None;
+    let mut modelcheck = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -181,15 +284,19 @@ fn parse_args() -> (Option<PathBuf>, Option<PathBuf>) {
         match arg.as_str() {
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics"))),
             "--events" => events = Some(PathBuf::from(value("--events"))),
+            "--modelcheck" => modelcheck = Some(PathBuf::from(value("--modelcheck"))),
             "--help" | "-h" => {
                 println!(
                     "{BIN} — render observability artifacts into summary tables\n\n\
-                     Usage: {BIN} [--metrics FILE] [--events FILE]\n\
-                     \n  --metrics FILE  metrics JSON written by a --metrics-out run; validated\
-                     \n                  (parse + round-trip) and rendered as totals, per-interval\
-                     \n                  deltas, and histograms\
-                     \n  --events FILE   event JSONL written by a --events-out run; every line is\
-                     \n                  parsed (non-zero exit on failure) and counted by type\n\
+                     Usage: {BIN} [--metrics FILE] [--events FILE] [--modelcheck FILE]\n\
+                     \n  --metrics FILE     metrics JSON written by a --metrics-out run; validated\
+                     \n                     (parse + round-trip) and rendered as totals,\
+                     \n                     per-interval deltas, and histograms\
+                     \n  --events FILE      event JSONL written by a --events-out run; every line\
+                     \n                     is parsed (non-zero exit on failure), counted by type\
+                     \n  --modelcheck FILE  JSON summary printed by the modelcheck binary;\
+                     \n                     validated (parse + shape + zero violations outside\
+                     \n                     --planted-bug fixture runs) and rendered\n\
                      \nExit status: 0 on success, 1 when an artifact fails validation."
                 );
                 exit(0);
@@ -200,5 +307,5 @@ fn parse_args() -> (Option<PathBuf>, Option<PathBuf>) {
             }
         }
     }
-    (metrics, events)
+    (metrics, events, modelcheck)
 }

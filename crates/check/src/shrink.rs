@@ -1,0 +1,229 @@
+//! Delta-debugging of failing traces.
+//!
+//! Given a trace that provokes a [`CheckViolation`] and a predicate
+//! that re-runs the check, [`shrink`] minimizes the trace with three
+//! deterministic passes repeated to a fixed point:
+//!
+//! 1. **record removal** (ddmin): drop chunks, halving the chunk size
+//!    from `len/2` down to single records;
+//! 2. **node merging**: rewrite all of node *b*'s references to node
+//!    *a* for every pair `a < b`;
+//! 3. **block collapsing**: redirect all of one block's references to
+//!    another resident block.
+//!
+//! A candidate is accepted only when the predicate still fails — the
+//! violation need not be *identical* (a shorter trace often trips an
+//! earlier invariant), just present. Every pass iterates in a fixed
+//! order with no randomness, so a given (trace, predicate) pair always
+//! shrinks to the same counterexample.
+
+use mcc_trace::{Addr, MemRef, NodeId, Trace};
+
+use crate::invariants::{CheckViolation, CHECK_BLOCK_SIZE};
+
+/// The result of minimizing one failing trace.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized trace (still failing).
+    pub trace: Trace,
+    /// The violation the minimized trace provokes.
+    pub violation: CheckViolation,
+    /// Predicate evaluations spent.
+    pub attempts: u64,
+}
+
+/// Minimizes `trace` while `check` keeps failing. `max_attempts`
+/// bounds predicate evaluations; the best trace found so far is
+/// returned when the budget runs out.
+pub fn shrink(
+    trace: &Trace,
+    violation: CheckViolation,
+    check: &dyn Fn(&Trace) -> Option<CheckViolation>,
+    max_attempts: u64,
+) -> ShrinkOutcome {
+    let mut best: Vec<MemRef> = trace.as_slice().to_vec();
+    let mut best_v = violation;
+    let mut attempts = 0u64;
+    let try_candidate = |candidate: &[MemRef], attempts: &mut u64| -> Option<CheckViolation> {
+        if *attempts >= max_attempts {
+            return None;
+        }
+        *attempts += 1;
+        check(&Trace::from(candidate.to_vec()))
+    };
+
+    loop {
+        let before = best.len();
+        let mut changed = false;
+
+        // Pass 1: ddmin chunk removal.
+        let mut chunk = (best.len() / 2).max(1);
+        loop {
+            let mut start = 0;
+            while start < best.len() && !best.is_empty() {
+                let end = (start + chunk).min(best.len());
+                let candidate: Vec<MemRef> =
+                    best[..start].iter().chain(&best[end..]).copied().collect();
+                if candidate.is_empty() {
+                    start = end;
+                    continue;
+                }
+                if let Some(v) = try_candidate(&candidate, &mut attempts) {
+                    best = candidate;
+                    best_v = v;
+                    changed = true;
+                    // Re-scan from the same offset: the records that
+                    // slid into this window may also be droppable.
+                } else {
+                    start = end;
+                }
+                if attempts >= max_attempts {
+                    break;
+                }
+            }
+            if chunk == 1 || attempts >= max_attempts {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: node merging (rewrite node b -> a for each a < b).
+        let mut nodes: Vec<u16> = best.iter().map(|r| r.node.index() as u16).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                let (a, b) = (nodes[i], nodes[j]);
+                let candidate: Vec<MemRef> = best
+                    .iter()
+                    .map(|r| {
+                        if r.node.index() as u16 == b {
+                            MemRef::new(NodeId::new(a), r.op, r.addr)
+                        } else {
+                            *r
+                        }
+                    })
+                    .collect();
+                if candidate == best {
+                    continue;
+                }
+                if let Some(v) = try_candidate(&candidate, &mut attempts) {
+                    best = candidate;
+                    best_v = v;
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 3: block collapsing (redirect block y -> x for x < y).
+        let mut blocks: Vec<u64> = best
+            .iter()
+            .map(|r| r.addr.block(CHECK_BLOCK_SIZE).index())
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                let (x, y) = (blocks[i], blocks[j]);
+                let candidate: Vec<MemRef> = best
+                    .iter()
+                    .map(|r| {
+                        if r.addr.block(CHECK_BLOCK_SIZE).index() == y {
+                            MemRef::new(r.node, r.op, Addr::new(x * CHECK_BLOCK_SIZE.bytes()))
+                        } else {
+                            *r
+                        }
+                    })
+                    .collect();
+                if candidate == best {
+                    continue;
+                }
+                if let Some(v) = try_candidate(&candidate, &mut attempts) {
+                    best = candidate;
+                    best_v = v;
+                    changed = true;
+                }
+            }
+        }
+
+        if (!changed && best.len() == before) || attempts >= max_attempts {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        trace: Trace::from(best),
+        violation: best_v,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariants::{Checker, CheckerConfig, InvariantId};
+    use mcc_core::Protocol;
+    use mcc_trace::MemOp;
+
+    fn r(node: u16, block: u64, op: MemOp) -> MemRef {
+        MemRef::new(NodeId::new(node), op, Addr::new(block * 16))
+    }
+
+    /// Predicate that checks a trace against the broken-demotion spec:
+    /// a correct engine diverges wherever demotion matters.
+    fn broken_spec_predicate(trace: &Trace) -> Option<CheckViolation> {
+        let mut config = CheckerConfig::new(Protocol::Aggressive, 4);
+        config.spec_demotion_enabled = false;
+        Checker::new(&config).run(trace).err()
+    }
+
+    #[test]
+    fn shrinks_noise_down_to_the_two_record_core() {
+        // Bury the failing pattern (two reads of one block by
+        // different nodes) in unrelated traffic on other blocks.
+        let mut refs = Vec::new();
+        for i in 0..20u64 {
+            refs.push(r((i % 3) as u16, 1 + (i % 5), MemOp::Write));
+        }
+        refs.push(r(0, 0, MemOp::Read));
+        for i in 0..10u64 {
+            refs.push(r(
+                3,
+                7,
+                if i % 2 == 0 {
+                    MemOp::Read
+                } else {
+                    MemOp::Write
+                },
+            ));
+        }
+        refs.push(r(1, 0, MemOp::Read));
+        let trace = Trace::from(refs);
+        let violation = broken_spec_predicate(&trace).expect("trace must fail");
+        let out = shrink(&trace, violation, &broken_spec_predicate, 10_000);
+        assert_eq!(out.trace.len(), 2, "minimal counterexample is r0 r1");
+        assert_eq!(out.violation.invariant, InvariantId::OutcomeMismatch);
+        // Deterministic: the same input shrinks identically.
+        let again = shrink(
+            &trace,
+            broken_spec_predicate(&trace).unwrap(),
+            &broken_spec_predicate,
+            10_000,
+        );
+        assert_eq!(again.trace.as_slice(), out.trace.as_slice());
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_a_failing_trace() {
+        let mut refs = Vec::new();
+        for _ in 0..4 {
+            refs.push(r(0, 0, MemOp::Read));
+            refs.push(r(1, 0, MemOp::Read));
+        }
+        let trace = Trace::from(refs);
+        let violation = broken_spec_predicate(&trace).expect("trace must fail");
+        let out = shrink(&trace, violation, &broken_spec_predicate, 1);
+        assert!(broken_spec_predicate(&out.trace).is_some());
+        assert!(out.attempts <= 1);
+    }
+}

@@ -1,0 +1,493 @@
+//! The reference model: an independent transcription of the paper's
+//! protocol, used as the specification the production engine is
+//! checked against.
+//!
+//! The model keeps one flat record per block — who holds a copy and in
+//! what state, plus the Figure 3 classification machine (copies
+//! created, migratory bit, last invalidator, evidence counter) — and
+//! nothing else: no caches, no placement, no message or event
+//! counters. Each [`ReferenceModel::step`] decides how a reference
+//! must resolve purely from that record; the checker then demands that
+//! the engine reached the same conclusion *and* the same resulting
+//! state.
+//!
+//! The model also carries the planted-bug knob the fuzzer fixtures
+//! need: [`ReferenceModel::with_demotion_disabled`] builds a model
+//! whose Figure 3 machine never demotes a migratory block when its
+//! single copy moves clean (read miss) or is overwritten (write miss).
+//! Checking a correct engine against that broken specification must
+//! produce a divergence, which the shrinker then minimizes.
+
+use std::collections::BTreeMap;
+
+use mcc_core::{AdaptivePolicy, CopiesCreated, LineState, Protocol, StepKind};
+use mcc_obs::Rule;
+use mcc_trace::{BlockSize, MemOp, MemRef};
+
+/// The sentinel the non-adaptive protocols run under: blocks never
+/// earn the migratory classification.
+const NEVER_ADAPT: AdaptivePolicy = AdaptivePolicy {
+    initial_migratory: false,
+    events_required: u8::MAX,
+    remember_when_uncached: false,
+    demote_on_write_miss: false,
+};
+
+/// The specification's view of one block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecBlock {
+    /// Nodes holding a copy, and the coherence state each must be in.
+    pub holders: BTreeMap<u16, LineState>,
+    /// Figure 3 copies-created counter.
+    pub created: CopiesCreated,
+    /// Whether the block is currently classified migratory.
+    pub migratory: bool,
+    /// Whether some holder's copy is modified.
+    pub dirty: bool,
+    /// The node whose write most recently took exclusive ownership.
+    pub last_invalidator: Option<u16>,
+    /// Successive migratory-evidence events seen so far.
+    pub evidence: u8,
+}
+
+impl SpecBlock {
+    fn new(policy: AdaptivePolicy) -> SpecBlock {
+        SpecBlock {
+            holders: BTreeMap::new(),
+            created: CopiesCreated::Zero,
+            migratory: policy.initial_migratory,
+            dirty: false,
+            last_invalidator: None,
+            evidence: 0,
+        }
+    }
+
+    /// The sole holder, when exactly one node holds a copy.
+    fn single_holder(&self) -> Option<u16> {
+        if self.holders.len() == 1 {
+            self.holders.keys().next().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Figure 3's migratory-evidence test: a *known previous*
+    /// invalidator different from the requester.
+    fn different_invalidator(&self, requester: u16) -> bool {
+        matches!(self.last_invalidator, Some(prev) if prev != requester)
+    }
+
+    /// One unit of migratory evidence; promotes after
+    /// `events_required` successive units.
+    fn evidence_event(&mut self, policy: AdaptivePolicy) {
+        if policy.events_required == u8::MAX {
+            return;
+        }
+        if u16::from(self.evidence) + 1 >= u16::from(policy.events_required) {
+            self.migratory = true;
+            self.evidence = 0;
+        } else {
+            self.evidence += 1;
+        }
+    }
+}
+
+/// One classification flip the specification expects the engine to
+/// have performed (and announced on the event stream) this step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecReclass {
+    /// The block that flipped.
+    pub block: u64,
+    /// `true` for a promotion to migratory.
+    pub promoted: bool,
+    /// The detection rule that was consulted.
+    pub rule: Rule,
+    /// The node whose reference triggered the flip.
+    pub node: u16,
+}
+
+/// How the specification says one reference must resolve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecOutcome {
+    /// The required outcome kind (hit/upgrade/migrate/replicate/...).
+    pub kind: StepKind,
+    /// The classification flips the main detection rule produced
+    /// (evictions are reported separately via
+    /// [`ReferenceModel::drop_copy`]).
+    pub reclass: Option<SpecReclass>,
+}
+
+/// An executable specification of one protocol point.
+#[derive(Clone, Debug)]
+pub struct ReferenceModel {
+    policy: AdaptivePolicy,
+    pure_migratory: bool,
+    block_size: BlockSize,
+    demotion_enabled: bool,
+    blocks: BTreeMap<u64, SpecBlock>,
+}
+
+impl ReferenceModel {
+    /// A specification of `protocol` at the given block size.
+    pub fn new(protocol: Protocol, block_size: BlockSize) -> ReferenceModel {
+        ReferenceModel {
+            policy: protocol.policy().unwrap_or(NEVER_ADAPT),
+            pure_migratory: protocol == Protocol::PureMigratory,
+            block_size,
+            demotion_enabled: true,
+            blocks: BTreeMap::new(),
+        }
+    }
+
+    /// The planted-bug variant: the returned model never demotes a
+    /// migratory block on the clean-move read-miss rule or the
+    /// write-miss rule. A correct engine diverges from it on the first
+    /// access pattern where demotion matters.
+    #[must_use]
+    pub fn with_demotion_disabled(mut self) -> ReferenceModel {
+        self.demotion_enabled = false;
+        self
+    }
+
+    /// The specification's record for `block`, if it has been
+    /// referenced.
+    pub fn block(&self, block: u64) -> Option<&SpecBlock> {
+        self.blocks.get(&block)
+    }
+
+    /// Every block the specification has a record for.
+    pub fn known_blocks(&self) -> impl Iterator<Item = u64> + '_ {
+        self.blocks.keys().copied()
+    }
+
+    /// Advances the specification by one reference and returns how the
+    /// reference must resolve.
+    pub fn step(&mut self, r: MemRef) -> SpecOutcome {
+        let block = r.addr.block(self.block_size).index();
+        let node = r.node.index() as u16;
+        let policy = self.policy;
+        let pure = self.pure_migratory;
+        let demotion = self.demotion_enabled;
+        let e = self
+            .blocks
+            .entry(block)
+            .or_insert_with(|| SpecBlock::new(policy));
+        let was_migratory = e.migratory;
+        let (kind, rule) = if e.holders.contains_key(&node) {
+            Self::hit(e, policy, pure, node, r.op)
+        } else {
+            Self::miss(e, policy, pure, demotion, node, r.op)
+        };
+        let reclass = rule.and_then(|rule| {
+            flip(was_migratory, e.migratory).map(|promoted| SpecReclass {
+                block,
+                promoted,
+                rule,
+                node,
+            })
+        });
+        SpecOutcome { kind, reclass }
+    }
+
+    /// A reference to a resident copy. Returns the outcome kind and
+    /// the detection rule consulted, if any.
+    fn hit(
+        e: &mut SpecBlock,
+        policy: AdaptivePolicy,
+        pure: bool,
+        node: u16,
+        op: MemOp,
+    ) -> (StepKind, Option<Rule>) {
+        if op == MemOp::Read {
+            return (StepKind::ReadHit, None);
+        }
+        let state = e.holders[&node];
+        match state {
+            // Already writable: the write is invisible to the protocol.
+            LineState::Dirty => (StepKind::SilentWrite, None),
+            // Migratory fill pre-granted write permission (§3.1): the
+            // first write uses it without a transaction.
+            LineState::MigratoryClean => {
+                e.dirty = true;
+                e.holders.insert(node, LineState::Dirty);
+                (StepKind::GrantedWrite, None)
+            }
+            // §2's "write hit on a clean, exclusively-held block":
+            // permission comes from the home; migratory behaviour that
+            // spans an uncached interval is detected here.
+            LineState::Exclusive => {
+                if !pure && e.different_invalidator(node) && e.created == CopiesCreated::One {
+                    e.evidence_event(policy);
+                }
+                e.last_invalidator = Some(node);
+                e.dirty = true;
+                e.holders.insert(node, LineState::Dirty);
+                (
+                    StepKind::ExclusiveUpgrade,
+                    Some(Rule::WriteHitCleanExclusive),
+                )
+            }
+            // §2's "write hit invalidating one or more copies": the
+            // migratory test is that exactly two copies were created
+            // and the requester holds the newer one.
+            LineState::Shared => {
+                if pure {
+                    e.created = CopiesCreated::One;
+                } else if e.different_invalidator(node) && e.created == CopiesCreated::Two {
+                    e.evidence_event(policy);
+                    e.created = CopiesCreated::One;
+                } else {
+                    e.migratory = false;
+                    e.evidence = 0;
+                    e.created = CopiesCreated::One;
+                }
+                e.last_invalidator = Some(node);
+                e.dirty = true;
+                e.holders.retain(|&m, _| m == node);
+                e.holders.insert(node, LineState::Dirty);
+                (StepKind::SharedUpgrade, Some(Rule::WriteHitShared))
+            }
+        }
+    }
+
+    /// A reference with no resident copy at the requester.
+    fn miss(
+        e: &mut SpecBlock,
+        policy: AdaptivePolicy,
+        pure: bool,
+        demotion: bool,
+        node: u16,
+        op: MemOp,
+    ) -> (StepKind, Option<Rule>) {
+        match op {
+            MemOp::Read => {
+                // Pure-migratory services every read miss to a
+                // modified block by migration, with no classification
+                // machinery at all.
+                let migrate = if pure && e.dirty {
+                    true
+                } else {
+                    // Figure 3, `read miss`: advance the copies-created
+                    // counter; a migratory block moving *clean* is
+                    // counter-evidence and demotes (unless this model
+                    // plants the missing-demotion bug).
+                    match (e.created, e.migratory) {
+                        (CopiesCreated::Zero, _) => e.created = CopiesCreated::One,
+                        (CopiesCreated::One, false) => e.created = CopiesCreated::Two,
+                        (CopiesCreated::One, true) => {
+                            if !e.dirty && demotion {
+                                e.created = CopiesCreated::Two;
+                                e.migratory = false;
+                                e.evidence = 0;
+                            }
+                        }
+                        (CopiesCreated::Two, _) => e.created = CopiesCreated::ThreeOrMore,
+                        (CopiesCreated::ThreeOrMore, _) => {}
+                    }
+                    e.created == CopiesCreated::One && e.migratory
+                };
+                if migrate {
+                    // The single existing copy (if any) moves to the
+                    // requester with write permission pre-granted.
+                    if let Some(owner) = e.single_holder() {
+                        e.holders.remove(&owner);
+                    }
+                    e.dirty = false;
+                    e.holders.insert(node, LineState::MigratoryClean);
+                    (StepKind::ReadMissMigrate, Some(Rule::ReadMiss))
+                } else {
+                    // Replication: an exclusive holder (clean or
+                    // dirty) is demoted to Shared, dirty data is
+                    // written home as part of the transaction (§3.3).
+                    let state = if e.holders.is_empty() {
+                        LineState::Exclusive
+                    } else {
+                        if let Some(owner) = e.single_holder() {
+                            e.holders.insert(owner, LineState::Shared);
+                        }
+                        LineState::Shared
+                    };
+                    e.dirty = false;
+                    e.holders.insert(node, state);
+                    (StepKind::ReadMissReplicate, Some(Rule::ReadMiss))
+                }
+            }
+            MemOp::Write => {
+                // Figure 3, `write miss invalidating one or more
+                // copies` (also misses to uncached blocks): every
+                // existing copy dies, the requester takes a dirty copy.
+                if pure {
+                    e.created = CopiesCreated::One;
+                } else {
+                    if e.created == CopiesCreated::One && e.migratory {
+                        if (!e.dirty || policy.demote_on_write_miss) && demotion {
+                            // A migratory block overwritten elsewhere
+                            // while clean moved without being used for
+                            // a read-modify-write; the Stenström rule
+                            // (§5) additionally demotes dirty movers.
+                            e.migratory = false;
+                            e.evidence = 0;
+                        }
+                    } else if e.created == CopiesCreated::Zero && e.migratory {
+                        // Uncached but remembered migratory: retained.
+                    } else if e.different_invalidator(node) && e.created == CopiesCreated::One {
+                        e.evidence_event(policy);
+                    } else {
+                        e.migratory = false;
+                    }
+                    e.created = CopiesCreated::One;
+                }
+                e.last_invalidator = Some(node);
+                e.dirty = true;
+                e.holders.clear();
+                e.holders.insert(node, LineState::Dirty);
+                (StepKind::WriteMiss, Some(Rule::WriteMiss))
+            }
+        }
+    }
+
+    /// Records that `node` silently dropped its copy of `block` (a
+    /// cache eviction — the one transition the checker must report to
+    /// the specification, because evictions are driven by cache
+    /// geometry the model deliberately does not have). Returns the
+    /// classification flip the drop must have produced, if any.
+    pub fn drop_copy(&mut self, node: u16, block: u64) -> Option<SpecReclass> {
+        let policy = self.policy;
+        let e = self.blocks.get_mut(&block)?;
+        let was_migratory = e.migratory;
+        e.holders.remove(&node);
+        if e.holders.is_empty() {
+            e.created = CopiesCreated::Zero;
+            e.dirty = false;
+            if !policy.remember_when_uncached {
+                e.migratory = policy.initial_migratory;
+                e.evidence = 0;
+                e.last_invalidator = None;
+            }
+        }
+        flip(was_migratory, e.migratory).map(|promoted| SpecReclass {
+            block,
+            promoted,
+            rule: Rule::CopyDropped,
+            node,
+        })
+    }
+}
+
+/// `Some(promoted)` when the migratory bit actually flipped.
+fn flip(was: bool, now: bool) -> Option<bool> {
+    match (was, now) {
+        (false, true) => Some(true),
+        (true, false) => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_trace::{Addr, NodeId};
+
+    fn r(node: u16, block: u64, op: MemOp) -> MemRef {
+        MemRef::new(NodeId::new(node), op, Addr::new(block * 16))
+    }
+
+    #[test]
+    fn basic_promotes_on_the_write_hit_shared_rule() {
+        let mut m = ReferenceModel::new(Protocol::Basic, BlockSize::B16);
+        // The canonical migratory pattern: w0 r1 w1 — node 1's write
+        // hits a Shared copy with two copies created and a different
+        // last invalidator.
+        assert_eq!(m.step(r(0, 0, MemOp::Write)).kind, StepKind::WriteMiss);
+        assert_eq!(
+            m.step(r(1, 0, MemOp::Read)).kind,
+            StepKind::ReadMissReplicate
+        );
+        let out = m.step(r(1, 0, MemOp::Write));
+        assert_eq!(out.kind, StepKind::SharedUpgrade);
+        assert_eq!(
+            out.reclass,
+            Some(SpecReclass {
+                block: 0,
+                promoted: true,
+                rule: Rule::WriteHitShared,
+                node: 1,
+            })
+        );
+        // The next foreign read miss now migrates.
+        assert_eq!(m.step(r(2, 0, MemOp::Read)).kind, StepKind::ReadMissMigrate);
+        let b = m.block(0).unwrap();
+        assert_eq!(b.holders[&2], LineState::MigratoryClean);
+        assert!(b.migratory);
+    }
+
+    #[test]
+    fn clean_move_demotes_unless_the_bug_is_planted() {
+        let run = |m: &mut ReferenceModel| {
+            m.step(r(0, 0, MemOp::Write));
+            m.step(r(1, 0, MemOp::Read));
+            m.step(r(1, 0, MemOp::Write));
+            // Migrate to node 2, which never writes...
+            m.step(r(2, 0, MemOp::Read));
+            // ...so node 0's read miss moves the block clean: demote.
+            m.step(r(0, 0, MemOp::Read))
+        };
+        let mut sound = ReferenceModel::new(Protocol::Basic, BlockSize::B16);
+        let out = run(&mut sound);
+        assert_eq!(out.kind, StepKind::ReadMissReplicate);
+        assert_eq!(
+            out.reclass,
+            Some(SpecReclass {
+                block: 0,
+                promoted: false,
+                rule: Rule::ReadMiss,
+                node: 0,
+            })
+        );
+        let mut broken =
+            ReferenceModel::new(Protocol::Basic, BlockSize::B16).with_demotion_disabled();
+        let out = run(&mut broken);
+        assert_eq!(
+            out.kind,
+            StepKind::ReadMissMigrate,
+            "planted bug keeps migrating"
+        );
+        assert_eq!(out.reclass, None);
+    }
+
+    #[test]
+    fn pure_migratory_migrates_dirty_blocks_without_classifying() {
+        let mut m = ReferenceModel::new(Protocol::PureMigratory, BlockSize::B16);
+        m.step(r(0, 0, MemOp::Write));
+        let out = m.step(r(1, 0, MemOp::Read));
+        assert_eq!(out.kind, StepKind::ReadMissMigrate);
+        assert_eq!(out.reclass, None);
+        let b = m.block(0).unwrap();
+        assert!(!b.migratory, "pure-migratory never uses the classifier");
+        // A *clean* block replicates like the conventional protocol.
+        let out = m.step(r(2, 0, MemOp::Read));
+        assert_eq!(out.kind, StepKind::ReadMissReplicate);
+    }
+
+    #[test]
+    fn forgetting_policies_reset_on_the_last_drop() {
+        let aggressive_forgetful = Protocol::Custom(AdaptivePolicy {
+            initial_migratory: true,
+            events_required: 2,
+            remember_when_uncached: false,
+            demote_on_write_miss: false,
+        });
+        let mut m = ReferenceModel::new(aggressive_forgetful, BlockSize::B16);
+        m.step(r(0, 0, MemOp::Write));
+        m.step(r(1, 0, MemOp::Read));
+        // Demoted by the shared-upgrade counter-evidence path.
+        m.step(r(0, 0, MemOp::Write));
+        assert!(!m.block(0).unwrap().migratory);
+        // Dropping the last copy restores the initial classification —
+        // a *promotion* via the copy-dropped rule.
+        let rc = m.drop_copy(0, 0).unwrap();
+        assert!(rc.promoted);
+        assert_eq!(rc.rule, Rule::CopyDropped);
+        assert_eq!(m.block(0).unwrap().last_invalidator, None);
+    }
+}

@@ -267,7 +267,7 @@ impl DirectorySim {
             engine.try_step(*r)?;
             monitor.after_step(&engine)?;
         }
-        engine.verify()?;
+        monitor.verify(&engine)?;
         Ok(engine.finish())
     }
 
@@ -286,7 +286,7 @@ impl DirectorySim {
             engine.try_step(*r)?;
             monitor.after_step(&engine)?;
         }
-        engine.verify()?;
+        monitor.verify(&engine)?;
         Ok(engine.finish())
     }
 
@@ -1265,6 +1265,63 @@ impl DirectoryEngine {
     /// Message tally so far.
     pub fn messages(&self) -> MessageBreakdown {
         self.messages
+    }
+
+    /// The version tag a node's resident copy of `block` holds, if the
+    /// block is resident there. Inspection hook for external checkers
+    /// (`mcc-check`): a correct protocol keeps every resident copy at
+    /// the latest written version.
+    pub fn line_version(&self, node: NodeId, block: BlockAddr) -> Option<u64> {
+        self.caches[node.index()].get(block).map(|l| l.version)
+    }
+
+    /// The latest version written to `block` by anyone — the write
+    /// oracle's ground truth. Zero for never-written blocks.
+    pub fn latest_version(&self, block: BlockAddr) -> u64 {
+        self.latest(block)
+    }
+
+    /// The version `block`'s home memory holds (zero before the first
+    /// write-back).
+    pub fn memory_version(&self, block: BlockAddr) -> u64 {
+        self.mem(block)
+    }
+
+    /// Every resident cache line as `(node, block, state, version)`,
+    /// ordered by node and, within a node, by the cache's internal
+    /// order. Inspection hook for external checkers and the monitor's
+    /// data-value sweep; cost is linear in resident lines.
+    pub fn resident_lines(&self) -> Vec<(NodeId, BlockAddr, LineState, u64)> {
+        let mut out = Vec::new();
+        for node in NodeId::first(self.nodes) {
+            for (block, line) in self.caches[node.index()].iter() {
+                out.push((node, block, line.state, line.version));
+            }
+        }
+        out
+    }
+
+    /// Overwrites the version tag of a resident line, returning whether
+    /// the line existed. Testing hook: the protocol never creates a
+    /// stale resident copy itself, so corruption tests use this to
+    /// prove the data-value checks actually fire.
+    #[doc(hidden)]
+    pub fn poison_line_version(&mut self, node: NodeId, block: BlockAddr, version: u64) -> bool {
+        match self.caches[node.index()].get_mut(block) {
+            Some(line) => {
+                line.version = version;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites the latest-write version the built-in oracle tracks
+    /// for `block`. Testing hook: simulates a lost write so
+    /// version-regression checks can be exercised.
+    #[doc(hidden)]
+    pub fn poison_latest_version(&mut self, block: BlockAddr, version: u64) {
+        self.latest.insert(block, version);
     }
 
     /// Event counts so far.

@@ -9,13 +9,25 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use mcc::core::{
-    DirectorySim, DirectorySimConfig, FaultPlan, PlacementPolicy, Protocol, SimError, SimResult,
+    AdaptivePolicy, DirectorySim, DirectorySimConfig, FaultPlan, PlacementPolicy, Protocol,
+    SimError, SimResult,
 };
 use mcc::trace::{Addr, MemRef, NodeId, Trace};
 use mcc::workloads::{Workload, WorkloadParams};
 use mcc_prng::SplitMix64;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The paper's protocol set plus the points parity must also hold for:
+/// the pure-migratory baseline (its dirty-read-miss path bypasses the
+/// classifier entirely) and a custom policy (Stenström's variant, for
+/// the hysteresis/remember knobs the named points leave at defaults).
+fn extended_protocols() -> Vec<Protocol> {
+    let mut protocols = Protocol::PAPER_SET.to_vec();
+    protocols.push(Protocol::PureMigratory);
+    protocols.push(Protocol::Custom(AdaptivePolicy::stenstrom()));
+    protocols
+}
 
 /// A random trace over `nodes` nodes: a mix of hot contended blocks and
 /// a wider cold range, spanning several pages, with a 2:1 read bias.
@@ -59,7 +71,7 @@ fn hash_result(r: &SimResult) -> u64 {
 fn random_traces_shard_bit_exactly_for_all_protocols() {
     for seed in [1u64, 2, 3] {
         let trace = random_trace(seed, 20_000, 8);
-        for protocol in Protocol::PAPER_SET {
+        for protocol in extended_protocols() {
             let sim = DirectorySim::new(protocol, &config(PlacementPolicy::Profiled));
             let sequential = sim.run(&trace);
             // The totals the issue calls out, asserted via the full
@@ -113,7 +125,7 @@ fn workload_traces_shard_bit_exactly() {
     let params = WorkloadParams::new(16).scale(0.01).seed(42);
     let trace = Workload::Mp3d.generate(&params);
     let cfg = DirectorySimConfig::default();
-    for protocol in Protocol::PAPER_SET {
+    for protocol in extended_protocols() {
         let sim = DirectorySim::new(protocol, &cfg);
         let sequential = sim.run(&trace);
         for shards in SHARD_COUNTS {
