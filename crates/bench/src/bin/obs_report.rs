@@ -10,7 +10,13 @@
 //! `--modelcheck` it additionally validates a `modelcheck` JSON
 //! summary: the document must parse, carry the expected shape, and
 //! report zero violations (unless it was a `--planted-bug` fixture
-//! run, where violations are the point).
+//! run, where violations are the point). With `--live BASE` it
+//! validates the artifact set of a `live` service run: every shard
+//! journal must replay through the lockstep checker with zero
+//! violations, every event line must parse (with exactly one `step`
+//! event per journal entry), and the summary's retry/NACK/chaos
+//! counters must reconcile with each other and with the chaos plan
+//! the run was configured with.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -18,6 +24,7 @@ use std::process::exit;
 use mcc_obs::metrics::names;
 use mcc_obs::{Event, Json, Log2Histogram, Registry};
 use mcc_stats::Table;
+use mcc_trace::Trace;
 
 const BIN: &str = "obs_report";
 
@@ -32,9 +39,9 @@ const INTERVAL_COLUMNS: [&str; 5] = [
 ];
 
 fn main() {
-    let (metrics, events, modelcheck) = parse_args();
-    if metrics.is_none() && events.is_none() && modelcheck.is_none() {
-        eprintln!("{BIN}: nothing to do — pass --metrics, --events, and/or --modelcheck");
+    let (metrics, events, modelcheck, live) = parse_args();
+    if metrics.is_none() && events.is_none() && modelcheck.is_none() && live.is_none() {
+        eprintln!("{BIN}: nothing to do — pass --metrics, --events, --modelcheck, and/or --live");
         exit(2);
     }
     if let Some(path) = &metrics {
@@ -45,6 +52,9 @@ fn main() {
     }
     if let Some(path) = &modelcheck {
         report_modelcheck(path);
+    }
+    if let Some(base) = &live {
+        report_live(base);
     }
 }
 
@@ -248,6 +258,170 @@ fn report_modelcheck(path: &Path) {
     }
 }
 
+/// Validates the artifact set of a `live` service run (see the `live`
+/// binary): summary kv + per-shard journal traces + per-shard event
+/// JSONL under a common base path.
+fn report_live(base: &Path) {
+    let fail = |why: String| -> ! {
+        eprintln!("{BIN}: live run {}: {why}", base.display());
+        exit(1);
+    };
+    let summary_path = mcc_live::summary_path(base);
+    let kv: std::collections::HashMap<String, String> =
+        mcc_stats::parse_kv_lines(&read(&summary_path))
+            .into_iter()
+            .collect();
+    let field = |key: &str| -> u64 {
+        kv.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fail(format!("summary missing numeric field {key:?}")))
+    };
+    let protocol = mcc_check::parse_protocol(
+        kv.get("protocol")
+            .unwrap_or_else(|| fail("summary missing protocol".into())),
+    )
+    .unwrap_or_else(|e| fail(e));
+    let nodes = field("nodes") as u16;
+    let shards = field("shards");
+
+    // Differential replay: every shard journal through the lockstep
+    // engine/specification checker, zero violations tolerated.
+    let mut applied = 0u64;
+    let mut journal_writes = 0u64;
+    for shard in 0..shards as u32 {
+        let journal_path = mcc_live::journal_path(base, shard);
+        let trace = std::fs::File::open(&journal_path)
+            .map_err(|e| format!("cannot open {}: {e}", journal_path.display()))
+            .and_then(|f| {
+                Trace::read_from(f).map_err(|e| format!("{}: {e}", journal_path.display()))
+            })
+            .unwrap_or_else(|e| fail(e));
+        applied += trace.len() as u64;
+        journal_writes += trace.iter().filter(|r| r.op.is_write()).count() as u64;
+        let checker = mcc_check::Checker::new(&mcc_check::CheckerConfig::new(protocol, nodes));
+        if let Err(v) = checker.run(&trace) {
+            fail(format!("shard {shard} journal replay: {v}"));
+        }
+
+        // Event stream: every line parses; exactly one step event per
+        // journal entry (the commit protocol makes this exact even
+        // across crash-restarts).
+        let events_path = mcc_live::events_path(base, shard);
+        let text = read(&events_path);
+        let mut steps = 0u64;
+        for (lineno, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            let event = Event::from_json(line).unwrap_or_else(|e| {
+                fail(format!(
+                    "{}:{}: bad event line: {e}",
+                    events_path.display(),
+                    lineno + 1
+                ))
+            });
+            if matches!(event, Event::Step { .. }) {
+                steps += 1;
+            }
+        }
+        if steps != trace.len() as u64 {
+            fail(format!(
+                "shard {shard}: {steps} step events vs {} journal entries",
+                trace.len()
+            ));
+        }
+    }
+
+    // Counter reconciliation within the summary and against the plan.
+    if applied != field("applied") {
+        fail(format!(
+            "journals hold {applied} entries, summary claims {}",
+            field("applied")
+        ));
+    }
+    if journal_writes != field("journal_writes") {
+        fail(format!(
+            "journals hold {journal_writes} writes, summary claims {}",
+            field("journal_writes")
+        ));
+    }
+    if field("acked_writes") > journal_writes {
+        fail(format!(
+            "{} acknowledged writes exceed {journal_writes} journaled — lost-write bug",
+            field("acked_writes")
+        ));
+    }
+    let healthy = field("clients_ok") == 1 && field("shards_failed") == 0;
+    if healthy {
+        if field("ops_acked") != applied {
+            fail(format!(
+                "healthy run but {} acks vs {applied} applies",
+                field("ops_acked")
+            ));
+        }
+        if field("acked_writes") != journal_writes {
+            fail(format!(
+                "healthy run but {} acked writes vs {journal_writes} journaled",
+                field("acked_writes")
+            ));
+        }
+    }
+    let chaos_configured = field("drop_ppm") > 0
+        || field("nack_ppm") > 0
+        || field("delay_ppm") > 0
+        || field("duplicate_ppm") > 0
+        || field("resp_drop_ppm") > 0
+        || field("resp_delay_ppm") > 0
+        || field("resp_duplicate_ppm") > 0;
+    if !chaos_configured {
+        // The chaos-layer counters and NACK draws are deterministic in
+        // the plan, so a fault-free plan must show zero. (Retries and
+        // timeouts are NOT in this list: deadline expiries are
+        // scheduling-dependent and legitimate on a loaded machine even
+        // over a reliable wire — the identity check below covers them.)
+        for key in [
+            "nacks",
+            "nacks_sent",
+            "req_dropped",
+            "req_delayed",
+            "req_duplicated",
+            "rep_dropped",
+            "rep_delayed",
+            "rep_duplicated",
+        ] {
+            if field(key) != 0 {
+                fail(format!(
+                    "fault-free plan but {key} = {} — phantom faults",
+                    field(key)
+                ));
+            }
+        }
+    }
+    if field("client_errors") == 0 && field("retries") != field("nacks") + field("timeouts") {
+        fail(format!(
+            "retry identity broken: {} retries vs {} nacks + {} timeouts",
+            field("retries"),
+            field("nacks"),
+            field("timeouts")
+        ));
+    }
+    if field("req_dropped") > field("req_sent") || field("rep_dropped") > field("rep_sent") {
+        fail("more messages dropped than sent".into());
+    }
+    if field("verify_violations") != 0 {
+        fail(format!(
+            "{} differential-replay violations recorded at run time",
+            field("verify_violations")
+        ));
+    }
+    if field("ok") != 1 {
+        fail("run recorded ok = 0".into());
+    }
+
+    println!(
+        "== live: {} ==\n\n{shards} shard journals replayed ({applied} entries, \
+         {journal_writes} writes): zero violations; counters reconcile.\n",
+        base.display()
+    );
+}
+
 fn bump(counts: &mut Vec<(&'static str, u64)>, label: &'static str) {
     match counts.iter_mut().find(|(l, _)| *l == label) {
         Some((_, n)) => *n += 1,
@@ -269,10 +443,18 @@ fn read(path: &Path) -> String {
     })
 }
 
-fn parse_args() -> (Option<PathBuf>, Option<PathBuf>, Option<PathBuf>) {
+type Args = (
+    Option<PathBuf>,
+    Option<PathBuf>,
+    Option<PathBuf>,
+    Option<PathBuf>,
+);
+
+fn parse_args() -> Args {
     let mut metrics = None;
     let mut events = None;
     let mut modelcheck = None;
+    let mut live = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -285,10 +467,12 @@ fn parse_args() -> (Option<PathBuf>, Option<PathBuf>, Option<PathBuf>) {
             "--metrics" => metrics = Some(PathBuf::from(value("--metrics"))),
             "--events" => events = Some(PathBuf::from(value("--events"))),
             "--modelcheck" => modelcheck = Some(PathBuf::from(value("--modelcheck"))),
+            "--live" => live = Some(PathBuf::from(value("--live"))),
             "--help" | "-h" => {
                 println!(
                     "{BIN} — render observability artifacts into summary tables\n\n\
-                     Usage: {BIN} [--metrics FILE] [--events FILE] [--modelcheck FILE]\n\
+                     Usage: {BIN} [--metrics FILE] [--events FILE] [--modelcheck FILE] \
+                     [--live BASE]\n\
                      \n  --metrics FILE     metrics JSON written by a --metrics-out run; validated\
                      \n                     (parse + round-trip) and rendered as totals,\
                      \n                     per-interval deltas, and histograms\
@@ -296,7 +480,10 @@ fn parse_args() -> (Option<PathBuf>, Option<PathBuf>, Option<PathBuf>) {
                      \n                     is parsed (non-zero exit on failure), counted by type\
                      \n  --modelcheck FILE  JSON summary printed by the modelcheck binary;\
                      \n                     validated (parse + shape + zero violations outside\
-                     \n                     --planted-bug fixture runs) and rendered\n\
+                     \n                     --planted-bug fixture runs) and rendered\
+                     \n  --live BASE        artifact set written by the live binary's --out BASE;\
+                     \n                     every shard journal is replayed through the lockstep\
+                     \n                     checker and all counters must reconcile\n\
                      \nExit status: 0 on success, 1 when an artifact fails validation."
                 );
                 exit(0);
@@ -307,5 +494,5 @@ fn parse_args() -> (Option<PathBuf>, Option<PathBuf>, Option<PathBuf>) {
             }
         }
     }
-    (metrics, events, modelcheck)
+    (metrics, events, modelcheck, live)
 }

@@ -187,6 +187,28 @@ pub const fn backoff_units(attempt: u32) -> u64 {
     1u64 << if attempt > 10 { 10 } else { attempt }
 }
 
+/// Deterministically jittered exponential backoff: the base
+/// [`backoff_units`] schedule plus a jitter in `[0, base)` drawn by
+/// hashing `(seed, salt, attempt)` through one throwaway
+/// [`SplitMix64`] stream.
+///
+/// Jitter exists to break retry lockstep: two requesters that fail at
+/// the same instant and back off by identical powers of two collide
+/// again on every retry, forever. Salting the draw with a
+/// caller-chosen discriminator (the trace-driven engine uses its step
+/// counter; live-service clients mix their node id and request
+/// sequence number) de-synchronizes them while keeping every run
+/// bit-reproducible — the draw is a pure function of its inputs, so
+/// it needs no RNG state in checkpoints and replays identically after
+/// a resume.
+pub fn jittered_backoff_units(seed: u64, salt: u64, attempt: u32) -> u64 {
+    let base = backoff_units(attempt);
+    let mut mix = SplitMix64::new(
+        seed ^ salt.rotate_left(21) ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    base + mix.gen_range(0..base)
+}
+
 /// The wire shape of one demand transaction, from the injector's point
 /// of view: one request, optionally a data-bearing reply, and some
 /// number of invalidations.
@@ -208,6 +230,13 @@ pub enum AttemptOutcome {
     Dropped,
     /// The home NACKed the request; the requester backs off and retries.
     Nacked,
+    /// A message was delayed in flight: it is parked inside the
+    /// injector and re-injected (subjected to drop/NACK draws again)
+    /// on the next [`FaultInjector::attempt`] call for this
+    /// transaction. The requester waits out
+    /// [`AttemptReport::delay_units`] and polls again — no resend, so
+    /// a delayed-then-delivered message is counted exactly once.
+    Delayed,
 }
 
 /// The injector's verdict on one attempt.
@@ -223,11 +252,39 @@ pub struct AttemptReport {
     pub delay_units: u64,
 }
 
+/// The position of one message within a transaction's wire order:
+/// request first, then the invalidation fan-out, then the reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WirePhase {
+    /// The cache→home request.
+    Request,
+    /// Invalidation number `i` of the fan-out (0-based).
+    Invalidation(u64),
+    /// The data/permission reply.
+    Response,
+}
+
+/// A transaction paused mid-wire because one of its messages drew a
+/// delay: the parked message and the live traffic sent so far.
+#[derive(Clone, Debug)]
+struct InFlight {
+    /// The shape the paused transaction was injected with.
+    shape: TransactionShape,
+    /// The delayed message, re-injected on the next attempt.
+    parked: WirePhase,
+    /// Wire traffic sent for this transaction that is neither wasted
+    /// nor charged yet. Consumed by the ordinary Table 1 charge if the
+    /// transaction completes; becomes `wasted` if a later drop or NACK
+    /// forces a full resend.
+    sent_live: MessageCount,
+}
+
 /// Draws faults for a simulation from a seeded private stream.
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
     rng: SplitMix64,
+    in_flight: Option<InFlight>,
 }
 
 impl FaultInjector {
@@ -236,16 +293,22 @@ impl FaultInjector {
         FaultInjector {
             plan,
             rng: SplitMix64::new(plan.seed),
+            in_flight: None,
         }
     }
 
     /// Recreates an injector mid-stream from a checkpointed
     /// [`FaultInjector::rng_state`]. The resumed injector draws exactly
     /// the verdicts the original would have drawn next.
+    ///
+    /// Checkpoints are taken at record boundaries, where no
+    /// transaction is mid-wire, so the resumed injector correctly
+    /// starts with nothing parked.
     pub fn resume(plan: FaultPlan, rng_state: u64) -> Self {
         FaultInjector {
             plan,
             rng: SplitMix64::new(rng_state),
+            in_flight: None,
         }
     }
 
@@ -267,6 +330,16 @@ impl FaultInjector {
     /// messages transmitted up to the failure point (plus any discarded
     /// duplicates) are reported as `wasted`; a successful attempt
     /// wastes only its duplicates.
+    ///
+    /// A *delay* draw does not consume the message: it is parked
+    /// inside the injector ([`AttemptOutcome::Delayed`]) and
+    /// re-injected — subjected to fresh drop/NACK draws, but not to
+    /// another delay or duplicate draw — on the next `attempt` call
+    /// for the same shape. Messages delivered before the parked one
+    /// stay delivered across the deferral, so a delayed-then-delivered
+    /// message is sent (and charged) exactly once; only a subsequent
+    /// drop or NACK invalidates the partial progress and turns it into
+    /// wasted traffic for the resend.
     pub fn attempt(&mut self, shape: TransactionShape) -> AttemptReport {
         // Fast path: a reliable plan must not advance the RNG, so a
         // reliable injector is bit-identical to no injector at all.
@@ -278,77 +351,92 @@ impl FaultInjector {
             };
         }
 
+        // Traffic from earlier deferred attempts of this transaction
+        // that is still in play, and traffic from an abandoned
+        // transaction (defensive: callers are expected to poll a
+        // parked transaction to completion before starting another).
+        let mut live_before = MessageCount::ZERO;
+        let mut stale = MessageCount::ZERO;
+        let mut resume_idx: Option<u64> = None;
+        if let Some(fl) = self.in_flight.take() {
+            if fl.shape == shape {
+                live_before = fl.sent_live;
+                resume_idx = Some(match fl.parked {
+                    WirePhase::Request => 0,
+                    WirePhase::Invalidation(i) => 1 + i,
+                    WirePhase::Response => 1 + fl.shape.invalidations,
+                });
+            } else {
+                stale = fl.sent_live;
+            }
+        }
+
         let mut sent = MessageCount::ZERO;
         let mut duplicates = MessageCount::ZERO;
-        let mut delay = 0u64;
-
-        // The request.
-        let req = self.plan.rates(MessageClass::Request);
-        sent += MessageCount::new(1, 0);
-        if self.rng.chance_ppm(req.duplicate_ppm) {
-            duplicates += MessageCount::new(1, 0);
-        }
-        if self.rng.chance_ppm(req.delay_ppm) {
-            delay += 1 + self.rng.gen_range(0..4);
-        }
-        if self.rng.chance_ppm(req.drop_ppm) {
-            return AttemptReport {
-                outcome: AttemptOutcome::Dropped,
-                wasted: sent + duplicates,
-                delay_units: delay,
+        let total = 1 + shape.invalidations + u64::from(shape.has_data_response);
+        let start = resume_idx.unwrap_or(0);
+        for idx in start..total {
+            let (class, msg) = if idx == 0 {
+                (MessageClass::Request, MessageCount::new(1, 0))
+            } else if idx <= shape.invalidations {
+                (MessageClass::Invalidation, MessageCount::new(1, 0))
+            } else {
+                (MessageClass::Response, MessageCount::new(0, 1))
             };
-        }
-        if self.rng.chance_ppm(req.nack_ppm) {
-            // The NACK reply itself is a control message on the wire.
-            return AttemptReport {
-                outcome: AttemptOutcome::Nacked,
-                wasted: sent + MessageCount::new(1, 0) + duplicates,
-                delay_units: delay,
-            };
-        }
-
-        // Invalidation fan-out.
-        let inv = self.plan.rates(MessageClass::Invalidation);
-        for _ in 0..shape.invalidations {
-            sent += MessageCount::new(1, 0);
-            if self.rng.chance_ppm(inv.duplicate_ppm) {
-                duplicates += MessageCount::new(1, 0);
+            let rates = self.plan.rates(class);
+            // The parked message was already sent and already drew its
+            // duplicate/delay verdicts; re-injection only re-exposes it
+            // to loss and refusal.
+            let reinjecting = resume_idx == Some(idx);
+            if !reinjecting {
+                sent += msg;
+                if self.rng.chance_ppm(rates.duplicate_ppm) {
+                    duplicates += msg;
+                }
+                if self.rng.chance_ppm(rates.delay_ppm) {
+                    let units = 1 + self.rng.gen_range(0..4);
+                    let parked = if idx == 0 {
+                        WirePhase::Request
+                    } else if idx <= shape.invalidations {
+                        WirePhase::Invalidation(idx - 1)
+                    } else {
+                        WirePhase::Response
+                    };
+                    self.in_flight = Some(InFlight {
+                        shape,
+                        parked,
+                        sent_live: live_before + sent,
+                    });
+                    return AttemptReport {
+                        outcome: AttemptOutcome::Delayed,
+                        wasted: duplicates + stale,
+                        delay_units: units,
+                    };
+                }
             }
-            if self.rng.chance_ppm(inv.delay_ppm) {
-                delay += 1 + self.rng.gen_range(0..4);
-            }
-            if self.rng.chance_ppm(inv.drop_ppm) {
+            if self.rng.chance_ppm(rates.drop_ppm) {
                 return AttemptReport {
                     outcome: AttemptOutcome::Dropped,
-                    wasted: sent + duplicates,
-                    delay_units: delay,
+                    wasted: live_before + sent + duplicates + stale,
+                    delay_units: 0,
+                };
+            }
+            if class == MessageClass::Request && self.rng.chance_ppm(rates.nack_ppm) {
+                // The NACK reply itself is a control message on the wire.
+                return AttemptReport {
+                    outcome: AttemptOutcome::Nacked,
+                    wasted: live_before + sent + MessageCount::new(1, 0) + duplicates + stale,
+                    delay_units: 0,
                 };
             }
         }
 
-        // The reply.
-        if shape.has_data_response {
-            let resp = self.plan.rates(MessageClass::Response);
-            sent += MessageCount::new(0, 1);
-            if self.rng.chance_ppm(resp.duplicate_ppm) {
-                duplicates += MessageCount::new(0, 1);
-            }
-            if self.rng.chance_ppm(resp.delay_ppm) {
-                delay += 1 + self.rng.gen_range(0..4);
-            }
-            if self.rng.chance_ppm(resp.drop_ppm) {
-                return AttemptReport {
-                    outcome: AttemptOutcome::Dropped,
-                    wasted: sent + duplicates,
-                    delay_units: delay,
-                };
-            }
-        }
-
+        // Delivered: `live_before + sent` is exactly one copy of every
+        // message, consumed by the caller's ordinary Table 1 charge.
         AttemptReport {
             outcome: AttemptOutcome::Delivered,
-            wasted: duplicates,
-            delay_units: delay,
+            wasted: duplicates + stale,
+            delay_units: 0,
         }
     }
 }
@@ -438,7 +526,7 @@ mod tests {
     }
 
     #[test]
-    fn delay_keeps_delivery_but_reports_units() {
+    fn delay_parks_the_message_then_delivers_it_exactly_once() {
         let plan = FaultPlan {
             request: FaultRates {
                 delay_ppm: 1_000_000,
@@ -447,9 +535,89 @@ mod tests {
             ..FaultPlan::reliable(6)
         };
         let mut inj = FaultInjector::new(plan);
-        let r = inj.attempt(SHAPE);
-        assert_eq!(r.outcome, AttemptOutcome::Delivered);
-        assert!((1..=4).contains(&r.delay_units));
+        // First attempt: the request is parked in flight, not consumed.
+        let first = inj.attempt(SHAPE);
+        assert_eq!(first.outcome, AttemptOutcome::Delayed);
+        assert_eq!(first.wasted, MessageCount::ZERO);
+        assert!((1..=4).contains(&first.delay_units));
+        // Second attempt re-injects the parked request (no re-send, no
+        // second delay draw) and the transaction completes. Nothing is
+        // wasted: the delayed message is counted exactly once, by the
+        // ordinary Table 1 charge on delivery.
+        let second = inj.attempt(SHAPE);
+        assert_eq!(second.outcome, AttemptOutcome::Delivered);
+        assert_eq!(second.wasted, MessageCount::ZERO);
+        assert_eq!(second.delay_units, 0);
+        // And the injector is quiescent again: the next transaction
+        // parks afresh rather than resuming anything.
+        assert_eq!(inj.attempt(SHAPE).outcome, AttemptOutcome::Delayed);
+    }
+
+    #[test]
+    fn reinjected_delayed_message_can_still_be_dropped() {
+        // Delay + drop both certain: the request parks on the first
+        // attempt, then the re-injection loses it — the parked copy
+        // becomes wasted traffic and the transaction must resend.
+        let plan = FaultPlan {
+            request: FaultRates {
+                delay_ppm: 1_000_000,
+                drop_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(8)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let first = inj.attempt(SHAPE);
+        assert_eq!(first.outcome, AttemptOutcome::Delayed);
+        assert_eq!(first.wasted, MessageCount::ZERO);
+        let second = inj.attempt(SHAPE);
+        assert_eq!(second.outcome, AttemptOutcome::Dropped);
+        assert_eq!(second.wasted, MessageCount::new(1, 0));
+    }
+
+    #[test]
+    fn partial_progress_survives_deferrals_without_waste() {
+        // Invalidations delay with certainty, so the request delivers,
+        // invalidation 0 parks, re-injects, then invalidation 1 parks.
+        let plan = FaultPlan {
+            invalidation: FaultRates {
+                delay_ppm: 1_000_000,
+                ..FaultRates::RELIABLE
+            },
+            ..FaultPlan::reliable(9)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let a = inj.attempt(SHAPE);
+        assert_eq!(a.outcome, AttemptOutcome::Delayed);
+        let b = inj.attempt(SHAPE);
+        assert_eq!(b.outcome, AttemptOutcome::Delayed);
+        let c = inj.attempt(SHAPE);
+        assert_eq!(c.outcome, AttemptOutcome::Delivered);
+        // Across the whole transaction nothing was wasted: request and
+        // both invalidations and the reply each crossed the wire once.
+        assert_eq!(a.wasted + b.wasted + c.wasted, MessageCount::ZERO);
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        for attempt in 0..14u32 {
+            let base = backoff_units(attempt);
+            for salt in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let j = jittered_backoff_units(42, salt, attempt);
+                assert_eq!(j, jittered_backoff_units(42, salt, attempt));
+                assert!(
+                    (base..2 * base).contains(&j),
+                    "attempt {attempt} salt {salt}: {j} outside [{base}, {})",
+                    2 * base
+                );
+            }
+        }
+        // Different salts must actually de-synchronize the schedule
+        // somewhere (that is the whole point).
+        let spread: std::collections::HashSet<u64> = (0..32u64)
+            .map(|salt| jittered_backoff_units(42, salt, 6))
+            .collect();
+        assert!(spread.len() > 1, "jitter never varied across salts");
     }
 
     #[test]
@@ -468,8 +636,10 @@ mod tests {
         let delivered = (0..10_000)
             .filter(|_| inj.attempt(SHAPE).outcome == AttemptOutcome::Delivered)
             .count();
-        // 6 draws/attempt at 1% each: ~94% delivery. Allow generous slack.
-        assert!(delivered > 9_000, "delivered {delivered}");
+        // 6 draws/attempt at 1% each: ~94% of transactions deliver,
+        // and ~6% of attempts are deferrals (a delayed message waits
+        // one extra poll). Allow generous slack.
+        assert!(delivered > 8_500, "delivered {delivered}");
     }
 
     #[test]
@@ -513,6 +683,10 @@ mod tests {
         for _ in 0..500 {
             a.attempt(SHAPE);
         }
+        // Checkpoints happen at record boundaries, where no message is
+        // parked in flight: poll the current transaction to a verdict
+        // before capturing the stream position.
+        while a.attempt(SHAPE).outcome == AttemptOutcome::Delayed {}
         let mut b = FaultInjector::resume(plan, a.rng_state());
         for _ in 0..500 {
             assert_eq!(a.attempt(SHAPE), b.attempt(SHAPE));

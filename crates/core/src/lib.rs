@@ -73,8 +73,8 @@ pub use checkpoint::{
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};
 pub use error::{SimError, Violation, ViolationKind};
 pub use faults::{
-    backoff_units, AttemptOutcome, AttemptReport, Fault, FaultInjector, FaultPlan, FaultRates,
-    MessageClass, TransactionShape,
+    backoff_units, jittered_backoff_units, AttemptOutcome, AttemptReport, Fault, FaultInjector,
+    FaultPlan, FaultRates, MessageClass, TransactionShape,
 };
 pub use monitor::Monitor;
 pub use msg::{charge, charge_eviction, MessageCount, OpKind};
@@ -86,5 +86,7 @@ pub use sim::{
     DirectoryEngine, DirectorySim, DirectorySimConfig, LineState, PlacementPolicy, StepInfo,
     StepKind,
 };
+#[doc(hidden)]
+pub use sim_parallel::test_hooks as supervision_test_hooks;
 pub use sim_parallel::ShardedReport;
 pub use storage::DirEntryLayout;

@@ -23,7 +23,9 @@ use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 use crate::directory::{CopySet, DirEntry, ReadMissAction, Reclassification};
 use crate::error::{SimError, Violation, ViolationKind};
-use crate::faults::{backoff_units, AttemptOutcome, FaultInjector, FaultPlan, TransactionShape};
+use crate::faults::{
+    jittered_backoff_units, AttemptOutcome, FaultInjector, FaultPlan, TransactionShape,
+};
 use crate::monitor::Monitor;
 use crate::msg::{charge, charge_eviction, MessageCount, OpKind};
 use crate::policy::{AdaptivePolicy, Protocol};
@@ -639,6 +641,23 @@ impl DirectoryEngine {
                     self.messages.retries += report.wasted;
                     break;
                 }
+                AttemptOutcome::Delayed => {
+                    // A message is parked in flight: wait out the delay
+                    // (already added to `backoff_total`) and poll again.
+                    // Not a resend, so it costs no retry and does not
+                    // consume the retry budget — but the livelock
+                    // watchdog still bounds the cumulative wait.
+                    self.messages.retries += report.wasted;
+                    if backoff_total > plan.max_total_backoff {
+                        return Err(SimError::Livelock {
+                            block,
+                            node: n,
+                            backoff_units: backoff_total,
+                            step: self.steps,
+                        });
+                    }
+                    continue;
+                }
                 AttemptOutcome::Dropped => {
                     self.messages.retries += report.wasted;
                     self.events.retries += 1;
@@ -675,7 +694,11 @@ impl DirectoryEngine {
                     step: self.steps,
                 });
             }
-            backoff_total += backoff_units(attempt);
+            // Jittered exponential backoff (salted with the step
+            // counter): deterministic and resume-safe, but two
+            // transactions that fail in lockstep no longer retry in
+            // lockstep.
+            backoff_total += jittered_backoff_units(plan.seed, self.steps, attempt);
             if backoff_total > plan.max_total_backoff {
                 return Err(SimError::Livelock {
                     block,

@@ -74,6 +74,40 @@ use crate::faults::FaultPlan;
 /// under a millisecond of simulation work.
 const DEADLINE_STRIDE: usize = 1024;
 
+/// Cooperative wedge hook for supervision tests.
+///
+/// Production shards never stall on purpose, so deadline handling
+/// would otherwise be testable only against the panic path. Setting
+/// the hook makes exactly one shard spin — cooperatively polling its
+/// deadline, making no simulation progress — which is the stalled-shard
+/// failure mode the supervisor exists for. Process-global: tests that
+/// set it must be the only supervised runs in flight and must clear it
+/// afterwards.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    /// `-1` = no shard wedged; otherwise the wedged shard id.
+    static WEDGED_SHARD: AtomicI64 = AtomicI64::new(-1);
+
+    /// Makes shard `shard` of subsequent supervised runs spin instead
+    /// of replaying its sub-trace.
+    pub fn wedge_shard(shard: u32) {
+        WEDGED_SHARD.store(i64::from(shard), Ordering::SeqCst);
+    }
+
+    /// Releases the wedge.
+    pub fn clear_wedge() {
+        WEDGED_SHARD.store(-1, Ordering::SeqCst);
+    }
+
+    /// The currently wedged shard, if any.
+    pub fn wedged() -> Option<u32> {
+        let v = WEDGED_SHARD.load(Ordering::SeqCst);
+        u32::try_from(v).ok()
+    }
+}
+
 /// The salvageable outcome of a supervised sharded run: one
 /// [`SimResult`] or one typed [`SimError`] per shard, in shard order.
 ///
@@ -474,6 +508,20 @@ impl DirectorySim {
             shard: shard_id,
             records,
         });
+        // Cooperative wedge (tests only): stall without progress,
+        // honoring the deadline — the supervisor must turn this into
+        // `ShardTimedOut`, never a hang.
+        while test_hooks::wedged() == Some(shard_id) {
+            if let Some((at, budget)) = deadline_at {
+                if Instant::now() >= at {
+                    return Err(SimError::ShardTimedOut {
+                        shard: shard_id,
+                        budget_ms: budget.as_millis() as u64,
+                    });
+                }
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
         let mut monitor = monitored.then(|| Monitor::for_run_length(shard_trace.len() as u64));
         for (i, r) in shard_trace.iter().enumerate() {
             // Cooperative deadline poll, including at record zero so a

@@ -1,0 +1,229 @@
+//! Chaos-hardened channels: fault injection on real `mpsc` wires.
+//!
+//! A [`ChaosChannel`] wraps an [`std::sync::mpsc::Sender`] and applies
+//! the same per-message fault vocabulary as `mcc-core`'s
+//! [`FaultRates`](mcc_core::FaultRates) — drop, delay, duplicate — to
+//! every message pushed through it. (NACKs are not a wire fault: the
+//! shard's simulated directory controller draws them at receive time,
+//! mirroring `MessageClass::Request` semantics in the trace-driven
+//! injector.)
+//!
+//! *Delay* is modelled with a holdback queue: a delayed message is
+//! parked and released after the next few sends on the same channel,
+//! which also makes delayed messages arrive **out of order** relative
+//! to later traffic — exactly the reordering hazard the sequence-number
+//! dedup in [`wire`](crate::wire) exists to absorb.
+//!
+//! Each channel owns a private [`SplitMix64`] stream, so a run's fault
+//! pattern is a pure function of the configured chaos seed and the
+//! channel's identity, independent of thread scheduling.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+
+use mcc_core::FaultRates;
+use mcc_prng::SplitMix64;
+
+/// How many subsequent sends a delayed message is held back for, at
+/// most. Small on purpose: the point is reordering, not starvation —
+/// a parked message is guaranteed out after this many sends or one
+/// [`ChaosChannel::flush`].
+const MAX_HOLDBACK: u64 = 3;
+
+/// Counters for what a chaos channel did to its traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages offered to the channel.
+    pub sent: u64,
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages parked in the holdback queue (each is eventually
+    /// delivered or counted in `dropped_in_holdback` at teardown).
+    pub delayed: u64,
+    /// Extra copies injected by duplication.
+    pub duplicated: u64,
+}
+
+impl ChannelStats {
+    /// Sums two stat blocks (used to aggregate across channels).
+    pub fn absorb(&mut self, other: &ChannelStats) {
+        self.sent += other.sent;
+        self.dropped += other.dropped;
+        self.delayed += other.delayed;
+        self.duplicated += other.duplicated;
+    }
+
+    /// Whether any fault was injected at all.
+    pub fn faulted(&self) -> bool {
+        self.dropped > 0 || self.delayed > 0 || self.duplicated > 0
+    }
+}
+
+/// A fault-injecting wrapper around an `mpsc` sender.
+pub struct ChaosChannel<T: Clone> {
+    tx: Sender<T>,
+    rates: FaultRates,
+    rng: SplitMix64,
+    /// Parked (message, remaining sends before release) pairs.
+    holdback: VecDeque<(T, u64)>,
+    /// What this channel has done so far.
+    pub stats: ChannelStats,
+}
+
+impl<T: Clone> ChaosChannel<T> {
+    /// Wraps `tx`, drawing faults at `rates` from a stream seeded with
+    /// `seed`. With [`FaultRates::RELIABLE`] the channel is a plain
+    /// pass-through and the RNG is never advanced.
+    pub fn new(tx: Sender<T>, rates: FaultRates, seed: u64) -> ChaosChannel<T> {
+        ChaosChannel {
+            tx,
+            rates,
+            rng: SplitMix64::new(seed),
+            holdback: VecDeque::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Sends a message through the chaos layer.
+    ///
+    /// Returns `false` only when the receiving side has hung up;
+    /// injected faults (a dropped or parked message) still return
+    /// `true`, because from the sender's point of view the message
+    /// left — finding out otherwise is the retry loop's job.
+    pub fn send(&mut self, msg: T) -> bool {
+        self.pump();
+        self.stats.sent += 1;
+        if self.rates == FaultRates::RELIABLE {
+            return self.tx.send(msg).is_ok();
+        }
+        if self.rng.chance_ppm(self.rates.drop_ppm) {
+            self.stats.dropped += 1;
+            return true;
+        }
+        if self.rng.chance_ppm(self.rates.delay_ppm) {
+            let hold = 1 + self.rng.gen_range(0..MAX_HOLDBACK);
+            self.holdback.push_back((msg, hold));
+            self.stats.delayed += 1;
+            return true;
+        }
+        if self.rng.chance_ppm(self.rates.duplicate_ppm) {
+            self.stats.duplicated += 1;
+            let copy = msg.clone();
+            let ok = self.tx.send(msg).is_ok();
+            let _ = self.tx.send(copy);
+            ok
+        } else {
+            self.tx.send(msg).is_ok()
+        }
+    }
+
+    /// Ages the holdback queue by one send and releases due messages.
+    fn pump(&mut self) {
+        if self.holdback.is_empty() {
+            return;
+        }
+        for entry in self.holdback.iter_mut() {
+            entry.1 = entry.1.saturating_sub(1);
+        }
+        while let Some((_, 0)) = self.holdback.front() {
+            let (msg, _) = self.holdback.pop_front().expect("front checked");
+            let _ = self.tx.send(msg);
+        }
+    }
+
+    /// Releases everything still parked, in order. Call before
+    /// dropping the channel so a delayed message cannot be lost to
+    /// teardown (delay must stay a *delay*, never a silent drop).
+    pub fn flush(&mut self) {
+        while let Some((msg, _)) = self.holdback.pop_front() {
+            let _ = self.tx.send(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn reliable_channel_is_a_pass_through() {
+        let (tx, rx) = mpsc::channel();
+        let mut c = ChaosChannel::new(tx, FaultRates::RELIABLE, 7);
+        for i in 0..100u32 {
+            assert!(c.send(i));
+        }
+        let got: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert_eq!(c.stats.sent, 100);
+        assert!(!c.stats.faulted());
+    }
+
+    #[test]
+    fn drops_lose_messages_and_are_counted() {
+        let (tx, rx) = mpsc::channel();
+        let rates = FaultRates {
+            drop_ppm: 500_000,
+            ..FaultRates::RELIABLE
+        };
+        let mut c = ChaosChannel::new(tx, rates, 42);
+        for i in 0..1000u32 {
+            c.send(i);
+        }
+        c.flush();
+        let got = rx.try_iter().count() as u64;
+        assert_eq!(got + c.stats.dropped, 1000);
+        assert!(c.stats.dropped > 300, "expected ~50% drops");
+    }
+
+    #[test]
+    fn delays_reorder_but_never_lose() {
+        let (tx, rx) = mpsc::channel();
+        let rates = FaultRates {
+            delay_ppm: 400_000,
+            ..FaultRates::RELIABLE
+        };
+        let mut c = ChaosChannel::new(tx, rates, 3);
+        for i in 0..500u32 {
+            c.send(i);
+        }
+        c.flush();
+        let mut got: Vec<u32> = rx.try_iter().collect();
+        assert!(c.stats.delayed > 100, "expected ~40% delays");
+        // Delivery was shuffled by the holdback queue but complete.
+        let reordered = got.windows(2).any(|w| w[0] > w[1]);
+        assert!(reordered, "delays should reorder the stream");
+        got.sort_unstable();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_add_extra_copies() {
+        let (tx, rx) = mpsc::channel();
+        let rates = FaultRates {
+            duplicate_ppm: 300_000,
+            ..FaultRates::RELIABLE
+        };
+        let mut c = ChaosChannel::new(tx, rates, 11);
+        for i in 0..500u32 {
+            c.send(i);
+        }
+        let got = rx.try_iter().count() as u64;
+        assert_eq!(got, 500 + c.stats.duplicated);
+        assert!(c.stats.duplicated > 50, "expected ~30% duplicates");
+    }
+
+    #[test]
+    fn fault_pattern_is_deterministic_in_the_seed() {
+        let run = |seed: u64| {
+            let (tx, _rx) = mpsc::channel();
+            let mut c = ChaosChannel::new(tx, FaultRates::uniform(250_000), seed);
+            for i in 0..300u32 {
+                c.send(i);
+            }
+            c.stats
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

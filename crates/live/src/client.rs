@@ -1,0 +1,227 @@
+//! Client threads: closed-loop load generators with bounded retry.
+//!
+//! Each client replays one node's slice of the workload trace against
+//! the service, one reference at a time: route the reference to its
+//! block's home shard, send the request through the chaos layer, and
+//! wait for the matching reply. A NACK or a deadline expiry triggers a
+//! retry of the *same* sequence number after a jittered exponential
+//! backoff (the same [`jittered_backoff_units`] the trace-driven
+//! simulator charges); a retry budget and a cumulative-backoff
+//! livelock watchdog bound how long a client can chase one reference
+//! before reporting failure, so a dead shard degrades the run instead
+//! of hanging it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mcc_check::CHECK_BLOCK_SIZE;
+use mcc_core::{jittered_backoff_units, FaultRates};
+use mcc_obs::Log2Histogram;
+use mcc_trace::{shard_of_block, MemRef};
+
+use crate::chaos::{ChannelStats, ChaosChannel};
+use crate::shard::derive_seed;
+use crate::wire::{Reply, Request};
+
+/// What one client did, returned to the supervisor when it exits.
+#[derive(Clone, Debug)]
+pub struct ClientReport {
+    /// The node this client simulates.
+    pub node: u16,
+    /// References acknowledged (applied exactly once by the service).
+    pub ops: u64,
+    /// Acknowledged writes — the write-count oracle's client side.
+    pub acked_writes: u64,
+    /// Attempts that failed (NACK or timeout) and were retried.
+    pub retries: u64,
+    /// NACK replies received for the in-flight sequence.
+    pub nacks: u64,
+    /// Request deadlines that expired.
+    pub timeouts: u64,
+    /// Total jittered backoff charged, in abstract units.
+    pub backoff_units: u64,
+    /// End-to-end request latency, microseconds, log2-bucketed.
+    pub latency_us: Log2Histogram,
+    /// Request-side chaos stats, summed over this client's channels.
+    pub chaos: ChannelStats,
+    /// Why the client stopped early, if it did.
+    pub error: Option<String>,
+}
+
+/// Immutable client configuration.
+pub(crate) struct ClientCtx {
+    pub node: u16,
+    pub shards: usize,
+    /// This node's references, in program order.
+    pub refs: Vec<MemRef>,
+    /// Base chaos seed (channel streams derive from it).
+    pub chaos_seed: u64,
+    /// Fault rates for the client→shard request direction.
+    pub request_rates: FaultRates,
+    /// Per-attempt reply deadline.
+    pub deadline: Duration,
+    /// Retry budget per reference.
+    pub max_retries: u32,
+    /// Livelock watchdog: max cumulative backoff units per reference.
+    pub max_total_backoff: u64,
+    /// Wall-clock length of one backoff unit.
+    pub backoff_unit: Duration,
+    /// Seed for the jittered backoff hash (shared service-wide so the
+    /// schedule is reproducible).
+    pub jitter_seed: u64,
+    /// When true, cycle the reference slice until `stop` is raised.
+    pub soak: bool,
+    /// Soak stop flag, raised by the supervisor.
+    pub stop: Arc<AtomicBool>,
+}
+
+/// Runs one client to completion. Never blocks unboundedly: every wait
+/// is `recv_timeout` and every retry loop is budgeted.
+pub(crate) fn run_client(
+    ctx: ClientCtx,
+    to_shards: Vec<Sender<Request>>,
+    inbox: Receiver<Reply>,
+) -> ClientReport {
+    let mut channels: Vec<ChaosChannel<Request>> = to_shards
+        .into_iter()
+        .enumerate()
+        .map(|(shard, tx)| {
+            ChaosChannel::new(
+                tx,
+                ctx.request_rates,
+                derive_seed(
+                    ctx.chaos_seed,
+                    0xC1,
+                    (u64::from(ctx.node) << 16) | shard as u64,
+                    0,
+                ),
+            )
+        })
+        .collect();
+
+    let mut report = ClientReport {
+        node: ctx.node,
+        ops: 0,
+        acked_writes: 0,
+        retries: 0,
+        nacks: 0,
+        timeouts: 0,
+        backoff_units: 0,
+        latency_us: Log2Histogram::new(),
+        chaos: ChannelStats::default(),
+        error: None,
+    };
+
+    let mut seq = 0u64;
+    let mut idx = 0usize;
+    'refs: loop {
+        if ctx.refs.is_empty() {
+            break;
+        }
+        if idx >= ctx.refs.len() {
+            if ctx.soak && !ctx.stop.load(Ordering::Relaxed) {
+                idx = 0;
+            } else {
+                break;
+            }
+        }
+        if ctx.soak && ctx.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let r = ctx.refs[idx];
+        idx += 1;
+        seq += 1;
+        let shard = shard_of_block(r.addr.block(CHECK_BLOCK_SIZE), ctx.shards);
+
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        let mut spent_units = 0u64;
+        loop {
+            if !channels[shard].send(Request {
+                client: ctx.node,
+                seq,
+                mref: r,
+                attempt,
+            }) {
+                report.error = Some(format!("seq {seq}: shard {shard} inbox closed"));
+                break 'refs;
+            }
+
+            // Wait out this attempt's deadline for the matching reply.
+            let deadline = Instant::now() + ctx.deadline;
+            let outcome = loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break Err(());
+                }
+                match inbox.recv_timeout(deadline - now) {
+                    Ok(reply) if reply.seq() < seq => continue, // straggler
+                    Ok(Reply::Done {
+                        seq: s,
+                        kind: _,
+                        messages: _,
+                        step: _,
+                    }) if s == seq => break Ok(true),
+                    Ok(Reply::Nack { seq: s }) if s == seq => break Ok(false),
+                    Ok(reply) => {
+                        // A reply from the future is impossible under
+                        // the blocking protocol.
+                        report.error = Some(format!("seq {seq}: reply from the future: {reply:?}"));
+                        break Ok(true);
+                    }
+                    Err(RecvTimeoutError::Timeout) => break Err(()),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        report.error = Some(format!("seq {seq}: reply channel closed"));
+                        break Ok(true);
+                    }
+                }
+            };
+            if report.error.is_some() {
+                break 'refs;
+            }
+            match outcome {
+                Ok(true) => {
+                    report.ops += 1;
+                    if r.op.is_write() {
+                        report.acked_writes += 1;
+                    }
+                    report
+                        .latency_us
+                        .record(started.elapsed().as_micros() as u64);
+                    break;
+                }
+                Ok(false) => report.nacks += 1,
+                Err(()) => report.timeouts += 1,
+            }
+
+            // Failed attempt: budget check, then jittered backoff.
+            if attempt >= ctx.max_retries {
+                report.error = Some(format!(
+                    "seq {seq}: retry budget exhausted after {attempt} retries"
+                ));
+                break 'refs;
+            }
+            let units =
+                jittered_backoff_units(ctx.jitter_seed, (u64::from(ctx.node) << 32) | seq, attempt);
+            spent_units += units;
+            report.backoff_units += units;
+            if spent_units > ctx.max_total_backoff {
+                report.error = Some(format!(
+                    "seq {seq}: livelock watchdog: {spent_units} backoff units"
+                ));
+                break 'refs;
+            }
+            std::thread::sleep(ctx.backoff_unit.saturating_mul(units.min(4096) as u32));
+            report.retries += 1;
+            attempt += 1;
+        }
+    }
+
+    for c in channels.iter_mut() {
+        c.flush();
+        report.chaos.absorb(&c.stats);
+    }
+    report
+}

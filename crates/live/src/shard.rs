@@ -1,0 +1,395 @@
+//! Shard threads: one directory-engine incarnation per shard, with a
+//! journal that doubles as write-ahead log and verification evidence.
+//!
+//! Each shard owns a disjoint set of blocks (the same
+//! [`shard_of_block`](mcc_trace::shard_of_block) partition the offline
+//! sharded runner uses) and runs a private [`DirectoryEngine`] over the
+//! checker's canonical geometry, so its journal replays directly
+//! through `mcc-check`'s lockstep checker.
+//!
+//! # Incarnations, fencing, and the WAL
+//!
+//! The state that must survive a crash lives in [`ShardShared`], which
+//! the supervisor owns; the engine itself is private to one
+//! *incarnation* (one spawned thread) and is rebuilt on restart from
+//! the last [`EngineSnapshot`] checkpoint plus a silent replay of the
+//! journal suffix — the journal is the WAL, the snapshot just bounds
+//! replay time.
+//!
+//! Supervisor restarts are fenced by an epoch counter: an incarnation
+//! that was given up on (stalled, then resumed) observes the bumped
+//! epoch and abandons itself before it can corrupt the journal. Engine
+//! events are staged in a thread-local buffer during `try_step` and
+//! committed to the journal *atomically with the journal entry*, under
+//! the same lock and the same epoch check, so the event stream and the
+//! entry stream can never disagree — a zombie's half-applied step
+//! leaves no trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use mcc_cache::CacheConfig;
+use mcc_check::CHECK_BLOCK_SIZE;
+use mcc_core::{
+    DirectoryEngine, DirectoryRepr, DirectorySimConfig, EngineSnapshot, PlacementPolicy, Protocol,
+    SimResult,
+};
+use mcc_obs::{shared, BufferSink, Event};
+use mcc_placement::PagePlacement;
+use mcc_prng::SplitMix64;
+
+use crate::chaos::{ChannelStats, ChaosChannel};
+use crate::wire::{JournalEntry, Reply, Request};
+
+/// The error string an incarnation reports when it finds itself fenced
+/// out by a newer epoch. The supervisor ignores exits carrying a stale
+/// epoch, so this is informational.
+pub(crate) const SUPERSEDED: &str = "superseded by a newer incarnation";
+
+/// Locks a mutex, tolerating poisoning: an incarnation that panicked
+/// while holding a lock must not take the whole service down with it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A shard's durable state: everything that survives an incarnation.
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    /// The linearized history of applied references, append-only
+    /// across incarnations.
+    pub entries: Vec<JournalEntry>,
+    /// The engine's event narration, committed in lockstep with
+    /// `entries` (framing events excepted).
+    pub events: Vec<Event>,
+    /// Last published checkpoint: the snapshot plus the number of
+    /// journal entries it covers.
+    pub checkpoint: Option<(EngineSnapshot, usize)>,
+    /// Reply-side chaos stats, folded in when an incarnation exits.
+    pub reply_chaos: ChannelStats,
+    /// NACKs this shard's simulated controller issued.
+    pub nacks_sent: u64,
+}
+
+/// State shared between the supervisor and a shard's incarnations.
+pub(crate) struct ShardShared {
+    /// The shard's single inbox. Behind a mutex so a replacement
+    /// incarnation can take over receiving; the lock is held only for
+    /// one bounded `recv_timeout` at a time.
+    pub inbox: Mutex<Receiver<Request>>,
+    /// The WAL / evidence journal.
+    pub journal: Mutex<Journal>,
+    /// Liveness counter, bumped once per service-loop iteration; the
+    /// supervisor restarts the shard when it stops moving.
+    pub heartbeat: AtomicU64,
+    /// Fencing epoch: the supervisor bumps this before spawning a
+    /// replacement, stranding any zombie of an older incarnation.
+    pub epoch: AtomicU64,
+}
+
+impl ShardShared {
+    pub(crate) fn new(inbox: Receiver<Request>) -> ShardShared {
+        ShardShared {
+            inbox: Mutex::new(inbox),
+            journal: Mutex::new(Journal::default()),
+            heartbeat: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Immutable per-shard configuration, shared by all incarnations.
+pub(crate) struct ShardCtx {
+    pub shard: u32,
+    pub protocol: Protocol,
+    pub nodes: u16,
+    /// Base seed for the chaos layer and the NACK draw.
+    pub chaos_seed: u64,
+    /// Fault rates for the shard→client reply direction.
+    pub reply_rates: mcc_core::FaultRates,
+    /// NACK probability drawn at receive time (requests only),
+    /// mirroring `MessageClass::Request` in the offline injector.
+    pub nack_ppm: u32,
+    /// Publish an [`EngineSnapshot`] every this many applies.
+    pub checkpoint_every: u64,
+    /// Heartbeat / inbox poll cadence.
+    pub heartbeat_interval: Duration,
+    /// Crash drill: `Some((shard, n))` panics the *first* incarnation
+    /// of `shard` immediately before its `n`-th apply.
+    pub kill: Option<(u32, u64)>,
+}
+
+impl ShardCtx {
+    /// The engine geometry every shard runs: the checker's canonical
+    /// configuration, so journals replay through `mcc-check` verbatim.
+    pub(crate) fn engine_config(&self) -> DirectorySimConfig {
+        DirectorySimConfig {
+            nodes: self.nodes,
+            block_size: CHECK_BLOCK_SIZE,
+            cache: CacheConfig::Infinite,
+            placement: PlacementPolicy::RoundRobin,
+            directory: DirectoryRepr::FullMap,
+        }
+    }
+}
+
+/// Derives a channel/draw seed from the run's chaos seed and a role
+/// tag, so every channel gets an independent deterministic stream.
+pub(crate) fn derive_seed(base: u64, role: u64, a: u64, b: u64) -> u64 {
+    SplitMix64::new(
+        base ^ role.rotate_left(48) ^ a.rotate_left(24) ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+    .next_u64()
+}
+
+/// Runs one incarnation of a shard until the inbox disconnects (all
+/// clients done), the incarnation is fenced out, or the engine fails.
+///
+/// On success returns the engine's final [`SimResult`] — which, by the
+/// WAL construction, is a pure function of the journal.
+pub(crate) fn run_incarnation(
+    ctx: &ShardCtx,
+    shared_state: &ShardShared,
+    reply_txs: &[std::sync::mpsc::Sender<Reply>],
+    epoch: u64,
+) -> Result<SimResult, String> {
+    let config = ctx.engine_config();
+    let placement = PagePlacement::round_robin(ctx.nodes);
+
+    // --- Rebuild the engine from checkpoint + WAL suffix. ---
+    // The catch-up replay runs without a sink: the events for those
+    // entries were committed when they were first applied.
+    let (mut engine, mut applied, mut last_reply) = {
+        let journal = lock(&shared_state.journal);
+        let (mut engine, covered) = match &journal.checkpoint {
+            Some((snapshot, covered)) => {
+                let engine = snapshot
+                    .restore(ctx.protocol, &config, placement.clone(), None)
+                    .map_err(|e| format!("shard {}: checkpoint restore: {e}", ctx.shard))?;
+                (engine, *covered)
+            }
+            None => (
+                DirectoryEngine::new(ctx.protocol, &config, placement.clone()),
+                0,
+            ),
+        };
+        for entry in &journal.entries[covered..] {
+            // Keep beating during WAL replay so a long catch-up is not
+            // mistaken for a stall.
+            shared_state.heartbeat.fetch_add(1, Ordering::Relaxed);
+            let info = engine
+                .try_step(entry.mref)
+                .map_err(|e| format!("shard {}: WAL replay: {e}", ctx.shard))?;
+            if info.kind != entry.kind || info.messages != entry.messages {
+                return Err(format!(
+                    "shard {}: WAL replay diverged at step {}: {:?} vs journal {:?}",
+                    ctx.shard, entry.step, info.kind, entry.kind
+                ));
+            }
+        }
+        // Dedup cache: the last applied sequence (and the reply it
+        // earned) per client, rebuilt from the journal.
+        let mut last_reply: Vec<Option<(u64, Reply)>> = vec![None; ctx.nodes as usize];
+        for entry in &journal.entries {
+            last_reply[entry.client as usize] = Some((
+                entry.seq,
+                Reply::Done {
+                    seq: entry.seq,
+                    kind: entry.kind,
+                    messages: entry.messages,
+                    step: entry.step,
+                },
+            ));
+        }
+        let applied = journal.entries.len() as u64;
+        (engine, applied, last_reply)
+    };
+
+    // Stage engine events locally; they are committed to the journal
+    // together with the entry that produced them.
+    let (staged, sink) = shared(BufferSink::new());
+    engine.set_sink(Some(sink));
+    let mut staged_cursor = 0usize;
+
+    // Reply channels: per-client chaos wrappers, re-seeded per epoch
+    // so a restart does not replay the exact fault pattern.
+    let mut replies: Vec<ChaosChannel<Reply>> = reply_txs
+        .iter()
+        .enumerate()
+        .map(|(client, tx)| {
+            ChaosChannel::new(
+                tx.clone(),
+                ctx.reply_rates,
+                derive_seed(
+                    ctx.chaos_seed,
+                    0xC0,
+                    u64::from(ctx.shard) << 16 | client as u64,
+                    epoch,
+                ),
+            )
+        })
+        .collect();
+    let mut nack_rng = SplitMix64::new(derive_seed(
+        ctx.chaos_seed,
+        0xAC,
+        u64::from(ctx.shard),
+        epoch,
+    ));
+    let mut nacks_sent = 0u64;
+
+    // Announce the incarnation in the event stream.
+    {
+        let mut journal = lock(&shared_state.journal);
+        if shared_state.epoch.load(Ordering::SeqCst) != epoch {
+            return Err(SUPERSEDED.to_string());
+        }
+        if journal.checkpoint.is_some() {
+            journal.events.push(Event::CheckpointLoaded {
+                step: engine.steps(),
+                records: applied,
+            });
+        }
+        journal.events.push(Event::ShardStarted {
+            shard: ctx.shard,
+            records: applied,
+        });
+    }
+
+    let exit =
+        |mut replies: Vec<ChaosChannel<Reply>>, shared_state: &ShardShared, nacks_sent: u64| {
+            let mut stats = ChannelStats::default();
+            for c in replies.iter_mut() {
+                c.flush();
+                stats.absorb(&c.stats);
+            }
+            let mut journal = lock(&shared_state.journal);
+            journal.reply_chaos.absorb(&stats);
+            journal.nacks_sent += nacks_sent;
+        };
+
+    loop {
+        shared_state.heartbeat.fetch_add(1, Ordering::Relaxed);
+        if shared_state.epoch.load(Ordering::SeqCst) != epoch {
+            exit(replies, shared_state, nacks_sent);
+            return Err(SUPERSEDED.to_string());
+        }
+
+        let msg = {
+            let inbox = lock(&shared_state.inbox);
+            inbox.recv_timeout(ctx.heartbeat_interval)
+        };
+        let req = match msg {
+            Ok(req) => req,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+
+        let client = req.client as usize;
+        if client >= replies.len() {
+            continue; // malformed; impossible from our own clients
+        }
+
+        // Exactly-once: answer retransmits from the dedup cache.
+        if let Some((last_seq, cached)) = last_reply[client] {
+            if req.seq < last_seq {
+                continue; // stale straggler; the client has moved on
+            }
+            if req.seq == last_seq {
+                replies[client].send(cached);
+                continue;
+            }
+        }
+
+        // Simulated directory-controller NACK (request class only).
+        if nack_rng.chance_ppm(ctx.nack_ppm) {
+            nacks_sent += 1;
+            replies[client].send(Reply::Nack { seq: req.seq });
+            continue;
+        }
+
+        // Crash drill: die *before* the apply so the journal, the
+        // event stream, and the engine agree at the crash point.
+        if epoch == 0 {
+            if let Some((kill_shard, kill_after)) = ctx.kill {
+                if kill_shard == ctx.shard && applied == kill_after {
+                    panic!(
+                        "injected crash drill: shard {} at {} applies",
+                        ctx.shard, applied
+                    );
+                }
+            }
+        }
+
+        let info = engine
+            .try_step(req.mref)
+            .map_err(|e| format!("shard {}: engine: {e}", ctx.shard))?;
+        applied += 1;
+        let entry = JournalEntry {
+            client: req.client,
+            seq: req.seq,
+            mref: req.mref,
+            kind: info.kind,
+            messages: info.messages,
+            step: engine.steps(),
+        };
+        let reply = Reply::Done {
+            seq: req.seq,
+            kind: info.kind,
+            messages: info.messages,
+            step: entry.step,
+        };
+
+        // Commit entry + staged events atomically, behind the fence.
+        {
+            let mut journal = lock(&shared_state.journal);
+            if shared_state.epoch.load(Ordering::SeqCst) != epoch {
+                // A replacement took over while we were applying; our
+                // engine state is now a private fork. Discard it.
+                drop(journal);
+                exit(replies, shared_state, nacks_sent);
+                return Err(SUPERSEDED.to_string());
+            }
+            journal.entries.push(entry);
+            {
+                let buffer = mcc_obs::lock_sink(&staged);
+                journal
+                    .events
+                    .extend_from_slice(&buffer.events()[staged_cursor..]);
+                staged_cursor = buffer.events().len();
+            }
+            if ctx.checkpoint_every > 0 && applied % ctx.checkpoint_every == 0 {
+                let snapshot = EngineSnapshot::capture(&engine);
+                let covered = journal.entries.len();
+                journal.checkpoint = Some((snapshot, covered));
+                journal.events.push(Event::CheckpointSaved {
+                    step: engine.steps(),
+                    records: applied,
+                });
+            }
+        }
+
+        last_reply[client] = Some((req.seq, reply));
+        replies[client].send(reply);
+    }
+
+    // Inbox disconnected: all clients are gone. Seal the journal.
+    {
+        let mut journal = lock(&shared_state.journal);
+        if shared_state.epoch.load(Ordering::SeqCst) != epoch {
+            drop(journal);
+            exit(replies, shared_state, nacks_sent);
+            return Err(SUPERSEDED.to_string());
+        }
+        journal.events.push(Event::ShardFinished {
+            shard: ctx.shard,
+            records: applied,
+        });
+    }
+    exit(replies, shared_state, nacks_sent);
+    engine.set_sink(None);
+    Ok(engine.finish())
+}

@@ -1,0 +1,94 @@
+//! The live service's wire vocabulary.
+//!
+//! A client asks its block's home shard to apply one memory reference;
+//! the shard answers with the protocol outcome the directory engine
+//! charged, or with a NACK when the (simulated) directory controller
+//! refuses the request under contention. Both message types are small
+//! `Copy` records so the chaos layer can duplicate them freely.
+//!
+//! Requests carry a per-client sequence number that provides
+//! *exactly-once application* over an at-least-once wire: a client
+//! retries a sequence number until it sees the matching reply, and the
+//! shard deduplicates by remembering, per client, the last sequence it
+//! applied together with the reply it sent. A retransmission of an
+//! already-applied sequence is answered from that cache without
+//! touching the engine, so drops, duplicates, and delayed stragglers
+//! on either direction of the wire can never double-apply a reference.
+
+use mcc_core::{MessageCount, StepKind};
+use mcc_trace::MemRef;
+
+/// A client's request that one memory reference be applied by the
+/// shard that owns the referenced block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The issuing client (also the node id of the reference).
+    pub client: u16,
+    /// Per-client sequence number, starting at 1 and gap-free: clients
+    /// block on each reference, so a shard never sees sequence `n + 1`
+    /// from a client before it has seen (and applied) `n`.
+    pub seq: u64,
+    /// The memory reference to apply.
+    pub mref: MemRef,
+    /// Zero-based delivery attempt, for observability only.
+    pub attempt: u32,
+}
+
+/// A shard's reply to a [`Request`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The reference was applied (or had already been applied — the
+    /// reply is replayed verbatim from the dedup cache on retransmits).
+    Done {
+        /// Echo of the request's sequence number.
+        seq: u64,
+        /// How the engine resolved the reference.
+        kind: StepKind,
+        /// Table-1 messages charged to the reference.
+        messages: MessageCount,
+        /// The shard engine's reference counter after the apply
+        /// (1-based), fixing this entry's place in the shard's
+        /// linearized history.
+        step: u64,
+    },
+    /// The directory controller refused the request; the client must
+    /// back off and retry the same sequence number.
+    Nack {
+        /// Echo of the request's sequence number.
+        seq: u64,
+    },
+}
+
+impl Reply {
+    /// The sequence number this reply answers.
+    pub fn seq(&self) -> u64 {
+        match *self {
+            Reply::Done { seq, .. } | Reply::Nack { seq } => seq,
+        }
+    }
+}
+
+/// One applied reference in a shard's journal: the linearized history
+/// of everything the shard's engine executed, in execution order.
+///
+/// The journal is the service's source of truth. It doubles as a
+/// write-ahead log (a restarted shard incarnation replays the suffix
+/// past its last checkpoint to rebuild engine state) and as the
+/// evidence for differential verification (the entries replay through
+/// `mcc-check`'s lockstep engine/specification checker, which must
+/// reproduce `kind` and `messages` exactly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// The client whose reference this was.
+    pub client: u16,
+    /// The client's sequence number for the reference.
+    pub seq: u64,
+    /// The reference itself.
+    pub mref: MemRef,
+    /// The outcome the engine charged.
+    pub kind: StepKind,
+    /// The Table-1 messages the engine charged.
+    pub messages: MessageCount,
+    /// The engine's reference counter after the apply (1-based).
+    pub step: u64,
+}

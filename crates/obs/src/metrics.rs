@@ -89,6 +89,41 @@ impl Log2Histogram {
     pub fn max_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&c| c > 0)
     }
+
+    /// Folds another histogram into this one, bucket by bucket —
+    /// equivalent to having recorded both value streams into a single
+    /// histogram (the bucketing is order-independent).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// An upper bound on the `q`-quantile of the recorded values
+    /// (`q` in `[0, 1]`): the exclusive upper edge of the first bucket
+    /// whose cumulative count reaches `ceil(q * count)`. Resolution is
+    /// the power-of-two bucket width; `None` on an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                });
+            }
+        }
+        None
+    }
 }
 
 /// A cumulative snapshot of all counters, cut at a record boundary.
@@ -528,6 +563,58 @@ mod tests {
         assert_eq!(h.sum(), 1006);
         assert_eq!(h.max_bucket(), Some(10));
         assert_eq!(Log2Histogram::bucket_label(2), "[2,4)");
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let (a_vals, b_vals) = ([0u64, 1, 7, 1000], [2u64, 3, 4, u64::MAX]);
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut single = Log2Histogram::new();
+        for v in a_vals {
+            a.record(v);
+            single.record(v);
+        }
+        for v in b_vals {
+            b.record(v);
+            single.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), single.count());
+        assert_eq!(a.sum(), single.sum());
+        assert_eq!(a.buckets(), single.buckets());
+        assert_eq!(
+            a.quantile_upper_bound(0.5),
+            single.quantile_upper_bound(0.5)
+        );
+
+        // Merging an empty histogram is the identity.
+        let before = single.clone();
+        single.merge(&Log2Histogram::new());
+        assert_eq!(single.buckets(), before.buckets());
+        assert_eq!(single.count(), before.count());
+    }
+
+    #[test]
+    fn histogram_quantile_upper_bounds() {
+        assert_eq!(Log2Histogram::new().quantile_upper_bound(0.5), None);
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Median of 1..=100 is 50, bucket [32,64) → upper bound 63.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(63));
+        // p99 → 99, bucket [64,128) → 127; p100 → same top bucket.
+        assert_eq!(h.quantile_upper_bound(0.99), Some(127));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(127));
+        // q = 0 clamps to the first recorded value's bucket.
+        assert_eq!(h.quantile_upper_bound(0.0), Some(1));
+        let mut zeros = Log2Histogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.quantile_upper_bound(0.5), Some(0));
+        let mut top = Log2Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.quantile_upper_bound(0.5), Some(u64::MAX));
     }
 
     #[test]

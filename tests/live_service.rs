@@ -1,0 +1,236 @@
+//! End-to-end tests of the live coherence service: fault-free
+//! equivalence, exactly-once under heavy chaos, and crash-restart
+//! recovery from checkpoints.
+//!
+//! Each test drives [`mcc_live::run_live`] to completion and then
+//! leans on the service's own differential verification — every shard
+//! journal replayed through `mcc-check`'s lockstep
+//! engine/specification checker — plus a few outside-in assertions
+//! the service cannot make about itself.
+
+use std::time::Duration;
+
+use mcc::core::{FaultPlan, FaultRates, Protocol};
+use mcc_live::{run_live, KillSpec, LiveConfig};
+
+/// A configuration sized for CI: four clients, two shards, a few
+/// hundred round trips per client, tight-but-safe deadlines. (The
+/// workload itself is paper-sized — `max_refs_per_client` is what
+/// keeps a pass small, since every live reference is a blocking
+/// request/reply round trip.)
+fn base_config() -> LiveConfig {
+    let mut cfg = LiveConfig::new(Protocol::Basic, 4, 2);
+    cfg.max_refs_per_client = 400;
+    cfg.seed = 7;
+    cfg
+}
+
+#[test]
+fn fault_free_run_verifies_against_the_reference_model() {
+    let report = run_live(&base_config()).expect("valid config");
+    assert!(report.ok(), "violations: {:?}", report.verify.violations);
+
+    // No chaos configured: the wire behaved like a wire. (Deadline
+    // timeouts are scheduling-dependent — a saturated test machine can
+    // starve a shard past the deadline — so retries are only pinned to
+    // the timeout identity, not to zero.)
+    assert_eq!(report.nacks(), 0);
+    assert_eq!(report.retries(), report.timeouts());
+    assert!(!report.request_chaos().faulted());
+    assert!(!report.reply_chaos().faulted());
+    assert_eq!(report.restarts(), 0);
+
+    // Every issued reference was acknowledged and journaled once.
+    assert!(report.ops() > 0);
+    assert_eq!(report.ops(), report.applied());
+    assert_eq!(report.acked_writes(), {
+        let mut writes = 0;
+        for s in &report.shards {
+            writes += s.journal.iter().filter(|e| e.mref.op.is_write()).count() as u64;
+        }
+        writes
+    });
+
+    // The differential replay actually covered the whole run.
+    assert_eq!(report.verify.steps_replayed, report.applied());
+    assert_eq!(report.verify.shards_checked, 2);
+
+    // The shards' live results are the replay's results (checked
+    // internally too, but assert the invariant held for every shard).
+    for shard in &report.shards {
+        assert!(shard.result.is_ok(), "shard {} failed", shard.shard);
+    }
+}
+
+#[test]
+fn heavy_chaos_preserves_exactly_once_and_table1_accounting() {
+    let mut cfg = base_config();
+    cfg.seed = 11;
+    // Aggressive wire chaos on both directions: 8% drops, 8% NACKs,
+    // 8% delays (reordering), 8% duplicates.
+    cfg.chaos = FaultPlan {
+        request: FaultRates::uniform(80_000),
+        response: FaultRates {
+            nack_ppm: 0,
+            ..FaultRates::uniform(80_000)
+        },
+        max_retries: 64,
+        max_total_backoff: u64::MAX,
+        ..FaultPlan::reliable(0xC405)
+    };
+    cfg.request_deadline = Duration::from_millis(20);
+    cfg.backoff_unit = Duration::from_micros(10);
+    cfg.verify_live = true;
+
+    let report = run_live(&cfg).expect("valid config");
+    assert!(
+        report.ok(),
+        "chaos run failed: client errors {:?}, failed shards {:?}, violations {:?}",
+        report.client_errors(),
+        report.failed_shards(),
+        report.verify.violations
+    );
+
+    // Chaos actually happened, and the retry machinery absorbed it.
+    let wire = {
+        let mut w = report.request_chaos();
+        w.absorb(&report.reply_chaos());
+        w
+    };
+    assert!(
+        wire.faulted(),
+        "chaos rates were configured but nothing fired"
+    );
+    assert!(report.retries() > 0, "drops/NACKs must force retries");
+    // Client accounting identity: every retried attempt failed as
+    // either a NACK or a deadline expiry.
+    assert_eq!(report.retries(), report.nacks() + report.timeouts());
+
+    // Exactly-once despite duplicates and retransmissions: the
+    // journals hold each acknowledged reference exactly once.
+    assert_eq!(report.ops(), report.applied());
+
+    // The in-run sampler saw a meaningful share of the stream.
+    assert!(report.live_verified_steps > 0);
+}
+
+#[test]
+fn killed_shard_recovers_from_checkpoint_with_consistent_report() {
+    let mut cfg = base_config();
+    cfg.seed = 13;
+    cfg.checkpoint_every = 32;
+    cfg.kill = Some(KillSpec {
+        shard: 1,
+        after_applies: 80,
+    });
+    // The wire is reliable, but requests in flight at the crash are
+    // lost and must ride the retry path until the replacement
+    // incarnation catches up — give them a budget that tolerates a
+    // heavily loaded test machine, not just the ~ms restart itself.
+    cfg.chaos = FaultPlan {
+        max_retries: 256,
+        max_total_backoff: u64::MAX,
+        ..FaultPlan::reliable(1)
+    };
+
+    let report = run_live(&cfg).expect("valid config");
+
+    // The drill fired: shard 1 was restarted exactly once and still
+    // finished; nothing else was disturbed.
+    assert_eq!(report.restarts(), 1, "crash drill did not fire");
+    assert_eq!(report.shards[1].restarts, 1);
+    assert_eq!(report.shards[0].restarts, 0);
+    assert!(
+        report.ok(),
+        "recovery left an inconsistent run: client errors {:?}, failed shards {:?}, violations {:?}",
+        report.client_errors(),
+        report.failed_shards(),
+        report.verify.violations
+    );
+
+    // The drill happens after enough applies that a checkpoint (every
+    // 32) must have been published before the crash, so the restart
+    // exercised the snapshot-plus-WAL-suffix path, not a cold replay.
+    assert!(
+        report.shards[1].journal.len() as u64 >= 80,
+        "shard 1 applied {} < kill point",
+        report.shards[1].journal.len()
+    );
+
+    // Post-crash work continued on the restarted shard.
+    assert!(report.ops() > 0);
+    assert_eq!(report.ops(), report.applied());
+    assert_eq!(report.verify.steps_replayed, report.applied());
+}
+
+#[test]
+fn short_chaos_soak_survives_with_zero_violations() {
+    let mut cfg = base_config();
+    cfg.seed = 17;
+    cfg.max_refs_per_client = 200;
+    cfg.chaos = FaultPlan {
+        request: FaultRates::uniform(60_000),
+        response: FaultRates {
+            nack_ppm: 0,
+            ..FaultRates::uniform(60_000)
+        },
+        max_retries: 64,
+        max_total_backoff: u64::MAX,
+        ..FaultPlan::reliable(0x50AC)
+    };
+    cfg.request_deadline = Duration::from_millis(20);
+    cfg.backoff_unit = Duration::from_micros(10);
+    cfg.soak = Some(Duration::from_millis(750));
+
+    let report = run_live(&cfg).expect("valid config");
+    assert!(
+        report.ok(),
+        "soak failed: client errors {:?}, failed shards {:?}, violations {:?}",
+        report.client_errors(),
+        report.failed_shards(),
+        report.verify.violations
+    );
+    // The soak looped the workload: clients acknowledged more than one
+    // pass's worth of references.
+    assert_eq!(report.ops(), report.applied());
+    assert!(report.wall >= Duration::from_millis(750));
+}
+
+#[test]
+fn artifacts_round_trip_through_trace_and_event_parsers() {
+    use mcc::trace::Trace;
+    use std::fs::File;
+
+    let mut cfg = base_config();
+    cfg.seed = 19;
+    let report = run_live(&cfg).expect("valid config");
+    assert!(report.ok());
+
+    let dir = std::env::temp_dir().join(format!("mcc-live-artifacts-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("run");
+    let written = mcc_live::write_artifacts(&report, &cfg, &base).expect("write artifacts");
+    assert_eq!(written.len(), 1 + 2 * report.shards.len());
+
+    // The summary parses as kv lines and carries the headline facts.
+    let summary = std::fs::read_to_string(mcc_live::summary_path(&base)).unwrap();
+    let kv: std::collections::HashMap<String, String> =
+        mcc::stats::parse_kv_lines(&summary).into_iter().collect();
+    assert_eq!(kv["ok"], "1");
+    assert_eq!(kv["ops_acked"], report.ops().to_string());
+    assert_eq!(kv["verify_violations"], "0");
+
+    // Each journal re-reads as a trace of the right length, and each
+    // event line parses.
+    for shard in &report.shards {
+        let trace =
+            Trace::read_from(File::open(mcc_live::journal_path(&base, shard.shard)).unwrap())
+                .expect("journal trace parses");
+        assert_eq!(trace.len(), shard.journal.len());
+        let events = std::fs::read_to_string(mcc_live::events_path(&base, shard.shard)).unwrap();
+        for line in events.lines() {
+            mcc::obs::Event::from_json(line).expect("event line parses");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
