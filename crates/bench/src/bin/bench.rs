@@ -1,0 +1,373 @@
+//! Hot-path throughput benchmark: fast engine vs. reference engine.
+//!
+//! Drives the same workloads through the reference `DirectoryEngine`
+//! and the dense `FastEngine` at several shard counts, reporting
+//! refs/sec for every (workload, protocol, engine, shards) cell plus
+//! the process's resident memory, and writes the machine-readable
+//! summary to `BENCH_hotpath.json` (at the repo root when run from
+//! there). Later PRs regenerate the file to track the perf trajectory.
+//!
+//! Every timed configuration is first checked for bit-exact result
+//! equality between the two engines — a fast-but-wrong engine fails
+//! loudly before any number is reported.
+//!
+//! `--min-speedup X` turns the run into a CI gate: exit 1 unless the
+//! fast engine reaches `X`× the reference's single-thread refs/sec on
+//! every protocol of the migratory workload.
+
+use std::process::exit;
+
+use mcc_bench::timing::measure;
+use mcc_core::{AnyEngine, DirectorySim, DirectorySimConfig, Engine, EngineKind, Protocol};
+use mcc_obs::Json;
+use mcc_placement::PagePlacement;
+use mcc_trace::Trace;
+use mcc_workloads::{
+    interleave_streams, GenCtx, MigratoryObjects, ReadMostly, Region, WriteShared,
+};
+
+const BIN: &str = "bench";
+
+/// Shard counts benchmarked per configuration (1 = the sequential
+/// `run` path; higher counts go through `run_sharded`).
+const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Protocol points benchmarked: the conventional baseline, the paper's
+/// basic and aggressive adaptive points, and pure migratory.
+const PROTOCOLS: [Protocol; 4] = [
+    Protocol::Conventional,
+    Protocol::Basic,
+    Protocol::Aggressive,
+    Protocol::PureMigratory,
+];
+
+struct Args {
+    nodes: u16,
+    scale: f64,
+    seed: u64,
+    samples: usize,
+    min_speedup: f64,
+    out: String,
+    quick: bool,
+}
+
+/// The migratory-heavy fixture (Figure-2-style lock-protected records
+/// handed from node to node) — the workload the adaptive protocols and
+/// the fast engine are both built for, and the one the CI gate runs.
+fn migratory_trace(args: &Args) -> Trace {
+    let region = MigratoryObjects {
+        base: mcc_trace::Addr::new(0),
+        objects: 512,
+        object_bytes: 64,
+        visits_per_object: ((400.0 * args.scale) as u64).max(1),
+        reads_per_visit: 2,
+        writes_per_visit: 1,
+        burst: 3,
+        rotate: false,
+        stride: 1,
+    };
+    let mut ctx = GenCtx::new(args.nodes, args.seed);
+    let streams = region.streams(&mut ctx);
+    interleave_streams(streams, &mut ctx)
+}
+
+/// A mixed workload: migratory records, a read-mostly table, and
+/// heavily write-shared words, interleaved — closer to a whole
+/// application's reference stream than the pure fixture.
+fn mixed_trace(args: &Args) -> Trace {
+    let mut ctx = GenCtx::new(args.nodes, args.seed ^ 0x6d_6978_6564);
+    let mut streams = MigratoryObjects {
+        base: mcc_trace::Addr::new(0),
+        objects: 256,
+        object_bytes: 64,
+        visits_per_object: ((200.0 * args.scale) as u64).max(1),
+        reads_per_visit: 2,
+        writes_per_visit: 1,
+        burst: 3,
+        rotate: false,
+        stride: 1,
+    }
+    .streams(&mut ctx);
+    streams.extend(
+        ReadMostly {
+            base: mcc_trace::Addr::new(1 << 24),
+            bytes: 1 << 16,
+            updates: ((50.0 * args.scale) as u64).max(1),
+            writes_per_update: 4,
+            read_bursts_per_node: ((100.0 * args.scale) as u64).max(1),
+            reads_per_burst: 16,
+        }
+        .streams(&mut ctx),
+    );
+    streams.extend(
+        WriteShared {
+            base: mcc_trace::Addr::new(1 << 25),
+            words: 32,
+            turns: ((200.0 * args.scale) as u64).max(1),
+            readers_per_turn: 3,
+        }
+        .streams(&mut ctx),
+    );
+    interleave_streams(streams, &mut ctx)
+}
+
+/// Resident-set figures from `/proc/self/status`, in bytes:
+/// `(current VmRSS, peak VmHWM)`. Zeros on platforms without procfs.
+fn resident_memory() -> (u64, u64) {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return (0, 0);
+    };
+    let field = |name: &str| -> u64 {
+        status
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|kb| kb.parse::<u64>().ok())
+            .map_or(0, |kb| kb * 1024)
+    };
+    (field("VmRSS:"), field("VmHWM:"))
+}
+
+struct Row {
+    workload: &'static str,
+    protocol: Protocol,
+    shards: usize,
+    refs: u64,
+    reference_rps: u64,
+    fast_rps: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.reference_rps == 0 {
+            0.0
+        } else {
+            self.fast_rps as f64 / self.reference_rps as f64
+        }
+    }
+}
+
+/// Times one (workload, protocol, shards) cell under both engines,
+/// insisting on bit-exact result equality first.
+///
+/// Single-shard cells time the engine step loop alone, with page
+/// placement resolved once up front — that is the engine-vs-engine
+/// number the tentpole claims. Sharded cells time the whole fork/join
+/// path (`run_sharded`: partitioning, per-shard placement resolution,
+/// merging), which is what a parallel caller actually pays.
+fn run_cell(
+    workload: &'static str,
+    protocol: Protocol,
+    shards: usize,
+    trace: &Trace,
+    args: &Args,
+) -> Row {
+    let config = DirectorySimConfig {
+        nodes: args.nodes,
+        ..DirectorySimConfig::default()
+    };
+    let (ref_secs, fast_secs) = if shards == 1 {
+        // The default config profiles the trace for placement; resolve
+        // it once so the timed region is pure engine work.
+        let placement = PagePlacement::profiled(trace, args.nodes);
+        let run = |kind: EngineKind| {
+            let mut engine = AnyEngine::new(kind, protocol, &config, placement.clone());
+            for r in trace.iter() {
+                engine.step(*r);
+            }
+            engine.finish()
+        };
+        let want = run(EngineKind::Reference);
+        let got = run(EngineKind::Fast);
+        assert_eq!(
+            want, got,
+            "{workload}/{protocol}/K=1: fast engine diverged; refusing to time a wrong engine"
+        );
+        (
+            measure(args.samples, || run(EngineKind::Reference)),
+            measure(args.samples, || run(EngineKind::Fast)),
+        )
+    } else {
+        let reference = DirectorySim::new(protocol, &config).with_engine(EngineKind::Reference);
+        let fast = DirectorySim::new(protocol, &config).with_engine(EngineKind::Fast);
+        let want = reference.run_sharded(trace, shards);
+        let got = fast.run_sharded(trace, shards);
+        assert_eq!(
+            want, got,
+            "{workload}/{protocol}/K={shards}: fast engine diverged; refusing to time a wrong engine"
+        );
+        (
+            measure(args.samples, || reference.run_sharded(trace, shards)),
+            measure(args.samples, || fast.run_sharded(trace, shards)),
+        )
+    };
+    let refs = trace.len() as u64;
+    let rps = |secs: f64| {
+        if secs > 0.0 {
+            (refs as f64 / secs) as u64
+        } else {
+            0
+        }
+    };
+    let row = Row {
+        workload,
+        protocol,
+        shards,
+        refs,
+        reference_rps: rps(ref_secs),
+        fast_rps: rps(fast_secs),
+    };
+    let name = protocol.to_string();
+    eprintln!(
+        "{BIN}: {workload:<9} {name:<14} K={shards}  reference {:>12} refs/s  fast {:>12} \
+         refs/s  ({:.2}x)",
+        row.reference_rps,
+        row.fast_rps,
+        row.speedup()
+    );
+    row
+}
+
+fn main() {
+    let args = parse_args();
+    let workloads: Vec<(&'static str, Trace)> = vec![
+        ("migratory", migratory_trace(&args)),
+        ("mixed", mixed_trace(&args)),
+    ];
+    let shard_counts: &[usize] = if args.quick { &[1] } else { &SHARD_COUNTS };
+
+    let mut rows = Vec::new();
+    for (workload, trace) in &workloads {
+        eprintln!(
+            "{BIN}: {workload}: {} refs over {} nodes",
+            trace.len(),
+            args.nodes
+        );
+        for &protocol in &PROTOCOLS {
+            for &shards in shard_counts {
+                rows.push(run_cell(workload, protocol, shards, trace, &args));
+            }
+        }
+    }
+
+    let (rss, rss_peak) = resident_memory();
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("workload".into(), Json::Str(r.workload.into())),
+                ("protocol".into(), Json::Str(r.protocol.to_string())),
+                ("shards".into(), Json::u64(r.shards as u64)),
+                ("refs".into(), Json::u64(r.refs)),
+                ("reference_refs_per_sec".into(), Json::u64(r.reference_rps)),
+                ("fast_refs_per_sec".into(), Json::u64(r.fast_rps)),
+                ("speedup".into(), Json::Str(format!("{:.2}", r.speedup()))),
+            ])
+        })
+        .collect();
+    let summary = Json::Obj(vec![
+        ("tool".into(), Json::Str(BIN.into())),
+        ("nodes".into(), Json::u64(u64::from(args.nodes))),
+        ("seed".into(), Json::u64(args.seed)),
+        ("scale".into(), Json::Str(format!("{}", args.scale))),
+        ("samples".into(), Json::u64(args.samples as u64)),
+        ("quick".into(), Json::Bool(args.quick)),
+        ("rss_bytes".into(), Json::u64(rss)),
+        ("rss_peak_bytes".into(), Json::u64(rss_peak)),
+        ("rows".into(), Json::Arr(json_rows)),
+    ]);
+    if let Err(e) = std::fs::write(&args.out, format!("{summary}\n")) {
+        eprintln!("{BIN}: cannot write {}: {e}", args.out);
+        exit(1);
+    }
+    eprintln!("{BIN}: wrote {}", args.out);
+
+    if args.min_speedup > 0.0 {
+        let gate: Vec<&Row> = rows
+            .iter()
+            .filter(|r| r.workload == "migratory" && r.shards == 1)
+            .collect();
+        let worst = gate
+            .iter()
+            .min_by(|a, b| a.speedup().partial_cmp(&b.speedup()).expect("finite"))
+            .expect("the migratory workload always runs at one shard");
+        if worst.speedup() < args.min_speedup {
+            eprintln!(
+                "{BIN}: FAIL: fast engine at {:.2}x reference on {}/{} single-thread, \
+                 gate requires {:.2}x",
+                worst.speedup(),
+                worst.workload,
+                worst.protocol,
+                args.min_speedup
+            );
+            exit(1);
+        }
+        eprintln!(
+            "{BIN}: gate passed: worst single-thread migratory speedup {:.2}x >= {:.2}x",
+            worst.speedup(),
+            args.min_speedup
+        );
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        nodes: 16,
+        scale: 1.0,
+        seed: 0x5eed_b16b_005e,
+        samples: 5,
+        min_speedup: 0.0,
+        out: "BENCH_hotpath.json".to_string(),
+        quick: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{BIN}: {name} needs a value");
+                exit(2);
+            })
+        };
+        fn num<T: std::str::FromStr>(name: &str, raw: &str) -> T {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{BIN}: {name}: bad value {raw:?}");
+                exit(2);
+            })
+        }
+        match arg.as_str() {
+            "--nodes" => args.nodes = num("--nodes", &value("--nodes")),
+            "--scale" => args.scale = num("--scale", &value("--scale")),
+            "--seed" => args.seed = num("--seed", &value("--seed")),
+            "--samples" => args.samples = num("--samples", &value("--samples")),
+            "--min-speedup" => args.min_speedup = num("--min-speedup", &value("--min-speedup")),
+            "--out" => args.out = value("--out"),
+            "--quick" => {
+                args.quick = true;
+                args.scale = 0.25;
+                args.samples = 3;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "{BIN} — fast-engine vs reference-engine throughput benchmark\n\n\
+                     Usage: {BIN} [options]\n\
+                     \n  --nodes N        simulated machine size (default 16)\
+                     \n  --scale X        workload work multiplier (default 1.0)\
+                     \n  --seed N         workload RNG seed (default 0x5eedb16b005e)\
+                     \n  --samples N      timed samples per cell, median reported (default 5)\
+                     \n  --min-speedup X  exit 1 unless fast >= X times reference refs/sec\
+                     \n                   single-thread on the migratory workload (default: off)\
+                     \n  --out PATH       summary path (default BENCH_hotpath.json)\
+                     \n  --quick          CI smoke preset: scale 0.25, 3 samples, 1 shard\n\
+                     \nWrites a JSON summary with refs/sec per workload x protocol x shard\
+                     \ncount for both engines, plus resident memory (VmRSS/VmHWM)."
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("{BIN}: unknown argument {other:?} (try --help)");
+                exit(2);
+            }
+        }
+    }
+    args
+}

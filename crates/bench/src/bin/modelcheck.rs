@@ -39,6 +39,7 @@ struct Args {
     planted_bug: bool,
     replay: Option<PathBuf>,
     protocol: Option<Protocol>,
+    fast_engine: bool,
 }
 
 fn main() {
@@ -63,6 +64,7 @@ fn main() {
             config.max_len = args.max_len;
             config.max_states = args.max_states;
             config.time_budget = deadline.map(remaining);
+            config.fast_engine = args.fast_engine;
             let out = explore(&config);
             eprintln!(
                 "{BIN}: exhaustive {} nodes={} blocks={} L={}: {} states, complete={}, \
@@ -97,6 +99,7 @@ fn main() {
         config.nodes = args.nodes.max(2);
         config.blocks = args.blocks.max(2);
         config.broken_demotion_spec = args.planted_bug;
+        config.fast_engine = args.fast_engine;
         config.time_budget = deadline.map(remaining);
         if args.planted_bug {
             // The planted bug only shows against an adaptive spec.
@@ -146,6 +149,7 @@ fn main() {
     let summary = Json::Obj(vec![
         ("tool".into(), Json::Str(BIN.into())),
         ("planted_bug".into(), Json::Bool(args.planted_bug)),
+        ("fast_engine".into(), Json::Bool(args.fast_engine)),
         ("exhaustive".into(), Json::Arr(exhaustive_rows)),
         ("fuzz".into(), fuzz_row),
         ("counterexamples".into(), Json::Arr(cx_rows)),
@@ -183,6 +187,7 @@ fn replay(path: &std::path::Path, args: &Args) -> i32 {
     });
     let mut config = CheckerConfig::new(protocol, args.nodes);
     config.spec_demotion_enabled = !args.planted_bug;
+    config.fast_engine = args.fast_engine;
     match Checker::new(&config).run(&trace) {
         Err(violation) => {
             let cx = Counterexample {
@@ -271,6 +276,7 @@ fn parse_args() -> Args {
         planted_bug: false,
         replay: None,
         protocol: None,
+        fast_engine: false,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -302,6 +308,7 @@ fn parse_args() -> Args {
             }
             "--repro-dir" => args.repro_dir = Some(PathBuf::from(value("--repro-dir"))),
             "--planted-bug" => args.planted_bug = true,
+            "--fast-engine" => args.fast_engine = true,
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
             "--protocol" => {
                 let raw = value("--protocol");
@@ -325,6 +332,8 @@ fn parse_args() -> Args {
                      \n  --repro-dir DIR   write minimized counterexamples as .mcct here\
                      \n  --planted-bug     fixture mode: check against the known-broken\
                      \n                    no-demotion spec; exits 0 iff the bug is FOUND\
+                     \n  --fast-engine     check the fast hot-path engine instead of the\
+                     \n                    reference DirectoryEngine\
                      \n  --replay FILE     re-check a .mcct counterexample (needs --protocol)\
                      \n  --protocol NAME   restrict to one protocol point (basic, adaptive,\
                      \n                    aggressive, conventional, pure-migratory,\

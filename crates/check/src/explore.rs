@@ -48,6 +48,9 @@ pub struct ExploreConfig {
     pub max_states: u64,
     /// Abort on a wall-clock budget (`complete` turns false).
     pub time_budget: Option<Duration>,
+    /// Drive the fast hot-path engine instead of the reference
+    /// `DirectoryEngine` under every checker.
+    pub fast_engine: bool,
 }
 
 impl ExploreConfig {
@@ -61,6 +64,7 @@ impl ExploreConfig {
             max_len: 8,
             max_states: u64::MAX,
             time_budget: None,
+            fast_engine: false,
         }
     }
 }
@@ -108,7 +112,9 @@ pub fn explore(config: &ExploreConfig) -> ExploreOutcome {
         states: 0,
         truncated: false,
     };
-    let root = Checker::new(&CheckerConfig::new(config.protocol, config.nodes));
+    let mut cc = CheckerConfig::new(config.protocol, config.nodes);
+    cc.fast_engine = config.fast_engine;
+    let root = Checker::new(&cc);
     let mut path = Vec::with_capacity(config.max_len);
     let violation = dfs(&root, &mut path, &mut search).map(|(trace, violation)| Counterexample {
         protocol: config.protocol,

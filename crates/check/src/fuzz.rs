@@ -63,6 +63,9 @@ pub struct FuzzConfig {
     /// Build every checker's specification with the planted
     /// missing-demotion bug (fixture mode: violations are expected).
     pub broken_demotion_spec: bool,
+    /// Drive the fast hot-path engine instead of the reference
+    /// `DirectoryEngine` under every checker.
+    pub fast_engine: bool,
     /// Stop starting new cases after this wall-clock budget.
     pub time_budget: Option<Duration>,
 }
@@ -78,6 +81,7 @@ impl FuzzConfig {
             nodes: 4,
             blocks: 6,
             broken_demotion_spec: false,
+            fast_engine: false,
             time_budget: None,
         }
     }
@@ -159,6 +163,7 @@ fn check_case(protocol: Protocol, trace: &Trace, config: &FuzzConfig) -> Option<
     let predicate = move |t: &Trace| -> Option<CheckViolation> {
         let mut cc = CheckerConfig::new(protocol, config.nodes);
         cc.spec_demotion_enabled = !config.broken_demotion_spec;
+        cc.fast_engine = config.fast_engine;
         let mut checker = Checker::new(&cc);
         for r in t.iter() {
             if let Err(v) = checker.check_step(*r) {

@@ -35,8 +35,8 @@ use std::sync::{Arc, Mutex};
 
 use mcc_cache::CacheConfig;
 use mcc_core::{
-    CopiesCreated, DirectoryEngine, DirectorySimConfig, MessageBreakdown, MessageCount,
-    PlacementPolicy, Protocol, SimResult, StepInfo, StepKind,
+    AnyEngine, CopiesCreated, DirectorySimConfig, Engine, EngineKind, MessageBreakdown,
+    MessageCount, PlacementPolicy, Protocol, SimResult, StepInfo, StepKind,
 };
 use mcc_obs::{shared, BufferSink, Event, Rule};
 use mcc_placement::PagePlacement;
@@ -133,6 +133,11 @@ pub struct CheckerConfig {
     /// When `false`, the *specification* is built with demotion
     /// disabled — the planted bug the fuzzer fixtures hunt.
     pub spec_demotion_enabled: bool,
+    /// When `true`, the checker drives the fast hot-path engine
+    /// instead of the reference `DirectoryEngine` (finite-cache
+    /// configurations fall back to the reference engine, which is the
+    /// only one modelling geometry).
+    pub fast_engine: bool,
 }
 
 impl CheckerConfig {
@@ -143,6 +148,7 @@ impl CheckerConfig {
             nodes,
             cache: CacheConfig::Infinite,
             spec_demotion_enabled: true,
+            fast_engine: false,
         }
     }
 }
@@ -154,7 +160,7 @@ pub const CHECK_BLOCK_SIZE: BlockSize = BlockSize::B16;
 /// Drives engine and specification in lockstep; see the module docs
 /// for the invariant suite.
 pub struct Checker {
-    engine: DirectoryEngine,
+    engine: AnyEngine,
     spec: ReferenceModel,
     protocol: Protocol,
     nodes: u16,
@@ -188,7 +194,13 @@ impl Checker {
             directory: mcc_core::DirectoryRepr::FullMap,
         };
         let (sink, handle) = shared(BufferSink::new());
-        let engine = DirectoryEngine::new(
+        let kind = if config.fast_engine {
+            EngineKind::Fast
+        } else {
+            EngineKind::Reference
+        };
+        let engine = AnyEngine::new(
+            kind,
             config.protocol,
             &sim_config,
             PagePlacement::round_robin(config.nodes),
@@ -285,7 +297,7 @@ impl Checker {
     /// discarded (the engine is not rolled back).
     pub fn check_step(&mut self, r: MemRef) -> Result<StepInfo, CheckViolation> {
         let block = r.addr.block(CHECK_BLOCK_SIZE).index();
-        let pre_entry = self.engine.entry(r.addr.block(CHECK_BLOCK_SIZE)).copied();
+        let pre_entry = self.engine.dir_entry(r.addr.block(CHECK_BLOCK_SIZE));
         let pre_resident = self.residency();
         self.steps += 1;
 
@@ -642,7 +654,7 @@ impl Checker {
                     ));
                 }
             }
-            let Some(entry) = self.engine.entry(block) else {
+            let Some(entry) = self.engine.dir_entry(block) else {
                 return Err(self.violation(
                     InvariantId::EntryMismatch,
                     Some(b),
@@ -708,7 +720,7 @@ impl Checker {
         if !must_demote {
             return Ok(());
         }
-        let entry = self.engine.entry(r.addr.block(CHECK_BLOCK_SIZE));
+        let entry = self.engine.dir_entry(r.addr.block(CHECK_BLOCK_SIZE));
         if entry.is_some_and(|e| e.migratory) {
             return Err(self.violation(
                 InvariantId::DemotionRule,
@@ -793,6 +805,16 @@ mod tests {
         for protocol in crate::protocol_points() {
             let checker = Checker::new(&CheckerConfig::new(protocol, 3));
             let result = checker.run(&migratory_trace());
+            assert!(result.is_ok(), "{protocol}: {}", result.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn clean_runs_pass_for_every_protocol_point_on_the_fast_engine() {
+        for protocol in crate::protocol_points() {
+            let mut config = CheckerConfig::new(protocol, 3);
+            config.fast_engine = true;
+            let result = Checker::new(&config).run(&migratory_trace());
             assert!(result.is_ok(), "{protocol}: {}", result.unwrap_err());
         }
     }

@@ -58,6 +58,7 @@ use mcc_placement::PagePlacement;
 use mcc_trace::{BlockSize, Trace};
 
 use crate::directory::{CopiesCreated, CopySet, DirEntry};
+use crate::engine::{AnyEngine, Engine, EngineKind};
 use crate::error::SimError;
 use crate::faults::{FaultPlan, FaultRates};
 use crate::policy::{AdaptivePolicy, Protocol};
@@ -350,8 +351,11 @@ pub struct EngineSnapshot {
 
 impl EngineSnapshot {
     /// Captures the engine's state. Cheap relative to simulation: one
-    /// pass over resident lines and directory entries.
-    pub fn capture(engine: &DirectoryEngine) -> EngineSnapshot {
+    /// pass over resident lines and directory entries. Snapshots are
+    /// engine-agnostic: the reference and fast engines capture
+    /// byte-identical snapshots of the same logical state, so a
+    /// checkpoint written under one engine restores under the other.
+    pub fn capture<E: Engine>(engine: &E) -> EngineSnapshot {
         engine.snapshot()
     }
 
@@ -376,6 +380,22 @@ impl EngineSnapshot {
         faults: Option<FaultPlan>,
     ) -> Result<DirectoryEngine, SimError> {
         DirectoryEngine::from_snapshot(self, protocol, config, placement, faults)
+            .map_err(|reason| SimError::BadCheckpoint { reason })
+    }
+
+    /// Like [`restore`](Self::restore), but rebuilds an engine of the
+    /// requested kind (with the usual finite-cache fallback to the
+    /// reference engine). Snapshots carry no engine identity, so the
+    /// capturing and restoring kinds are free to differ.
+    pub(crate) fn restore_any(
+        &self,
+        kind: EngineKind,
+        protocol: Protocol,
+        config: &DirectorySimConfig,
+        placement: PagePlacement,
+        faults: Option<FaultPlan>,
+    ) -> Result<AnyEngine, SimError> {
+        AnyEngine::from_snapshot(kind, self, protocol, config, placement, faults)
             .map_err(|reason| SimError::BadCheckpoint { reason })
     }
 
@@ -1208,13 +1228,8 @@ impl DirectorySim {
     /// starts from. Sequential runs draw the base fault stream, like
     /// [`DirectorySim::try_run`]; sharded runs derive per-shard streams,
     /// like [`DirectorySim::try_run_sharded`].
-    fn fresh_engine(
-        &self,
-        placement: PagePlacement,
-        shard_id: u32,
-        shards: usize,
-    ) -> DirectoryEngine {
-        let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
+    fn fresh_engine(&self, placement: PagePlacement, shard_id: u32, shards: usize) -> AnyEngine {
+        let mut engine = AnyEngine::new(self.engine, self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             let plan = if shards == 1 {
                 plan
@@ -1303,7 +1318,8 @@ impl DirectorySim {
 
         let run_one = |id: usize, sub: &Trace| -> Result<SimResult, SimError> {
             let snap = &initial[id];
-            let mut engine = snap.engine.restore(
+            let mut engine = snap.engine.restore_any(
+                self.engine,
                 self.protocol,
                 &self.config,
                 placement.clone(),

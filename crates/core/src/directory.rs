@@ -117,9 +117,16 @@ impl CopySet {
 
     /// Iterates over the holders in increasing node order.
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        (0..64u16)
-            .filter(move |&i| self.0 & (1 << i) != 0)
-            .map(NodeId::new)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(NodeId::new(i))
+            }
+        })
     }
 }
 

@@ -55,7 +55,9 @@
 
 pub mod checkpoint;
 mod directory;
+mod engine;
 mod error;
+mod fast;
 mod faults;
 mod monitor;
 mod msg;
@@ -71,7 +73,9 @@ pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointPolicy, EngineSnapshot, ShardSnapshot,
 };
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};
+pub use engine::{AnyEngine, Engine, EngineKind};
 pub use error::{SimError, Violation, ViolationKind};
+pub use fast::FastEngine;
 pub use faults::{
     backoff_units, jittered_backoff_units, AttemptOutcome, AttemptReport, Fault, FaultInjector,
     FaultPlan, FaultRates, MessageClass, TransactionShape,

@@ -20,10 +20,12 @@ use std::collections::HashMap;
 
 use mcc_trace::BlockAddr;
 
+use crate::engine::Engine;
 use crate::error::{Violation, ViolationKind};
-use crate::sim::DirectoryEngine;
 
-/// Periodically verifies a [`DirectoryEngine`]'s global invariants.
+/// Periodically verifies an [`Engine`]'s global invariants (either the
+/// reference [`DirectoryEngine`](crate::DirectoryEngine) or the fast
+/// hot path, through the shared trait).
 ///
 /// # Examples
 ///
@@ -82,7 +84,7 @@ impl Monitor {
 
     /// Sweeps the engine's invariants when its step counter crosses the
     /// sampling period; cheap no-op otherwise.
-    pub fn after_step(&mut self, engine: &DirectoryEngine) -> Result<(), Violation> {
+    pub fn after_step<E: Engine>(&mut self, engine: &E) -> Result<(), Violation> {
         if engine.steps().is_multiple_of(self.every) {
             self.checks_run += 1;
             self.sweep(engine)
@@ -92,16 +94,16 @@ impl Monitor {
     }
 
     /// One full sweep, on demand: the engine's structural invariants
-    /// ([`DirectoryEngine::verify`]), then the monitor's data-value
-    /// checks — every resident copy must carry the latest written
-    /// version of its block, and no block's latest version may be lower
-    /// than an earlier sweep observed.
-    pub fn verify(&mut self, engine: &DirectoryEngine) -> Result<(), Violation> {
+    /// ([`Engine::verify`]), then the monitor's data-value checks —
+    /// every resident copy must carry the latest written version of its
+    /// block, and no block's latest version may be lower than an
+    /// earlier sweep observed.
+    pub fn verify<E: Engine>(&mut self, engine: &E) -> Result<(), Violation> {
         self.checks_run += 1;
         self.sweep(engine)
     }
 
-    fn sweep(&mut self, engine: &DirectoryEngine) -> Result<(), Violation> {
+    fn sweep<E: Engine>(&mut self, engine: &E) -> Result<(), Violation> {
         engine.verify()?;
         for (_, block, _, version) in engine.resident_lines() {
             let latest = engine.latest_version(block);
@@ -114,7 +116,7 @@ impl Monitor {
                         latest,
                     },
                     context: "monitor data-value sweep",
-                    entry: engine.entry(block).copied(),
+                    entry: engine.dir_entry(block),
                 });
             }
             let seen = self.high_water.entry(block).or_insert(0);
@@ -127,7 +129,7 @@ impl Monitor {
                         latest: *seen,
                     },
                     context: "monitor version regression",
-                    entry: engine.entry(block).copied(),
+                    entry: engine.dir_entry(block),
                 });
             }
             *seen = latest;
@@ -145,7 +147,7 @@ impl Monitor {
 mod tests {
     use super::*;
     use crate::policy::Protocol;
-    use crate::sim::DirectorySimConfig;
+    use crate::sim::{DirectoryEngine, DirectorySimConfig};
     use mcc_placement::PagePlacement;
     use mcc_trace::{Addr, MemRef, NodeId};
 

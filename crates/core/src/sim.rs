@@ -14,6 +14,7 @@
 //! the paper's transparency claim — the adaptive protocols preserve the
 //! standard memory model.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use mcc_cache::{Cache, CacheConfig};
@@ -22,6 +23,7 @@ use mcc_placement::PagePlacement;
 use mcc_trace::{BlockAddr, BlockSize, MemOp, MemRef, NodeId, Trace};
 
 use crate::directory::{CopySet, DirEntry, ReadMissAction, Reclassification};
+use crate::engine::{AnyEngine, Engine, EngineKind};
 use crate::error::{SimError, Violation, ViolationKind};
 use crate::faults::{
     jittered_backoff_units, AttemptOutcome, FaultInjector, FaultPlan, TransactionShape,
@@ -108,6 +110,16 @@ impl LineState {
 struct Line {
     state: LineState,
     version: u64,
+}
+
+/// Per-block residency accumulator for [`DirectoryEngine::verify`]'s
+/// invariant sweep.
+#[derive(Clone, Debug, Default)]
+struct Residency {
+    holders: CopySet,
+    exclusive: u32,
+    shared: u32,
+    any_dirty: bool,
 }
 
 /// How one reference was resolved by the protocol.
@@ -219,6 +231,7 @@ pub struct DirectorySim {
     pub(crate) protocol: Protocol,
     pub(crate) config: DirectorySimConfig,
     pub(crate) faults: Option<FaultPlan>,
+    pub(crate) engine: EngineKind,
 }
 
 impl DirectorySim {
@@ -228,6 +241,7 @@ impl DirectorySim {
             protocol,
             config: *config,
             faults: None,
+            engine: EngineKind::Reference,
         }
     }
 
@@ -237,6 +251,26 @@ impl DirectorySim {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Selects the engine implementation for the run (the default is
+    /// [`EngineKind::Reference`]). Both implementations are bit-exact
+    /// (see `tests/fast_engine_parity.rs`); [`EngineKind::Fast`] is the
+    /// dense hot path and requires infinite caches — finite-cache
+    /// configurations silently fall back to the reference engine.
+    ///
+    /// The engine kind is a performance knob, not part of a run's
+    /// identity: checkpoints taken under one engine resume under the
+    /// other.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The engine implementation [`with_engine`](Self::with_engine)
+    /// selected (before any finite-cache fallback).
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// Runs the whole trace: resolves page placement (profiling the trace
@@ -304,9 +338,9 @@ impl DirectorySim {
         }
     }
 
-    fn build_engine(&self, trace: &Trace) -> DirectoryEngine {
+    pub(crate) fn build_engine(&self, trace: &Trace) -> AnyEngine {
         let placement = self.resolve_placement(trace);
-        let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
+        let mut engine = AnyEngine::new(self.engine, self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             engine = engine.with_faults(plan);
         }
@@ -316,13 +350,13 @@ impl DirectorySim {
 
 /// The node's zero-based index in the observability event vocabulary
 /// (`mcc_obs` speaks raw `u16`s so it needs no trace types).
-const fn obs_node(n: NodeId) -> u16 {
+pub(crate) const fn obs_node(n: NodeId) -> u16 {
     n.index() as u16
 }
 
 /// Sentinel policy for the non-adaptive protocols: never classifies a
 /// block as migratory.
-const NEVER_ADAPT: AdaptivePolicy = AdaptivePolicy {
+pub(crate) const NEVER_ADAPT: AdaptivePolicy = AdaptivePolicy {
     initial_migratory: false,
     events_required: u8::MAX,
     remember_when_uncached: false,
@@ -377,6 +411,12 @@ pub struct DirectoryEngine {
     /// performs — no protocol decision ever reads the sink, so
     /// attaching one cannot perturb results.
     sink: Option<SharedSink>,
+    /// Scratch table reused by [`DirectoryEngine::verify`]'s residency
+    /// sweep: cleared (capacity retained) on each call so repeated
+    /// monitor sweeps don't reallocate. `RefCell` because `verify`
+    /// takes `&self`; engines cross threads by move, never by sharing,
+    /// so interior mutability is safe here.
+    verify_scratch: RefCell<HashMap<BlockAddr, Residency>>,
 }
 
 impl DirectoryEngine {
@@ -401,6 +441,7 @@ impl DirectoryEngine {
             messages: MessageBreakdown::default(),
             events: EventCounts::default(),
             sink: None,
+            verify_scratch: RefCell::new(HashMap::new()),
         }
     }
 
@@ -1363,15 +1404,10 @@ impl DirectoryEngine {
         // One pass over the resident lines, then one pass over the
         // directory: O(lines + entries) rather than O(entries × nodes),
         // which matters because the monitor sweeps repeatedly over
-        // long runs.
-        #[derive(Default)]
-        struct Residency {
-            holders: CopySet,
-            exclusive: u32,
-            shared: u32,
-            any_dirty: bool,
-        }
-        let mut residency: HashMap<BlockAddr, Residency> = HashMap::new();
+        // long runs. The residency table is a reused scratch allocation
+        // (cleared, capacity kept) for the same reason.
+        let mut residency = self.verify_scratch.borrow_mut();
+        residency.clear();
         for node in NodeId::first(self.nodes) {
             for (block, line) in self.caches[node.index()].iter() {
                 let r = residency.entry(block).or_default();

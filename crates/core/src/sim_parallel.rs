@@ -59,11 +59,12 @@ use mcc_obs::{Event as ObsEvent, SharedSink};
 use mcc_placement::PagePlacement;
 use mcc_trace::Trace;
 
+use crate::engine::{AnyEngine, Engine};
 use crate::error::SimError;
 use crate::monitor::Monitor;
 use crate::policy::Protocol;
 use crate::result::SimResult;
-use crate::sim::{DirectoryEngine, DirectorySim};
+use crate::sim::DirectorySim;
 
 #[cfg(doc)]
 use crate::faults::FaultPlan;
@@ -499,7 +500,7 @@ impl DirectorySim {
         sink: Option<SharedSink>,
     ) -> Result<SimResult, SimError> {
         let records = shard_trace.len() as u64;
-        let mut engine = DirectoryEngine::new(self.protocol, &self.config, placement);
+        let mut engine = AnyEngine::new(self.engine, self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             engine = engine.with_faults(plan.for_shard(shard_id));
         }

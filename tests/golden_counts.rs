@@ -8,7 +8,7 @@
 //! `cargo run --release -p mcc-bench --bin golden_dump` and update the
 //! table.
 
-use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+use mcc::core::{DirectorySim, DirectorySimConfig, EngineKind, Protocol};
 use mcc::workloads::{Workload, WorkloadParams};
 
 /// Shard count for the parallel-path assertions: `MCC_TEST_SHARDS` when
@@ -21,6 +21,21 @@ fn test_shards() -> usize {
             })
         }
         Err(_) => 4,
+    }
+}
+
+/// Engine the goldens run under: the fast hot path when
+/// `MCC_TEST_FAST_ENGINE` is set to a truthy value (the CI matrix runs
+/// both), the reference engine otherwise. The pinned totals must hold
+/// bit-exactly under either.
+fn test_engine() -> EngineKind {
+    match std::env::var("MCC_TEST_FAST_ENGINE") {
+        Ok(raw) if raw == "1" || raw.eq_ignore_ascii_case("true") => EngineKind::Fast,
+        Ok(raw) if raw == "0" || raw.is_empty() || raw.eq_ignore_ascii_case("false") => {
+            EngineKind::Reference
+        }
+        Ok(raw) => panic!("MCC_TEST_FAST_ENGINE must be 0 or 1, got {raw:?}"),
+        Err(_) => EngineKind::Reference,
     }
 }
 
@@ -90,7 +105,7 @@ fn pinned_message_totals() {
         assert_eq!(trace.len(), refs, "{app}: trace length drifted");
         let expected = [conv, cons, basic, aggr];
         for (protocol, want) in Protocol::PAPER_SET.into_iter().zip(expected) {
-            let sim = DirectorySim::new(protocol, &cfg);
+            let sim = DirectorySim::new(protocol, &cfg).with_engine(test_engine());
             let got = sim.run(&trace).total_messages();
             assert_eq!(
                 got, want,

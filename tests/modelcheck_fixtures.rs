@@ -29,6 +29,53 @@ fn bounded_exhaustive_sweep_is_clean_for_every_protocol_point() {
 }
 
 #[test]
+fn bounded_exhaustive_sweep_is_clean_through_the_fast_engine() {
+    // The same bounded space, explored with the fast hot-path engine
+    // under every checker: the sweep must stay complete and clean, so
+    // the fast path proves itself against the specification — not just
+    // against the reference implementation.
+    for protocol in protocol_points() {
+        let mut config = ExploreConfig::new(protocol);
+        config.max_len = 7;
+        config.fast_engine = true;
+        let out = explore(&config);
+        assert!(out.complete, "{} sweep truncated", protocol_slug(protocol));
+        assert_eq!(out.states, 4 + 16 + 64 + 256 + 1024 + 4096 + 16384);
+        assert!(
+            out.violation.is_none(),
+            "{}: {}",
+            protocol_slug(protocol),
+            out.violation.unwrap().violation
+        );
+    }
+}
+
+#[test]
+fn planted_demotion_bug_is_found_through_the_fast_engine() {
+    // The planted spec bug must still be caught when the checker
+    // drives the fast engine, with the identical minimized repro the
+    // reference-engine campaign produces.
+    let mut config = FuzzConfig::new(0xdead_10cc);
+    config.cases = 2;
+    config.trace_len = 300;
+    config.protocols = vec![Protocol::Aggressive];
+    config.broken_demotion_spec = true;
+
+    let reference = fuzz(&config);
+    config.fast_engine = true;
+    let fast = fuzz(&config);
+    assert!(
+        !fast.counterexamples.is_empty(),
+        "the planted bug must be found through the fast path"
+    );
+    assert_eq!(reference.counterexamples.len(), fast.counterexamples.len());
+    for (a, b) in reference.counterexamples.iter().zip(&fast.counterexamples) {
+        assert_eq!(a.trace.as_slice(), b.trace.as_slice());
+        assert_eq!(a.violation.invariant, b.violation.invariant);
+    }
+}
+
+#[test]
 fn planted_demotion_bug_is_found_shrunk_and_replayable() {
     let mut config = FuzzConfig::new(0xdead_10cc);
     config.cases = 2;

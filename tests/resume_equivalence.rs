@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 
 use mcc::core::{
-    Checkpoint, CheckpointPolicy, DirectorySim, DirectorySimConfig, FaultPlan, Protocol,
+    Checkpoint, CheckpointPolicy, DirectorySim, DirectorySimConfig, EngineKind, FaultPlan, Protocol,
 };
 use mcc::execsim::{ExecCheckpoint, ExecSim, ExecSimConfig};
 use mcc::trace::{Addr, MemRef, NodeId, Trace};
@@ -43,6 +43,20 @@ fn scratch(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mcc-resume-{}-{name}", std::process::id()))
 }
 
+/// Engine the resume suite runs under: the fast hot path when
+/// `MCC_TEST_FAST_ENGINE` is set to a truthy value (the CI matrix runs
+/// both), the reference engine otherwise.
+fn test_engine() -> EngineKind {
+    match std::env::var("MCC_TEST_FAST_ENGINE") {
+        Ok(raw) if raw == "1" || raw.eq_ignore_ascii_case("true") => EngineKind::Fast,
+        Ok(raw) if raw == "0" || raw.is_empty() || raw.eq_ignore_ascii_case("false") => {
+            EngineKind::Reference
+        }
+        Ok(raw) => panic!("MCC_TEST_FAST_ENGINE must be 0 or 1, got {raw:?}"),
+        Err(_) => EngineKind::Reference,
+    }
+}
+
 #[test]
 fn every_boundary_resumes_bit_exactly_under_every_protocol() {
     let trace = small_trace(4);
@@ -52,7 +66,7 @@ fn every_boundary_resumes_bit_exactly_under_every_protocol() {
     };
     for protocol in Protocol::PAPER_SET {
         for faults in [None, Some(FaultPlan::uniform(11, 40_000))] {
-            let mut sim = DirectorySim::new(protocol, &cfg);
+            let mut sim = DirectorySim::new(protocol, &cfg).with_engine(test_engine());
             if let Some(plan) = faults {
                 sim = sim.with_faults(plan);
             }
@@ -89,7 +103,7 @@ fn sharded_runs_resume_bit_exactly() {
         ..DirectorySimConfig::default()
     };
     for protocol in Protocol::PAPER_SET {
-        let sim = DirectorySim::new(protocol, &cfg);
+        let sim = DirectorySim::new(protocol, &cfg).with_engine(test_engine());
         let straight = sim.try_run_sharded(&trace, 4).expect("sharded run");
         for cut in [0u64, 1, 5, 17, trace.len() as u64 / 2, trace.len() as u64] {
             let ck = sim.checkpoint_after(&trace, 4, cut).expect("prefix");
@@ -106,7 +120,7 @@ fn on_disk_checkpoints_roundtrip_and_resume() {
         nodes: 4,
         ..DirectorySimConfig::default()
     };
-    let sim = DirectorySim::new(Protocol::Aggressive, &cfg);
+    let sim = DirectorySim::new(Protocol::Aggressive, &cfg).with_engine(test_engine());
     let straight = sim.try_run(&trace).expect("uninterrupted run");
 
     // A supervised run leaves a final, complete snapshot behind.
@@ -143,7 +157,7 @@ fn resumed_runs_keep_checkpointing_at_the_same_boundaries() {
         nodes: 4,
         ..DirectorySimConfig::default()
     };
-    let sim = DirectorySim::new(Protocol::Basic, &cfg);
+    let sim = DirectorySim::new(Protocol::Basic, &cfg).with_engine(test_engine());
     let path = scratch("cadence.ckpt");
     let policy = CheckpointPolicy::new(10, &path);
     let straight = sim.run_resumable(&trace, 1, &policy).expect("supervised");
@@ -200,6 +214,41 @@ fn bench_router_runs_checkpointed_and_resumes() {
         try_run_protocol(Protocol::Basic, &cfg, &trace, &resume_opts).expect("resumed run");
     assert_eq!(resumed, plain);
     std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn checkpoints_cross_engines_bit_exactly() {
+    // Snapshots carry no engine identity: a checkpoint captured under
+    // one engine must resume under the other to the identical final
+    // result, in both directions, at several boundaries.
+    let trace = small_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    for protocol in Protocol::PAPER_SET {
+        let reference = DirectorySim::new(protocol, &cfg).with_engine(EngineKind::Reference);
+        let fast = DirectorySim::new(protocol, &cfg).with_engine(EngineKind::Fast);
+        let straight = reference.try_run(&trace).expect("reference run");
+        assert_eq!(
+            straight,
+            fast.try_run(&trace).expect("fast run"),
+            "{protocol}: engines disagree before any checkpointing"
+        );
+        for cut in [0u64, 1, 7, trace.len() as u64 / 2, trace.len() as u64] {
+            for (capture, resume) in [(&reference, &fast), (&fast, &reference)] {
+                let ck = capture.checkpoint_after(&trace, 1, cut).expect("prefix");
+                let resumed = resume.resume_from(&trace, &ck, None).expect("resume");
+                assert_eq!(
+                    resumed,
+                    straight,
+                    "{protocol} cut {cut}: checkpoint under {:?} did not resume under {:?}",
+                    capture.engine_kind(),
+                    resume.engine_kind(),
+                );
+            }
+        }
+    }
 }
 
 #[test]
