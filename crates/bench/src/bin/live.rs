@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use mcc_check::parse_protocol;
 use mcc_core::{FaultPlan, FaultRates};
-use mcc_live::{run_live, KillSpec, LiveConfig};
+use mcc_live::{run_live, KillSpec, LiveConfig, WalConfig};
 use mcc_obs::Log2Histogram;
 use mcc_workloads::Workload;
 
@@ -166,6 +166,14 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
                     after_applies: after,
                 });
             }
+            "--wal" => {
+                let dir = PathBuf::from(value("--wal"));
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("{BIN}: cannot create WAL dir {}: {e}", dir.display());
+                    exit(2);
+                }
+                cfg.wal = Some(WalConfig::on_disk(dir));
+            }
             "--out" => out = Some(PathBuf::from(value("--out"))),
             "--help" | "-h" => {
                 println!(
@@ -175,13 +183,15 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
                      [--delay-ppm N] [--dup-ppm N] [--max-retries N] [--max-refs N] \
                      [--deadline-ms N] [--soak-secs N] [--checkpoint-every N] \
                      [--max-restarts N] [--verify-live] [--kill-shard S] [--kill-after N] \
-                     [--out BASE]\n\
+                     [--wal DIR] [--out BASE]\n\
                      \n  --chaos PPM         shorthand: drop = nack = delay = duplicate = PPM\
                      \n  --max-refs N        cap one workload pass at N references per client\
                      \n                      (default 50000; 0 = the full paper-sized trace)\
                      \n  --soak-secs N       soak mode: loop the workload for N seconds\
                      \n  --verify-live       sample-replay journals concurrently with the run\
                      \n  --kill-shard S      crash drill: panic shard S once mid-run\
+                     \n  --wal DIR           durable per-shard WAL + snapshots under DIR\
+                     \n                      (fsynced before ack; torn tails salvaged on restart)\
                      \n  --out BASE          write BASE.live.kv + per-shard journals/events\n\
                      \nExits 0 only if every client finished, every shard survived, and\n\
                      the differential replay found zero violations."

@@ -26,8 +26,11 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use mcc_bench::{try_run_protocol, ObsOptions, RunOptions};
-use mcc_core::{CheckpointPolicy, DirectorySimConfig, FaultPlan, Protocol, SimError, SimResult};
+use mcc_bench::{try_run_protocol_traced, ObsOptions, RunOptions};
+use mcc_core::{
+    CheckpointPolicy, DirectorySimConfig, FaultPlan, Protocol, SimError, SimResult,
+    SnapshotGeneration,
+};
 use mcc_stats::kv_lines;
 use mcc_workloads::{Workload, WorkloadParams};
 
@@ -111,8 +114,8 @@ fn main() {
         }
         let started = std::time::Instant::now();
         match run_cell(&args, cell, &ckpt_path) {
-            Ok(result) => {
-                if let Err(e) = write_result(&result_path, cell, &result) {
+            Ok((result, recovered_from)) => {
+                if let Err(e) = write_result(&result_path, cell, &result, recovered_from) {
                     eprintln!("{BIN}: writing {}: {e}", result_path.display());
                     failed += 1;
                     continue;
@@ -141,9 +144,17 @@ fn main() {
 
 /// Runs one cell, resuming from its snapshot when one exists. A
 /// snapshot the run rejects (corrupt, or taken under different flags)
-/// is discarded with a notice and the cell reruns from scratch —
-/// supervision must degrade, not wedge.
-fn run_cell(args: &Args, cell: &Cell, ckpt_path: &Path) -> Result<SimResult, SimError> {
+/// first falls back to its rotated `.prev` generation inside the
+/// loader; when both generations are unusable the cell reruns from
+/// scratch with a notice naming the error class and whether the
+/// rotated generation was tried — supervision must degrade, not wedge.
+/// Returns the result plus which snapshot generation the cell actually
+/// recovered from (`None` = ran fresh), recorded in its `.result`.
+fn run_cell(
+    args: &Args,
+    cell: &Cell,
+    ckpt_path: &Path,
+) -> Result<(SimResult, Option<SnapshotGeneration>), SimError> {
     let cfg = DirectorySimConfig {
         nodes: args.nodes,
         ..DirectorySimConfig::default()
@@ -174,20 +185,20 @@ fn run_cell(args: &Args, cell: &Cell, ckpt_path: &Path) -> Result<SimResult, Sim
         },
     };
     if !ckpt_path.exists() {
-        return try_run_protocol(cell.protocol, &cfg, &trace, &fresh);
+        return try_run_protocol_traced(cell.protocol, &cfg, &trace, &fresh);
     }
     let resume = RunOptions {
         resume: Some(ckpt_path.to_path_buf()),
         ..fresh.clone()
     };
-    match try_run_protocol(cell.protocol, &cfg, &trace, &resume) {
+    match try_run_protocol_traced(cell.protocol, &cfg, &trace, &resume) {
         Err(SimError::BadCheckpoint { reason }) => {
             eprintln!(
                 "{BIN}: {}: snapshot unusable ({reason}); rerunning the cell from scratch",
                 cell.key()
             );
             fs::remove_file(ckpt_path).ok();
-            try_run_protocol(cell.protocol, &cfg, &trace, &fresh)
+            try_run_protocol_traced(cell.protocol, &cfg, &trace, &fresh)
         }
         other => other,
     }
@@ -195,8 +206,14 @@ fn run_cell(args: &Args, cell: &Cell, ckpt_path: &Path) -> Result<SimResult, Sim
 
 /// Writes the cell's counters atomically (temp file + rename), so a
 /// kill mid-write can never fabricate a completed cell.
-fn write_result(path: &Path, cell: &Cell, result: &SimResult) -> std::io::Result<()> {
+fn write_result(
+    path: &Path,
+    cell: &Cell,
+    result: &SimResult,
+    recovered_from: Option<SnapshotGeneration>,
+) -> std::io::Result<()> {
     let c = result.message_count();
+    let recovered_from = recovered_from.map_or_else(|| "fresh".to_string(), |g| g.to_string());
     let body = kv_lines([
         ("protocol", cell.protocol.to_string()),
         ("workload", cell.workload.name().to_string()),
@@ -207,6 +224,7 @@ fn write_result(path: &Path, cell: &Cell, result: &SimResult) -> std::io::Result
         ("messages_total", result.total_messages().to_string()),
         ("migrations", result.events.migrations.to_string()),
         ("invalidations", result.events.invalidations.to_string()),
+        ("recovered_from", recovered_from),
     ]);
     let tmp = path.with_extension("result.tmp");
     fs::write(&tmp, body)?;

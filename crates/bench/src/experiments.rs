@@ -1,11 +1,11 @@
 //! The paper's experiments as reusable functions.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use mcc_cache::{CacheConfig, CacheGeometry};
 use mcc_core::{
     Checkpoint, CheckpointPolicy, DirectorySim, DirectorySimConfig, FaultPlan, PlacementPolicy,
-    Protocol, SimError, SimResult,
+    Protocol, SimError, SimResult, SnapshotGeneration,
 };
 use mcc_stats::{thousands, Table};
 use mcc_trace::BlockSize;
@@ -100,6 +100,21 @@ pub fn try_run_protocol(
     trace: &mcc_trace::Trace,
     opts: &RunOptions,
 ) -> Result<SimResult, SimError> {
+    try_run_protocol_traced(protocol, cfg, trace, opts).map(|(result, _)| result)
+}
+
+/// [`try_run_protocol`], additionally reporting which snapshot
+/// generation a resumed run actually recovered from: `None` for a
+/// fresh (non-resumed) run, otherwise the generation the fallback
+/// loader settled on. Sweep supervisors record this per cell so a
+/// rotated-generation recovery is visible in the results, not just on
+/// stderr.
+pub fn try_run_protocol_traced(
+    protocol: Protocol,
+    cfg: &DirectorySimConfig,
+    trace: &mcc_trace::Trace,
+    opts: &RunOptions,
+) -> Result<(SimResult, Option<SnapshotGeneration>), SimError> {
     let mut sim = DirectorySim::new(protocol, cfg);
     if let Some(plan) = opts.faults {
         sim = sim.with_faults(plan);
@@ -113,18 +128,58 @@ pub fn try_run_protocol(
         return crate::obs::run_observed(&sim, trace, shards, opts);
     }
     if let Some(path) = &opts.resume {
-        let checkpoint = Checkpoint::load(path).map_err(|e| SimError::BadCheckpoint {
-            reason: format!("loading {}: {e}", path.display()),
-        })?;
-        return sim.resume_from(trace, &checkpoint, opts.checkpoint.as_ref());
+        let (checkpoint, generation) = load_resume_checkpoint(path)?;
+        return sim
+            .resume_from(trace, &checkpoint, opts.checkpoint.as_ref())
+            .map(|r| (r, Some(generation)));
     }
     if let Some(policy) = &opts.checkpoint {
-        return sim.run_resumable(trace, shards, policy);
+        return sim.run_resumable(trace, shards, policy).map(|r| (r, None));
     }
     if shards > 1 {
-        sim.try_run_sharded(trace, shards)
+        sim.try_run_sharded(trace, shards).map(|r| (r, None))
     } else {
-        sim.try_run(trace)
+        sim.try_run(trace).map(|r| (r, None))
+    }
+}
+
+/// Loads a resume snapshot with last-good fallback: a primary that
+/// fails to load falls back to its rotated `.prev` sibling (with a
+/// stderr notice naming the error class), and only when every
+/// generation is unusable does this report [`SimError::BadCheckpoint`]
+/// — the reason then says whether a previous generation was even there
+/// to try.
+pub(crate) fn load_resume_checkpoint(
+    path: &Path,
+) -> Result<(Checkpoint, SnapshotGeneration), SimError> {
+    match Checkpoint::load_with_fallback(path) {
+        Ok(recovered) => {
+            if let Some(err) = &recovered.primary_error {
+                eprintln!(
+                    "mcc-bench: snapshot {} unusable ({}: {err}); \
+                     recovered from the rotated {} generation",
+                    path.display(),
+                    err.class(),
+                    recovered.generation,
+                );
+            }
+            Ok((recovered.checkpoint, recovered.generation))
+        }
+        Err(e) => {
+            let prev = mcc_core::checkpoint::prev_path(path);
+            let fallback_note = if prev.exists() {
+                format!("; the rotated {} is unusable too", prev.display())
+            } else {
+                format!("; no rotated {} to fall back to", prev.display())
+            };
+            Err(SimError::BadCheckpoint {
+                reason: format!(
+                    "loading {} ({}): {e}{fallback_note}",
+                    path.display(),
+                    e.class()
+                ),
+            })
+        }
     }
 }
 

@@ -17,8 +17,8 @@ pub mod timing;
 pub use args::Scenario;
 pub use experiments::{
     block_size_sweep, bus_sweep, cache_size_sweep, cost_ratio_table, exec_time_comparison,
-    policy_ablation, render_message_rows, run_protocol, try_run_protocol, BusComparison,
-    ExecComparison, MessageRow, RunOptions, BLOCK_SIZES, CACHE_SIZES_KB,
+    policy_ablation, render_message_rows, run_protocol, try_run_protocol, try_run_protocol_traced,
+    BusComparison, ExecComparison, MessageRow, RunOptions, BLOCK_SIZES, CACHE_SIZES_KB,
 };
 pub use obs::ObsOptions;
 

@@ -14,7 +14,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use mcc_core::{Checkpoint, DirectorySim, SimError, SimResult};
+use mcc_core::{DirectorySim, SimError, SimResult};
 use mcc_obs::{
     lock_sink, shared, BufferSink, Event, FlightRecorder, MetricsRecorder, RingSink, SharedSink,
     DEFAULT_INTERVAL, DEFAULT_RING,
@@ -117,12 +117,10 @@ pub(crate) fn run_observed(
     trace: &Trace,
     shards: usize,
     opts: &RunOptions,
-) -> Result<SimResult, SimError> {
+) -> Result<(SimResult, Option<mcc_core::SnapshotGeneration>), SimError> {
     let obs = &opts.obs;
     if let Some(path) = &opts.resume {
-        let checkpoint = Checkpoint::load(path).map_err(|e| SimError::BadCheckpoint {
-            reason: format!("loading {}: {e}", path.display()),
-        })?;
+        let (checkpoint, generation) = crate::experiments::load_resume_checkpoint(path)?;
         // A resumed run replays the snapshot's own shard layout, so the
         // sink count must match the snapshot, not the --shards flag.
         let capture = Capture::new(obs, checkpoint.shard_count());
@@ -132,7 +130,7 @@ pub(crate) fn run_observed(
             opts.checkpoint.as_ref(),
             &capture.handles,
         );
-        return finish(obs, &capture, outcome);
+        return finish(obs, &capture, outcome).map(|r| (r, Some(generation)));
     }
     let capture = Capture::new(obs, shards);
     let outcome = if let Some(policy) = &opts.checkpoint {
@@ -142,7 +140,7 @@ pub(crate) fn run_observed(
     } else {
         sim.try_run_with_sink(trace, capture.handles[0].clone())
     };
-    finish(obs, &capture, outcome)
+    finish(obs, &capture, outcome).map(|r| (r, None))
 }
 
 /// Writes the requested artifacts from the captured stream (on success

@@ -46,7 +46,6 @@
 //! as an uninterrupted run would).
 
 use std::fmt;
-use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -65,6 +64,7 @@ use crate::policy::{AdaptivePolicy, Protocol};
 use crate::repr::DirectoryRepr;
 use crate::result::{EventCounts, MessageBreakdown, SimResult};
 use crate::sim::{DirectoryEngine, DirectorySim, DirectorySimConfig, LineState, PlacementPolicy};
+use crate::storage::{RealStorage, Storage};
 
 use mcc_trace::NodeId;
 
@@ -115,6 +115,21 @@ impl fmt::Display for CheckpointError {
             ),
             CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint payload: {what}"),
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+        }
+    }
+}
+
+impl CheckpointError {
+    /// A short, stable name of the error class, for operator-facing
+    /// notices and per-cell audit records (`recovered_from` lines).
+    pub fn class(&self) -> &'static str {
+        match self {
+            CheckpointError::BadMagic => "bad-magic",
+            CheckpointError::UnsupportedVersion(_) => "unsupported-version",
+            CheckpointError::Truncated => "truncated",
+            CheckpointError::ChecksumMismatch { .. } => "checksum-mismatch",
+            CheckpointError::Corrupt(_) => "corrupt-payload",
+            CheckpointError::Io(_) => "io",
         }
     }
 }
@@ -197,6 +212,15 @@ impl<'a> PayloadReader<'a> {
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        self.take(n)
     }
 
     /// Reads one byte.
@@ -945,20 +969,49 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint to `path` atomically: the bytes land in a
-    /// sibling temporary file first and are renamed into place, so a
-    /// crash mid-write leaves the previous checkpoint intact rather
-    /// than a truncated one.
+    /// Writes the checkpoint to `path` durably and atomically, keeping
+    /// the previous generation as a fallback:
+    ///
+    /// 1. the bytes land in a sibling `.tmp` file, which is fsynced;
+    /// 2. an existing `path` is rotated to `path.prev` (the last-good
+    ///    generation [`Checkpoint::load_with_fallback`] recovers from
+    ///    when the newest snapshot turns out corrupt);
+    /// 3. the temp file is renamed into place;
+    /// 4. the parent directory is fsynced, making the whole sequence
+    ///    durable.
+    ///
+    /// A power cut at *any* point leaves either the new snapshot, the
+    /// previous one at `path` or `path.prev`, or both — never only a
+    /// torn file.
     ///
     /// # Errors
     ///
     /// Any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_with(&RealStorage, path)
+    }
+
+    /// [`Checkpoint::save`] through an explicit [`Storage`] — the
+    /// fault-injection seam the torture harness drives.
+    ///
+    /// # Errors
+    ///
+    /// Any storage failure (including injected ones).
+    pub fn save_with<S: Storage + ?Sized>(
+        &self,
+        storage: &S,
+        path: &Path,
+    ) -> Result<(), CheckpointError> {
         let tmp = sibling_tmp_path(path);
         let mut bytes = Vec::new();
         self.write_to(&mut bytes)?;
-        fs::write(&tmp, &bytes)?;
-        fs::rename(&tmp, path).map_err(CheckpointError::from)
+        storage.write_file(&tmp, &bytes)?;
+        storage.sync(&tmp)?;
+        if storage.exists(path) {
+            storage.rename(path, &prev_path(path))?;
+        }
+        storage.rename(&tmp, path)?;
+        storage.sync_parent(path).map_err(CheckpointError::from)
     }
 
     /// Reads a checkpoint from `path`.
@@ -968,14 +1021,111 @@ impl Checkpoint {
     /// See [`Checkpoint::read_from`]; file-open failures surface as
     /// [`CheckpointError::Io`].
     pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
-        let bytes = fs::read(path).map_err(CheckpointError::Io)?;
+        Checkpoint::load_from(&RealStorage, path)
+    }
+
+    /// [`Checkpoint::load`] through an explicit [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Checkpoint::load`].
+    pub fn load_from<S: Storage + ?Sized>(
+        storage: &S,
+        path: &Path,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let bytes = storage.read(path).map_err(CheckpointError::Io)?;
         Checkpoint::read_from(&mut bytes.as_slice())
     }
+
+    /// Loads `path`, falling back to the rotated `path.prev` when the
+    /// newest snapshot is missing or corrupt in any way
+    /// ([`Checkpoint::read_from`]'s whole taxonomy). The result says
+    /// which generation was used and, on fallback, why the newest one
+    /// was rejected — so supervisors can report the degradation
+    /// instead of silently rewinding.
+    ///
+    /// # Errors
+    ///
+    /// The *primary* snapshot's error, when neither generation loads.
+    pub fn load_with_fallback(path: &Path) -> Result<RecoveredCheckpoint, CheckpointError> {
+        Checkpoint::load_with_fallback_from(&RealStorage, path)
+    }
+
+    /// [`Checkpoint::load_with_fallback`] through an explicit
+    /// [`Storage`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Checkpoint::load_with_fallback`].
+    pub fn load_with_fallback_from<S: Storage + ?Sized>(
+        storage: &S,
+        path: &Path,
+    ) -> Result<RecoveredCheckpoint, CheckpointError> {
+        let primary = match Checkpoint::load_from(storage, path) {
+            Ok(checkpoint) => {
+                return Ok(RecoveredCheckpoint {
+                    checkpoint,
+                    generation: SnapshotGeneration::Current,
+                    primary_error: None,
+                })
+            }
+            Err(e) => e,
+        };
+        match Checkpoint::load_from(storage, &prev_path(path)) {
+            Ok(checkpoint) => Ok(RecoveredCheckpoint {
+                checkpoint,
+                generation: SnapshotGeneration::Previous,
+                primary_error: Some(primary),
+            }),
+            Err(_) => Err(primary),
+        }
+    }
+}
+
+/// Which snapshot generation [`Checkpoint::load_with_fallback`]
+/// recovered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotGeneration {
+    /// The newest snapshot (`path`) loaded cleanly.
+    Current,
+    /// The newest snapshot was unusable; the rotated last-good
+    /// (`path.prev`) loaded instead.
+    Previous,
+}
+
+impl fmt::Display for SnapshotGeneration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotGeneration::Current => write!(f, "snapshot"),
+            SnapshotGeneration::Previous => write!(f, "snapshot-prev"),
+        }
+    }
+}
+
+/// A checkpoint recovered by [`Checkpoint::load_with_fallback`], with
+/// the provenance a supervisor needs to report honestly.
+#[derive(Debug)]
+pub struct RecoveredCheckpoint {
+    /// The usable checkpoint.
+    pub checkpoint: Checkpoint,
+    /// Which generation it came from.
+    pub generation: SnapshotGeneration,
+    /// Why the newest snapshot was rejected, when `generation` is
+    /// [`SnapshotGeneration::Previous`].
+    pub primary_error: Option<CheckpointError>,
 }
 
 fn sibling_tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The rotated last-good sibling of a snapshot path (`x.ckpt` ↔
+/// `x.ckpt.prev`).
+pub fn prev_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".prev");
     path.with_file_name(name)
 }
 
@@ -1012,6 +1162,7 @@ impl CheckpointPolicy {
 struct Ledger<'a> {
     sim: &'a DirectorySim,
     policy: &'a CheckpointPolicy,
+    storage: &'a dyn Storage,
     shards: Mutex<Vec<ShardSnapshot>>,
 }
 
@@ -1026,7 +1177,7 @@ impl Ledger<'_> {
             shards: shards.clone(),
         };
         checkpoint
-            .save(&self.policy.path)
+            .save_with(self.storage, &self.policy.path)
             .map_err(|e| SimError::BadCheckpoint {
                 reason: format!("writing {}: {e}", self.policy.path.display()),
             })
@@ -1059,7 +1210,29 @@ impl DirectorySim {
         shards: usize,
         policy: &CheckpointPolicy,
     ) -> Result<SimResult, SimError> {
-        self.resumable(trace, shards, None, Some(policy), None)
+        self.resumable(trace, shards, None, Some(policy), None, &RealStorage)
+    }
+
+    /// [`DirectorySim::run_resumable`] through an explicit [`Storage`]
+    /// — snapshots are written (with rotation and fsyncs) via the
+    /// given backend, which is how the torture harness injects storage
+    /// faults into a resumable run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::run_resumable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn run_resumable_on(
+        &self,
+        trace: &Trace,
+        shards: usize,
+        policy: &CheckpointPolicy,
+        storage: &dyn Storage,
+    ) -> Result<SimResult, SimError> {
+        self.resumable(trace, shards, None, Some(policy), None, storage)
     }
 
     /// Like [`DirectorySim::run_resumable`], but streams each shard's
@@ -1087,7 +1260,7 @@ impl DirectorySim {
             "need exactly one sink per shard ({} sinks for {shards} shards)",
             sinks.len()
         );
-        self.resumable(trace, shards, None, Some(policy), Some(sinks))
+        self.resumable(trace, shards, None, Some(policy), Some(sinks), &RealStorage)
     }
 
     /// Continues a run from `checkpoint`, replaying only the
@@ -1115,6 +1288,30 @@ impl DirectorySim {
             Some(checkpoint),
             policy,
             None,
+            &RealStorage,
+        )
+    }
+
+    /// [`DirectorySim::resume_from`] through an explicit [`Storage`]
+    /// for the snapshots the resumed run keeps writing.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DirectorySim::resume_from`].
+    pub fn resume_from_on(
+        &self,
+        trace: &Trace,
+        checkpoint: &Checkpoint,
+        policy: Option<&CheckpointPolicy>,
+        storage: &dyn Storage,
+    ) -> Result<SimResult, SimError> {
+        self.resumable(
+            trace,
+            checkpoint.shard_count(),
+            Some(checkpoint),
+            policy,
+            None,
+            storage,
         )
     }
 
@@ -1152,6 +1349,7 @@ impl DirectorySim {
             Some(checkpoint),
             policy,
             Some(sinks),
+            &RealStorage,
         )
     }
 
@@ -1260,6 +1458,7 @@ impl DirectorySim {
         start: Option<&Checkpoint>,
         policy: Option<&CheckpointPolicy>,
         sinks: Option<&[SharedSink]>,
+        storage: &dyn Storage,
     ) -> Result<SimResult, SimError> {
         assert!(shards > 0, "shard count must be positive");
         self.check_shardable(shards)?;
@@ -1313,6 +1512,7 @@ impl DirectorySim {
         let ledger = policy.map(|p| Ledger {
             sim: self,
             policy: p,
+            storage,
             shards: Mutex::new(initial.clone()),
         });
 

@@ -59,6 +59,7 @@ mod engine;
 mod error;
 mod fast;
 mod faults;
+mod layout;
 mod monitor;
 mod msg;
 mod oracle;
@@ -67,10 +68,11 @@ mod repr;
 mod result;
 mod sim;
 mod sim_parallel;
-mod storage;
+pub mod storage;
 
 pub use checkpoint::{
-    Checkpoint, CheckpointError, CheckpointPolicy, EngineSnapshot, ShardSnapshot,
+    Checkpoint, CheckpointError, CheckpointPolicy, EngineSnapshot, RecoveredCheckpoint,
+    ShardSnapshot, SnapshotGeneration,
 };
 pub use directory::{CopiesCreated, CopySet, DirEntry, ReadMissAction, Reclassification};
 pub use engine::{AnyEngine, Engine, EngineKind};
@@ -80,6 +82,7 @@ pub use faults::{
     backoff_units, jittered_backoff_units, AttemptOutcome, AttemptReport, Fault, FaultInjector,
     FaultPlan, FaultRates, MessageClass, TransactionShape,
 };
+pub use layout::DirEntryLayout;
 pub use monitor::Monitor;
 pub use msg::{charge, charge_eviction, MessageCount, OpKind};
 pub use oracle::migrate_hints;
@@ -93,4 +96,6 @@ pub use sim::{
 #[doc(hidden)]
 pub use sim_parallel::test_hooks as supervision_test_hooks;
 pub use sim_parallel::ShardedReport;
-pub use storage::DirEntryLayout;
+pub use storage::{
+    ChaosStorage, ChaosStorageStats, KillScope, RealStorage, Storage, StorageFaultPlan,
+};

@@ -1,192 +1,929 @@
-//! Directory-entry storage cost analysis (§2.2).
+//! Storage abstraction with deterministic fault injection.
 //!
-//! "Adding an adaptive protocol to an existing directory-based protocol
-//! increases the size of each directory entry. The amount of extra
-//! storage depends on both the design of the original protocol and the
-//! properties of the particular adaptive policy chosen." This module
-//! quantifies that: bits per directory entry for a full-map directory,
-//! with and without the adaptive extension, so hardware-cost trade-offs
-//! can be tabulated (see the `storage_overhead` harness binary).
+//! Everything the workspace persists — checkpoint snapshots, the live
+//! service's write-ahead journal, run artifacts — goes through the
+//! [`Storage`] trait, so durability claims can be *tested* instead of
+//! trusted. Two implementations:
+//!
+//! * [`RealStorage`] — the real filesystem, with real `fsync`s. File
+//!   data is only durable after [`Storage::sync`]; a freshly created or
+//!   renamed directory entry is only durable after
+//!   [`Storage::sync_parent`]. This is the POSIX contract, and the
+//!   write paths in this workspace (checkpoint rotation, WAL commits)
+//!   are written against it.
+//! * [`ChaosStorage`] — a deterministic in-memory filesystem that
+//!   models exactly that contract and injects seeded faults into it,
+//!   in the spirit of the interconnect's
+//!   [`FaultRates`](crate::FaultRates): torn writes (a drawn prefix of
+//!   the bytes lands, then the op fails), failed and *lost* fsyncs
+//!   (the worst kind: `Ok` is returned but nothing became durable),
+//!   failed renames, `ENOSPC`, and read-path bit flips. On top of the
+//!   rates sits a numbered **kill-point**: the Nth I/O operation
+//!   "pulls the power", replacing the affected state with its durable
+//!   image — synced bytes, plus a drawn prefix of the unsynced tail
+//!   (the page cache the kernel happened to flush), with unsynced
+//!   namespace operations cut at a drawn point in order.
+//!
+//! The `torture` harness in `mcc-bench` counts a scenario's I/O ops
+//! against a fault-free [`ChaosStorage`], then re-runs it killing at
+//! every op index and asserts that recovery reaches the bit-exact
+//! result of the uninterrupted run.
+//!
+//! # The durability model
+//!
+//! [`ChaosStorage`] is an inode model. Each live path maps to a file
+//! id; each file id owns a byte buffer plus a *synced watermark* (the
+//! prefix guaranteed durable). [`Storage::write_file`] always creates
+//! a fresh inode — like `O_TRUNC` allocating new blocks — so a
+//! rename-replaced path can keep its *old* durable content through a
+//! crash if the replacing rename was never made durable. The durable
+//! namespace (path → inode) is a separate map, advanced only by
+//! [`Storage::sync_parent`]. At a kill, the filesystem collapses to
+//! the durable namespace over per-inode durable bytes; everything else
+//! is gone, exactly as on a machine that lost power.
 
-use core::fmt;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
-use crate::policy::AdaptivePolicy;
+use mcc_prng::SplitMix64;
 
-/// Bit-level layout of a full-map directory entry.
+/// The substring a kill-point error carries; see [`is_killed`]. Public
+/// so harnesses can recognise a kill in *stringified* errors (e.g. a
+/// `BadCheckpoint` reason wrapping the underlying I/O error).
+pub const KILLED_MARKER: &str = "storage kill-point";
+
+/// Path-based storage operations with explicit durability points.
 ///
-/// # Examples
-///
-/// ```
-/// use mcc_core::{AdaptivePolicy, DirEntryLayout};
-///
-/// let conventional = DirEntryLayout::conventional(16);
-/// let adaptive = DirEntryLayout::adaptive(16, AdaptivePolicy::basic());
-/// assert!(adaptive.total_bits() > conventional.total_bits());
-/// // The paper's point: the increase is a handful of bits.
-/// assert!(adaptive.total_bits() - conventional.total_bits() <= 8);
-/// ```
+/// All methods take paths (not handles): every call is one *numbered*
+/// I/O operation, which is what lets [`ChaosStorage`] kill or fault at
+/// "the Nth op" reproducibly. [`Storage::exists`] is the exception —
+/// it is a metadata peek and is not counted or faulted.
+pub trait Storage: Send + Sync {
+    /// Creates (or truncates) `path` and writes `bytes` to it. The
+    /// contents are **not** durable until [`Storage::sync`]; a new
+    /// file's directory entry is not durable until
+    /// [`Storage::sync_parent`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; under chaos also torn writes, `ENOSPC`, and
+    /// kill-points.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` to `path`, creating it if absent. Same
+    /// durability caveats as [`Storage::write_file`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; under chaos also torn writes, `ENOSPC`, and
+    /// kill-points.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// `fsync(2)`: makes `path`'s current contents durable.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; under chaos the sync can fail, be silently
+    /// *lost* (returns `Ok` without making anything durable), or kill.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// `fsync(2)` on `path`'s parent directory: makes creations,
+    /// renames, and removals of entries in that directory durable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Storage::sync`].
+    fn sync_parent(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (replacing `to` if it
+    /// exists). The rename is not durable until [`Storage::sync_parent`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; under chaos the rename can fail cleanly or
+    /// kill.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes `path`. Not durable until [`Storage::sync_parent`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure (including `NotFound`).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; under chaos the returned bytes may carry drawn
+    /// bit flips (which downstream checksums must catch).
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Whether `path` currently exists (a metadata peek: never counted
+    /// as an I/O op, never faulted).
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// Whether an error is a [`ChaosStorage`] kill-point firing (the
+/// simulated power cut), as opposed to an ordinary injected fault or a
+/// real I/O failure. Harnesses use this to tell "the crash we asked
+/// for" from "a bug".
+pub fn is_killed(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted && e.to_string().contains(KILLED_MARKER)
+}
+
+// ---------------------------------------------------------------------
+// RealStorage
+// ---------------------------------------------------------------------
+
+/// The real filesystem with real `fsync`s.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealStorage;
+
+impl Storage for RealStorage {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_parent(&self, path: &Path) -> io::Result<()> {
+        // An empty parent means a bare relative filename: the entry
+        // lives in the current directory.
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        match fs::File::open(&parent) {
+            // Some platforms refuse to open (or fsync) a directory;
+            // durability of the entry is then best-effort, as it is for
+            // every program on such platforms.
+            Ok(d) => d.sync_all().or(Ok(())),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------
+
+/// What a kill-point takes down.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct DirEntryLayout {
-    /// Nodes tracked by the full-map copy set.
-    pub nodes: u16,
-    /// Presence-vector bits (one per node).
-    pub copyset_bits: u32,
-    /// Base state bits (uncached / one / two / three-or-more plus the
-    /// dirty flag).
-    pub state_bits: u32,
-    /// Migratory classification bit (0 for conventional).
-    pub migratory_bits: u32,
-    /// Bits identifying the last invalidator (0 when the copy-set
-    /// representation already reveals creation order, or for the
-    /// conventional protocol).
-    pub last_invalidator_bits: u32,
-    /// Hysteresis counter bits (⌈log2(events_required)⌉).
-    pub hysteresis_bits: u32,
+pub enum KillScope {
+    /// The whole machine: every file collapses to its durable image.
+    /// Models a power cut under a single-process scenario (the
+    /// sequential torture run).
+    Machine,
+    /// Only the file the killed op touches collapses; other files keep
+    /// their live state. Models one shard of the live service crashing
+    /// while its peers (same process, other threads) keep running —
+    /// *their* page cache did not go anywhere.
+    File,
 }
 
-impl DirEntryLayout {
-    /// Layout for a conventional full-map write-invalidate directory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is zero.
-    pub fn conventional(nodes: u16) -> Self {
-        assert!(nodes > 0, "node count must be positive");
-        DirEntryLayout {
-            nodes,
-            copyset_bits: u32::from(nodes),
-            // Uncached / shared / dirty.
-            state_bits: 2,
-            migratory_bits: 0,
-            last_invalidator_bits: 0,
-            hysteresis_bits: 0,
+/// Per-operation storage fault rates, in parts per million, drawn from
+/// a seeded SplitMix64 stream — the storage-layer sibling of the
+/// interconnect's [`FaultRates`](crate::FaultRates).
+///
+/// All rates zero (see [`StorageFaultPlan::reliable`]) gives a
+/// faithful, fault-free in-memory filesystem, which is how the torture
+/// harness counts a scenario's ops before sweeping kills.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageFaultPlan {
+    /// Seed of the fault stream.
+    pub seed: u64,
+    /// A write/append lands only a drawn strict prefix, then fails.
+    pub torn_write_ppm: u32,
+    /// `fsync` fails with an error (nothing made durable).
+    pub sync_fail_ppm: u32,
+    /// `fsync` returns `Ok` but makes nothing durable — the lying
+    /// disk. Undetectable at sync time by construction; recovery must
+    /// either cope or report the loss explicitly.
+    pub sync_lost_ppm: u32,
+    /// `rename` fails cleanly (no change to either path).
+    pub rename_fail_ppm: u32,
+    /// A write/append fails with `ENOSPC` before any byte lands.
+    pub enospc_ppm: u32,
+    /// A read returns the true bytes with one drawn bit flipped.
+    pub read_flip_ppm: u32,
+    /// Kill (simulated power cut) at this zero-based I/O op index.
+    pub kill_at_op: Option<u64>,
+    /// What the kill takes down.
+    pub kill_scope: KillScope,
+}
+
+impl StorageFaultPlan {
+    /// A fault-free plan: [`ChaosStorage`] behaves as a faithful
+    /// in-memory filesystem that still counts ops.
+    pub const fn reliable(seed: u64) -> Self {
+        StorageFaultPlan {
+            seed,
+            torn_write_ppm: 0,
+            sync_fail_ppm: 0,
+            sync_lost_ppm: 0,
+            rename_fail_ppm: 0,
+            enospc_ppm: 0,
+            read_flip_ppm: 0,
+            kill_at_op: None,
+            kill_scope: KillScope::Machine,
         }
     }
 
-    /// Layout for the adaptive extension under `policy`.
-    ///
-    /// The copies-created counter folds into the state field (two extra
-    /// encodings), the migratory flag costs one bit, the last
-    /// invalidator costs ⌈log2 nodes⌉ bits, and the hysteresis counter
-    /// costs ⌈log2 events_required⌉ bits — "a small (one or two bits)
-    /// counter field" in the paper's words.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `nodes` is zero or `policy.events_required` is zero.
-    pub fn adaptive(nodes: u16, policy: AdaptivePolicy) -> Self {
-        assert!(nodes > 0, "node count must be positive");
-        assert!(
-            policy.events_required > 0,
-            "events_required must be positive"
-        );
-        let hysteresis_states = u32::from(policy.events_required);
-        DirEntryLayout {
-            nodes,
-            copyset_bits: u32::from(nodes),
-            // Uncached / one / two / three-or-more, plus dirty.
-            state_bits: 3,
-            migratory_bits: 1,
-            last_invalidator_bits: ceil_log2(u32::from(nodes)),
-            hysteresis_bits: ceil_log2(hysteresis_states),
-        }
-    }
-
-    /// Total bits per directory entry.
-    pub fn total_bits(&self) -> u32 {
-        self.copyset_bits
-            + self.state_bits
-            + self.migratory_bits
-            + self.last_invalidator_bits
-            + self.hysteresis_bits
-    }
-
-    /// Directory overhead as a fraction of data storage, for a given
-    /// block size: `total_bits / (block_bytes * 8)`.
-    pub fn overhead_fraction(&self, block_bytes: u64) -> f64 {
-        self.total_bits() as f64 / (block_bytes * 8) as f64
+    /// A reliable plan that kills at op `n` with the given scope.
+    pub const fn kill_at(seed: u64, n: u64, scope: KillScope) -> Self {
+        let mut p = StorageFaultPlan::reliable(seed);
+        p.kill_at_op = Some(n);
+        p.kill_scope = scope;
+        p
     }
 }
 
-impl fmt::Display for DirEntryLayout {
+// ---------------------------------------------------------------------
+// ChaosStorage
+// ---------------------------------------------------------------------
+
+/// A file id: [`ChaosStorage`] inode number.
+type FileId = u64;
+
+/// One inode: live bytes plus the prefix known durable.
+#[derive(Clone, Debug)]
+struct Inode {
+    bytes: Vec<u8>,
+    synced_len: usize,
+}
+
+impl Inode {
+    /// The durable image of this inode at a crash: the synced prefix,
+    /// plus a drawn amount of the unsynced tail (whatever the kernel
+    /// happened to write back on its own).
+    fn crash_image(&self, rng: &mut SplitMix64) -> Vec<u8> {
+        let tail = self.bytes.len() - self.synced_len;
+        let keep = if tail == 0 {
+            0
+        } else {
+            rng.gen_range(0..(tail as u64 + 1)) as usize
+        };
+        self.bytes[..self.synced_len + keep].to_vec()
+    }
+}
+
+/// A namespace operation not yet made durable by
+/// [`Storage::sync_parent`].
+#[derive(Clone, Debug)]
+enum NsOp {
+    /// `path` now links to `id` (creation, or the destination side of
+    /// a rename — which atomically replaces whatever was there).
+    Link { path: PathBuf, id: FileId },
+    /// `path` no longer links to anything (removal, or the source side
+    /// of a rename).
+    Unlink { path: PathBuf },
+}
+
+impl NsOp {
+    fn path(&self) -> &Path {
+        match self {
+            NsOp::Link { path, .. } | NsOp::Unlink { path } => path,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ChaosState {
+    /// Live namespace: what the running process sees.
+    live: BTreeMap<PathBuf, FileId>,
+    /// Durable namespace: what a crash reveals.
+    durable: BTreeMap<PathBuf, FileId>,
+    /// Inode store (both namespaces point into it).
+    inodes: BTreeMap<FileId, Inode>,
+    /// Namespace ops applied live but not yet made durable, in order.
+    pending_ns: Vec<NsOp>,
+    next_id: FileId,
+    ops: u64,
+    killed: bool,
+    rng: SplitMix64,
+}
+
+impl ChaosState {
+    fn new(seed: u64) -> Self {
+        ChaosState {
+            live: BTreeMap::new(),
+            durable: BTreeMap::new(),
+            inodes: BTreeMap::new(),
+            pending_ns: Vec::new(),
+            next_id: 0,
+            ops: 0,
+            killed: false,
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+/// Stats a harness reads back after a chaos run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosStorageStats {
+    /// Total numbered I/O ops performed (including the killed one).
+    pub ops: u64,
+    /// Whether the kill-point fired.
+    pub killed: bool,
+}
+
+/// A deterministic in-memory filesystem with seeded fault injection
+/// and numbered kill-points. See the module docs for the model.
+///
+/// Thread-safe: one mutex guards the whole filesystem, so concurrent
+/// shard threads serialize their ops into one global, numbered stream
+/// (the order is scheduling-dependent under threads, but each op's
+/// fault draws come from the one seeded stream, so a single-threaded
+/// scenario is fully reproducible).
+pub struct ChaosStorage {
+    plan: StorageFaultPlan,
+    state: Mutex<ChaosState>,
+}
+
+impl fmt::Debug for ChaosStorage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} bits/entry ({} copyset + {} state + {} migratory + {} last-inv + {} hysteresis)",
-            self.total_bits(),
-            self.copyset_bits,
-            self.state_bits,
-            self.migratory_bits,
-            self.last_invalidator_bits,
-            self.hysteresis_bits
-        )
+        f.debug_struct("ChaosStorage")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
-/// ⌈log2(n)⌉ for n ≥ 1 (0 for n = 1).
-fn ceil_log2(n: u32) -> u32 {
-    debug_assert!(n >= 1);
-    32 - (n - 1).leading_zeros().min(32)
+impl ChaosStorage {
+    /// An empty chaos filesystem under `plan`.
+    pub fn new(plan: StorageFaultPlan) -> Self {
+        ChaosStorage {
+            plan,
+            state: Mutex::new(ChaosState::new(plan.seed)),
+        }
+    }
+
+    /// Op count and kill status so far.
+    pub fn stats(&self) -> ChaosStorageStats {
+        let st = self.lock();
+        ChaosStorageStats {
+            ops: st.ops,
+            killed: st.killed,
+        }
+    }
+
+    /// The live paths currently visible, in sorted order (test hook).
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.lock().live.keys().cloned().collect()
+    }
+
+    /// Simulates a full power cut *now*, outside any numbered op:
+    /// every file collapses to its durable image. The torture harness
+    /// uses this to inspect "what would a crash at this instant leave
+    /// behind" after a run completes.
+    pub fn crash_now(&self) {
+        let mut st = self.lock();
+        crash(&mut st, None);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChaosState> {
+        // A panic mid-op (e.g. a kill-drill unwind in a shard thread)
+        // must not wedge the filesystem for the surviving threads.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Numbers the op; fires the kill-point if this is the op. Returns
+    /// the error to propagate when killed. `touched` is the path whose
+    /// file collapses under [`KillScope::File`].
+    fn begin_op(&self, st: &mut ChaosState, touched: &Path) -> io::Result<()> {
+        let n = st.ops;
+        st.ops += 1;
+        if Some(n) == self.plan.kill_at_op && !st.killed {
+            st.killed = true;
+            let scope = match self.plan.kill_scope {
+                KillScope::Machine => None,
+                KillScope::File => Some(touched.to_path_buf()),
+            };
+            crash(st, scope.as_deref());
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("{KILLED_MARKER}: power cut at I/O op {n}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Draws one fault decision at `ppm`.
+    fn draw(&self, st: &mut ChaosState, ppm: u32) -> bool {
+        ppm > 0 && st.rng.gen_range(0..1_000_000) < u64::from(ppm)
+    }
+}
+
+/// Collapses state to its durable image. `only` limits the collapse to
+/// one path ([`KillScope::File`]); `None` is the whole machine.
+fn crash(st: &mut ChaosState, only: Option<&Path>) {
+    match only {
+        None => {
+            // Cut the pending namespace ops at a drawn point, in
+            // order: a dir whose entries were never synced may still
+            // have written back some of them.
+            let cut = if st.pending_ns.is_empty() {
+                0
+            } else {
+                st.rng.gen_range(0..(st.pending_ns.len() as u64 + 1)) as usize
+            };
+            for op in st.pending_ns.drain(..).take(cut) {
+                apply_ns(&mut st.durable, op);
+            }
+            st.live = st.durable.clone();
+            let mut rng = st.rng.clone();
+            for inode in st.inodes.values_mut() {
+                let img = inode.crash_image(&mut rng);
+                inode.synced_len = img.len();
+                inode.bytes = img;
+            }
+            st.rng = rng;
+        }
+        Some(path) => {
+            // Only `path`'s inode loses its unsynced tail; the live
+            // namespace keeps every pending op (the process's other
+            // threads are still up, holding the page cache).
+            if let Some(&id) = st.live.get(path) {
+                if let Some(inode) = st.inodes.get_mut(&id) {
+                    let mut rng = st.rng.clone();
+                    let img = inode.crash_image(&mut rng);
+                    inode.synced_len = img.len();
+                    inode.bytes = img;
+                    st.rng = rng;
+                }
+            }
+        }
+    }
+}
+
+fn apply_ns(ns: &mut BTreeMap<PathBuf, FileId>, op: NsOp) {
+    match op {
+        NsOp::Link { path, id } => {
+            ns.insert(path, id);
+        }
+        NsOp::Unlink { path } => {
+            ns.remove(&path);
+        }
+    }
+}
+
+fn enospc(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::StorageFull,
+        format!("injected ENOSPC writing {}", path.display()),
+    )
+}
+
+fn torn(path: &Path, landed: usize, total: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::WriteZero,
+        format!(
+            "injected torn write to {}: {landed} of {total} bytes landed",
+            path.display()
+        ),
+    )
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{} not found", path.display()),
+    )
+}
+
+impl Storage for ChaosStorage {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        if self.draw(&mut st, self.plan.enospc_ppm) {
+            return Err(enospc(path));
+        }
+        let torn_at = if self.draw(&mut st, self.plan.torn_write_ppm) {
+            Some(st.rng.gen_range(0..bytes.len().max(1) as u64) as usize)
+        } else {
+            None
+        };
+        // O_TRUNC semantics in the inode model: a fresh inode, so a
+        // durable link elsewhere (rename-replaced path) keeps the old
+        // bytes through a crash.
+        let id = st.next_id;
+        st.next_id += 1;
+        let landed = torn_at.unwrap_or(bytes.len());
+        st.inodes.insert(
+            id,
+            Inode {
+                bytes: bytes[..landed].to_vec(),
+                synced_len: 0,
+            },
+        );
+        st.live.insert(path.to_path_buf(), id);
+        st.pending_ns.push(NsOp::Link {
+            path: path.to_path_buf(),
+            id,
+        });
+        match torn_at {
+            Some(n) => Err(torn(path, n, bytes.len())),
+            None => Ok(()),
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        if self.draw(&mut st, self.plan.enospc_ppm) {
+            return Err(enospc(path));
+        }
+        let torn_at = if self.draw(&mut st, self.plan.torn_write_ppm) {
+            Some(st.rng.gen_range(0..bytes.len().max(1) as u64) as usize)
+        } else {
+            None
+        };
+        let id = match st.live.get(path) {
+            Some(&id) => id,
+            None => {
+                let id = st.next_id;
+                st.next_id += 1;
+                st.inodes.insert(
+                    id,
+                    Inode {
+                        bytes: Vec::new(),
+                        synced_len: 0,
+                    },
+                );
+                st.live.insert(path.to_path_buf(), id);
+                st.pending_ns.push(NsOp::Link {
+                    path: path.to_path_buf(),
+                    id,
+                });
+                id
+            }
+        };
+        let landed = torn_at.unwrap_or(bytes.len());
+        st.inodes
+            .get_mut(&id)
+            .expect("live path points at a stored inode")
+            .bytes
+            .extend_from_slice(&bytes[..landed]);
+        match torn_at {
+            Some(n) => Err(torn(path, n, bytes.len())),
+            None => Ok(()),
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        let id = *st.live.get(path).ok_or_else(|| not_found(path))?;
+        if self.draw(&mut st, self.plan.sync_fail_ppm) {
+            return Err(io::Error::other(format!(
+                "injected fsync failure on {}",
+                path.display()
+            )));
+        }
+        if self.draw(&mut st, self.plan.sync_lost_ppm) {
+            return Ok(()); // the lying disk: Ok, nothing durable
+        }
+        let inode = st
+            .inodes
+            .get_mut(&id)
+            .expect("live path points at a stored inode");
+        inode.synced_len = inode.bytes.len();
+        Ok(())
+    }
+
+    fn sync_parent(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        if self.draw(&mut st, self.plan.sync_fail_ppm) {
+            return Err(io::Error::other(format!(
+                "injected fsync failure on parent of {}",
+                path.display()
+            )));
+        }
+        if self.draw(&mut st, self.plan.sync_lost_ppm) {
+            return Ok(());
+        }
+        let parent = path.parent().map(Path::to_path_buf).unwrap_or_default();
+        let (flush, keep): (Vec<NsOp>, Vec<NsOp>) = st.pending_ns.drain(..).partition(|op| {
+            op.path()
+                .parent()
+                .map(Path::to_path_buf)
+                .unwrap_or_default()
+                == parent
+        });
+        st.pending_ns = keep;
+        for op in flush {
+            apply_ns(&mut st.durable, op);
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, to)?;
+        if self.draw(&mut st, self.plan.rename_fail_ppm) {
+            return Err(io::Error::other(format!(
+                "injected rename failure {} -> {}",
+                from.display(),
+                to.display()
+            )));
+        }
+        let id = st.live.remove(from).ok_or_else(|| not_found(from))?;
+        st.live.insert(to.to_path_buf(), id);
+        st.pending_ns.push(NsOp::Unlink {
+            path: from.to_path_buf(),
+        });
+        st.pending_ns.push(NsOp::Link {
+            path: to.to_path_buf(),
+            id,
+        });
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        st.live.remove(path).ok_or_else(|| not_found(path))?;
+        st.pending_ns.push(NsOp::Unlink {
+            path: path.to_path_buf(),
+        });
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut st = self.lock();
+        self.begin_op(&mut st, path)?;
+        let id = *st.live.get(path).ok_or_else(|| not_found(path))?;
+        let mut bytes = st
+            .inodes
+            .get(&id)
+            .expect("live path points at a stored inode")
+            .bytes
+            .clone();
+        if !bytes.is_empty() && self.draw(&mut st, self.plan.read_flip_ppm) {
+            let bit = st.rng.gen_range(0..(bytes.len() as u64 * 8));
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        Ok(bytes)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().live.contains_key(path)
+    }
+}
+
+// Storage is object-safe; `&S`, `Box`/`Arc<dyn Storage>` delegate.
+impl<S: Storage + ?Sized> Storage for &S {
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        (**self).write_file(path, bytes)
+    }
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        (**self).append(path, bytes)
+    }
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        (**self).sync(path)
+    }
+    fn sync_parent(&self, path: &Path) -> io::Result<()> {
+        (**self).sync_parent(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        (**self).remove(path)
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        (**self).exists(path)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn ceil_log2_values() {
-        assert_eq!(ceil_log2(1), 0);
-        assert_eq!(ceil_log2(2), 1);
-        assert_eq!(ceil_log2(3), 2);
-        assert_eq!(ceil_log2(16), 4);
-        assert_eq!(ceil_log2(17), 5);
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
     }
 
+    /// write + sync + sync_parent survives a machine crash.
     #[test]
-    fn sixteen_node_layouts() {
-        let conv = DirEntryLayout::conventional(16);
-        assert_eq!(conv.total_bits(), 18);
-
-        let basic = DirEntryLayout::adaptive(16, AdaptivePolicy::basic());
-        // 16 copyset + 3 state + 1 migratory + 4 last-inv + 0 hysteresis.
-        assert_eq!(basic.total_bits(), 24);
-
-        let conservative = DirEntryLayout::adaptive(16, AdaptivePolicy::conservative());
-        // One extra hysteresis bit.
-        assert_eq!(conservative.total_bits(), 25);
+    fn synced_file_survives_crash() {
+        let fs = ChaosStorage::new(StorageFaultPlan::reliable(1));
+        fs.write_file(&p("d/a"), b"hello").unwrap();
+        fs.sync(&p("d/a")).unwrap();
+        fs.sync_parent(&p("d/a")).unwrap();
+        fs.crash_now();
+        assert_eq!(fs.read(&p("d/a")).unwrap(), b"hello");
     }
 
+    /// Without sync_parent a new file may vanish entirely at a crash
+    /// (the seed below draws the losing cut).
     #[test]
-    fn overhead_fraction_for_paper_blocks() {
-        let basic = DirEntryLayout::adaptive(16, AdaptivePolicy::basic());
-        // 24 bits over a 16-byte block = 18.75%.
-        assert!((basic.overhead_fraction(16) - 24.0 / 128.0).abs() < 1e-12);
-        // Over a 256-byte block it is negligible.
-        assert!(basic.overhead_fraction(256) < 0.02);
+    fn unsynced_dir_entry_can_vanish() {
+        for seed in 0..64 {
+            let fs = ChaosStorage::new(StorageFaultPlan::reliable(seed));
+            fs.write_file(&p("d/a"), b"hello").unwrap();
+            fs.sync(&p("d/a")).unwrap();
+            fs.crash_now();
+            if !fs.exists(&p("d/a")) {
+                return; // some seed loses the entry — the hazard is real
+            }
+        }
+        panic!("no seed ever lost the unsynced directory entry");
     }
 
+    /// An unsynced tail is cut at a drawn point but the synced prefix
+    /// survives.
     #[test]
-    fn adaptive_cost_grows_slowly_with_nodes() {
-        for nodes in [4u16, 16, 64] {
-            let conv = DirEntryLayout::conventional(nodes);
-            let adapt = DirEntryLayout::adaptive(nodes, AdaptivePolicy::aggressive());
-            let extra = adapt.total_bits() - conv.total_bits();
-            // One state encoding, one migratory bit, log2(n) last-inv.
-            assert!(extra <= 2 + 1 + 16, "{nodes} nodes: {extra} extra bits");
-            assert!(adapt.total_bits() > conv.total_bits());
+    fn unsynced_tail_is_torn_not_synced_prefix() {
+        for seed in 0..32 {
+            let fs = ChaosStorage::new(StorageFaultPlan::reliable(seed));
+            fs.append(&p("w"), b"AAAA").unwrap();
+            fs.sync(&p("w")).unwrap();
+            fs.sync_parent(&p("w")).unwrap();
+            fs.append(&p("w"), b"BBBB").unwrap();
+            fs.crash_now();
+            let bytes = fs.read(&p("w")).unwrap();
+            assert!(bytes.len() >= 4 && bytes.len() <= 8, "len {}", bytes.len());
+            assert_eq!(&bytes[..4], b"AAAA");
+            assert!(bytes[4..].iter().all(|&b| b == b'B'));
         }
     }
 
+    /// Rename-replace without a parent sync keeps the *old* durable
+    /// content visible after a crash for at least one seed.
     #[test]
-    #[should_panic(expected = "node count must be positive")]
-    fn zero_nodes_rejected() {
-        let _ = DirEntryLayout::conventional(0);
+    fn unsynced_rename_can_expose_old_content() {
+        let mut saw_old = false;
+        let mut saw_new = false;
+        for seed in 0..64 {
+            let fs = ChaosStorage::new(StorageFaultPlan::reliable(seed));
+            fs.write_file(&p("d/f"), b"old").unwrap();
+            fs.sync(&p("d/f")).unwrap();
+            fs.sync_parent(&p("d/f")).unwrap();
+            fs.write_file(&p("d/f.tmp"), b"new").unwrap();
+            fs.sync(&p("d/f.tmp")).unwrap();
+            fs.rename(&p("d/f.tmp"), &p("d/f")).unwrap();
+            fs.crash_now();
+            match fs.read(&p("d/f")).unwrap().as_slice() {
+                b"old" => saw_old = true,
+                b"new" => saw_new = true,
+                other => panic!("neither old nor new: {other:?}"),
+            }
+        }
+        assert!(saw_old, "rename never lost durability (model too kind)");
+        assert!(saw_new, "rename never became durable (model too cruel)");
     }
 
+    /// The kill-point fires exactly at the numbered op and later ops
+    /// still run (the restarted process reuses the storage).
     #[test]
-    fn display_itemizes() {
-        let text = DirEntryLayout::adaptive(16, AdaptivePolicy::conservative()).to_string();
-        assert!(text.contains("25 bits/entry"));
-        assert!(text.contains("hysteresis"));
+    fn kill_point_fires_once_at_numbered_op() {
+        let fs = ChaosStorage::new(StorageFaultPlan::kill_at(7, 2, KillScope::Machine));
+        fs.write_file(&p("a"), b"x").unwrap(); // op 0
+        fs.sync(&p("a")).unwrap(); // op 1
+        let err = fs.write_file(&p("b"), b"y").unwrap_err(); // op 2: kill
+        assert!(is_killed(&err), "unexpected error: {err}");
+        assert!(fs.stats().killed);
+        // Post-restart ops proceed normally.
+        fs.write_file(&p("c"), b"z").unwrap();
+        assert_eq!(fs.read(&p("c")).unwrap(), b"z");
+    }
+
+    /// File-scoped kill leaves other files' live state alone.
+    #[test]
+    fn file_scoped_kill_spares_other_files() {
+        let fs = ChaosStorage::new(StorageFaultPlan::kill_at(3, 2, KillScope::File));
+        fs.append(&p("other"), b"unsynced").unwrap(); // op 0
+        fs.append(&p("victim"), b"doomed tail").unwrap(); // op 1
+        let err = fs.sync(&p("victim")).unwrap_err(); // op 2: kill
+        assert!(is_killed(&err));
+        // `other` kept its unsynced live bytes; `victim` fell back to
+        // its durable image (a prefix of the unsynced tail).
+        assert_eq!(fs.read(&p("other")).unwrap(), b"unsynced");
+        assert!(fs.read(&p("victim")).unwrap().len() <= b"doomed tail".len());
+    }
+
+    /// Torn writes land a strict prefix and report failure.
+    #[test]
+    fn torn_write_lands_prefix_and_errors() {
+        let mut plan = StorageFaultPlan::reliable(11);
+        plan.torn_write_ppm = 1_000_000;
+        let fs = ChaosStorage::new(plan);
+        let err = fs.append(&p("f"), b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        let landed = fs.read(&p("f")).unwrap();
+        assert!(landed.len() < 10);
+        assert_eq!(&b"0123456789"[..landed.len()], landed.as_slice());
+    }
+
+    /// A lost fsync returns Ok but leaves nothing durable.
+    #[test]
+    fn lost_fsync_is_silent() {
+        let mut plan = StorageFaultPlan::reliable(5);
+        plan.sync_lost_ppm = 1_000_000;
+        let fs = ChaosStorage::new(plan);
+        fs.write_file(&p("d/f"), b"data").unwrap();
+        fs.sync(&p("d/f")).unwrap(); // lies
+        fs.crash_now();
+        // The entry was never durably linked AND the bytes were never
+        // durably synced: whatever survives is a drawn prefix at most.
+        if fs.exists(&p("d/f")) {
+            assert!(fs.read(&p("d/f")).unwrap().len() <= 4);
+        }
+    }
+
+    /// Read bit-flips corrupt exactly one bit.
+    #[test]
+    fn read_flip_flips_one_bit() {
+        let mut plan = StorageFaultPlan::reliable(9);
+        plan.read_flip_ppm = 1_000_000;
+        let fs = ChaosStorage::new(plan);
+        fs.write_file(&p("f"), b"\0\0\0\0").unwrap();
+        let bytes = fs.read(&p("f")).unwrap();
+        let ones: u32 = bytes.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1, "exactly one flipped bit, got {bytes:?}");
+    }
+
+    /// ENOSPC fails before any byte lands.
+    #[test]
+    fn enospc_lands_nothing() {
+        let mut plan = StorageFaultPlan::reliable(13);
+        plan.enospc_ppm = 1_000_000;
+        let fs = ChaosStorage::new(plan);
+        let err = fs.append(&p("f"), b"xyz").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(!fs.exists(&p("f")));
+    }
+
+    /// The reliable plan round-trips rename and remove faithfully.
+    #[test]
+    fn reliable_plan_is_a_faithful_fs() {
+        let fs = ChaosStorage::new(StorageFaultPlan::reliable(0));
+        fs.write_file(&p("a"), b"1").unwrap();
+        fs.rename(&p("a"), &p("b")).unwrap();
+        assert!(!fs.exists(&p("a")));
+        assert_eq!(fs.read(&p("b")).unwrap(), b"1");
+        fs.remove(&p("b")).unwrap();
+        assert!(!fs.exists(&p("b")));
+        assert_eq!(
+            fs.read(&p("b")).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+
+    /// RealStorage round-trips through an actual temp directory.
+    #[test]
+    fn real_storage_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mcc-storage-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("probe.bin");
+        let s = RealStorage;
+        s.write_file(&f, b"abc").unwrap();
+        s.append(&f, b"def").unwrap();
+        s.sync(&f).unwrap();
+        s.sync_parent(&f).unwrap();
+        assert_eq!(s.read(&f).unwrap(), b"abcdef");
+        let g = dir.join("probe2.bin");
+        s.rename(&f, &g).unwrap();
+        assert!(!s.exists(&f) && s.exists(&g));
+        s.remove(&g).unwrap();
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,12 +16,17 @@
 //! every journal must replay through the lockstep checker with zero
 //! violations, every event line must parse, and the counters must
 //! reconcile with each other and with the chaos plan.
+//!
+//! Every artifact is written atomically — rendered to a sibling
+//! `.tmp` file and renamed into place — so a crash mid-write (or a
+//! reader racing the writer) never observes a half-written artifact,
+//! only the previous complete one or none at all.
 
-use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use mcc_check::protocol_slug;
+use mcc_core::{RealStorage, Storage};
 use mcc_stats::kv_lines;
 use mcc_trace::Trace;
 
@@ -54,10 +59,21 @@ pub fn write_artifacts(
     cfg: &LiveConfig,
     base: &Path,
 ) -> io::Result<Vec<PathBuf>> {
+    write_artifacts_on(report, cfg, base, &RealStorage)
+}
+
+/// [`write_artifacts`] through an explicit [`Storage`] backend (the
+/// torture harness injects faults here too).
+pub fn write_artifacts_on(
+    report: &LiveReport,
+    cfg: &LiveConfig,
+    base: &Path,
+    storage: &dyn Storage,
+) -> io::Result<Vec<PathBuf>> {
     let mut written = Vec::new();
 
     let path = summary_path(base);
-    File::create(&path)?.write_all(summary_kv(report, cfg).as_bytes())?;
+    publish(storage, &path, summary_kv(report, cfg).into_bytes())?;
     written.push(path);
 
     for shard in &report.shards {
@@ -66,19 +82,31 @@ pub fn write_artifacts(
             trace.push(entry.mref);
         }
         let path = journal_path(base, shard.shard);
-        trace.write_to(BufWriter::new(File::create(&path)?))?;
+        let mut bytes = Vec::new();
+        trace.write_to(BufWriter::new(&mut bytes))?;
+        publish(storage, &path, bytes)?;
         written.push(path);
 
         let path = events_path(base, shard.shard);
-        let mut out = BufWriter::new(File::create(&path)?);
+        let mut bytes = Vec::new();
         for event in &shard.events {
-            out.write_all(event.to_json().as_bytes())?;
-            out.write_all(b"\n")?;
+            bytes.write_all(event.to_json().as_bytes())?;
+            bytes.write_all(b"\n")?;
         }
-        out.flush()?;
+        publish(storage, &path, bytes)?;
         written.push(path);
     }
     Ok(written)
+}
+
+/// Atomic publish: write a sibling tmp file, fsync it, rename it into
+/// place, and fsync the parent directory.
+fn publish(storage: &dyn Storage, path: &Path, bytes: Vec<u8>) -> io::Result<()> {
+    let tmp = with_suffix(path, ".tmp");
+    storage.write_file(&tmp, &bytes)?;
+    storage.sync(&tmp)?;
+    storage.rename(&tmp, path)?;
+    storage.sync_parent(path)
 }
 
 /// Renders the summary key/value document.
@@ -134,6 +162,13 @@ pub fn summary_kv(report: &LiveReport, cfg: &LiveConfig) -> String {
         ("rep_delayed", rep.delayed.to_string()),
         ("rep_duplicated", rep.duplicated.to_string()),
         ("restarts", report.restarts().to_string()),
+        ("wal_torn_tails", report.wal().torn_tails.to_string()),
+        ("wal_dropped_bytes", report.wal().dropped_bytes.to_string()),
+        ("wal_reconciled", report.wal().reconciled.to_string()),
+        (
+            "wal_prev_snapshot_loads",
+            report.wal().prev_snapshot_loads.to_string(),
+        ),
         ("shards_failed", report.failed_shards().len().to_string()),
         ("clients_ok", u64::from(clients_ok).to_string()),
         ("client_errors", report.client_errors().len().to_string()),

@@ -50,13 +50,17 @@ pub mod chaos;
 pub mod client;
 pub mod service;
 pub mod verify;
+pub mod wal;
 pub mod wire;
 
 mod shard;
 
-pub use artifacts::{events_path, journal_path, summary_kv, summary_path, write_artifacts};
+pub use artifacts::{
+    events_path, journal_path, summary_kv, summary_path, write_artifacts, write_artifacts_on,
+};
 pub use chaos::{ChannelStats, ChaosChannel};
 pub use client::ClientReport;
-pub use service::{run_live, KillSpec, LiveConfig, LiveReport, ShardOutcome};
+pub use service::{run_live, KillSpec, LiveConfig, LiveReport, ShardOutcome, WalConfig};
 pub use verify::{verify_run, VerifyOutcome};
+pub use wal::{open_wal, read_wal, SalvagedWal, WalRecord, WalStats};
 pub use wire::{JournalEntry, Reply, Request};

@@ -20,6 +20,7 @@
 //!   replay through `mcc-check`'s lockstep checker; see
 //!   [`verify`](crate::verify).
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
@@ -27,14 +28,15 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use mcc_check::{Checker, CheckerConfig};
-use mcc_core::{FaultPlan, Protocol, SimResult};
+use mcc_core::{FaultPlan, Protocol, RealStorage, SimResult, Storage};
 use mcc_obs::{Event, Log2Histogram};
 use mcc_workloads::{Workload, WorkloadParams};
 
 use crate::chaos::ChannelStats;
 use crate::client::{run_client, ClientCtx, ClientReport};
-use crate::shard::{lock, run_incarnation, ShardCtx, ShardShared};
+use crate::shard::{lock, run_incarnation, DurableCtx, ShardCtx, ShardShared};
 use crate::verify::{verify_run, VerifyOutcome};
+use crate::wal::WalStats;
 use crate::wire::{JournalEntry, Reply, Request};
 
 /// Supervisor poll cadence.
@@ -48,6 +50,62 @@ pub struct KillSpec {
     pub shard: u32,
     /// Crash immediately before this many applies.
     pub after_applies: u64,
+}
+
+/// Durable write-ahead logging for the shards.
+///
+/// With a WAL configured, every committed journal entry is appended to
+/// a per-shard on-disk log (CRC-framed, fsynced) *before* the reply is
+/// acked, and the periodic engine snapshots are persisted beside it
+/// with last-good rotation — so a restarted shard can rebuild from
+/// disk even when storage itself misbehaves (torn tails are salvaged,
+/// a corrupt snapshot falls back to the previous generation or to full
+/// log replay).
+#[derive(Clone)]
+pub struct WalConfig {
+    /// Directory holding the `shard-N.wal` / `shard-N.ckpt` files.
+    /// Must already exist — [`run_live`] does not create directories.
+    pub dir: PathBuf,
+    /// The storage backend every shard I/O goes through; swap in a
+    /// [`ChaosStorage`](mcc_core::ChaosStorage) to torture the path.
+    pub storage: Arc<dyn Storage>,
+}
+
+impl WalConfig {
+    /// A WAL on the real filesystem under `dir`.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            storage: Arc::new(RealStorage),
+        }
+    }
+
+    /// A WAL under `dir` through a caller-supplied storage backend.
+    pub fn with_storage(dir: impl Into<PathBuf>, storage: Arc<dyn Storage>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            storage,
+        }
+    }
+
+    /// The log path for one shard.
+    pub fn wal_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.wal"))
+    }
+
+    /// The snapshot path for one shard (its rotated previous
+    /// generation lives at the same path with a `.prev` suffix).
+    pub fn snap_path(&self, shard: u32) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.ckpt"))
+    }
+}
+
+impl std::fmt::Debug for WalConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalConfig")
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Configuration for a live run.
@@ -106,6 +164,8 @@ pub struct LiveConfig {
     pub verify_live: bool,
     /// Optional crash drill.
     pub kill: Option<KillSpec>,
+    /// Optional durable per-shard write-ahead log.
+    pub wal: Option<WalConfig>,
 }
 
 impl LiveConfig {
@@ -131,6 +191,7 @@ impl LiveConfig {
             soak: None,
             verify_live: false,
             kill: None,
+            wal: None,
         }
     }
 }
@@ -152,6 +213,9 @@ pub struct ShardOutcome {
     pub reply_chaos: ChannelStats,
     /// NACKs the shard's simulated controller issued.
     pub nacks_sent: u64,
+    /// Durable-WAL recovery statistics (zero when no WAL is
+    /// configured).
+    pub wal: WalStats,
 }
 
 /// Everything a live run produced.
@@ -244,6 +308,15 @@ impl LiveReport {
         let mut total = ChannelStats::default();
         for s in &self.shards {
             total.absorb(&s.reply_chaos);
+        }
+        total
+    }
+
+    /// Durable-WAL recovery stats summed over shards.
+    pub fn wal(&self) -> WalStats {
+        let mut total = WalStats::default();
+        for s in &self.shards {
+            total.absorb(&s.wal);
         }
         total
     }
@@ -347,6 +420,11 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
             checkpoint_every: cfg.checkpoint_every,
             heartbeat_interval: cfg.heartbeat_interval,
             kill: cfg.kill.map(|k| (k.shard, k.after_applies)),
+            durable: cfg.wal.as_ref().map(|w| DurableCtx {
+                storage: Arc::clone(&w.storage),
+                wal_path: w.wal_path(shard),
+                snap_path: w.snap_path(shard),
+            }),
         });
         spawn_incarnation(&ctx, &shared, &reply_txs, 0, &exit_tx);
         shard_sups.push(ShardSup {
@@ -495,6 +573,7 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
             events: journal.events.clone(),
             reply_chaos: journal.reply_chaos,
             nacks_sent: journal.nacks_sent,
+            wal: journal.wal,
         });
     }
     let clients: Vec<ClientReport> = client_reports

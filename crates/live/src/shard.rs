@@ -25,22 +25,24 @@
 //! entry stream can never disagree — a zombie's half-applied step
 //! leaves no trace.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use mcc_cache::CacheConfig;
 use mcc_check::CHECK_BLOCK_SIZE;
 use mcc_core::{
     DirectoryEngine, DirectoryRepr, DirectorySimConfig, EngineSnapshot, PlacementPolicy, Protocol,
-    SimResult,
+    SimResult, SnapshotGeneration, Storage,
 };
 use mcc_obs::{shared, BufferSink, Event};
 use mcc_placement::PagePlacement;
 use mcc_prng::SplitMix64;
 
 use crate::chaos::{ChannelStats, ChaosChannel};
+use crate::wal::{self, WalStats};
 use crate::wire::{JournalEntry, Reply, Request};
 
 /// The error string an incarnation reports when it finds itself fenced
@@ -73,6 +75,8 @@ pub(crate) struct Journal {
     pub reply_chaos: ChannelStats,
     /// NACKs this shard's simulated controller issued.
     pub nacks_sent: u64,
+    /// Durability counters (all zero unless a WAL is configured).
+    pub wal: WalStats,
 }
 
 /// State shared between the supervisor and a shard's incarnations.
@@ -121,6 +125,19 @@ pub(crate) struct ShardCtx {
     /// Crash drill: `Some((shard, n))` panics the *first* incarnation
     /// of `shard` immediately before its `n`-th apply.
     pub kill: Option<(u32, u64)>,
+    /// On-disk durability: when set, every commit is WAL-appended and
+    /// fsynced before it is acked, and engine snapshots are persisted
+    /// with rotation.
+    pub durable: Option<DurableCtx>,
+}
+
+/// Where a shard persists its WAL and snapshot, and through which
+/// [`Storage`] backend (the seam the torture harness points at a
+/// [`ChaosStorage`](mcc_core::ChaosStorage)).
+pub(crate) struct DurableCtx {
+    pub storage: Arc<dyn Storage>,
+    pub wal_path: PathBuf,
+    pub snap_path: PathBuf,
 }
 
 impl ShardCtx {
@@ -164,7 +181,66 @@ pub(crate) fn run_incarnation(
     // The catch-up replay runs without a sink: the events for those
     // entries were committed when they were first applied.
     let (mut engine, mut applied, mut last_reply) = {
-        let journal = lock(&shared_state.journal);
+        let mut journal = lock(&shared_state.journal);
+
+        // Durable-WAL reconcile: salvage the on-disk log (truncating
+        // any torn tail) and fold in entries the in-memory journal
+        // never saw — a crash can land between the WAL fsync and the
+        // in-memory commit, and the durable log is the truth.
+        if let Some(d) = &ctx.durable {
+            let salvage = wal::open_wal(d.storage.as_ref(), &d.wal_path)
+                .map_err(|e| format!("shard {}: wal open: {e}", ctx.shard))?;
+            if salvage.dropped_bytes > 0 {
+                journal.wal.torn_tails += 1;
+                journal.wal.dropped_bytes += salvage.dropped_bytes;
+            }
+            let mem = journal.entries.len();
+            if salvage.records.len() < mem {
+                // Entries were acked that the durable log does not
+                // hold: an fsync lied. There is no way to rewrite
+                // history consistently — report the degrade.
+                return Err(format!(
+                    "shard {}: durable WAL holds {} records but {} were acked \
+                     (lost fsync?)",
+                    ctx.shard,
+                    salvage.records.len(),
+                    mem
+                ));
+            }
+            for (i, rec) in salvage.records.iter().take(mem).enumerate() {
+                if rec.entry != journal.entries[i] {
+                    return Err(format!(
+                        "shard {}: durable WAL diverges from memory at record {i}",
+                        ctx.shard
+                    ));
+                }
+            }
+            for rec in &salvage.records[mem..] {
+                journal.entries.push(rec.entry);
+                journal.events.extend(rec.events.iter().cloned());
+                journal.wal.reconciled += 1;
+            }
+            // Adopt the persisted snapshot when it bounds replay
+            // better than the in-memory checkpoint (after a process
+            // restart there is no in-memory checkpoint at all). A
+            // snapshot claiming to cover more entries than the WAL
+            // holds is rejected inside `load_snapshot`.
+            let covered_mem = journal.checkpoint.as_ref().map_or(0, |(_, c)| *c);
+            let max = journal.entries.len();
+            match wal::load_snapshot(d.storage.as_ref(), &d.snap_path, max) {
+                Ok(Some(loaded)) if loaded.covered > covered_mem => {
+                    if loaded.generation == SnapshotGeneration::Previous {
+                        journal.wal.prev_snapshot_loads += 1;
+                    }
+                    journal.checkpoint = Some((loaded.snapshot, loaded.covered));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    return Err(format!("shard {}: snapshot load: {e}", ctx.shard));
+                }
+            }
+        }
+
         let (mut engine, covered) = match &journal.checkpoint {
             Some((snapshot, covered)) => {
                 let engine = snapshot
@@ -344,6 +420,10 @@ pub(crate) fn run_incarnation(
         };
 
         // Commit entry + staged events atomically, behind the fence.
+        // With a WAL configured the frame is appended and fsynced
+        // first, still under the lock and the fence — a zombie cannot
+        // write to the durable log either, and nothing is acked before
+        // it is durable.
         {
             let mut journal = lock(&shared_state.journal);
             if shared_state.epoch.load(Ordering::SeqCst) != epoch {
@@ -353,17 +433,25 @@ pub(crate) fn run_incarnation(
                 exit(replies, shared_state, nacks_sent);
                 return Err(SUPERSEDED.to_string());
             }
-            journal.entries.push(entry);
-            {
+            let fresh: Vec<Event> = {
                 let buffer = mcc_obs::lock_sink(&staged);
-                journal
-                    .events
-                    .extend_from_slice(&buffer.events()[staged_cursor..]);
+                let fresh = buffer.events()[staged_cursor..].to_vec();
                 staged_cursor = buffer.events().len();
+                fresh
+            };
+            if let Some(d) = &ctx.durable {
+                wal::append_record(d.storage.as_ref(), &d.wal_path, &entry, &fresh)
+                    .map_err(|e| format!("shard {}: wal append: {e}", ctx.shard))?;
             }
+            journal.entries.push(entry);
+            journal.events.extend(fresh);
             if ctx.checkpoint_every > 0 && applied % ctx.checkpoint_every == 0 {
                 let snapshot = EngineSnapshot::capture(&engine);
                 let covered = journal.entries.len();
+                if let Some(d) = &ctx.durable {
+                    wal::save_snapshot(d.storage.as_ref(), &d.snap_path, &snapshot, covered as u64)
+                        .map_err(|e| format!("shard {}: snapshot save: {e}", ctx.shard))?;
+                }
                 journal.checkpoint = Some((snapshot, covered));
                 journal.events.push(Event::CheckpointSaved {
                     step: engine.steps(),

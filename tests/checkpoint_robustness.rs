@@ -185,6 +185,126 @@ fn mismatched_checkpoints_are_rejected_before_any_replay() {
     assert!(matches!(err, SimError::BadCheckpoint { .. }), "{err}");
 }
 
+/// Corrupt the newest snapshot every way the truncation/bit-flip
+/// matrix knows, with a healthy rotated `.prev` generation beside it:
+/// the fallback loader must recover the previous generation every
+/// single time, report which generation it settled on, and carry the
+/// typed error that disqualified the primary.
+#[test]
+fn every_corruption_of_the_primary_falls_back_to_the_previous_generation() {
+    use mcc::core::checkpoint::prev_path;
+    use mcc::core::{ChaosStorage, SnapshotGeneration, Storage, StorageFaultPlan};
+    use std::path::Path;
+
+    let newest = sample_bytes();
+    // The rotated previous generation: an earlier snapshot of the same
+    // run (fewer records covered), byte-exactly distinguishable.
+    let trace = sample_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    let mut prev_bytes = Vec::new();
+    DirectorySim::new(Protocol::Aggressive, &cfg)
+        .with_faults(FaultPlan::uniform(7, 30_000))
+        .checkpoint_after(&trace, 2, 10)
+        .expect("prefix replays cleanly")
+        .write_to(&mut prev_bytes)
+        .expect("vec write");
+    assert_ne!(prev_bytes, newest);
+
+    let path = Path::new("run.ckpt");
+    let prev_p = prev_path(path);
+
+    let mut corruptions: Vec<Vec<u8>> = (0..newest.len()).map(|n| newest[..n].to_vec()).collect();
+    let mut rng = SplitMix64::new(0xFA11BACC);
+    for _ in 0..128 {
+        let pos = rng.gen_range(0..newest.len() as u64) as usize;
+        let bit = rng.gen_range(0..8);
+        let mut corrupt = newest.clone();
+        corrupt[pos] ^= 1 << bit;
+        corruptions.push(corrupt);
+    }
+
+    for (i, corrupt) in corruptions.iter().enumerate() {
+        let fs = ChaosStorage::new(StorageFaultPlan::reliable(1));
+        fs.write_file(path, corrupt).unwrap();
+        fs.write_file(&prev_p, &prev_bytes).unwrap();
+        let recovered = Checkpoint::load_with_fallback_from(&fs, path)
+            .unwrap_or_else(|e| panic!("corruption {i}: fallback loader failed: {e}"));
+        assert_eq!(
+            recovered.generation,
+            SnapshotGeneration::Previous,
+            "corruption {i} did not fall back"
+        );
+        let primary_error = recovered
+            .primary_error
+            .as_ref()
+            .unwrap_or_else(|| panic!("corruption {i}: no primary error recorded"));
+        assert!(!primary_error.class().is_empty());
+        let mut round_trip = Vec::new();
+        recovered.checkpoint.write_to(&mut round_trip).unwrap();
+        assert_eq!(
+            round_trip, prev_bytes,
+            "corruption {i} recovered something other than the previous generation"
+        );
+    }
+}
+
+/// Both generations unusable: the loader reports the *primary*'s typed
+/// error (the newest evidence), not the fallback's.
+#[test]
+fn both_generations_corrupt_reports_the_primary_error() {
+    use mcc::core::checkpoint::prev_path;
+    use mcc::core::{ChaosStorage, Storage, StorageFaultPlan};
+    use std::path::Path;
+
+    let newest = sample_bytes();
+    let path = Path::new("run.ckpt");
+    let fs = ChaosStorage::new(StorageFaultPlan::reliable(1));
+
+    // Primary: checksum damage. Previous: truncated.
+    let mut bad_sum = newest.clone();
+    let n = bad_sum.len();
+    bad_sum[n - 1] ^= 0xFF;
+    fs.write_file(path, &bad_sum).unwrap();
+    fs.write_file(&prev_path(path), &newest[..n / 2]).unwrap();
+
+    let err = Checkpoint::load_with_fallback_from(&fs, path).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ChecksumMismatch { .. }),
+        "expected the primary's checksum error, got {err}"
+    );
+
+    // No previous generation at all: still the primary's error.
+    let fs = ChaosStorage::new(StorageFaultPlan::reliable(1));
+    fs.write_file(path, &bad_sum).unwrap();
+    let err = Checkpoint::load_with_fallback_from(&fs, path).unwrap_err();
+    assert!(
+        matches!(err, CheckpointError::ChecksumMismatch { .. }),
+        "expected the primary's checksum error, got {err}"
+    );
+}
+
+/// A healthy primary never consults the previous generation.
+#[test]
+fn healthy_primary_loads_as_the_current_generation() {
+    use mcc::core::checkpoint::prev_path;
+    use mcc::core::{ChaosStorage, SnapshotGeneration, Storage, StorageFaultPlan};
+    use std::path::Path;
+
+    let newest = sample_bytes();
+    let path = Path::new("run.ckpt");
+    let fs = ChaosStorage::new(StorageFaultPlan::reliable(1));
+    fs.write_file(path, &newest).unwrap();
+    // A garbage .prev must not matter when the primary is healthy.
+    fs.write_file(&prev_path(path), b"garbage").unwrap();
+
+    let recovered = Checkpoint::load_with_fallback_from(&fs, path).expect("healthy primary");
+    assert_eq!(recovered.generation, SnapshotGeneration::Current);
+    assert!(recovered.primary_error.is_none());
+}
+
 #[test]
 fn exec_checkpoints_survive_the_same_corruption_sweep() {
     let trace = sample_trace(4);

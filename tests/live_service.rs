@@ -197,6 +197,86 @@ fn short_chaos_soak_survives_with_zero_violations() {
 }
 
 #[test]
+fn wal_run_persists_every_acked_entry_on_disk() {
+    use mcc::core::RealStorage;
+    use mcc_live::{read_wal, WalConfig};
+
+    let dir = std::env::temp_dir().join(format!("mcc-live-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cfg = base_config();
+    cfg.seed = 23;
+    cfg.checkpoint_every = 32;
+    cfg.wal = Some(WalConfig::on_disk(&dir));
+    let report = run_live(&cfg).expect("valid config");
+    assert!(report.ok(), "violations: {:?}", report.verify.violations);
+
+    // The durable log holds exactly the committed journal, in order.
+    let wal_cfg = cfg.wal.as_ref().unwrap();
+    for shard in &report.shards {
+        let salvage = read_wal(&RealStorage, &wal_cfg.wal_path(shard.shard)).unwrap();
+        assert!(
+            !salvage.created,
+            "shard {} never wrote its WAL",
+            shard.shard
+        );
+        assert_eq!(salvage.dropped_bytes, 0, "clean shutdown left a torn tail");
+        assert_eq!(salvage.records.len(), shard.journal.len());
+        for (rec, entry) in salvage.records.iter().zip(&shard.journal) {
+            assert_eq!(&rec.entry, entry);
+        }
+        // Checkpoints were cut, so a snapshot file was published too.
+        assert!(wal_cfg.snap_path(shard.shard).exists());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_crash_drill_recovers_and_log_matches_journal() {
+    use mcc::core::RealStorage;
+    use mcc_live::{read_wal, WalConfig};
+
+    let dir = std::env::temp_dir().join(format!("mcc-live-wal-kill-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mut cfg = base_config();
+    cfg.seed = 29;
+    cfg.checkpoint_every = 32;
+    cfg.wal = Some(WalConfig::on_disk(&dir));
+    cfg.kill = Some(KillSpec {
+        shard: 0,
+        after_applies: 80,
+    });
+    cfg.chaos = FaultPlan {
+        max_retries: 256,
+        max_total_backoff: u64::MAX,
+        ..FaultPlan::reliable(1)
+    };
+
+    let report = run_live(&cfg).expect("valid config");
+    assert_eq!(report.restarts(), 1, "crash drill did not fire");
+    assert!(
+        report.ok(),
+        "recovery failed: client errors {:?}, failed shards {:?}, violations {:?}",
+        report.client_errors(),
+        report.failed_shards(),
+        report.verify.violations
+    );
+
+    // Despite the crash mid-run, the durable log and the journal agree
+    // entry for entry — the WAL-before-ack ordering held.
+    let wal_cfg = cfg.wal.as_ref().unwrap();
+    for shard in &report.shards {
+        let salvage = read_wal(&RealStorage, &wal_cfg.wal_path(shard.shard)).unwrap();
+        assert_eq!(salvage.records.len(), shard.journal.len());
+        for (rec, entry) in salvage.records.iter().zip(&shard.journal) {
+            assert_eq!(&rec.entry, entry);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn artifacts_round_trip_through_trace_and_event_parsers() {
     use mcc::trace::Trace;
     use std::fs::File;
