@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use mcc_check::parse_protocol;
 use mcc_core::{FaultPlan, FaultRates};
-use mcc_live::{run_live, KillSpec, LiveConfig, WalConfig};
+use mcc_live::{run_live, KillSpec, LiveConfig, TelemetrySpec, WalConfig};
 use mcc_obs::Log2Histogram;
 use mcc_workloads::Workload;
 
@@ -94,6 +94,8 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
     let mut duplicate_ppm = 0u32;
     let mut max_retries = 64u32;
     let mut out = None;
+    let mut telemetry_addr: Option<String> = None;
+    let mut telemetry_every_ms = 250u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -175,6 +177,10 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
                 cfg.wal = Some(WalConfig::on_disk(dir));
             }
             "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--telemetry" => telemetry_addr = Some(value("--telemetry")),
+            "--telemetry-every-ms" => {
+                telemetry_every_ms = parse(&value("--telemetry-every-ms"), "--telemetry-every-ms")
+            }
             "--help" | "-h" => {
                 println!(
                     "{BIN} — the protocol as a live, chaos-hardened service\n\n\
@@ -192,7 +198,11 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
                      \n  --kill-shard S      crash drill: panic shard S once mid-run\
                      \n  --wal DIR           durable per-shard WAL + snapshots under DIR\
                      \n                      (fsynced before ack; torn tails salvaged on restart)\
-                     \n  --out BASE          write BASE.live.kv + per-shard journals/events\n\
+                     \n  --out BASE          write BASE.live.kv + per-shard journals/events\
+                     \n  --telemetry ADDR    serve live metrics over HTTP at ADDR (port 0 = any\
+                     \n                      free port; /metrics, /json, /healthz); with --out,\
+                     \n                      also append BASE.telemetry.jsonl snapshots\
+                     \n  --telemetry-every-ms N  snapshot cadence (default 250)\n\
                      \nExits 0 only if every client finished, every shard survived, and\n\
                      the differential replay found zero violations."
                 );
@@ -221,6 +231,23 @@ fn parse_args() -> (LiveConfig, Option<PathBuf>) {
         max_total_backoff: u64::MAX,
         ..FaultPlan::reliable(cfg.seed ^ 0xC4A0_5EED)
     };
+    if let Some(addr) = telemetry_addr {
+        let mut spec = TelemetrySpec::on(addr);
+        spec.snapshot_every = Duration::from_millis(telemetry_every_ms);
+        if let Some(base) = &out {
+            spec.snapshot_path = Some(mcc_live::artifacts::telemetry_path(base));
+        }
+        // Announce the resolved endpoint (port 0 picks a free one) as
+        // soon as the listener binds, so a scraper can attach mid-run.
+        let (tx, rx) = std::sync::mpsc::channel();
+        spec.notify_addr = Some(tx);
+        std::thread::spawn(move || {
+            if let Ok(addr) = rx.recv() {
+                eprintln!("{BIN}: telemetry endpoint at http://{addr}/metrics");
+            }
+        });
+        cfg.telemetry = Some(spec);
+    }
     (cfg, out)
 }
 

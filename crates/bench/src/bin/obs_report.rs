@@ -16,7 +16,11 @@
 //! violations, every event line must parse (with exactly one `step`
 //! event per journal entry), and the summary's retry/NACK/chaos
 //! counters must reconcile with each other and with the chaos plan
-//! the run was configured with.
+//! the run was configured with. With `--telemetry FILE` it validates
+//! a `*.telemetry.jsonl` snapshot stream: every line must parse, the
+//! snapshot timestamps must be monotone with strictly increasing
+//! sequence numbers, every embedded registry must round-trip through
+//! the registry parser, and the counters must never move backwards.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -39,22 +43,33 @@ const INTERVAL_COLUMNS: [&str; 5] = [
 ];
 
 fn main() {
-    let (metrics, events, modelcheck, live) = parse_args();
-    if metrics.is_none() && events.is_none() && modelcheck.is_none() && live.is_none() {
-        eprintln!("{BIN}: nothing to do — pass --metrics, --events, --modelcheck, and/or --live");
+    let args = parse_args();
+    if args.metrics.is_none()
+        && args.events.is_none()
+        && args.modelcheck.is_none()
+        && args.live.is_none()
+        && args.telemetry.is_none()
+    {
+        eprintln!(
+            "{BIN}: nothing to do — pass --metrics, --events, --modelcheck, --live, \
+             and/or --telemetry"
+        );
         exit(2);
     }
-    if let Some(path) = &metrics {
+    if let Some(path) = &args.metrics {
         report_metrics(path);
     }
-    if let Some(path) = &events {
+    if let Some(path) = &args.events {
         report_events(path);
     }
-    if let Some(path) = &modelcheck {
+    if let Some(path) = &args.modelcheck {
         report_modelcheck(path);
     }
-    if let Some(base) = &live {
+    if let Some(base) = &args.live {
         report_live(base);
+    }
+    if let Some(path) = &args.telemetry {
+        report_telemetry(path);
     }
 }
 
@@ -422,6 +437,89 @@ fn report_live(base: &Path) {
     );
 }
 
+/// Validates a `*.telemetry.jsonl` snapshot stream written by the
+/// live service's periodic [`SnapshotWriter`](mcc_obs::SnapshotWriter):
+/// every line parses, the envelope fields are monotone (strictly
+/// increasing `seq`, non-decreasing `ts_ms`/`uptime_ms`), every
+/// embedded registry round-trips through its own serializer, and no
+/// counter ever moves backwards between consecutive snapshots.
+fn report_telemetry(path: &Path) {
+    let text = read(path);
+    let fail = |lineno: usize, why: String| -> ! {
+        eprintln!("{BIN}: {}:{}: {why}", path.display(), lineno);
+        exit(1);
+    };
+    let mut prev: Option<(u64, u64, u64, Registry)> = None;
+    let mut lines = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let doc =
+            Json::parse(line).unwrap_or_else(|e| fail(lineno, format!("bad snapshot JSON: {e}")));
+        let env = |key: &str| -> u64 {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| fail(lineno, format!("missing envelope field {key:?}")))
+        };
+        let (ts_ms, seq, uptime_ms) = (env("ts_ms"), env("seq"), env("uptime_ms"));
+        let registry_text = doc
+            .get("registry")
+            .unwrap_or_else(|| fail(lineno, "missing registry".into()))
+            .to_string();
+        let registry = Registry::from_json(&registry_text)
+            .unwrap_or_else(|e| fail(lineno, format!("bad embedded registry: {e}")));
+        // Round-trip: the registry must survive its own serializer.
+        let reserialized = registry.to_json();
+        match Registry::from_json(&reserialized) {
+            Ok(back) if back.to_json() == reserialized => {}
+            _ => fail(lineno, "embedded registry does not round-trip".into()),
+        }
+        if let Some((p_ts, p_seq, p_up, p_reg)) = &prev {
+            if seq <= *p_seq {
+                fail(lineno, format!("seq {seq} not after previous {p_seq}"));
+            }
+            if ts_ms < *p_ts {
+                fail(lineno, format!("ts_ms {ts_ms} went backwards from {p_ts}"));
+            }
+            if uptime_ms < *p_up {
+                fail(
+                    lineno,
+                    format!("uptime_ms {uptime_ms} went backwards from {p_up}"),
+                );
+            }
+            // Counters are cumulative; a snapshot stream from one run
+            // must never show one shrinking.
+            for (name, &value) in registry.counters() {
+                let before = p_reg.counter(name);
+                if value < before {
+                    fail(
+                        lineno,
+                        format!("counter {name:?} moved backwards: {before} -> {value}"),
+                    );
+                }
+            }
+        }
+        prev = Some((ts_ms, seq, uptime_ms, registry));
+        lines += 1;
+    }
+    let Some((_, seq, uptime_ms, registry)) = prev else {
+        eprintln!("{BIN}: {}: no snapshot lines", path.display());
+        exit(1);
+    };
+    println!(
+        "== telemetry: {} ==\n\n{lines} snapshots validated (final seq {seq}, \
+         +{:.1}s uptime, {} counters, {} gauges, {} histograms): envelope monotone, \
+         registries round-trip, counters non-decreasing.\n",
+        path.display(),
+        uptime_ms as f64 / 1e3,
+        registry.counters().len(),
+        registry.gauges().len(),
+        registry.histograms().len(),
+    );
+}
+
 fn bump(counts: &mut Vec<(&'static str, u64)>, label: &'static str) {
     match counts.iter_mut().find(|(l, _)| *l == label) {
         Some((_, n)) => *n += 1,
@@ -443,18 +541,22 @@ fn read(path: &Path) -> String {
     })
 }
 
-type Args = (
-    Option<PathBuf>,
-    Option<PathBuf>,
-    Option<PathBuf>,
-    Option<PathBuf>,
-);
+struct Args {
+    metrics: Option<PathBuf>,
+    events: Option<PathBuf>,
+    modelcheck: Option<PathBuf>,
+    live: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+}
 
 fn parse_args() -> Args {
-    let mut metrics = None;
-    let mut events = None;
-    let mut modelcheck = None;
-    let mut live = None;
+    let mut out = Args {
+        metrics: None,
+        events: None,
+        modelcheck: None,
+        live: None,
+        telemetry: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -464,15 +566,16 @@ fn parse_args() -> Args {
             })
         };
         match arg.as_str() {
-            "--metrics" => metrics = Some(PathBuf::from(value("--metrics"))),
-            "--events" => events = Some(PathBuf::from(value("--events"))),
-            "--modelcheck" => modelcheck = Some(PathBuf::from(value("--modelcheck"))),
-            "--live" => live = Some(PathBuf::from(value("--live"))),
+            "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
+            "--events" => out.events = Some(PathBuf::from(value("--events"))),
+            "--modelcheck" => out.modelcheck = Some(PathBuf::from(value("--modelcheck"))),
+            "--live" => out.live = Some(PathBuf::from(value("--live"))),
+            "--telemetry" => out.telemetry = Some(PathBuf::from(value("--telemetry"))),
             "--help" | "-h" => {
                 println!(
                     "{BIN} — render observability artifacts into summary tables\n\n\
                      Usage: {BIN} [--metrics FILE] [--events FILE] [--modelcheck FILE] \
-                     [--live BASE]\n\
+                     [--live BASE] [--telemetry FILE]\n\
                      \n  --metrics FILE     metrics JSON written by a --metrics-out run; validated\
                      \n                     (parse + round-trip) and rendered as totals,\
                      \n                     per-interval deltas, and histograms\
@@ -483,7 +586,10 @@ fn parse_args() -> Args {
                      \n                     --planted-bug fixture runs) and rendered\
                      \n  --live BASE        artifact set written by the live binary's --out BASE;\
                      \n                     every shard journal is replayed through the lockstep\
-                     \n                     checker and all counters must reconcile\n\
+                     \n                     checker and all counters must reconcile\
+                     \n  --telemetry FILE   *.telemetry.jsonl snapshot stream from a live run;\
+                     \n                     every line must parse with monotone envelope fields,\
+                     \n                     round-tripping registries, non-decreasing counters\n\
                      \nExit status: 0 on success, 1 when an artifact fails validation."
                 );
                 exit(0);
@@ -494,5 +600,5 @@ fn parse_args() -> Args {
             }
         }
     }
-    (metrics, events, modelcheck, live)
+    out
 }

@@ -25,12 +25,16 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use mcc_bench::{try_run_protocol_traced, ObsOptions, RunOptions};
 use mcc_core::{
     CheckpointPolicy, DirectorySimConfig, FaultPlan, Protocol, SimError, SimResult,
     SnapshotGeneration,
 };
+use mcc_obs::{SnapshotWriter, Telemetry, TelemetryServer};
 use mcc_stats::kv_lines;
 use mcc_workloads::{Workload, WorkloadParams};
 
@@ -46,6 +50,61 @@ struct Args {
     every: u64,
     events_ring: usize,
     obs: bool,
+    telemetry: Option<String>,
+}
+
+/// The sweep's live telemetry: cell progress a watcher (`mcc-top`, or
+/// a bare `curl`) can scrape mid-sweep, plus periodic
+/// `sweep.telemetry.jsonl` snapshots in the state directory.
+struct SweepTelemetry {
+    _server: TelemetryServer,
+    writer: Option<SnapshotWriter>,
+    completed: Arc<AtomicU64>,
+    failed: Arc<AtomicU64>,
+    skipped: Arc<AtomicU64>,
+    cell_index: Arc<AtomicI64>,
+    cells_total: Arc<AtomicI64>,
+}
+
+impl SweepTelemetry {
+    fn start(addr: &str, state: &Path, total: usize) -> SweepTelemetry {
+        let plane = Arc::new(Telemetry::new());
+        let server = TelemetryServer::serve(Arc::clone(&plane), addr).unwrap_or_else(|e| {
+            eprintln!("{BIN}: telemetry endpoint {addr}: {e}");
+            exit(2);
+        });
+        eprintln!(
+            "{BIN}: telemetry endpoint at http://{}/metrics",
+            server.addr()
+        );
+        let snap_path = state.join("sweep.telemetry.jsonl");
+        let writer =
+            match SnapshotWriter::start(Arc::clone(&plane), &snap_path, Duration::from_millis(500))
+            {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("{BIN}: telemetry snapshots {}: {e}", snap_path.display());
+                    None
+                }
+            };
+        let tele = SweepTelemetry {
+            _server: server,
+            writer,
+            completed: plane.counter("sweep.cells_completed"),
+            failed: plane.counter("sweep.cells_failed"),
+            skipped: plane.counter("sweep.cells_skipped"),
+            cell_index: plane.gauge("sweep.cell_index"),
+            cells_total: plane.gauge("sweep.cells_total"),
+        };
+        tele.cells_total.store(total as i64, Ordering::Relaxed);
+        tele
+    }
+
+    fn finish(mut self) {
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.finish();
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -83,12 +142,19 @@ fn main() {
     }
 
     let total = cells.len();
+    let telemetry = args
+        .telemetry
+        .as_deref()
+        .map(|addr| SweepTelemetry::start(addr, &args.state, total));
     let mut completed = 0usize;
     let mut failed = 0usize;
     for (i, cell) in cells.iter().enumerate() {
         let key = cell.key();
         let result_path = args.state.join(format!("{key}.result"));
         let ckpt_path = args.state.join(format!("{key}.ckpt"));
+        if let Some(t) = &telemetry {
+            t.cell_index.store((i + 1) as i64, Ordering::Relaxed);
+        }
         if result_path.exists() {
             // Say *which* file justified the skip — a restarted sweep
             // that silently skips cells is indistinguishable from one
@@ -99,6 +165,10 @@ fn main() {
                 result_path.display()
             );
             completed += 1;
+            if let Some(t) = &telemetry {
+                t.skipped.fetch_add(1, Ordering::Relaxed);
+                t.completed.fetch_add(1, Ordering::Relaxed);
+            }
             continue;
         }
         // Per-cell heartbeat: what is running right now and from where,
@@ -118,6 +188,9 @@ fn main() {
                 if let Err(e) = write_result(&result_path, cell, &result, recovered_from) {
                     eprintln!("{BIN}: writing {}: {e}", result_path.display());
                     failed += 1;
+                    if let Some(t) = &telemetry {
+                        t.failed.fetch_add(1, Ordering::Relaxed);
+                    }
                     continue;
                 }
                 // The snapshot is now redundant; the .result file is the
@@ -131,12 +204,21 @@ fn main() {
                     result.events.refs()
                 );
                 completed += 1;
+                if let Some(t) = &telemetry {
+                    t.completed.fetch_add(1, Ordering::Relaxed);
+                }
             }
             Err(e) => {
                 eprintln!("[{}/{total}] {key}: FAILED: {e}", i + 1);
                 failed += 1;
+                if let Some(t) = &telemetry {
+                    t.failed.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
+    }
+    if let Some(t) = telemetry {
+        t.finish();
     }
     println!("{completed}/{total} cells complete, {failed} failed");
     exit(i32::from(failed > 0));
@@ -299,6 +381,7 @@ fn parse_args() -> Args {
     let mut every = 10_000u64;
     let mut events_ring = 0usize;
     let mut obs = false;
+    let mut telemetry = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -319,11 +402,13 @@ fn parse_args() -> Args {
             }
             "--events-ring" => events_ring = parse(&value("--events-ring"), "--events-ring"),
             "--obs" => obs = true,
+            "--telemetry" => telemetry = Some(value("--telemetry")),
             "--help" | "-h" => {
                 println!(
                     "{BIN} — crash-safe sweep supervisor\n\n\
                      Usage: {BIN} --manifest FILE --state DIR [--nodes N] [--scale X] \
-                     [--seed N] [--shards K] [--checkpoint-every N] [--events-ring K] [--obs]\n\
+                     [--seed N] [--shards K] [--checkpoint-every N] [--events-ring K] [--obs] \
+                     [--telemetry ADDR]\n\
                      \n  --manifest FILE       sweep cells, one '<protocol> <workload> [fault_ppm]' per line\
                      \n  --state DIR           where per-cell .ckpt/.result files live\
                      \n  --nodes N             simulated machine size (default 16)\
@@ -334,7 +419,10 @@ fn parse_args() -> Args {
                      \n  --events-ring K       keep the last K protocol events per cell and dump\
                      \n                        them (flight recorder) when a cell fails\
                      \n  --obs                 write per-cell <cell>.events.jsonl and\
-                     \n                        <cell>.metrics.json into the state directory",
+                     \n                        <cell>.metrics.json into the state directory\
+                     \n  --telemetry ADDR      serve sweep progress over HTTP at ADDR (port 0 =\
+                     \n                        any free port) and append sweep.telemetry.jsonl\
+                     \n                        snapshots into the state directory",
                     mcc_bench::DEFAULT_SCALE
                 );
                 exit(0);
@@ -359,6 +447,7 @@ fn parse_args() -> Args {
         every,
         events_ring,
         obs,
+        telemetry,
     }
 }
 

@@ -47,6 +47,11 @@ pub fn events_path(base: &Path, shard: u32) -> PathBuf {
     with_suffix(base, &format!(".shard-{shard}.events.jsonl"))
 }
 
+/// Path of the periodic telemetry snapshot stream for a base path.
+pub fn telemetry_path(base: &Path) -> PathBuf {
+    with_suffix(base, ".telemetry.jsonl")
+}
+
 fn with_suffix(base: &Path, suffix: &str) -> PathBuf {
     let mut name = base.as_os_str().to_os_string();
     name.push(suffix);

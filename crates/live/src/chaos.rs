@@ -19,9 +19,12 @@
 //! channel's identity, independent of thread scheduling.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 
 use mcc_core::FaultRates;
+use mcc_obs::Telemetry;
 use mcc_prng::SplitMix64;
 
 /// How many subsequent sends a delayed message is held back for, at
@@ -59,6 +62,63 @@ impl ChannelStats {
     }
 }
 
+/// Live twins of [`ChannelStats`]: atomic counters many channels bump
+/// *as they act*, so the telemetry plane can snapshot wire behavior
+/// mid-run instead of waiting for channel teardown.
+///
+/// Cloning shares the underlying counters; a run typically keeps one
+/// bundle per wire direction and hands a clone to every channel on it.
+#[derive(Clone, Debug)]
+pub struct SharedChannelStats {
+    /// Messages offered.
+    pub sent: Arc<AtomicU64>,
+    /// Messages silently dropped.
+    pub dropped: Arc<AtomicU64>,
+    /// Messages parked in a holdback queue.
+    pub delayed: Arc<AtomicU64>,
+    /// Extra copies injected.
+    pub duplicated: Arc<AtomicU64>,
+}
+
+impl Default for SharedChannelStats {
+    fn default() -> Self {
+        SharedChannelStats::new()
+    }
+}
+
+impl SharedChannelStats {
+    /// Fresh, unregistered counters.
+    pub fn new() -> SharedChannelStats {
+        SharedChannelStats {
+            sent: Arc::new(AtomicU64::new(0)),
+            dropped: Arc::new(AtomicU64::new(0)),
+            delayed: Arc::new(AtomicU64::new(0)),
+            duplicated: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Counters registered on a [`Telemetry`] plane as
+    /// `<prefix>.sent` / `.dropped` / `.delayed` / `.duplicated`.
+    pub fn registered(plane: &Telemetry, prefix: &str) -> SharedChannelStats {
+        SharedChannelStats {
+            sent: plane.counter(&format!("{prefix}.sent")),
+            dropped: plane.counter(&format!("{prefix}.dropped")),
+            delayed: plane.counter(&format!("{prefix}.delayed")),
+            duplicated: plane.counter(&format!("{prefix}.duplicated")),
+        }
+    }
+
+    /// A point-in-time [`ChannelStats`] view.
+    pub fn snapshot(&self) -> ChannelStats {
+        ChannelStats {
+            sent: self.sent.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A fault-injecting wrapper around an `mpsc` sender.
 pub struct ChaosChannel<T: Clone> {
     tx: Sender<T>,
@@ -68,6 +128,12 @@ pub struct ChaosChannel<T: Clone> {
     holdback: VecDeque<(T, u64)>,
     /// What this channel has done so far.
     pub stats: ChannelStats,
+    /// Optional live stats, bumped alongside `stats`.
+    shared: Option<SharedChannelStats>,
+    /// Optional receiver-queue depth gauge, incremented on every
+    /// message actually handed to `tx` (the matching decrement is the
+    /// receiver's job).
+    depth: Option<Arc<AtomicI64>>,
 }
 
 impl<T: Clone> ChaosChannel<T> {
@@ -81,6 +147,39 @@ impl<T: Clone> ChaosChannel<T> {
             rng: SplitMix64::new(seed),
             holdback: VecDeque::new(),
             stats: ChannelStats::default(),
+            shared: None,
+            depth: None,
+        }
+    }
+
+    /// Attaches live telemetry: shared stats bumped per action, and
+    /// (optionally) a queue-depth gauge for the receiving side. The
+    /// fault pattern is unaffected — the RNG draw order is identical
+    /// with or without telemetry.
+    pub fn with_telemetry(
+        mut self,
+        shared: SharedChannelStats,
+        depth: Option<Arc<AtomicI64>>,
+    ) -> ChaosChannel<T> {
+        self.shared = Some(shared);
+        self.depth = depth;
+        self
+    }
+
+    /// Hands a message to the real sender, maintaining the depth gauge.
+    fn deliver(&mut self, msg: T) -> bool {
+        let ok = self.tx.send(msg).is_ok();
+        if ok {
+            if let Some(depth) = &self.depth {
+                depth.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        ok
+    }
+
+    fn bump(&self, field: impl Fn(&SharedChannelStats) -> &Arc<AtomicU64>) {
+        if let Some(shared) = &self.shared {
+            field(shared).fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -93,27 +192,31 @@ impl<T: Clone> ChaosChannel<T> {
     pub fn send(&mut self, msg: T) -> bool {
         self.pump();
         self.stats.sent += 1;
+        self.bump(|s| &s.sent);
         if self.rates == FaultRates::RELIABLE {
-            return self.tx.send(msg).is_ok();
+            return self.deliver(msg);
         }
         if self.rng.chance_ppm(self.rates.drop_ppm) {
             self.stats.dropped += 1;
+            self.bump(|s| &s.dropped);
             return true;
         }
         if self.rng.chance_ppm(self.rates.delay_ppm) {
             let hold = 1 + self.rng.gen_range(0..MAX_HOLDBACK);
             self.holdback.push_back((msg, hold));
             self.stats.delayed += 1;
+            self.bump(|s| &s.delayed);
             return true;
         }
         if self.rng.chance_ppm(self.rates.duplicate_ppm) {
             self.stats.duplicated += 1;
+            self.bump(|s| &s.duplicated);
             let copy = msg.clone();
-            let ok = self.tx.send(msg).is_ok();
-            let _ = self.tx.send(copy);
+            let ok = self.deliver(msg);
+            let _ = self.deliver(copy);
             ok
         } else {
-            self.tx.send(msg).is_ok()
+            self.deliver(msg)
         }
     }
 
@@ -127,7 +230,7 @@ impl<T: Clone> ChaosChannel<T> {
         }
         while let Some((_, 0)) = self.holdback.front() {
             let (msg, _) = self.holdback.pop_front().expect("front checked");
-            let _ = self.tx.send(msg);
+            let _ = self.deliver(msg);
         }
     }
 
@@ -136,7 +239,7 @@ impl<T: Clone> ChaosChannel<T> {
     /// teardown (delay must stay a *delay*, never a silent drop).
     pub fn flush(&mut self) {
         while let Some((msg, _)) = self.holdback.pop_front() {
-            let _ = self.tx.send(msg);
+            let _ = self.deliver(msg);
         }
     }
 }
@@ -211,6 +314,40 @@ mod tests {
         let got = rx.try_iter().count() as u64;
         assert_eq!(got, 500 + c.stats.duplicated);
         assert!(c.stats.duplicated > 50, "expected ~30% duplicates");
+    }
+
+    #[test]
+    fn shared_stats_track_local_stats_and_depth_counts_deliveries() {
+        let (tx, rx) = mpsc::channel();
+        let shared = SharedChannelStats::new();
+        let depth = Arc::new(AtomicI64::new(0));
+        let mut c = ChaosChannel::new(tx, FaultRates::uniform(200_000), 9)
+            .with_telemetry(shared.clone(), Some(depth.clone()));
+        for i in 0..800u32 {
+            c.send(i);
+        }
+        c.flush();
+        assert_eq!(shared.snapshot(), c.stats);
+        // Every message the receiver can observe was counted exactly
+        // once in the depth gauge.
+        let received = rx.try_iter().count() as i64;
+        assert_eq!(depth.load(Ordering::Relaxed), received);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_the_fault_pattern() {
+        let run = |telemetry: bool| {
+            let (tx, _rx) = mpsc::channel();
+            let mut c = ChaosChannel::new(tx, FaultRates::uniform(250_000), 77);
+            if telemetry {
+                c = c.with_telemetry(SharedChannelStats::new(), None);
+            }
+            for i in 0..500u32 {
+                c.send(i);
+            }
+            c.stats
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -18,11 +18,12 @@ use std::time::{Duration, Instant};
 
 use mcc_check::CHECK_BLOCK_SIZE;
 use mcc_core::{jittered_backoff_units, FaultRates};
-use mcc_obs::Log2Histogram;
+use mcc_obs::{Log2Histogram, SpanId};
 use mcc_trace::{shard_of_block, MemRef};
 
 use crate::chaos::{ChannelStats, ChaosChannel};
 use crate::shard::derive_seed;
+use crate::telemetry::LiveTelemetry;
 use crate::wire::{Reply, Request};
 
 /// What one client did, returned to the supervisor when it exits.
@@ -75,6 +76,8 @@ pub(crate) struct ClientCtx {
     pub soak: bool,
     /// Soak stop flag, raised by the supervisor.
     pub stop: Arc<AtomicBool>,
+    /// Live telemetry handles, when the plane is on.
+    pub telemetry: Option<Arc<LiveTelemetry>>,
 }
 
 /// Runs one client to completion. Never blocks unboundedly: every wait
@@ -88,7 +91,7 @@ pub(crate) fn run_client(
         .into_iter()
         .enumerate()
         .map(|(shard, tx)| {
-            ChaosChannel::new(
+            let c = ChaosChannel::new(
                 tx,
                 ctx.request_rates,
                 derive_seed(
@@ -97,7 +100,14 @@ pub(crate) fn run_client(
                     (u64::from(ctx.node) << 16) | shard as u64,
                     0,
                 ),
-            )
+            );
+            match &ctx.telemetry {
+                Some(lt) => c.with_telemetry(
+                    lt.req_chaos.clone(),
+                    Some(lt.shards[shard].queue_depth.clone()),
+                ),
+                None => c,
+            }
         })
         .collect();
 
@@ -135,6 +145,9 @@ pub(crate) fn run_client(
         seq += 1;
         let shard = shard_of_block(r.addr.block(CHECK_BLOCK_SIZE), ctx.shards);
 
+        // One span per logical operation: retransmits of the same seq
+        // share it, so per-stage latencies attribute to the op.
+        let span = SpanId::mint(ctx.node, seq);
         let started = Instant::now();
         let mut attempt = 0u32;
         let mut spent_units = 0u64;
@@ -144,6 +157,8 @@ pub(crate) fn run_client(
                 seq,
                 mref: r,
                 attempt,
+                span,
+                queued_at: Instant::now(),
             }) {
                 report.error = Some(format!("seq {seq}: shard {shard} inbox closed"));
                 break 'refs;
@@ -187,13 +202,29 @@ pub(crate) fn run_client(
                     if r.op.is_write() {
                         report.acked_writes += 1;
                     }
-                    report
-                        .latency_us
-                        .record(started.elapsed().as_micros() as u64);
+                    let latency = started.elapsed().as_micros() as u64;
+                    report.latency_us.record(latency);
+                    if let Some(lt) = &ctx.telemetry {
+                        lt.ops_acked.fetch_add(1, Ordering::Relaxed);
+                        if r.op.is_write() {
+                            lt.acked_writes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        lt.total.record(latency);
+                    }
                     break;
                 }
-                Ok(false) => report.nacks += 1,
-                Err(()) => report.timeouts += 1,
+                Ok(false) => {
+                    report.nacks += 1;
+                    if let Some(lt) = &ctx.telemetry {
+                        lt.nacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(()) => {
+                    report.timeouts += 1;
+                    if let Some(lt) = &ctx.telemetry {
+                        lt.timeouts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
 
             // Failed attempt: budget check, then jittered backoff.
@@ -213,7 +244,13 @@ pub(crate) fn run_client(
                 ));
                 break 'refs;
             }
+            let slept = Instant::now();
             std::thread::sleep(ctx.backoff_unit.saturating_mul(units.min(4096) as u32));
+            if let Some(lt) = &ctx.telemetry {
+                lt.backoff.record(slept.elapsed().as_micros() as u64);
+                lt.backoff_units.fetch_add(units, Ordering::Relaxed);
+                lt.retries.fetch_add(1, Ordering::Relaxed);
+            }
             report.retries += 1;
             attempt += 1;
         }

@@ -49,6 +49,7 @@ pub mod artifacts;
 pub mod chaos;
 pub mod client;
 pub mod service;
+pub mod telemetry;
 pub mod verify;
 pub mod wal;
 pub mod wire;
@@ -56,11 +57,13 @@ pub mod wire;
 mod shard;
 
 pub use artifacts::{
-    events_path, journal_path, summary_kv, summary_path, write_artifacts, write_artifacts_on,
+    events_path, journal_path, summary_kv, summary_path, telemetry_path, write_artifacts,
+    write_artifacts_on,
 };
-pub use chaos::{ChannelStats, ChaosChannel};
+pub use chaos::{ChannelStats, ChaosChannel, SharedChannelStats};
 pub use client::ClientReport;
 pub use service::{run_live, KillSpec, LiveConfig, LiveReport, ShardOutcome, WalConfig};
+pub use telemetry::TelemetrySpec;
 pub use verify::{verify_run, VerifyOutcome};
 pub use wal::{open_wal, read_wal, SalvagedWal, WalRecord, WalStats};
 pub use wire::{JournalEntry, Reply, Request};

@@ -29,12 +29,13 @@ use std::time::{Duration, Instant};
 
 use mcc_check::{Checker, CheckerConfig};
 use mcc_core::{FaultPlan, Protocol, RealStorage, SimResult, Storage};
-use mcc_obs::{Event, Log2Histogram};
+use mcc_obs::{Event, Log2Histogram, Registry, SnapshotWriter, TelemetryServer};
 use mcc_workloads::{Workload, WorkloadParams};
 
 use crate::chaos::ChannelStats;
 use crate::client::{run_client, ClientCtx, ClientReport};
 use crate::shard::{lock, run_incarnation, DurableCtx, ShardCtx, ShardShared};
+use crate::telemetry::{LiveTelemetry, TelemetrySpec};
 use crate::verify::{verify_run, VerifyOutcome};
 use crate::wal::WalStats;
 use crate::wire::{JournalEntry, Reply, Request};
@@ -166,6 +167,8 @@ pub struct LiveConfig {
     pub kill: Option<KillSpec>,
     /// Optional durable per-shard write-ahead log.
     pub wal: Option<WalConfig>,
+    /// Optional live telemetry plane (HTTP endpoint + snapshot file).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl LiveConfig {
@@ -192,6 +195,7 @@ impl LiveConfig {
             verify_live: false,
             kill: None,
             wal: None,
+            telemetry: None,
         }
     }
 }
@@ -237,6 +241,9 @@ pub struct LiveReport {
     /// Journal entries the in-run sampler checked (0 unless
     /// [`LiveConfig::verify_live`]).
     pub live_verified_steps: u64,
+    /// Final snapshot of the telemetry plane, when one was on — the
+    /// same registry a scraper saw, for end-of-run reconciliation.
+    pub telemetry: Option<Registry>,
 }
 
 impl LiveReport {
@@ -374,6 +381,29 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
 
     let started = Instant::now();
 
+    // --- Telemetry plane (optional). ---
+    let telemetry = cfg
+        .telemetry
+        .as_ref()
+        .map(|_| Arc::new(LiveTelemetry::new(cfg.shards)));
+    let mut tele_server = None;
+    let mut tele_writer = None;
+    if let (Some(spec), Some(lt)) = (cfg.telemetry.as_ref(), telemetry.as_ref()) {
+        if let Some(addr) = &spec.addr {
+            let server = TelemetryServer::serve(Arc::clone(&lt.plane), addr)
+                .map_err(|e| format!("telemetry endpoint {addr}: {e}"))?;
+            if let Some(tx) = &spec.notify_addr {
+                let _ = tx.send(server.addr());
+            }
+            tele_server = Some(server);
+        }
+        if let Some(path) = &spec.snapshot_path {
+            let writer = SnapshotWriter::start(Arc::clone(&lt.plane), path, spec.snapshot_every)
+                .map_err(|e| format!("telemetry snapshots {}: {e}", path.display()))?;
+            tele_writer = Some(writer);
+        }
+    }
+
     // --- Workload: one program-order reference stream per client. ---
     let trace = cfg.workload.generate(
         &WorkloadParams::new(cfg.nodes)
@@ -425,6 +455,7 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
                 wal_path: w.wal_path(shard),
                 snap_path: w.snap_path(shard),
             }),
+            telemetry: telemetry.clone(),
         });
         spawn_incarnation(&ctx, &shared, &reply_txs, 0, &exit_tx);
         shard_sups.push(ShardSup {
@@ -461,6 +492,7 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
             jitter_seed: cfg.chaos.seed,
             soak: cfg.soak.is_some(),
             stop: Arc::clone(&stop),
+            telemetry: telemetry.clone(),
         };
         let to_shards = request_txs.clone();
         let tx = client_tx.clone();
@@ -483,14 +515,28 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
         .verify_live
         .then(|| spawn_live_verifier(cfg, &shard_sups));
 
+    // Soak duration means *live traffic* time: the clock starts once
+    // the clients are up, not at process start, so workload generation
+    // (seconds at paper scale) can never eat the soak window.
+    let soak_started = Instant::now();
+
     // --- Supervision loop. ---
     let mut client_reports: Vec<Option<ClientReport>> = (0..cfg.nodes).map(|_| None).collect();
     let mut clients_remaining = cfg.nodes as usize;
     let mut soak_stopped = false;
     let mut drain_started: Option<Instant> = None;
+    let mut health_tick = 0u32;
     loop {
+        // Supervisor-computed gauges (lag, restarts), throttled to
+        // ~every 25 ticks (50ms): cheap, and fast enough for a scraper.
+        if let Some(lt) = &telemetry {
+            health_tick += 1;
+            if health_tick % 25 == 1 {
+                lt.update_shard_health(shard_sups.iter().map(|s| s.restarts));
+            }
+        }
         if let Some(soak) = cfg.soak {
-            if !soak_stopped && started.elapsed() >= soak {
+            if !soak_stopped && soak_started.elapsed() >= soak {
                 stop.store(true, Ordering::Relaxed);
                 soak_stopped = true;
             }
@@ -557,6 +603,19 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
     };
     let wall = started.elapsed();
 
+    // Settle the telemetry plane: final gauge tick, cut the report's
+    // registry, then let the writer append its final line (all
+    // counters are settled by now, so file and report agree) and stop
+    // serving.
+    let telemetry_registry = telemetry.as_ref().map(|lt| {
+        lt.update_shard_health(shard_sups.iter().map(|s| s.restarts));
+        lt.plane.snapshot()
+    });
+    if let Some(writer) = tele_writer.take() {
+        let _ = writer.finish();
+    }
+    drop(tele_server);
+
     // --- Salvage journals and assemble the report. ---
     let mut shards_out = Vec::with_capacity(cfg.shards);
     for sup in shard_sups {
@@ -594,6 +653,7 @@ pub fn run_live(cfg: &LiveConfig) -> Result<LiveReport, String> {
         wall,
         verify,
         live_verified_steps,
+        telemetry: telemetry_registry,
     })
 }
 

@@ -29,7 +29,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mcc_cache::CacheConfig;
 use mcc_check::CHECK_BLOCK_SIZE;
@@ -37,12 +37,13 @@ use mcc_core::{
     DirectoryEngine, DirectoryRepr, DirectorySimConfig, EngineSnapshot, PlacementPolicy, Protocol,
     SimResult, SnapshotGeneration, Storage,
 };
-use mcc_obs::{shared, BufferSink, Event};
+use mcc_obs::{shared, BufferSink, Event, EventSink, TelemetrySink, DEFAULT_PUBLISH_EVERY};
 use mcc_placement::PagePlacement;
 use mcc_prng::SplitMix64;
 
 use crate::chaos::{ChannelStats, ChaosChannel};
-use crate::wal::{self, WalStats};
+use crate::telemetry::LiveTelemetry;
+use crate::wal::{self, WalStats, WalTiming};
 use crate::wire::{JournalEntry, Reply, Request};
 
 /// The error string an incarnation reports when it finds itself fenced
@@ -129,6 +130,8 @@ pub(crate) struct ShardCtx {
     /// fsynced before it is acked, and engine snapshots are persisted
     /// with rotation.
     pub durable: Option<DurableCtx>,
+    /// Live telemetry handles, when the plane is on.
+    pub telemetry: Option<Arc<LiveTelemetry>>,
 }
 
 /// Where a shard persists its WAL and snapshot, and through which
@@ -193,6 +196,11 @@ pub(crate) fn run_incarnation(
             if salvage.dropped_bytes > 0 {
                 journal.wal.torn_tails += 1;
                 journal.wal.dropped_bytes += salvage.dropped_bytes;
+                if let Some(lt) = &ctx.telemetry {
+                    lt.wal_torn_tails.fetch_add(1, Ordering::Relaxed);
+                    lt.wal_dropped_bytes
+                        .fetch_add(salvage.dropped_bytes, Ordering::Relaxed);
+                }
             }
             let mem = journal.entries.len();
             if salvage.records.len() < mem {
@@ -220,6 +228,16 @@ pub(crate) fn run_incarnation(
                 journal.events.extend(rec.events.iter().cloned());
                 journal.wal.reconciled += 1;
             }
+            if let Some(lt) = &ctx.telemetry {
+                let reconciled = (salvage.records.len() - mem) as u64;
+                if reconciled > 0 {
+                    lt.wal_reconciled.fetch_add(reconciled, Ordering::Relaxed);
+                    // Reconciled entries were never counted at commit
+                    // time (the crash landed between fsync and the
+                    // in-memory commit), so fold them in here.
+                    lt.applied.fetch_add(reconciled, Ordering::Relaxed);
+                }
+            }
             // Adopt the persisted snapshot when it bounds replay
             // better than the in-memory checkpoint (after a process
             // restart there is no in-memory checkpoint at all). A
@@ -231,6 +249,9 @@ pub(crate) fn run_incarnation(
                 Ok(Some(loaded)) if loaded.covered > covered_mem => {
                     if loaded.generation == SnapshotGeneration::Previous {
                         journal.wal.prev_snapshot_loads += 1;
+                        if let Some(lt) = &ctx.telemetry {
+                            lt.wal_prev_snapshot_loads.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     journal.checkpoint = Some((loaded.snapshot, loaded.covered));
                 }
@@ -282,6 +303,13 @@ pub(crate) fn run_incarnation(
             ));
         }
         let applied = journal.entries.len() as u64;
+        if let Some(lt) = &ctx.telemetry {
+            let g = &lt.shards[ctx.shard as usize];
+            g.applied.store(applied, Ordering::Relaxed);
+            let covered = journal.checkpoint.as_ref().map_or(0, |(_, c)| *c);
+            g.wal_backlog
+                .store((journal.entries.len() - covered) as i64, Ordering::Relaxed);
+        }
         (engine, applied, last_reply)
     };
 
@@ -291,13 +319,22 @@ pub(crate) fn run_incarnation(
     engine.set_sink(Some(sink));
     let mut staged_cursor = 0usize;
 
+    // Advisory engine-event aggregates: committed events also feed a
+    // batched TelemetrySink so the plane carries `records`,
+    // `messages.*`, etc. These lag by one publish batch; the `live.*`
+    // counters are the exact ones.
+    let mut event_sink = ctx
+        .telemetry
+        .as_ref()
+        .map(|lt| TelemetrySink::new(&lt.plane, DEFAULT_PUBLISH_EVERY));
+
     // Reply channels: per-client chaos wrappers, re-seeded per epoch
     // so a restart does not replay the exact fault pattern.
     let mut replies: Vec<ChaosChannel<Reply>> = reply_txs
         .iter()
         .enumerate()
         .map(|(client, tx)| {
-            ChaosChannel::new(
+            let c = ChaosChannel::new(
                 tx.clone(),
                 ctx.reply_rates,
                 derive_seed(
@@ -306,7 +343,11 @@ pub(crate) fn run_incarnation(
                     u64::from(ctx.shard) << 16 | client as u64,
                     epoch,
                 ),
-            )
+            );
+            match &ctx.telemetry {
+                Some(lt) => c.with_telemetry(lt.rep_chaos.clone(), None),
+                None => c,
+            }
         })
         .collect();
     let mut nack_rng = SplitMix64::new(derive_seed(
@@ -324,15 +365,23 @@ pub(crate) fn run_incarnation(
             return Err(SUPERSEDED.to_string());
         }
         if journal.checkpoint.is_some() {
-            journal.events.push(Event::CheckpointLoaded {
+            let ev = Event::CheckpointLoaded {
                 step: engine.steps(),
                 records: applied,
-            });
+            };
+            if let Some(sink) = event_sink.as_mut() {
+                sink.emit(&ev);
+            }
+            journal.events.push(ev);
         }
-        journal.events.push(Event::ShardStarted {
+        let ev = Event::ShardStarted {
             shard: ctx.shard,
             records: applied,
-        });
+        };
+        if let Some(sink) = event_sink.as_mut() {
+            sink.emit(&ev);
+        }
+        journal.events.push(ev);
     }
 
     let exit =
@@ -363,6 +412,13 @@ pub(crate) fn run_incarnation(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
+        if let Some(lt) = &ctx.telemetry {
+            lt.shards[ctx.shard as usize]
+                .queue_depth
+                .fetch_sub(1, Ordering::Relaxed);
+            lt.queue_wait
+                .record(req.queued_at.elapsed().as_micros() as u64);
+        }
 
         let client = req.client as usize;
         if client >= replies.len() {
@@ -383,6 +439,9 @@ pub(crate) fn run_incarnation(
         // Simulated directory-controller NACK (request class only).
         if nack_rng.chance_ppm(ctx.nack_ppm) {
             nacks_sent += 1;
+            if let Some(lt) = &ctx.telemetry {
+                lt.nacks_sent.fetch_add(1, Ordering::Relaxed);
+            }
             replies[client].send(Reply::Nack { seq: req.seq });
             continue;
         }
@@ -400,9 +459,16 @@ pub(crate) fn run_incarnation(
             }
         }
 
+        // Time the deterministic step from *outside* it: the engine
+        // never reads the clock, so the traced and untraced paths run
+        // the exact same simulation.
+        let step_t0 = ctx.telemetry.as_ref().map(|_| Instant::now());
         let info = engine
             .try_step(req.mref)
             .map_err(|e| format!("shard {}: engine: {e}", ctx.shard))?;
+        if let (Some(lt), Some(t0)) = (&ctx.telemetry, step_t0) {
+            lt.engine_step.record(t0.elapsed().as_micros() as u64);
+        }
         applied += 1;
         let entry = JournalEntry {
             client: req.client,
@@ -424,6 +490,7 @@ pub(crate) fn run_incarnation(
         // first, still under the lock and the fence — a zombie cannot
         // write to the durable log either, and nothing is acked before
         // it is durable.
+        let commit_t0 = ctx.telemetry.as_ref().map(|_| Instant::now());
         {
             let mut journal = lock(&shared_state.journal);
             if shared_state.epoch.load(Ordering::SeqCst) != epoch {
@@ -440,8 +507,26 @@ pub(crate) fn run_incarnation(
                 fresh
             };
             if let Some(d) = &ctx.durable {
-                wal::append_record(d.storage.as_ref(), &d.wal_path, &entry, &fresh)
-                    .map_err(|e| format!("shard {}: wal append: {e}", ctx.shard))?;
+                let timing = ctx.telemetry.as_ref().map(|lt| WalTiming {
+                    append_us: &lt.wal_append,
+                    fsync_us: &lt.wal_fsync,
+                });
+                wal::append_record_timed(
+                    d.storage.as_ref(),
+                    &d.wal_path,
+                    &entry,
+                    &fresh,
+                    timing.as_ref(),
+                )
+                .map_err(|e| format!("shard {}: wal append: {e}", ctx.shard))?;
+                if let Some(lt) = &ctx.telemetry {
+                    lt.wal_appends.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if let Some(sink) = event_sink.as_mut() {
+                for ev in &fresh {
+                    sink.emit(ev);
+                }
             }
             journal.entries.push(entry);
             journal.events.extend(fresh);
@@ -453,15 +538,35 @@ pub(crate) fn run_incarnation(
                         .map_err(|e| format!("shard {}: snapshot save: {e}", ctx.shard))?;
                 }
                 journal.checkpoint = Some((snapshot, covered));
-                journal.events.push(Event::CheckpointSaved {
+                let ev = Event::CheckpointSaved {
                     step: engine.steps(),
                     records: applied,
-                });
+                };
+                if let Some(sink) = event_sink.as_mut() {
+                    sink.emit(&ev);
+                }
+                journal.events.push(ev);
             }
+            if let Some(lt) = &ctx.telemetry {
+                lt.applied.fetch_add(1, Ordering::Relaxed);
+                let g = &lt.shards[ctx.shard as usize];
+                g.applied
+                    .store(journal.entries.len() as u64, Ordering::Relaxed);
+                let covered = journal.checkpoint.as_ref().map_or(0, |(_, c)| *c);
+                g.wal_backlog
+                    .store((journal.entries.len() - covered) as i64, Ordering::Relaxed);
+            }
+        }
+        if let (Some(lt), Some(t0)) = (&ctx.telemetry, commit_t0) {
+            lt.commit.record(t0.elapsed().as_micros() as u64);
         }
 
         last_reply[client] = Some((req.seq, reply));
+        let send_t0 = ctx.telemetry.as_ref().map(|_| Instant::now());
         replies[client].send(reply);
+        if let (Some(lt), Some(t0)) = (&ctx.telemetry, send_t0) {
+            lt.reply_send.record(t0.elapsed().as_micros() as u64);
+        }
     }
 
     // Inbox disconnected: all clients are gone. Seal the journal.
@@ -472,10 +577,14 @@ pub(crate) fn run_incarnation(
             exit(replies, shared_state, nacks_sent);
             return Err(SUPERSEDED.to_string());
         }
-        journal.events.push(Event::ShardFinished {
+        let ev = Event::ShardFinished {
             shard: ctx.shard,
             records: applied,
-        });
+        };
+        if let Some(sink) = event_sink.as_mut() {
+            sink.emit(&ev);
+        }
+        journal.events.push(ev);
     }
     exit(replies, shared_state, nacks_sent);
     engine.set_sink(None);

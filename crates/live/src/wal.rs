@@ -49,12 +49,13 @@
 
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use mcc_core::checkpoint::{
     fnv1a_64, prev_path, put_u16, put_u32, put_u64, read_envelope, write_envelope, PayloadReader,
 };
 use mcc_core::{EngineSnapshot, MessageCount, SnapshotGeneration, StepKind, Storage};
-use mcc_obs::Event;
+use mcc_obs::{AtomicHistogram, Event};
 use mcc_trace::{Addr, MemOp, MemRef, NodeId};
 
 use crate::wire::JournalEntry;
@@ -329,9 +330,41 @@ pub fn append_record<S: Storage + ?Sized>(
     entry: &JournalEntry,
     events: &[Event],
 ) -> io::Result<()> {
+    append_record_timed(storage, path, entry, events, None)
+}
+
+/// Stage-latency sinks for [`append_record_timed`]: the encode+write
+/// half and the fsync half land in separate histograms, so a scraper
+/// can tell a slow disk (fsync) from a large frame (append).
+pub struct WalTiming<'a> {
+    /// Receives the encode + append latency, microseconds.
+    pub append_us: &'a AtomicHistogram,
+    /// Receives the fsync latency, microseconds.
+    pub fsync_us: &'a AtomicHistogram,
+}
+
+/// [`append_record`], with optional per-stage latency recording. The
+/// clock reads surround the storage calls only — nothing on the
+/// deterministic encode path depends on them.
+pub fn append_record_timed<S: Storage + ?Sized>(
+    storage: &S,
+    path: &Path,
+    entry: &JournalEntry,
+    events: &[Event],
+    timing: Option<&WalTiming<'_>>,
+) -> io::Result<()> {
     let frame = encode_frame(&encode_record(entry, events));
+    let t0 = timing.map(|_| Instant::now());
     storage.append(path, &frame)?;
-    storage.sync(path)
+    if let (Some(t), Some(t0)) = (timing, t0) {
+        t.append_us.record(t0.elapsed().as_micros() as u64);
+    }
+    let t1 = timing.map(|_| Instant::now());
+    storage.sync(path)?;
+    if let (Some(t), Some(t1)) = (timing, t1) {
+        t.fsync_us.record(t1.elapsed().as_micros() as u64);
+    }
+    Ok(())
 }
 
 fn tmp_path(path: &Path) -> PathBuf {

@@ -15,7 +15,10 @@
 //! touching the engine, so drops, duplicates, and delayed stragglers
 //! on either direction of the wire can never double-apply a reference.
 
+use std::time::Instant;
+
 use mcc_core::{MessageCount, StepKind};
+use mcc_obs::SpanId;
 use mcc_trace::MemRef;
 
 /// A client's request that one memory reference be applied by the
@@ -32,6 +35,15 @@ pub struct Request {
     pub mref: MemRef,
     /// Zero-based delivery attempt, for observability only.
     pub attempt: u32,
+    /// Causal span id, minted once per logical operation (stable
+    /// across retransmits of the same `seq`). Observability only: no
+    /// dedup or routing decision reads it.
+    pub span: SpanId,
+    /// When this attempt entered the wire; the shard's dequeue reads
+    /// it to attribute queue-wait latency to the span. Re-stamped per
+    /// attempt so a retransmit measures its own wait, not the first
+    /// attempt's.
+    pub queued_at: Instant,
 }
 
 /// A shard's reply to a [`Request`].

@@ -21,6 +21,18 @@
 //!   snapshots.
 //! * [`FlightRecorder`] — ring + per-block classification timelines,
 //!   rendered into error context when a run dies.
+//! * [`TelemetrySink`] — batched local aggregation published into a
+//!   shared, lock-free [`Telemetry`] plane that a hand-rolled HTTP
+//!   endpoint ([`TelemetryServer`]) exposes as Prometheus text and
+//!   JSON snapshots while a run is still in flight, alongside a
+//!   periodic [`SnapshotWriter`] JSONL stream.
+//!
+//! The [`span`] module adds causal spans on top of the event stream:
+//! per-request [`SpanId`]s minted at ingress and carried through wire,
+//! shard, and WAL, with per-[`Stage`] latencies accumulated into
+//! lock-free [`AtomicHistogram`]s. Wall-clock reads live strictly at
+//! stage boundaries in the service layer — never inside deterministic
+//! replay or simulation paths.
 //!
 //! Events are observations derived from state the engines already
 //! compute; no decision in any engine reads a sink, so observability
@@ -35,6 +47,8 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
+pub mod span;
+pub mod telemetry;
 
 pub use event::{Event, Rule, StepKind};
 pub use json::{Json, JsonError};
@@ -42,4 +56,9 @@ pub use metrics::{IntervalSnapshot, Log2Histogram, MetricsRecorder, Registry, DE
 pub use recorder::{FlightRecorder, TimelineEntry, DEFAULT_RING};
 pub use sink::{
     lock_sink, shared, BufferSink, EventSink, FanoutSink, JsonlSink, NullSink, RingSink, SharedSink,
+};
+pub use span::{AtomicHistogram, SpanId, Stage};
+pub use telemetry::{
+    http_get, prometheus_name, SnapshotWriter, Telemetry, TelemetryServer, TelemetrySink,
+    DEFAULT_PUBLISH_EVERY,
 };

@@ -53,11 +53,29 @@ impl Log2Histogram {
         }
     }
 
-    /// Records one value.
+    /// Records one value. Counts saturate rather than wrap, so a
+    /// histogram fed from long-lived atomic accumulators can never
+    /// panic or go backwards.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Log2Histogram::bucket_of(value)] += 1;
-        self.count += 1;
-        self.sum += u128::from(value);
+        let i = Log2Histogram::bucket_of(value);
+        self.buckets[i] = self.buckets[i].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(value));
+    }
+
+    /// Rebuilds a histogram from raw bucket counts and an exact sum —
+    /// the shape a lock-free atomic accumulator snapshots into. The
+    /// total count is recomputed from the buckets (saturating), so the
+    /// `count == Σ buckets` invariant the quantile walk relies on holds
+    /// even if the parts were sampled while concurrent recording was
+    /// in flight.
+    pub fn from_parts(buckets: [u64; 65], sum: u128) -> Log2Histogram {
+        let count = buckets.iter().fold(0u64, |acc, &c| acc.saturating_add(c));
+        Log2Histogram {
+            buckets,
+            count,
+            sum,
+        }
     }
 
     /// Number of recorded values.
@@ -92,13 +110,14 @@ impl Log2Histogram {
 
     /// Folds another histogram into this one, bucket by bucket —
     /// equivalent to having recorded both value streams into a single
-    /// histogram (the bucketing is order-independent).
+    /// histogram (the bucketing is order-independent). Saturates at
+    /// the numeric limits instead of overflowing.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += theirs;
+            *mine = mine.saturating_add(*theirs);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// An upper bound on the `q`-quantile of the recorded values
@@ -113,7 +132,10 @@ impl Log2Histogram {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            // Saturating: bucket counts can individually saturate near
+            // u64::MAX, and the running total must not overflow past
+            // the (also saturated) rank.
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 return Some(match i {
                     0 => 0,
@@ -183,6 +205,16 @@ impl Registry {
             .record(value);
     }
 
+    /// Folds a whole histogram into the named slot, creating it empty
+    /// first. This is how a telemetry snapshot lands an
+    /// [`crate::span::AtomicHistogram`] in a plain registry.
+    pub fn histogram_merge(&mut self, name: &str, h: &Log2Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
     /// Looks up a histogram.
     pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
         self.histograms.get(name)
@@ -226,6 +258,13 @@ impl Registry {
 
     /// Serializes the registry to JSON.
     pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The registry as a [`Json`] value, for embedding inside larger
+    /// documents (telemetry snapshot lines nest one of these under a
+    /// timestamped envelope).
+    pub fn to_json_value(&self) -> Json {
         let counters = Json::Obj(
             self.counters
                 .iter()
@@ -275,7 +314,6 @@ impl Registry {
             ("histograms".to_string(), histograms),
             ("intervals".to_string(), intervals),
         ])
-        .to_string()
     }
 
     /// Parses a registry back from [`Registry::to_json`] output.
@@ -285,6 +323,11 @@ impl Registry {
     /// lower bound rather than exact; bucket counts round-trip exactly.
     pub fn from_json(text: &str) -> Result<Registry, String> {
         let v = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        Registry::from_json_value(&v)
+    }
+
+    /// [`Registry::from_json`] over an already-parsed [`Json`] value.
+    pub fn from_json_value(v: &Json) -> Result<Registry, String> {
         if v.as_obj().is_none() {
             return Err("top-level value is not an object".to_string());
         }
@@ -331,9 +374,9 @@ impl Registry {
                         .as_u64()
                         .ok_or_else(|| format!("histograms.{k}[{i}] is not a u64"))?;
                     h.buckets[i] = c;
-                    h.count += c;
+                    h.count = h.count.saturating_add(c);
                     let lower = if i <= 1 { i as u128 } else { 1u128 << (i - 1) };
-                    h.sum += lower * u128::from(c);
+                    h.sum = h.sum.saturating_add(lower.saturating_mul(u128::from(c)));
                 }
                 reg.histograms.insert(k.clone(), h);
             }
@@ -615,6 +658,60 @@ mod tests {
         let mut top = Log2Histogram::new();
         top.record(u64::MAX);
         assert_eq!(top.quantile_upper_bound(0.5), Some(u64::MAX));
+    }
+
+    #[test]
+    fn histogram_empty_edge_cases() {
+        let empty = Log2Histogram::new();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.max_bucket(), None);
+        for q in [0.0, 0.5, 1.0, -3.0, 7.0] {
+            assert_eq!(empty.quantile_upper_bound(q), None);
+        }
+        // Merging empty into empty stays empty.
+        let mut into = Log2Histogram::new();
+        into.merge(&empty);
+        assert_eq!(into, Log2Histogram::new());
+    }
+
+    #[test]
+    fn histogram_single_bucket_quantiles() {
+        // All mass in one bucket: every quantile resolves to that
+        // bucket's exclusive upper edge, including clamped-out-of-range
+        // q values.
+        let mut h = Log2Histogram::new();
+        for _ in 0..10 {
+            h.record(5); // bucket [4,8)
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0, -1.0, 2.0] {
+            assert_eq!(h.quantile_upper_bound(q), Some(7), "q={q}");
+        }
+        assert_eq!(h.max_bucket(), Some(3));
+    }
+
+    #[test]
+    fn histogram_saturating_counts_stay_finite() {
+        // Two histograms whose bucket counts and sums sit at the
+        // numeric limits: merge must saturate (not wrap), and the
+        // quantile walk must still terminate even though the running
+        // cumulative total would overflow u64.
+        let mut buckets = [0u64; 65];
+        buckets[2] = u64::MAX;
+        buckets[10] = u64::MAX;
+        let mut a = Log2Histogram::from_parts(buckets, u128::MAX);
+        assert_eq!(a.count(), u64::MAX, "count saturates at construction");
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.buckets()[2], u64::MAX);
+        assert_eq!(a.buckets()[10], u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.sum(), u128::MAX);
+        assert_eq!(a.quantile_upper_bound(0.25), Some(3));
+        assert_eq!(a.quantile_upper_bound(1.0), Some(3));
+        // Recording on a saturated histogram keeps saturating.
+        a.record(u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.sum(), u128::MAX);
     }
 
     #[test]

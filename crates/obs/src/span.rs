@@ -1,0 +1,292 @@
+//! Causal spans for the live request pipeline.
+//!
+//! A *span* is one client request's journey through the concurrent
+//! service: minted at the client, carried on the wire next to the
+//! request (`mcc-live`'s `Request` embeds a [`SpanId`]), and observed
+//! at each pipeline stage. The stages are fixed — the [`Stage`] enum
+//! is the taxonomy — and each stage's wall-clock latency is recorded
+//! into a lock-free [`AtomicHistogram`] keyed by the stage's metric
+//! name, so a scraper can read p50/p99 per stage *while the run is in
+//! flight* without stopping any thread.
+//!
+//! Two invariants keep tracing inert:
+//!
+//! * **No wall-clock reads on the deterministic path.** Spans time the
+//!   *service* plumbing (queue wait, WAL fsync, reply send); the engine
+//!   step itself is timed from outside, around the same `try_step`
+//!   call the untraced path makes. Simulation results never depend on
+//!   a clock.
+//! * **Lock-free recording.** [`AtomicHistogram::record`] is a couple
+//!   of relaxed `fetch_add`s; there is no mutex a slow scraper could
+//!   hold against the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::metrics::Log2Histogram;
+
+/// The pipeline stages a live request passes through, in causal order.
+///
+/// `Total` is the client-observed end-to-end latency (send to ack,
+/// across retries); the other stages partition where that time went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Wire flight plus time spent in the shard inbox before dequeue.
+    QueueWait,
+    /// One deterministic engine `try_step` (timed from outside it).
+    EngineStep,
+    /// WAL frame encode + append write.
+    WalAppend,
+    /// WAL fsync before the ack (the durability stall).
+    WalFsync,
+    /// Journal + staged-event commit under the shard journal lock
+    /// (includes the WAL stages when a durable WAL is attached).
+    Commit,
+    /// Handing the reply to the (possibly chaotic) reply channel.
+    ReplySend,
+    /// Client-side exponential backoff sleep before a retry.
+    Backoff,
+    /// Client-observed end-to-end request latency, across retries.
+    Total,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::QueueWait,
+        Stage::EngineStep,
+        Stage::WalAppend,
+        Stage::WalFsync,
+        Stage::Commit,
+        Stage::ReplySend,
+        Stage::Backoff,
+        Stage::Total,
+    ];
+
+    /// Stable snake_case label.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::EngineStep => "engine_step",
+            Stage::WalAppend => "wal_append",
+            Stage::WalFsync => "wal_fsync",
+            Stage::Commit => "commit",
+            Stage::ReplySend => "reply_send",
+            Stage::Backoff => "backoff",
+            Stage::Total => "total",
+        }
+    }
+
+    /// The histogram name this stage records under (values are in
+    /// microseconds).
+    pub fn metric_name(&self) -> String {
+        format!("stage.{}_us", self.label())
+    }
+}
+
+/// A compact causal identifier for one client request.
+///
+/// Minted once per logical operation (not per retry) from the issuing
+/// client id and its per-client sequence number, so the id is unique
+/// across the run, stable across retransmits, and cheap to carry in a
+/// `Copy` wire struct: `(client + 1)` in the top 16 bits, the sequence
+/// number in the low 48.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    const SEQ_BITS: u32 = 48;
+    const SEQ_MASK: u64 = (1 << SpanId::SEQ_BITS) - 1;
+
+    /// Mints the span id for `client`'s `seq`-th operation.
+    pub fn mint(client: u16, seq: u64) -> SpanId {
+        SpanId((u64::from(client) + 1) << SpanId::SEQ_BITS | (seq & SpanId::SEQ_MASK))
+    }
+
+    /// A sentinel id no real request carries (client bits all zero).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// The issuing client, if this is a real span.
+    pub fn client(&self) -> Option<u16> {
+        let c = self.0 >> SpanId::SEQ_BITS;
+        if c == 0 {
+            None
+        } else {
+            Some((c - 1) as u16)
+        }
+    }
+
+    /// The per-client sequence number (low 48 bits).
+    pub fn seq(&self) -> u64 {
+        self.0 & SpanId::SEQ_MASK
+    }
+
+    /// The raw 64-bit encoding.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A lock-free power-of-two histogram: the concurrent twin of
+/// [`Log2Histogram`], safe to record into from many threads while a
+/// scraper snapshots it.
+///
+/// All operations are relaxed atomics. A snapshot cut mid-record can
+/// therefore be off by in-flight increments, but it is always a valid
+/// histogram: [`Log2Histogram::from_parts`] recomputes the count from
+/// the buckets, so `count == Σ buckets` holds by construction.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; 65],
+    /// Sum of recorded values, saturating at `u64::MAX`.
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[Log2Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.add_sum(value);
+    }
+
+    /// Folds a locally accumulated [`Log2Histogram`] into the live
+    /// buckets — the publish path for sinks that batch on the hot path
+    /// and flush periodically.
+    pub fn add_buckets(&self, local: &Log2Histogram) {
+        for (live, &c) in self.buckets.iter().zip(local.buckets().iter()) {
+            if c > 0 {
+                live.fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.add_sum(u64::try_from(local.sum()).unwrap_or(u64::MAX));
+    }
+
+    /// Saturating atomic add into `sum`: `fetch_add` wraps on
+    /// overflow, and a long soak must never report a tiny wrapped sum.
+    /// The CAS loop only retries under contention near the limit,
+    /// which no real workload reaches.
+    fn add_sum(&self, value: u64) {
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(value);
+            match self
+                .sum
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Cuts a point-in-time [`Log2Histogram`] from the live buckets.
+    pub fn snapshot(&self) -> Log2Histogram {
+        let mut buckets = [0u64; 65];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        let sum = self.sum.load(Ordering::Relaxed);
+        Log2Histogram::from_parts(buckets, u128::from(sum))
+    }
+
+    /// Total recorded values in the current snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .fold(0u64, |acc, b| acc.saturating_add(b.load(Ordering::Relaxed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_id_round_trips_client_and_seq() {
+        let id = SpanId::mint(7, 123_456);
+        assert_eq!(id.client(), Some(7));
+        assert_eq!(id.seq(), 123_456);
+        assert_eq!(SpanId::NONE.client(), None);
+        // Distinct clients / seqs give distinct ids.
+        assert_ne!(SpanId::mint(0, 0), SpanId::NONE);
+        assert_ne!(SpanId::mint(0, 1), SpanId::mint(1, 0));
+        assert_ne!(SpanId::mint(u16::MAX, 5), SpanId::mint(u16::MAX - 1, 5));
+    }
+
+    #[test]
+    fn stage_taxonomy_is_stable() {
+        let labels: Vec<&str> = Stage::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "queue_wait",
+                "engine_step",
+                "wal_append",
+                "wal_fsync",
+                "commit",
+                "reply_send",
+                "backoff",
+                "total"
+            ]
+        );
+        assert_eq!(Stage::EngineStep.metric_name(), "stage.engine_step_us");
+    }
+
+    #[test]
+    fn atomic_histogram_matches_sequential_twin() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 7, 1000, u64::MAX] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        // The atomic sum saturates at u64::MAX where the sequential
+        // histogram keeps a u128, so compare buckets/count/quantiles.
+        let snap = atomic.snapshot();
+        assert_eq!(snap.buckets(), plain.buckets());
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(atomic.count(), plain.count());
+        assert_eq!(
+            snap.quantile_upper_bound(0.5),
+            plain.quantile_upper_bound(0.5)
+        );
+        assert_eq!(snap.sum(), u128::from(u64::MAX)); // saturated
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_all_land() {
+        let h = std::sync::Arc::new(AtomicHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 40_000);
+        let expected: u128 = (0..4u128)
+            .flat_map(|t| (0..10_000u128).map(move |i| t * 10_000 + i))
+            .sum();
+        assert_eq!(snap.sum(), expected);
+    }
+}

@@ -304,3 +304,51 @@ fn read_and_write_only_traces_stay_in_parity() {
         }
     }
 }
+
+#[test]
+fn telemetry_plane_is_inert_and_observes() {
+    // The live telemetry plane's sink must be invisible to the
+    // simulation: a fully enabled `TelemetrySink` (batched local
+    // aggregation publishing into shared atomics) produces bit-exact
+    // results against an unobserved run, on both engines — while the
+    // plane itself demonstrably sees the event stream.
+    use mcc::obs::{NullSink, Telemetry, TelemetrySink, DEFAULT_PUBLISH_EVERY};
+
+    let trace = parity_trace(0x7e1e_0b55, 4_000);
+    for protocol in Protocol::PAPER_SET {
+        let run = |kind: EngineKind, sink: mcc::obs::SharedSink| {
+            let mut engine =
+                AnyEngine::new(kind, protocol, &config(), PagePlacement::round_robin(NODES));
+            engine.set_sink(Some(sink));
+            for r in trace.iter() {
+                engine.step(*r);
+            }
+            engine.finish()
+        };
+        let plane = Telemetry::new();
+        let bare = run(EngineKind::Fast, shared(NullSink).1);
+        let traced = run(
+            EngineKind::Fast,
+            shared(TelemetrySink::new(&plane, DEFAULT_PUBLISH_EVERY)).1,
+        );
+        assert_eq!(
+            bare, traced,
+            "{protocol}: a telemetry sink perturbed the fast engine"
+        );
+        let reference = run(
+            EngineKind::Reference,
+            shared(TelemetrySink::new(&plane, DEFAULT_PUBLISH_EVERY)).1,
+        );
+        assert_eq!(
+            bare, reference,
+            "{protocol}: a telemetry sink perturbed the reference engine"
+        );
+        // Both traced runs published: one Step record per reference.
+        let snapshot = plane.snapshot();
+        assert_eq!(
+            snapshot.counter(mcc::obs::metrics::names::RECORDS),
+            2 * trace.len() as u64,
+            "{protocol}: the plane missed records despite inert results"
+        );
+    }
+}

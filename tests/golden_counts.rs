@@ -51,6 +51,19 @@ fn test_events_ring() -> Option<usize> {
     }
 }
 
+/// Whether to re-run the goldens with a full live-telemetry plane
+/// attached (`MCC_TEST_TELEMETRY` set to a truthy value): the batched
+/// `TelemetrySink` must be as inert as the ring — bit-exact totals
+/// with the plane's counters visibly advancing.
+fn test_telemetry() -> bool {
+    match std::env::var("MCC_TEST_TELEMETRY") {
+        Ok(raw) if raw == "1" || raw.eq_ignore_ascii_case("true") => true,
+        Ok(raw) if raw == "0" || raw.is_empty() || raw.eq_ignore_ascii_case("false") => false,
+        Ok(raw) => panic!("MCC_TEST_TELEMETRY must be 0 or 1, got {raw:?}"),
+        Err(_) => false,
+    }
+}
+
 #[test]
 fn pinned_message_totals() {
     // (workload, trace refs, conventional, conservative, basic, aggressive)
@@ -135,6 +148,35 @@ fn pinned_message_totals() {
                 assert!(
                     mcc::obs::lock_sink(&ring).total_seen() > 0,
                     "{app}/{protocol}: the attached ring observed nothing"
+                );
+            }
+            // With MCC_TEST_TELEMETRY set, re-run with the live
+            // telemetry plane's batched sink attached: the goldens
+            // must hold bit-exactly while the plane's shared counters
+            // advance.
+            if test_telemetry() {
+                use mcc::obs::{metrics::names, shared, Telemetry, TelemetrySink};
+                let plane = Telemetry::new();
+                let sink = shared(TelemetrySink::new(&plane, mcc::obs::DEFAULT_PUBLISH_EVERY)).1;
+                let observed = sim
+                    .try_run_with_sink(&trace, sink)
+                    .expect("telemetry-instrumented golden run")
+                    .total_messages();
+                assert_eq!(
+                    observed, want,
+                    "{app}/{protocol}: a telemetry sink perturbed the golden count"
+                );
+                let snapshot = plane.snapshot();
+                assert_eq!(
+                    snapshot.counter(names::RECORDS),
+                    refs as u64,
+                    "{app}/{protocol}: the telemetry plane missed records"
+                );
+                assert_eq!(
+                    snapshot.counter(names::CONTROL) + snapshot.counter(names::DATA),
+                    want,
+                    "{app}/{protocol}: the telemetry plane's message totals drifted \
+                     from the golden count"
                 );
             }
         }

@@ -314,3 +314,130 @@ fn artifacts_round_trip_through_trace_and_event_parsers() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn telemetry_endpoint_scrapes_mid_run_and_reconciles() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc};
+
+    use mcc::obs::{http_get, Json, Registry, Stage};
+    use mcc_live::TelemetrySpec;
+
+    let mut cfg = base_config();
+    cfg.seed = 23;
+    // Soak for a fixed wall-time slice: trace generation happens after
+    // the endpoint comes up and dominates a debug-profile run, so a
+    // pure max-refs pass leaves the scraper only a sliver of actual
+    // live traffic. A soak guarantees a scrape-rich mid-run window on
+    // any build profile.
+    cfg.soak = Some(Duration::from_millis(1000));
+    let (tx, rx) = mpsc::channel();
+    cfg.telemetry = Some(TelemetrySpec {
+        addr: Some("127.0.0.1:0".into()),
+        snapshot_path: None,
+        snapshot_every: Duration::from_millis(50),
+        notify_addr: Some(tx),
+    });
+
+    // Scrape the embedded endpoint from outside while the service
+    // runs, exactly as an operator would.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let addr = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("the service reports its bound endpoint");
+            let url = addr.to_string();
+            let mut first_nonzero = 0u64;
+            let mut last: Option<Registry> = None;
+            let mut exposition = String::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(body) = http_get(&url, "/json") {
+                    let v = Json::parse(&body).expect("snapshot body parses");
+                    let r = Registry::from_json(
+                        &v.get("registry")
+                            .expect("envelope has a registry")
+                            .to_string(),
+                    )
+                    .expect("registry decodes");
+                    let ops = r.counter("live.ops_acked");
+                    if ops > 0 && first_nonzero == 0 {
+                        first_nonzero = ops;
+                    }
+                    // Scrape the text exposition once ops are visible,
+                    // retrying on transient connect failures until one
+                    // mid-run scrape lands.
+                    if first_nonzero > 0 && exposition.is_empty() {
+                        exposition = http_get(&url, "/metrics").unwrap_or_default();
+                    }
+                    last = Some(r);
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            (first_nonzero, last, exposition)
+        })
+    };
+
+    let report = run_live(&cfg).expect("valid config");
+    stop.store(true, Ordering::Relaxed);
+    let (first_nonzero, last_scrape, exposition) = scraper.join().expect("scraper thread");
+
+    assert!(report.ok(), "violations: {:?}", report.verify.violations);
+
+    // Counters were visible *incrementally*: the first nonzero scrape
+    // landed strictly mid-run, not after teardown.
+    assert!(
+        first_nonzero > 0,
+        "endpoint never served a nonzero ops count"
+    );
+    assert!(
+        first_nonzero < report.ops(),
+        "first scrape ({first_nonzero}) only saw the finished run ({})",
+        report.ops()
+    );
+
+    // The Prometheus exposition taken at that moment is well-formed.
+    assert!(
+        exposition.contains("# TYPE mcc_live_ops_acked counter"),
+        "exposition missing the ops counter:\n{exposition}"
+    );
+    assert!(
+        exposition.contains("# TYPE mcc_stage_total_us histogram"),
+        "exposition missing the total-stage histogram:\n{exposition}"
+    );
+
+    // The final plane snapshot rides on the report and reconciles with
+    // the service's own summary numbers.
+    let final_reg = report
+        .telemetry
+        .as_ref()
+        .expect("plane snapshot on the report");
+    assert_eq!(final_reg.counter("live.ops_acked"), report.ops());
+    assert_eq!(final_reg.counter("live.applied"), report.applied());
+    assert_eq!(final_reg.counter("live.retries"), report.retries());
+    for stage in [Stage::QueueWait, Stage::EngineStep, Stage::Total] {
+        let h = final_reg
+            .histogram(&stage.metric_name())
+            .unwrap_or_else(|| panic!("no {} histogram", stage.metric_name()));
+        assert!(h.count() > 0, "{} recorded nothing", stage.metric_name());
+        assert!(
+            h.quantile_upper_bound(0.99) >= h.quantile_upper_bound(0.5),
+            "{} quantiles are not ordered",
+            stage.metric_name()
+        );
+    }
+    // Per-shard gauges exist for every shard and the applied counters
+    // sum to the service total.
+    let mut applied_sum = 0;
+    for i in 0..report.shards.len() {
+        applied_sum += final_reg.counter(&format!("shard.{i}.applied"));
+        let _ = final_reg.gauge(&format!("shard.{i}.lag"));
+    }
+    assert_eq!(applied_sum, report.applied());
+
+    // And the last mid-run scrape never ran ahead of the final truth.
+    let last_scrape = last_scrape.expect("at least one successful scrape");
+    assert!(last_scrape.counter("live.ops_acked") <= report.ops());
+    assert!(last_scrape.counter("live.applied") <= report.applied());
+}

@@ -277,3 +277,56 @@ fn execsim_resume_preserves_stall_cycle_counters() {
         );
     }
 }
+
+#[test]
+fn telemetry_attached_resume_stays_bit_exact() {
+    // The live telemetry plane rides along on resumed runs: attaching
+    // a full `TelemetrySink` per shard must leave the resumed result
+    // bit-identical to the uninterrupted, unobserved run — while the
+    // plane visibly records the restore (a `CheckpointLoaded` event
+    // per resumed shard).
+    use mcc::obs::{metrics::names, shared, Telemetry, TelemetrySink, DEFAULT_PUBLISH_EVERY};
+
+    let trace = small_trace(4);
+    let cfg = DirectorySimConfig {
+        nodes: 4,
+        ..DirectorySimConfig::default()
+    };
+    for protocol in [Protocol::Basic, Protocol::Aggressive] {
+        let sim = DirectorySim::new(protocol, &cfg).with_engine(test_engine());
+        let straight = sim.try_run(&trace).expect("uninterrupted run");
+        for shards in [1usize, 4] {
+            // The cut is per shard, clamped to each sub-trace: keep it
+            // well under len/shards so every shard has a tail to
+            // replay under observation.
+            let cut = trace.len() as u64 / (2 * shards as u64);
+            let ck = sim
+                .checkpoint_after(&trace, shards, cut)
+                .expect("prefix replays cleanly");
+            let plane = Telemetry::new();
+            let sinks: Vec<_> = (0..shards)
+                .map(|_| shared(TelemetrySink::new(&plane, DEFAULT_PUBLISH_EVERY)).1)
+                .collect();
+            let resumed = sim
+                .resume_from_with_sinks(&trace, &ck, None, &sinks)
+                .expect("instrumented resume");
+            assert_eq!(
+                resumed, straight,
+                "{protocol} K={shards}: a telemetry sink perturbed the resumed run"
+            );
+            // The final partial batch publishes when the last sink
+            // handle drops.
+            drop(sinks);
+            let snapshot = plane.snapshot();
+            assert_eq!(
+                snapshot.counter(names::CHECKPOINT_LOADS),
+                shards as u64,
+                "{protocol} K={shards}: the plane missed the checkpoint restores"
+            );
+            assert!(
+                snapshot.counter(names::RECORDS) > 0,
+                "{protocol} K={shards}: the plane observed no records"
+            );
+        }
+    }
+}
