@@ -1,20 +1,51 @@
 //! Prints the golden regression numbers used by `tests/golden_counts.rs`
 //! (exact message totals at a pinned configuration and seed). Run after
 //! any intentional workload or protocol change and update the test.
+//!
+//! Usage: `golden_dump [--directory R]` — `R` is a representation slug
+//! (`full-map`, `dirNb`, `cvR`, `dirNcvR`); the default sweeps every
+//! representation the golden test pins.
 
-use mcc_core::{DirectorySim, DirectorySimConfig, Protocol};
+use std::process::exit;
+
+use mcc_check::parse_directory_repr;
+use mcc_core::{DirectoryRepr, DirectorySim, DirectorySimConfig, Protocol};
 use mcc_workloads::{Workload, WorkloadParams};
 
 fn main() {
-    let cfg = DirectorySimConfig::default();
-    let params = WorkloadParams::new(16).scale(0.1).seed(42);
-    for app in Workload::ALL {
-        let trace = app.generate(&params);
-        print!("        (Workload::{:?}, {}", app, trace.len());
-        for p in Protocol::PAPER_SET {
-            let r = DirectorySim::new(p, &cfg).run(&trace);
-            print!(", {}", r.total_messages());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reprs: Vec<DirectoryRepr> = match args.as_slice() {
+        [] => vec![
+            DirectoryRepr::FullMap,
+            DirectoryRepr::LimitedPointer { pointers: 4 },
+            DirectoryRepr::CoarseVector { region_size: 4 },
+        ],
+        [flag, value] if flag == "--directory" => {
+            vec![parse_directory_repr(value).unwrap_or_else(|e| {
+                eprintln!("golden_dump: {e}");
+                exit(2);
+            })]
         }
-        println!("),");
+        _ => {
+            eprintln!("usage: golden_dump [--directory R]");
+            exit(2);
+        }
+    };
+    let params = WorkloadParams::new(16).scale(0.1).seed(42);
+    for directory in reprs {
+        println!("    // {directory}");
+        let cfg = DirectorySimConfig {
+            directory,
+            ..DirectorySimConfig::default()
+        };
+        for app in Workload::ALL {
+            let trace = app.generate(&params);
+            print!("        (Workload::{:?}, {}", app, trace.len());
+            for p in Protocol::PAPER_SET {
+                let r = DirectorySim::new(p, &cfg).run(&trace);
+                print!(", {}", r.total_messages());
+            }
+            println!("),");
+        }
     }
 }

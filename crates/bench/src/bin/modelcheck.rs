@@ -17,8 +17,8 @@ use std::process::exit;
 use std::time::{Duration, Instant};
 
 use mcc_check::{
-    explore, fuzz, parse_protocol, protocol_points, protocol_slug, Checker, CheckerConfig,
-    Counterexample, ExploreConfig, FuzzConfig,
+    explore, fuzz, parse_directory_repr, parse_protocol, protocol_points, protocol_slug, Checker,
+    CheckerConfig, Counterexample, ExploreConfig, FuzzConfig,
 };
 use mcc_core::Protocol;
 use mcc_obs::{lock_sink, shared, FlightRecorder, Json, DEFAULT_RING};
@@ -40,6 +40,7 @@ struct Args {
     replay: Option<PathBuf>,
     protocol: Option<Protocol>,
     fast_engine: bool,
+    directory: mcc_core::DirectoryRepr,
 }
 
 fn main() {
@@ -65,6 +66,7 @@ fn main() {
             config.max_states = args.max_states;
             config.time_budget = deadline.map(remaining);
             config.fast_engine = args.fast_engine;
+            config.directory = args.directory;
             let out = explore(&config);
             eprintln!(
                 "{BIN}: exhaustive {} nodes={} blocks={} L={}: {} states, complete={}, \
@@ -100,6 +102,7 @@ fn main() {
         config.blocks = args.blocks.max(2);
         config.broken_demotion_spec = args.planted_bug;
         config.fast_engine = args.fast_engine;
+        config.directory = args.directory;
         config.time_budget = deadline.map(remaining);
         if args.planted_bug {
             // The planted bug only shows against an adaptive spec.
@@ -150,6 +153,7 @@ fn main() {
         ("tool".into(), Json::Str(BIN.into())),
         ("planted_bug".into(), Json::Bool(args.planted_bug)),
         ("fast_engine".into(), Json::Bool(args.fast_engine)),
+        ("directory".into(), Json::Str(args.directory.to_string())),
         ("exhaustive".into(), Json::Arr(exhaustive_rows)),
         ("fuzz".into(), fuzz_row),
         ("counterexamples".into(), Json::Arr(cx_rows)),
@@ -188,6 +192,7 @@ fn replay(path: &std::path::Path, args: &Args) -> i32 {
     let mut config = CheckerConfig::new(protocol, args.nodes);
     config.spec_demotion_enabled = !args.planted_bug;
     config.fast_engine = args.fast_engine;
+    config.directory = args.directory;
     match Checker::new(&config).run(&trace) {
         Err(violation) => {
             let cx = Counterexample {
@@ -277,6 +282,7 @@ fn parse_args() -> Args {
         replay: None,
         protocol: None,
         fast_engine: false,
+        directory: mcc_core::DirectoryRepr::FullMap,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -309,6 +315,13 @@ fn parse_args() -> Args {
             "--repro-dir" => args.repro_dir = Some(PathBuf::from(value("--repro-dir"))),
             "--planted-bug" => args.planted_bug = true,
             "--fast-engine" => args.fast_engine = true,
+            "--directory" => {
+                let raw = value("--directory");
+                args.directory = parse_directory_repr(&raw).unwrap_or_else(|e| {
+                    eprintln!("{BIN}: --directory: {e}");
+                    exit(2);
+                });
+            }
             "--replay" => args.replay = Some(PathBuf::from(value("--replay"))),
             "--protocol" => {
                 let raw = value("--protocol");
@@ -334,6 +347,8 @@ fn parse_args() -> Args {
                      \n                    no-demotion spec; exits 0 iff the bug is FOUND\
                      \n  --fast-engine     check the fast hot-path engine instead of the\
                      \n                    reference DirectoryEngine\
+                     \n  --directory R     directory representation to check (full-map,\
+                     \n                    dirNb, cvR, dirNcvR; default full-map)\
                      \n  --replay FILE     re-check a .mcct counterexample (needs --protocol)\
                      \n  --protocol NAME   restrict to one protocol point (basic, adaptive,\
                      \n                    aggressive, conventional, pure-migratory,\

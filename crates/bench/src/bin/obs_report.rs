@@ -21,6 +21,10 @@
 //! snapshot timestamps must be monotone with strictly increasing
 //! sequence numbers, every embedded registry must round-trip through
 //! the registry parser, and the counters must never move backwards.
+//! With `--scale FILE` it validates a `BENCH_scale.json` summary from
+//! the out-of-core `scale` sweep: gates passed, peak RSS bounded in
+//! every representation cell, and no cell charging less than the
+//! precise full map.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -49,10 +53,11 @@ fn main() {
         && args.modelcheck.is_none()
         && args.live.is_none()
         && args.telemetry.is_none()
+        && args.scale.is_none()
     {
         eprintln!(
             "{BIN}: nothing to do — pass --metrics, --events, --modelcheck, --live, \
-             and/or --telemetry"
+             --telemetry, and/or --scale"
         );
         exit(2);
     }
@@ -70,6 +75,9 @@ fn main() {
     }
     if let Some(path) = &args.telemetry {
         report_telemetry(path);
+    }
+    if let Some(path) = &args.scale {
+        report_scale(path);
     }
 }
 
@@ -541,12 +549,101 @@ fn read(path: &Path) -> String {
     })
 }
 
+/// Validates a `BENCH_scale.json` summary written by the `scale`
+/// binary: the document must parse, both correctness gates must have
+/// passed, every representation cell must be present with a bounded
+/// peak RSS, and no cell may report *less* traffic than the precise
+/// full map (imprecision can only over-invalidate).
+fn report_scale(path: &Path) {
+    let text = read(path);
+    let fail = |why: &str| -> ! {
+        eprintln!("{BIN}: {}: bad scale summary: {why}", path.display());
+        exit(1);
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => fail(&format!("invalid JSON: {e}")),
+    };
+    if doc.get("bench").and_then(Json::as_str) != Some("scale") {
+        fail("missing or wrong \"bench\" field");
+    }
+    for gate in ["parity_gate", "resume_gate"] {
+        if doc.get(gate).and_then(Json::as_str) != Some("ok") {
+            fail(&format!("{gate} did not pass"));
+        }
+    }
+    let (Some(refs), Some(nodes)) = (
+        doc.get("refs").and_then(Json::as_u64),
+        doc.get("nodes").and_then(Json::as_u64),
+    ) else {
+        fail("missing refs/nodes");
+    };
+    let Some(cells) = doc.get("cells").and_then(Json::as_arr) else {
+        fail("missing \"cells\" array");
+    };
+    if cells.is_empty() {
+        fail("no representation cells");
+    }
+    println!(
+        "== scale: {} ({refs} refs, {nodes} nodes) ==\n",
+        path.display()
+    );
+    let mut table = Table::new(["directory", "refs/s", "peak MiB", "messages", "bounded"]);
+    table.title("Representation sweep");
+    let mut full_map_messages = None;
+    for cell in cells {
+        let (Some(directory), Some(rps), Some(hwm), Some(messages), Some(bounded)) = (
+            cell.get("directory").and_then(Json::as_str),
+            cell.get("refs_per_sec").and_then(Json::as_u64),
+            cell.get("vm_hwm_bytes").and_then(Json::as_u64),
+            cell.get("total_messages").and_then(Json::as_u64),
+            cell.get("rss_bounded"),
+        ) else {
+            fail("cell missing directory/refs_per_sec/vm_hwm_bytes/total_messages/rss_bounded");
+        };
+        if !matches!(bounded, Json::Bool(true)) {
+            fail(&format!("{directory}: peak RSS exceeded the limit"));
+        }
+        if rps == 0 {
+            fail(&format!("{directory}: zero throughput"));
+        }
+        if directory == "full-map" {
+            full_map_messages = Some(messages);
+        }
+        table.row([
+            directory.to_string(),
+            rps.to_string(),
+            (hwm / (1024 * 1024)).to_string(),
+            messages.to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    println!("{}", table.to_text());
+    let Some(baseline) = full_map_messages else {
+        fail("no full-map baseline cell");
+    };
+    for cell in cells {
+        let directory = cell.get("directory").and_then(Json::as_str).unwrap_or("?");
+        let messages = cell
+            .get("total_messages")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if messages < baseline {
+            fail(&format!(
+                "{directory} reports {messages} messages, below the full map's {baseline} — \
+                 an imprecise representation can never charge less"
+            ));
+        }
+    }
+}
+
 struct Args {
     metrics: Option<PathBuf>,
     events: Option<PathBuf>,
     modelcheck: Option<PathBuf>,
     live: Option<PathBuf>,
     telemetry: Option<PathBuf>,
+    scale: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -556,6 +653,7 @@ fn parse_args() -> Args {
         modelcheck: None,
         live: None,
         telemetry: None,
+        scale: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -571,6 +669,7 @@ fn parse_args() -> Args {
             "--modelcheck" => out.modelcheck = Some(PathBuf::from(value("--modelcheck"))),
             "--live" => out.live = Some(PathBuf::from(value("--live"))),
             "--telemetry" => out.telemetry = Some(PathBuf::from(value("--telemetry"))),
+            "--scale" => out.scale = Some(PathBuf::from(value("--scale"))),
             "--help" | "-h" => {
                 println!(
                     "{BIN} — render observability artifacts into summary tables\n\n\
@@ -589,7 +688,11 @@ fn parse_args() -> Args {
                      \n                     checker and all counters must reconcile\
                      \n  --telemetry FILE   *.telemetry.jsonl snapshot stream from a live run;\
                      \n                     every line must parse with monotone envelope fields,\
-                     \n                     round-tripping registries, non-decreasing counters\n\
+                     \n                     round-tripping registries, non-decreasing counters\
+                     \n  --scale FILE       BENCH_scale.json summary from the scale binary; both\
+                     \n                     correctness gates must have passed, every cell's peak\
+                     \n                     RSS must be bounded, and no representation may charge\
+                     \n                     less than the full map\n\
                      \nExit status: 0 on success, 1 when an artifact fails validation."
                 );
                 exit(0);

@@ -28,14 +28,15 @@ fn main() {
     println!("{}", trace.stats());
     if simulate {
         println!();
-        // The directory's CopySet is a 64-bit mask, so a (possibly
-        // corrupt) trace naming wider node ids cannot be simulated.
+        // The directory spills wide copy sets to the heap, so any node
+        // count a u16 config can express is simulable. Only a (possibly
+        // corrupt) trace naming node id 65535 — which would need 65536
+        // nodes — is out of range.
         let nodes = trace.stats().nodes.max(1);
-        if nodes > 64 {
-            eprintln!("traceinfo: trace uses {nodes} nodes but the directory supports at most 64");
+        let Ok(nodes) = u16::try_from(nodes) else {
+            eprintln!("traceinfo: trace names {nodes} nodes; the simulator supports at most 65535");
             exit(1);
-        }
-        let nodes = nodes as u16;
+        };
         let config = DirectorySimConfig {
             nodes,
             ..DirectorySimConfig::default()

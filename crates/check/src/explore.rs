@@ -51,6 +51,8 @@ pub struct ExploreConfig {
     /// Drive the fast hot-path engine instead of the reference
     /// `DirectoryEngine` under every checker.
     pub fast_engine: bool,
+    /// Directory sharer-set representation every checker runs under.
+    pub directory: mcc_core::DirectoryRepr,
 }
 
 impl ExploreConfig {
@@ -65,6 +67,7 @@ impl ExploreConfig {
             max_states: u64::MAX,
             time_budget: None,
             fast_engine: false,
+            directory: mcc_core::DirectoryRepr::FullMap,
         }
     }
 }
@@ -114,6 +117,7 @@ pub fn explore(config: &ExploreConfig) -> ExploreOutcome {
     };
     let mut cc = CheckerConfig::new(config.protocol, config.nodes);
     cc.fast_engine = config.fast_engine;
+    cc.directory = config.directory;
     let root = Checker::new(&cc);
     let mut path = Vec::with_capacity(config.max_len);
     let violation = dfs(&root, &mut path, &mut search).map(|(trace, violation)| Counterexample {

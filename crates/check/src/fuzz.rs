@@ -68,6 +68,8 @@ pub struct FuzzConfig {
     pub fast_engine: bool,
     /// Stop starting new cases after this wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Directory sharer-set representation every checker runs under.
+    pub directory: mcc_core::DirectoryRepr,
 }
 
 impl FuzzConfig {
@@ -83,6 +85,7 @@ impl FuzzConfig {
             broken_demotion_spec: false,
             fast_engine: false,
             time_budget: None,
+            directory: mcc_core::DirectoryRepr::FullMap,
         }
     }
 }
@@ -164,6 +167,7 @@ fn check_case(protocol: Protocol, trace: &Trace, config: &FuzzConfig) -> Option<
         let mut cc = CheckerConfig::new(protocol, config.nodes);
         cc.spec_demotion_enabled = !config.broken_demotion_spec;
         cc.fast_engine = config.fast_engine;
+        cc.directory = config.directory;
         let mut checker = Checker::new(&cc);
         for r in t.iter() {
             if let Err(v) = checker.check_step(*r) {

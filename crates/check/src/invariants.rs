@@ -138,6 +138,12 @@ pub struct CheckerConfig {
     /// configurations fall back to the reference engine, which is the
     /// only one modelling geometry).
     pub fast_engine: bool,
+    /// Directory sharer-set representation under check. Residency,
+    /// classification, and every other invariant are
+    /// representation-independent — only the *charged* invalidation
+    /// fan-out may differ — so the whole suite must hold at every
+    /// point of the taxonomy.
+    pub directory: mcc_core::DirectoryRepr,
 }
 
 impl CheckerConfig {
@@ -149,6 +155,7 @@ impl CheckerConfig {
             cache: CacheConfig::Infinite,
             spec_demotion_enabled: true,
             fast_engine: false,
+            directory: mcc_core::DirectoryRepr::FullMap,
         }
     }
 }
@@ -191,7 +198,7 @@ impl Checker {
             block_size: CHECK_BLOCK_SIZE,
             cache: config.cache,
             placement: PlacementPolicy::RoundRobin,
-            directory: mcc_core::DirectoryRepr::FullMap,
+            directory: config.directory,
         };
         let (sink, handle) = shared(BufferSink::new());
         let kind = if config.fast_engine {

@@ -43,7 +43,7 @@ pub use invariants::{CheckViolation, Checker, CheckerConfig, InvariantId, CHECK_
 pub use shrink::{shrink, ShrinkOutcome};
 pub use spec::{ReferenceModel, SpecOutcome, SpecReclass};
 
-use mcc_core::{AdaptivePolicy, Protocol};
+use mcc_core::{AdaptivePolicy, DirectoryRepr, Protocol};
 
 /// The protocol points the model checker sweeps by default: the
 /// paper's four table protocols, the non-adaptive pure-migratory
@@ -96,6 +96,71 @@ pub fn protocol_slug(protocol: Protocol) -> String {
         ),
         named => named.to_string(),
     }
+}
+
+/// The directory representations the parity lattice sweeps: one point
+/// per branch of the taxonomy (full map, limited pointer, coarse
+/// vector, sparse), with parameters chosen so that small-N checking
+/// configurations actually exercise overflow and region coarsening.
+pub fn repr_points() -> Vec<DirectoryRepr> {
+    vec![
+        DirectoryRepr::FullMap,
+        DirectoryRepr::LimitedPointer { pointers: 1 },
+        DirectoryRepr::CoarseVector { region_size: 2 },
+        DirectoryRepr::Sparse {
+            pointers: 1,
+            region_size: 2,
+        },
+    ]
+}
+
+/// Parses a directory-representation name as accepted by the
+/// `modelcheck` binary and the `MCC_TEST_REPR` test toggle: the
+/// case-insensitive `Display` slugs `full-map`, `dirNb` (limited
+/// pointer), `cvR` (coarse vector), and `dirNcvR` (sparse).
+pub fn parse_directory_repr(name: &str) -> Result<DirectoryRepr, String> {
+    let lower = name.to_ascii_lowercase();
+    if lower == "full-map" || lower == "fullmap" {
+        return Ok(DirectoryRepr::FullMap);
+    }
+    let positive = |what: &str, raw: &str| -> Result<u64, String> {
+        let v: u64 = raw
+            .parse()
+            .map_err(|_| format!("bad {what} {raw:?} in {name:?}"))?;
+        if v == 0 {
+            return Err(format!("{what} in {name:?} must be at least 1"));
+        }
+        Ok(v)
+    };
+    if let Some(rest) = lower.strip_prefix("dir") {
+        if let Some((p, r)) = rest.split_once("cv") {
+            return Ok(DirectoryRepr::Sparse {
+                pointers: positive("pointer count", p)?
+                    .try_into()
+                    .map_err(|_| format!("pointer count in {name:?} exceeds 255"))?,
+                region_size: positive("region size", r)?
+                    .try_into()
+                    .map_err(|_| format!("region size in {name:?} exceeds 65535"))?,
+            });
+        }
+        if let Some(p) = rest.strip_suffix('b') {
+            return Ok(DirectoryRepr::LimitedPointer {
+                pointers: positive("pointer count", p)?
+                    .try_into()
+                    .map_err(|_| format!("pointer count in {name:?} exceeds 255"))?,
+            });
+        }
+    }
+    if let Some(r) = lower.strip_prefix("cv") {
+        return Ok(DirectoryRepr::CoarseVector {
+            region_size: positive("region size", r)?
+                .try_into()
+                .map_err(|_| format!("region size in {name:?} exceeds 65535"))?,
+        });
+    }
+    Err(format!(
+        "unknown directory representation {name:?} (want full-map, dirNb, cvR, or dirNcvR)"
+    ))
 }
 
 /// Parses a protocol name as accepted by the `modelcheck` binary: the
@@ -181,5 +246,39 @@ mod tests {
         assert!(parse_protocol("mosi").is_err());
         assert!(parse_protocol("custom=1,2").is_err());
         assert!(parse_protocol("custom=2,1,0,0").is_err());
+    }
+
+    #[test]
+    fn repr_points_cover_the_whole_taxonomy() {
+        let points = repr_points();
+        assert!(points.contains(&DirectoryRepr::FullMap));
+        assert!(points
+            .iter()
+            .any(|r| matches!(r, DirectoryRepr::LimitedPointer { .. })));
+        assert!(points
+            .iter()
+            .any(|r| matches!(r, DirectoryRepr::CoarseVector { .. })));
+        assert!(points
+            .iter()
+            .any(|r| matches!(r, DirectoryRepr::Sparse { .. })));
+    }
+
+    #[test]
+    fn repr_slugs_round_trip_through_the_parser() {
+        for r in repr_points() {
+            let slug = r.to_string();
+            assert_eq!(parse_directory_repr(&slug), Ok(r), "slug {slug}");
+        }
+        assert_eq!(
+            parse_directory_repr("dir4cv8"),
+            Ok(DirectoryRepr::Sparse {
+                pointers: 4,
+                region_size: 8,
+            })
+        );
+        assert!(parse_directory_repr("dir0b").is_err());
+        assert!(parse_directory_repr("cv0").is_err());
+        assert!(parse_directory_repr("hashmap").is_err());
+        assert!(parse_directory_repr("dir999b").is_err());
     }
 }

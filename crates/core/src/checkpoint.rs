@@ -23,7 +23,7 @@
 //! malformed.
 //!
 //! ```text
-//! "MCCK" 0x01 0x00 0x00 0x00   magic + format version + padding
+//! "MCCK" 0x02 0x00 0x00 0x00   magic + format version + padding
 //! u64   payload length
 //! u64   FNV-1a-64 checksum of the payload
 //! [u8]  payload (protocol, configuration echo, per-shard snapshots)
@@ -69,8 +69,12 @@ use crate::storage::{RealStorage, Storage};
 use mcc_trace::NodeId;
 
 /// Magic + format version header of a checkpoint file: `MCCK`, version
-/// 1, three bytes of padding (the MCCT convention).
-pub const CHECKPOINT_MAGIC: [u8; 8] = *b"MCCK\x01\0\0\0";
+/// 2, three bytes of padding (the MCCT convention). Version 2 widened
+/// the copy-set wire form from a single presence word to a word list
+/// (machines above 64 nodes) and added the coarse-vector and sparse
+/// directory-representation tags; version-1 files are rejected as
+/// [`CheckpointError::UnsupportedVersion`].
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"MCCK\x02\0\0\0";
 
 /// Why a checkpoint file could not be read or written.
 ///
@@ -465,10 +469,11 @@ impl EngineSnapshot {
         put_u64(out, self.dir.len() as u64);
         for &(block, ref e) in &self.dir {
             put_u64(out, block);
-            put_u64(
-                out,
-                e.copyset.iter().fold(0u64, |m, n| m | (1 << n.index())),
-            );
+            let words = e.copyset.to_words();
+            put_u16(out, words.len() as u16);
+            for w in words {
+                put_u64(out, w);
+            }
             out.push(match e.created {
                 CopiesCreated::Zero => 0,
                 CopiesCreated::One => 1,
@@ -546,17 +551,21 @@ impl EngineSnapshot {
             caches.push(v);
         }
         let entries = r.u64()?;
-        let entries = r.check_count(entries, 23)?;
+        let entries = r.check_count(entries, 18)?;
         let mut dir = Vec::with_capacity(entries);
         for _ in 0..entries {
             let block = r.u64()?;
-            let mask = r.u64()?;
-            let mut copyset = CopySet::new();
-            for i in 0..64u16 {
-                if mask & (1 << i) != 0 {
-                    copyset.insert(NodeId::new(i));
-                }
+            let word_count = r.u16()?;
+            // 1024 words cover the u16 node-id space (65 536 nodes);
+            // anything longer cannot describe a valid machine.
+            if word_count > 1024 {
+                return Err(CheckpointError::Corrupt("copyset word list too long"));
             }
+            let mut words = Vec::with_capacity(usize::from(word_count));
+            for _ in 0..word_count {
+                words.push(r.u64()?);
+            }
+            let copyset = CopySet::from_words(&words);
             let created = match r.u8()? {
                 0 => CopiesCreated::Zero,
                 1 => CopiesCreated::One,
@@ -687,7 +696,7 @@ fn events_from_fields(v: &[u64; 18]) -> EventCounts {
 // Protocol / configuration / fault-plan wire forms
 // ---------------------------------------------------------------------
 
-fn encode_protocol(out: &mut Vec<u8>, p: Protocol) {
+pub(crate) fn encode_protocol(out: &mut Vec<u8>, p: Protocol) {
     match p {
         Protocol::Conventional => out.push(0),
         Protocol::Conservative => out.push(1),
@@ -704,7 +713,7 @@ fn encode_protocol(out: &mut Vec<u8>, p: Protocol) {
     }
 }
 
-fn decode_protocol(r: &mut PayloadReader<'_>) -> Result<Protocol, CheckpointError> {
+pub(crate) fn decode_protocol(r: &mut PayloadReader<'_>) -> Result<Protocol, CheckpointError> {
     Ok(match r.u8()? {
         0 => Protocol::Conventional,
         1 => Protocol::Conservative,
@@ -721,7 +730,7 @@ fn decode_protocol(r: &mut PayloadReader<'_>) -> Result<Protocol, CheckpointErro
     })
 }
 
-fn encode_config(out: &mut Vec<u8>, c: &DirectorySimConfig) {
+pub(crate) fn encode_config(out: &mut Vec<u8>, c: &DirectorySimConfig) {
     put_u16(out, c.nodes);
     out.push(c.block_size.log2() as u8);
     match c.cache {
@@ -746,10 +755,24 @@ fn encode_config(out: &mut Vec<u8>, c: &DirectorySimConfig) {
             out.push(1);
             out.push(pointers);
         }
+        DirectoryRepr::CoarseVector { region_size } => {
+            out.push(2);
+            put_u16(out, region_size);
+        }
+        DirectoryRepr::Sparse {
+            pointers,
+            region_size,
+        } => {
+            out.push(3);
+            out.push(pointers);
+            put_u16(out, region_size);
+        }
     }
 }
 
-fn decode_config(r: &mut PayloadReader<'_>) -> Result<DirectorySimConfig, CheckpointError> {
+pub(crate) fn decode_config(
+    r: &mut PayloadReader<'_>,
+) -> Result<DirectorySimConfig, CheckpointError> {
     let nodes = r.u16()?;
     let block_size = BlockSize::new(1u64 << r.u8()?.min(63))
         .ok_or(CheckpointError::Corrupt("bad block size"))?;
@@ -771,9 +794,19 @@ fn decode_config(r: &mut PayloadReader<'_>) -> Result<DirectorySimConfig, Checkp
         2 => PlacementPolicy::Profiled,
         _ => return Err(CheckpointError::Corrupt("bad placement tag")),
     };
-    let directory = match (r.u8()?, r.u8()?) {
-        (0, _) => DirectoryRepr::FullMap,
-        (1, pointers) => DirectoryRepr::LimitedPointer { pointers },
+    let directory = match r.u8()? {
+        0 => {
+            r.u8()?; // padding byte
+            DirectoryRepr::FullMap
+        }
+        1 => DirectoryRepr::LimitedPointer { pointers: r.u8()? },
+        2 => DirectoryRepr::CoarseVector {
+            region_size: r.u16()?,
+        },
+        3 => DirectoryRepr::Sparse {
+            pointers: r.u8()?,
+            region_size: r.u16()?,
+        },
         _ => return Err(CheckpointError::Corrupt("bad directory tag")),
     };
     Ok(DirectorySimConfig {
@@ -785,7 +818,7 @@ fn decode_config(r: &mut PayloadReader<'_>) -> Result<DirectorySimConfig, Checkp
     })
 }
 
-fn encode_fault_plan(out: &mut Vec<u8>, plan: Option<&FaultPlan>) {
+pub(crate) fn encode_fault_plan(out: &mut Vec<u8>, plan: Option<&FaultPlan>) {
     match plan {
         None => out.push(0),
         Some(p) => {
@@ -803,7 +836,9 @@ fn encode_fault_plan(out: &mut Vec<u8>, plan: Option<&FaultPlan>) {
     }
 }
 
-fn decode_fault_plan(r: &mut PayloadReader<'_>) -> Result<Option<FaultPlan>, CheckpointError> {
+pub(crate) fn decode_fault_plan(
+    r: &mut PayloadReader<'_>,
+) -> Result<Option<FaultPlan>, CheckpointError> {
     match r.u8()? {
         0 => Ok(None),
         1 => {
@@ -1115,7 +1150,7 @@ pub struct RecoveredCheckpoint {
     pub primary_error: Option<CheckpointError>,
 }
 
-fn sibling_tmp_path(path: &Path) -> PathBuf {
+pub(crate) fn sibling_tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".tmp");
     path.with_file_name(name)
@@ -1400,7 +1435,7 @@ impl DirectorySim {
         })
     }
 
-    fn check_shardable(&self, shards: usize) -> Result<(), SimError> {
+    pub(crate) fn check_shardable(&self, shards: usize) -> Result<(), SimError> {
         if shards > 1 && self.config.cache != CacheConfig::Infinite {
             return Err(SimError::ShardingUnsupported {
                 reason: "finite caches couple blocks through set eviction; \
@@ -1426,7 +1461,12 @@ impl DirectorySim {
     /// starts from. Sequential runs draw the base fault stream, like
     /// [`DirectorySim::try_run`]; sharded runs derive per-shard streams,
     /// like [`DirectorySim::try_run_sharded`].
-    fn fresh_engine(&self, placement: PagePlacement, shard_id: u32, shards: usize) -> AnyEngine {
+    pub(crate) fn fresh_engine(
+        &self,
+        placement: PagePlacement,
+        shard_id: u32,
+        shards: usize,
+    ) -> AnyEngine {
         let mut engine = AnyEngine::new(self.engine, self.protocol, &self.config, placement);
         if let Some(plan) = self.faults {
             let plan = if shards == 1 {
@@ -1441,7 +1481,7 @@ impl DirectorySim {
 
     /// The shard fault plan used to *restore* an injector: must mirror
     /// [`DirectorySim::fresh_engine`]'s choice.
-    fn shard_plan(&self, shard_id: u32, shards: usize) -> Option<FaultPlan> {
+    pub(crate) fn shard_plan(&self, shard_id: u32, shards: usize) -> Option<FaultPlan> {
         self.faults.map(|plan| {
             if shards == 1 {
                 plan

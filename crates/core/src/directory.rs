@@ -24,9 +24,17 @@ use mcc_trace::NodeId;
 
 use crate::policy::AdaptivePolicy;
 
-/// The set of nodes currently caching a block, as a bitmask.
+/// The set of nodes currently caching a block.
 ///
-/// Supports up to 64 nodes — four times the paper's largest configuration.
+/// Small-set-inline with heap spill: nodes 0–63 (the paper's scale and
+/// beyond) live in one inline `u64` presence word; a machine with more
+/// nodes spills the extra presence words into a heap allocation the
+/// first time a node ≥ 64 joins the set. Migratory blocks never exceed
+/// two sharers, so thousand-node runs pay the spill only on genuinely
+/// widely-shared blocks.
+///
+/// Equality and hashing are *semantic*: a set whose spill words have all
+/// drained back to zero equals the set that never spilled.
 ///
 /// # Examples
 ///
@@ -36,18 +44,25 @@ use crate::policy::AdaptivePolicy;
 ///
 /// let mut s = CopySet::new();
 /// s.insert(NodeId::new(3));
-/// s.insert(NodeId::new(5));
+/// s.insert(NodeId::new(1000));
 /// assert_eq!(s.len(), 2);
-/// assert!(s.contains(NodeId::new(3)));
+/// assert!(s.contains(NodeId::new(1000)));
 /// assert_eq!(s.distant_count(NodeId::new(3), NodeId::new(0)), 1);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
-pub struct CopySet(u64);
+#[derive(Clone, Debug, Default)]
+pub struct CopySet {
+    /// Presence bits for nodes 0–63.
+    lo: u64,
+    /// Spill words: bit `b` of word `w` covers node `64 + 64*w + b`.
+    /// `None` until a node ≥ 64 is inserted; trailing zero words are
+    /// semantically absent.
+    hi: Option<Box<[u64]>>,
+}
 
 impl CopySet {
     /// Creates an empty copy set.
     pub const fn new() -> Self {
-        CopySet(0)
+        CopySet { lo: 0, hi: None }
     }
 
     /// Creates a copy set holding exactly `node`.
@@ -57,46 +72,89 @@ impl CopySet {
         s
     }
 
-    /// Adds `node`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node.index() >= 64`.
+    /// Splits a spilled node index into (word, bit).
+    #[inline]
+    fn spill_pos(index: usize) -> (usize, u32) {
+        ((index - 64) / 64, ((index - 64) % 64) as u32)
+    }
+
+    /// Adds `node`, spilling to the heap when `node.index() >= 64`.
     pub fn insert(&mut self, node: NodeId) {
-        assert!(node.index() < 64, "CopySet supports at most 64 nodes");
-        self.0 |= 1 << node.index();
+        let i = node.index();
+        if i < 64 {
+            self.lo |= 1 << i;
+            return;
+        }
+        let (word, bit) = Self::spill_pos(i);
+        let hi = self
+            .hi
+            .get_or_insert_with(|| vec![0u64; word + 1].into_boxed_slice());
+        if hi.len() <= word {
+            let mut grown = vec![0u64; word + 1];
+            grown[..hi.len()].copy_from_slice(hi);
+            *hi = grown.into_boxed_slice();
+        }
+        hi[word] |= 1 << bit;
     }
 
     /// Removes `node`, returning whether it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        if node.index() >= 64 {
-            return false;
+        let i = node.index();
+        if i < 64 {
+            let bit = 1u64 << i;
+            let present = self.lo & bit != 0;
+            self.lo &= !bit;
+            return present;
         }
-        let bit = 1u64 << node.index();
-        let present = self.0 & bit != 0;
-        self.0 &= !bit;
-        present
+        let (word, bit) = Self::spill_pos(i);
+        match self.hi.as_deref_mut().and_then(|hi| hi.get_mut(word)) {
+            Some(w) => {
+                let present = *w & (1 << bit) != 0;
+                *w &= !(1u64 << bit);
+                present
+            }
+            None => false,
+        }
     }
 
     /// Returns `true` when `node` holds a copy.
-    pub const fn contains(self, node: NodeId) -> bool {
-        node.index() < 64 && self.0 & (1 << node.index()) != 0
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        if i < 64 {
+            return self.lo & (1 << i) != 0;
+        }
+        let (word, bit) = Self::spill_pos(i);
+        self.hi
+            .as_deref()
+            .and_then(|hi| hi.get(word))
+            .is_some_and(|&w| w & (1 << bit) != 0)
+    }
+
+    /// The spill words, empty when the set never spilled.
+    #[inline]
+    fn spill(&self) -> &[u64] {
+        self.hi.as_deref().unwrap_or(&[])
     }
 
     /// Number of copies.
-    pub const fn len(self) -> u64 {
-        self.0.count_ones() as u64
+    pub fn len(&self) -> u64 {
+        u64::from(self.lo.count_ones())
+            + self
+                .spill()
+                .iter()
+                .map(|w| u64::from(w.count_ones()))
+                .sum::<u64>()
     }
 
     /// Returns `true` when no node holds a copy.
-    pub const fn is_empty(self) -> bool {
-        self.0 == 0
+    pub fn is_empty(&self) -> bool {
+        self.lo == 0 && self.spill().iter().all(|&w| w == 0)
     }
 
     /// The holder, if exactly one node holds a copy.
-    pub fn single(self) -> Option<NodeId> {
+    pub fn single(&self) -> Option<NodeId> {
         if self.len() == 1 {
-            Some(NodeId::new(self.0.trailing_zeros() as u16))
+            self.iter().next()
         } else {
             None
         }
@@ -104,29 +162,99 @@ impl CopySet {
 
     /// `‖DistantCopies‖` of Table 1: copies held at nodes other than the
     /// `initiator` and `home`.
-    pub fn distant_count(self, initiator: NodeId, home: NodeId) -> u64 {
-        let mut mask = self.0;
-        if initiator.index() < 64 {
-            mask &= !(1 << initiator.index());
+    pub fn distant_count(&self, initiator: NodeId, home: NodeId) -> u64 {
+        let mut count = self.len();
+        if self.contains(initiator) {
+            count -= 1;
         }
-        if home.index() < 64 {
-            mask &= !(1 << home.index());
+        if home != initiator && self.contains(home) {
+            count -= 1;
         }
-        mask.count_ones() as u64
+        count
     }
 
     /// Iterates over the holders in increasing node order.
-    pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                None
-            } else {
-                let i = bits.trailing_zeros() as u16;
-                bits &= bits - 1;
-                Some(NodeId::new(i))
-            }
-        })
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = WordBits {
+            word: self.lo,
+            base: 0,
+        };
+        lo.chain(
+            self.spill()
+                .iter()
+                .enumerate()
+                .flat_map(|(w, &word)| WordBits {
+                    word,
+                    base: 64 + 64 * w,
+                }),
+        )
+    }
+
+    /// The set as 64-bit presence words (word 0 covers nodes 0–63),
+    /// trimmed of trailing zero words — the canonical checkpoint wire
+    /// form. An empty set yields no words.
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = vec![self.lo];
+        words.extend_from_slice(self.spill());
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        words
+    }
+
+    /// Rebuilds a set from presence words (inverse of
+    /// [`CopySet::to_words`]; tolerates trailing zero words).
+    pub fn from_words(words: &[u64]) -> Self {
+        let lo = words.first().copied().unwrap_or(0);
+        let mut hi: Vec<u64> = words.get(1..).unwrap_or(&[]).to_vec();
+        while hi.last() == Some(&0) {
+            hi.pop();
+        }
+        CopySet {
+            lo,
+            hi: (!hi.is_empty()).then(|| hi.into_boxed_slice()),
+        }
+    }
+}
+
+/// Bit-scan iterator over one presence word.
+struct WordBits {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for WordBits {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.word == 0 {
+            return None;
+        }
+        let i = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(NodeId::new((self.base + i) as u16))
+    }
+}
+
+impl PartialEq for CopySet {
+    fn eq(&self, other: &Self) -> bool {
+        if self.lo != other.lo {
+            return false;
+        }
+        let (a, b) = (self.spill(), other.spill());
+        let n = a.len().max(b.len());
+        (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+    }
+}
+
+impl Eq for CopySet {}
+
+impl core::hash::Hash for CopySet {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.lo.hash(state);
+        let hi = self.spill();
+        let used = hi.iter().rposition(|&w| w != 0).map_or(0, |p| p + 1);
+        hi[..used].hash(state);
     }
 }
 
@@ -197,7 +325,7 @@ pub enum Reclassification {
 }
 
 /// A directory entry extended with the paper's adaptive state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DirEntry {
     /// Nodes currently caching the block.
     pub copyset: CopySet,
@@ -477,9 +605,55 @@ mod tests {
         }
 
         #[test]
-        #[should_panic(expected = "at most 64")]
-        fn rejects_node_64() {
-            CopySet::new().insert(NodeId::new(64));
+        fn spills_past_node_64() {
+            let mut s = CopySet::new();
+            s.insert(NodeId::new(64));
+            s.insert(NodeId::new(1023));
+            s.insert(P1);
+            assert_eq!(s.len(), 3);
+            assert!(s.contains(NodeId::new(64)));
+            assert!(s.contains(NodeId::new(1023)));
+            assert!(!s.contains(NodeId::new(512)));
+            let v: Vec<_> = s.iter().collect();
+            assert_eq!(v, [P1, NodeId::new(64), NodeId::new(1023)]);
+            assert_eq!(s.distant_count(NodeId::new(64), P1), 1);
+            assert!(s.remove(NodeId::new(1023)));
+            assert!(!s.remove(NodeId::new(1023)));
+            assert_eq!(s.len(), 2);
+        }
+
+        #[test]
+        fn drained_spill_equals_never_spilled() {
+            let mut spilled = CopySet::only(P1);
+            spilled.insert(NodeId::new(200));
+            spilled.remove(NodeId::new(200));
+            let inline = CopySet::only(P1);
+            assert_eq!(spilled, inline);
+            assert_eq!(inline, spilled);
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let digest = |s: &CopySet| {
+                let mut h = DefaultHasher::new();
+                s.hash(&mut h);
+                h.finish()
+            };
+            assert_eq!(digest(&spilled), digest(&inline));
+            assert!(spilled.single().is_some());
+        }
+
+        #[test]
+        fn words_round_trip() {
+            let mut s = CopySet::new();
+            s.insert(NodeId::new(3));
+            s.insert(NodeId::new(70));
+            s.insert(NodeId::new(129));
+            let words = s.to_words();
+            assert_eq!(words.len(), 3);
+            assert_eq!(CopySet::from_words(&words), s);
+            assert_eq!(CopySet::from_words(&[]), CopySet::new());
+            // Trailing zero words decode to the canonical form.
+            assert_eq!(CopySet::from_words(&[1, 0, 0]), CopySet::only(P0));
+            assert!(CopySet::new().to_words().is_empty());
         }
     }
 

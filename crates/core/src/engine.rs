@@ -159,7 +159,7 @@ impl Engine for DirectoryEngine {
     }
 
     fn dir_entry(&self, block: BlockAddr) -> Option<DirEntry> {
-        self.entry(block).copied()
+        self.entry(block).cloned()
     }
 
     fn latest_version(&self, block: BlockAddr) -> u64 {
@@ -369,7 +369,7 @@ impl Engine for AnyEngine {
 
     fn dir_entry(&self, block: BlockAddr) -> Option<DirEntry> {
         match self {
-            AnyEngine::Reference(e) => e.entry(block).copied(),
+            AnyEngine::Reference(e) => e.entry(block).cloned(),
             AnyEngine::Fast(e) => e.dir_entry(block),
         }
     }

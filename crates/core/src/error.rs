@@ -196,6 +196,14 @@ pub enum SimError {
         /// Human-readable diagnosis of the mismatch or I/O failure.
         reason: String,
     },
+    /// A streamed trace could not be read: the file went away, was
+    /// truncated mid-pass, or held an invalid record. Streaming runs
+    /// surface the underlying [`ReadTraceError`]'s rendering here
+    /// instead of panicking mid-simulation.
+    TraceUnreadable {
+        /// Human-readable diagnosis from the trace reader.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -214,7 +222,8 @@ impl SimError {
             | SimError::ShardingUnsupported { .. }
             | SimError::ShardPanicked { .. }
             | SimError::ShardTimedOut { .. }
-            | SimError::BadCheckpoint { .. } => None,
+            | SimError::BadCheckpoint { .. }
+            | SimError::TraceUnreadable { .. } => None,
         }
     }
 }
@@ -258,6 +267,9 @@ impl fmt::Display for SimError {
             }
             SimError::BadCheckpoint { reason } => {
                 write!(f, "checkpoint unusable: {reason}")
+            }
+            SimError::TraceUnreadable { reason } => {
+                write!(f, "trace stream unreadable: {reason}")
             }
         }
     }

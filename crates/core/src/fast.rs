@@ -51,7 +51,7 @@ use crate::repr::DirectoryRepr;
 use crate::result::{EventCounts, MessageBreakdown, SimResult};
 use crate::sim::{obs_node, DirectorySimConfig, LineState, StepInfo, StepKind, NEVER_ADAPT};
 
-// Packed per-block flag word layout (23 bits used):
+// Packed per-block flag word layout (16 bits used):
 //   bit 0      directory dirty bit
 //   bit 1      migratory classification
 //   bit 2      limited-pointer overflow
@@ -59,7 +59,9 @@ use crate::sim::{obs_node, DirectorySimConfig, LineState, StepInfo, StepKind, NE
 //   bits 4-5   single-holder line state (Exclusive/MigratoryClean/Dirty/Shared)
 //   bits 6-7   copies-created counter (Zero/One/Two/ThreeOrMore)
 //   bits 8-15  hysteresis evidence counter
-//   bits 16-22 last-invalidator node (CopySet caps machines at 64 nodes)
+// The last-invalidator *identity* lives in the parallel `last_inv`
+// array (a full u16, so thousand-node machines fit); only its presence
+// bit is packed here.
 const F_DIRTY: u32 = 1 << 0;
 const F_MIGRATORY: u32 = 1 << 1;
 const F_OVERFLOWED: u32 = 1 << 2;
@@ -67,7 +69,6 @@ const F_LAST_INV_PRESENT: u32 = 1 << 3;
 const SSTATE_SHIFT: u32 = 4;
 const CREATED_SHIFT: u32 = 6;
 const EVIDENCE_SHIFT: u32 = 8;
-const LAST_INV_SHIFT: u32 = 16;
 
 const fn sstate_bits(state: LineState) -> u32 {
     match state {
@@ -143,6 +144,9 @@ pub struct FastEngine {
     home: Vec<NodeId>,
     copyset: Vec<CopySet>,
     flags: Vec<u32>,
+    /// Last-invalidator node id per block; meaningful only while the
+    /// `F_LAST_INV_PRESENT` bit is set in `flags`.
+    last_inv: Vec<u16>,
     line_version: Vec<u64>,
     mem_version: Vec<u64>,
     latest: Vec<u64>,
@@ -181,6 +185,7 @@ impl FastEngine {
             home: Vec::new(),
             copyset: Vec::new(),
             flags: Vec::new(),
+            last_inv: Vec::new(),
             line_version: Vec::new(),
             mem_version: Vec::new(),
             latest: Vec::new(),
@@ -264,6 +269,7 @@ impl FastEngine {
         self.home.push(home);
         self.copyset.push(CopySet::new());
         self.flags.push(pack_entry(&DirEntry::new(self.policy), 0));
+        self.last_inv.push(0);
         self.line_version.push(0);
         self.mem_version.push(0);
         self.latest.push(0);
@@ -291,12 +297,12 @@ impl FastEngine {
     fn entry_at(&self, slot: usize) -> DirEntry {
         let f = self.flags[slot];
         DirEntry {
-            copyset: self.copyset[slot],
+            copyset: self.copyset[slot].clone(),
             created: created_decode(f >> CREATED_SHIFT),
             migratory: f & F_MIGRATORY != 0,
             dirty: f & F_DIRTY != 0,
             last_invalidator: (f & F_LAST_INV_PRESENT != 0)
-                .then(|| NodeId::new(((f >> LAST_INV_SHIFT) & 0x7f) as u16)),
+                .then(|| NodeId::new(self.last_inv[slot])),
             evidence: ((f >> EVIDENCE_SHIFT) & 0xff) as u8,
             overflowed: f & F_OVERFLOWED != 0,
         }
@@ -307,6 +313,7 @@ impl FastEngine {
     fn store_entry(&mut self, slot: usize, e: DirEntry) {
         let sstate = (self.flags[slot] >> SSTATE_SHIFT) & 0b11;
         self.flags[slot] = pack_entry(&e, sstate);
+        self.last_inv[slot] = e.last_invalidator.map_or(0, |n| n.index() as u16);
         self.copyset[slot] = e.copyset;
     }
 
@@ -546,7 +553,7 @@ impl FastEngine {
                     }
                     LineState::Shared => {
                         let dc = self.repr.charged_distant_copies(
-                            self.copyset[s],
+                            &self.copyset[s],
                             self.overflowed_at(s),
                             n,
                             home,
@@ -570,7 +577,7 @@ impl FastEngine {
                             self.copyset[s].distant_count(n, home)
                         } else {
                             self.repr.charged_distant_copies(
-                                self.copyset[s],
+                                &self.copyset[s],
                                 self.overflowed_at(s),
                                 n,
                                 home,
@@ -645,14 +652,14 @@ impl FastEngine {
                         self.events.shared_upgrades += 1;
                         let mut e = self.entry_at(slot);
                         let dc = self.repr.charged_distant_copies(
-                            e.copyset,
+                            &e.copyset,
                             e.overflowed,
                             n,
                             home,
                             self.nodes,
                         );
                         let was_overflowed = e.overflowed;
-                        let others = e.copyset;
+                        let others = e.copyset.clone();
                         let rc = if self.pure_migratory {
                             e.created = CopiesCreated::One;
                             e.last_invalidator = Some(n);
@@ -704,12 +711,12 @@ impl FastEngine {
         let pure = self.pure_migratory;
         let dirty = self.dirty_at(slot);
         let was_overflowed = self.overflowed_at(slot);
-        let copyset_before = self.copyset[slot];
+        let copyset_before = self.copyset[slot].clone();
         let dc = if dirty {
             copyset_before.distant_count(n, home)
         } else {
             self.repr
-                .charged_distant_copies(copyset_before, was_overflowed, n, home, self.nodes)
+                .charged_distant_copies(&copyset_before, was_overflowed, n, home, self.nodes)
         };
         debug_assert!(!copyset_before.contains(n), "missing node holds a copy");
         // A single holder's copy is dirty iff its line state says so;
@@ -1011,7 +1018,7 @@ impl FastEngine {
     pub(crate) fn verify(&self) -> Result<(), Violation> {
         let sweep = "invariant sweep";
         for slot in 0..self.blocks.len() {
-            let holders = self.copyset[slot];
+            let holders = &self.copyset[slot];
             let any_dirty =
                 holders.single().is_some() && self.holder_state(slot) == LineState::Dirty;
             if self.dirty_at(slot) != any_dirty {
@@ -1124,9 +1131,9 @@ impl FastEngine {
                 config.nodes
             ));
         }
-        for &(block, entry) in &snap.dir {
-            let slot = engine.ensure_slot(BlockAddr::new(block));
-            engine.store_entry(slot, entry);
+        for (block, entry) in &snap.dir {
+            let slot = engine.ensure_slot(BlockAddr::new(*block));
+            engine.store_entry(slot, entry.clone());
         }
         for &(block, version) in &snap.mem_version {
             let slot = engine.ensure_slot(BlockAddr::new(block));
@@ -1212,8 +1219,8 @@ fn pack_entry(e: &DirEntry, sstate: u32) -> u32 {
     }
     f |= created_bits(e.created) << CREATED_SHIFT;
     f |= u32::from(e.evidence) << EVIDENCE_SHIFT;
-    if let Some(n) = e.last_invalidator {
-        f |= F_LAST_INV_PRESENT | (((n.index() as u32) & 0x7f) << LAST_INV_SHIFT);
+    if e.last_invalidator.is_some() {
+        f |= F_LAST_INV_PRESENT;
     }
     f
 }
@@ -1295,16 +1302,16 @@ mod tests {
         let policy = Protocol::Conservative.policy().unwrap();
         let mut e = DirEntry::new(policy);
         e.copyset.insert(NodeId::new(3));
-        e.copyset.insert(NodeId::new(7));
+        e.copyset.insert(NodeId::new(700));
         e.created = CopiesCreated::Two;
         e.migratory = true;
         e.dirty = false;
-        e.last_invalidator = Some(NodeId::new(63));
+        e.last_invalidator = Some(NodeId::new(1023));
         e.evidence = 1;
         e.overflowed = true;
         let mut engine = fast(Protocol::Conservative);
         let slot = engine.ensure_slot(BlockAddr::new(42));
-        engine.store_entry(slot, e);
+        engine.store_entry(slot, e.clone());
         assert_eq!(engine.entry_at(slot), e);
     }
 

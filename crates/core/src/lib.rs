@@ -69,6 +69,7 @@ mod result;
 mod sim;
 mod sim_parallel;
 pub mod storage;
+mod stream_run;
 
 pub use checkpoint::{
     Checkpoint, CheckpointError, CheckpointPolicy, EngineSnapshot, RecoveredCheckpoint,
@@ -98,4 +99,7 @@ pub use sim_parallel::test_hooks as supervision_test_hooks;
 pub use sim_parallel::ShardedReport;
 pub use storage::{
     ChaosStorage, ChaosStorageStats, KillScope, RealStorage, Storage, StorageFaultPlan,
+};
+pub use stream_run::{
+    stream_fingerprint, StreamCheckpoint, StreamShardSnapshot, STREAM_CHECKPOINT_MAGIC,
 };

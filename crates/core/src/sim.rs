@@ -482,7 +482,11 @@ impl DirectoryEngine {
     /// version tables in block order, accumulated counters, and the
     /// fault injector's stream position.
     pub(crate) fn snapshot(&self) -> crate::checkpoint::EngineSnapshot {
-        let mut dir: Vec<(u64, DirEntry)> = self.dir.iter().map(|(b, e)| (b.index(), *e)).collect();
+        let mut dir: Vec<(u64, DirEntry)> = self
+            .dir
+            .iter()
+            .map(|(b, e)| (b.index(), e.clone()))
+            .collect();
         dir.sort_by_key(|&(b, _)| b);
         let mut mem_version: Vec<(u64, u64)> = self
             .mem_version
@@ -547,8 +551,8 @@ impl DirectoryEngine {
                 }
             }
         }
-        for &(block, entry) in &snap.dir {
-            engine.dir.insert(BlockAddr::new(block), entry);
+        for (block, entry) in &snap.dir {
+            engine.dir.insert(BlockAddr::new(*block), entry.clone());
         }
         for &(block, version) in &snap.mem_version {
             engine.mem_version.insert(BlockAddr::new(block), version);
@@ -793,7 +797,7 @@ impl DirectoryEngine {
                     LineState::Shared => {
                         let e = self.dir.get(&block)?;
                         let dc = self.repr.charged_distant_copies(
-                            e.copyset,
+                            &e.copyset,
                             e.overflowed,
                             n,
                             home,
@@ -815,7 +819,7 @@ impl DirectoryEngine {
                         e.copyset.distant_count(n, home)
                     } else {
                         self.repr.charged_distant_copies(
-                            e.copyset,
+                            &e.copyset,
                             e.overflowed,
                             n,
                             home,
@@ -941,7 +945,7 @@ impl DirectoryEngine {
                         let nodes = self.nodes;
                         let entry = self.entry_mut(block);
                         let dc = repr.charged_distant_copies(
-                            entry.copyset,
+                            &entry.copyset,
                             entry.overflowed,
                             n,
                             home,
@@ -1010,9 +1014,9 @@ impl DirectoryEngine {
                 if e.dirty {
                     e.copyset.distant_count(n, home)
                 } else {
-                    repr.charged_distant_copies(e.copyset, e.overflowed, n, home, nodes)
+                    repr.charged_distant_copies(&e.copyset, e.overflowed, n, home, nodes)
                 },
-                e.copyset,
+                e.copyset.clone(),
                 e.overflowed,
             )
         };
@@ -1300,7 +1304,7 @@ impl DirectoryEngine {
             step: self.steps,
             kind,
             context,
-            entry: self.dir.get(&block).copied(),
+            entry: self.dir.get(&block).cloned(),
         }
     }
 
@@ -1434,8 +1438,8 @@ impl DirectoryEngine {
             let empty = Residency::default();
             let r = residency.get(&block).unwrap_or(&empty);
             let (holders, exclusive, shared, any_dirty) =
-                (r.holders, r.exclusive, r.shared, r.any_dirty);
-            if entry.copyset != holders {
+                (&r.holders, r.exclusive, r.shared, r.any_dirty);
+            if entry.copyset != *holders {
                 return Err(self.violation(block, ViolationKind::CopysetMismatch, sweep));
             }
             if !(exclusive == 0 || (exclusive == 1 && shared == 0)) {

@@ -35,7 +35,7 @@
 
 use std::collections::HashMap;
 
-use mcc_trace::{BlockAddr, BlockSize, NodeId, PageAddr, Trace};
+use mcc_trace::{BlockAddr, BlockSize, MemRef, NodeId, PageAddr, Trace};
 
 /// An assignment of home nodes to 4 KB pages.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,9 +73,22 @@ impl PagePlacement {
     ///
     /// Panics if `nodes` is zero.
     pub fn first_touch(trace: &Trace, nodes: u16) -> Self {
+        Self::first_touch_stream(trace.iter().copied(), nodes)
+    }
+
+    /// [`PagePlacement::first_touch`] over a stream of references: one
+    /// pass, memory bounded by the number of *distinct pages* touched —
+    /// never by the number of references — so a billion-reference
+    /// generator or file stream resolves in bounded RSS. Feeding the
+    /// same references produces the identical placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn first_touch_stream(records: impl IntoIterator<Item = MemRef>, nodes: u16) -> Self {
         assert!(nodes > 0, "node count must be positive");
         let mut map = HashMap::new();
-        for r in trace.iter() {
+        for r in records {
             map.entry(r.addr.page()).or_insert(r.node);
         }
         PagePlacement {
@@ -94,9 +107,23 @@ impl PagePlacement {
     ///
     /// Panics if `nodes` is zero.
     pub fn profiled(trace: &Trace, nodes: u16) -> Self {
+        Self::profiled_stream(trace.iter().copied(), nodes)
+    }
+
+    /// [`PagePlacement::profiled`] over a stream of references: a
+    /// single pass accumulating per-page reference counts, with memory
+    /// bounded by distinct pages × nodes rather than trace length.
+    /// Feeding the same references produces the identical placement,
+    /// which is what keeps streaming runs bit-exact with materialized
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn profiled_stream(records: impl IntoIterator<Item = MemRef>, nodes: u16) -> Self {
         assert!(nodes > 0, "node count must be positive");
         let mut counts: HashMap<PageAddr, Vec<u64>> = HashMap::new();
-        for r in trace.iter() {
+        for r in records {
             let per_node = counts
                 .entry(r.addr.page())
                 .or_insert_with(|| vec![0; usize::from(nodes)]);
@@ -218,6 +245,22 @@ mod tests {
         let prof = PagePlacement::profiled(&trace, 4).local_fraction(&trace);
         assert_eq!(prof, 1.0);
         assert!(prof >= rr);
+    }
+
+    #[test]
+    fn stream_resolvers_match_materialized() {
+        let mut trace = Trace::new();
+        for i in 0..500u64 {
+            trace.push(ref_at((i % 7) as u16, i % 23));
+        }
+        assert_eq!(
+            PagePlacement::profiled(&trace, 8),
+            PagePlacement::profiled_stream(trace.iter().copied(), 8)
+        );
+        assert_eq!(
+            PagePlacement::first_touch(&trace, 8),
+            PagePlacement::first_touch_stream(trace.iter().copied(), 8)
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod io;
 mod record;
 mod shard;
 mod stats;
+mod stream;
 mod trace;
 
 pub use addr::{Addr, BlockAddr, BlockSize, PageAddr, PAGE_SIZE};
@@ -43,4 +44,5 @@ pub use io::{ReadTraceError, TRACE_MAGIC, TRACE_MAGIC_V1};
 pub use record::{MemOp, MemRef, NodeId};
 pub use shard::shard_of_block;
 pub use stats::TraceStats;
+pub use stream::{Records, TraceStream};
 pub use trace::{Interleaver, Trace};

@@ -8,8 +8,20 @@
 //! `cargo run --release -p mcc-bench --bin golden_dump` and update the
 //! table.
 
-use mcc::core::{DirectorySim, DirectorySimConfig, EngineKind, Protocol};
+use mcc::core::{DirectoryRepr, DirectorySim, DirectorySimConfig, EngineKind, Protocol};
 use mcc::workloads::{Workload, WorkloadParams};
+
+/// Directory representation the goldens run under: `MCC_TEST_REPR`
+/// when set to a slug with a pinned table below (the CI matrix runs
+/// `full-map`, `dir4b`, and `cv4`), the full map otherwise.
+fn test_repr() -> DirectoryRepr {
+    match std::env::var("MCC_TEST_REPR") {
+        Ok(raw) => {
+            mcc_check::parse_directory_repr(&raw).unwrap_or_else(|e| panic!("MCC_TEST_REPR: {e}"))
+        }
+        Err(_) => DirectoryRepr::FullMap,
+    }
+}
 
 /// Shard count for the parallel-path assertions: `MCC_TEST_SHARDS` when
 /// set (the CI matrix runs 1 and 4), 4 otherwise.
@@ -64,53 +76,159 @@ fn test_telemetry() -> bool {
     }
 }
 
+/// The pinned totals for one directory representation.
+/// `(workload, trace refs, conventional, conservative, basic, aggressive)`
+type GoldenRow = (Workload, usize, u64, u64, u64, u64);
+
+/// Golden table for `repr`, regenerated with
+/// `golden_dump --directory <slug>`. The precise full map is the
+/// baseline; `Dir4B` drifts only where a copy set overflows four
+/// pointers (LocusRoute, Pthor), and `CV4` charges whole 4-node
+/// regions so every workload's control traffic grows.
+fn golden_table(repr: DirectoryRepr) -> &'static [GoldenRow] {
+    match repr {
+        DirectoryRepr::FullMap => &[
+            (
+                Workload::Cholesky,
+                1_815_680,
+                3_089_550,
+                1_794_314,
+                1_695_922,
+                1_549_900,
+            ),
+            (
+                Workload::LocusRoute,
+                383_616,
+                536_960,
+                463_802,
+                457_710,
+                442_830,
+            ),
+            (
+                Workload::Mp3d,
+                2_067_716,
+                4_252_912,
+                2_444_256,
+                2_317_814,
+                2_128_116,
+            ),
+            (
+                Workload::Pthor,
+                891_840,
+                2_876_060,
+                2_471_034,
+                2_413_880,
+                2_369_136,
+            ),
+            (
+                Workload::Water,
+                1_331_840,
+                2_346_136,
+                1_426_746,
+                1_344_348,
+                1_296_398,
+            ),
+        ],
+        DirectoryRepr::LimitedPointer { pointers: 4 } => &[
+            (
+                Workload::Cholesky,
+                1_815_680,
+                3_089_550,
+                1_794_314,
+                1_695_922,
+                1_549_900,
+            ),
+            (
+                Workload::LocusRoute,
+                383_616,
+                549_380,
+                476_222,
+                470_090,
+                453_004,
+            ),
+            (
+                Workload::Mp3d,
+                2_067_716,
+                4_252_912,
+                2_444_256,
+                2_317_814,
+                2_128_116,
+            ),
+            (
+                Workload::Pthor,
+                891_840,
+                3_067_284,
+                2_630_380,
+                2_508_150,
+                2_462_450,
+            ),
+            (
+                Workload::Water,
+                1_331_840,
+                2_346_136,
+                1_426_746,
+                1_344_348,
+                1_296_398,
+            ),
+        ],
+        DirectoryRepr::CoarseVector { region_size: 4 } => &[
+            (
+                Workload::Cholesky,
+                1_815_680,
+                7_235_184,
+                2_349_232,
+                1_977_374,
+                1_552_520,
+            ),
+            (
+                Workload::LocusRoute,
+                383_616,
+                1_008_646,
+                741_368,
+                719_216,
+                674_392,
+            ),
+            (
+                Workload::Mp3d,
+                2_067_716,
+                9_671_840,
+                3_106_136,
+                2_649_330,
+                2_128_900,
+            ),
+            (
+                Workload::Pthor,
+                891_840,
+                5_709_702,
+                4_157_082,
+                3_980_118,
+                3_846_816,
+            ),
+            (
+                Workload::Water,
+                1_331_840,
+                5_351_898,
+                2_012_154,
+                1_712_596,
+                1_590_362,
+            ),
+        ],
+        other => panic!(
+            "no golden table pinned for {other}; add one via \
+             `golden_dump --directory {other}` or run a pinned slug"
+        ),
+    }
+}
+
 #[test]
 fn pinned_message_totals() {
-    // (workload, trace refs, conventional, conservative, basic, aggressive)
-    let golden: &[(Workload, usize, u64, u64, u64, u64)] = &[
-        (
-            Workload::Cholesky,
-            1_815_680,
-            3_089_550,
-            1_794_314,
-            1_695_922,
-            1_549_900,
-        ),
-        (
-            Workload::LocusRoute,
-            383_616,
-            536_960,
-            463_802,
-            457_710,
-            442_830,
-        ),
-        (
-            Workload::Mp3d,
-            2_067_716,
-            4_252_912,
-            2_444_256,
-            2_317_814,
-            2_128_116,
-        ),
-        (
-            Workload::Pthor,
-            891_840,
-            2_876_060,
-            2_471_034,
-            2_413_880,
-            2_369_136,
-        ),
-        (
-            Workload::Water,
-            1_331_840,
-            2_346_136,
-            1_426_746,
-            1_344_348,
-            1_296_398,
-        ),
-    ];
+    let repr = test_repr();
+    let golden = golden_table(repr);
 
-    let cfg = DirectorySimConfig::default();
+    let cfg = DirectorySimConfig {
+        directory: repr,
+        ..DirectorySimConfig::default()
+    };
     let params = WorkloadParams::new(16).scale(0.1).seed(42);
     let shards = test_shards();
     for &(app, refs, conv, cons, basic, aggr) in golden {

@@ -105,6 +105,99 @@ fn trailing_bytes_after_declared_payload_are_rejected() {
 }
 
 #[test]
+fn absurd_node_ids_in_records_are_survivable_everywhere() {
+    use mcc::core::{DirectorySim, DirectorySimConfig, Protocol, SimError};
+
+    // A (hostile or corrupt) trace may name any node id a u16 can
+    // spell. Nothing downstream may panic on one: stats must report
+    // it, wide-but-configured ids must simulate (the copy set spills
+    // past 64), and ids beyond the configured node count must come
+    // back as a typed error.
+    let mut trace = Trace::new();
+    trace.push(MemRef::read(NodeId::new(0), Addr::new(0)));
+    trace.push(MemRef::write(NodeId::new(1000), Addr::new(0)));
+    trace.push(MemRef::read(NodeId::new(u16::MAX), Addr::new(16)));
+
+    let stats = trace.stats();
+    assert_eq!(stats.nodes, usize::from(u16::MAX) + 1);
+    // The full id range needs 65536 nodes — one more than a u16
+    // configuration can express, which is exactly what the CLI checks.
+    assert!(u16::try_from(stats.nodes).is_err());
+
+    // Within a wide configuration the >64-node references simulate.
+    let wide = DirectorySimConfig {
+        nodes: 1024,
+        ..DirectorySimConfig::default()
+    };
+    let mut in_range = Trace::new();
+    in_range.push(MemRef::read(NodeId::new(0), Addr::new(0)));
+    in_range.push(MemRef::write(NodeId::new(1000), Addr::new(0)));
+    let result = DirectorySim::new(Protocol::Basic, &wide).try_run(&in_range);
+    assert!(result.is_ok(), "{}", result.unwrap_err());
+
+    // Beyond the configuration: a typed error, never a panic.
+    let narrow = DirectorySimConfig {
+        nodes: 64,
+        ..DirectorySimConfig::default()
+    };
+    let err = DirectorySim::new(Protocol::Basic, &narrow)
+        .try_run(&trace)
+        .expect_err("node 65535 is outside a 64-node machine");
+    assert!(
+        matches!(err, SimError::NodeOutOfRange { nodes: 64, .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn wide_node_ids_round_trip_through_the_wire_format_and_streams() {
+    use mcc::trace::TraceStream;
+
+    // Every interesting node id — around the old 64-node cliff and at
+    // the u16 extremes — must survive the MCCT encoding and come back
+    // through both the materialized reader and the streaming one.
+    let ids = [0u16, 63, 64, 65, 127, 1000, 1024, u16::MAX - 1, u16::MAX];
+    let mut trace = Trace::new();
+    for (i, &id) in ids.iter().enumerate() {
+        trace.push(MemRef::write(NodeId::new(id), Addr::new(i as u64 * 16)));
+    }
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).expect("vec write");
+    let decoded = Trace::read_from(&buf[..]).expect("decode");
+    assert_eq!(decoded, trace);
+
+    let dir = std::env::temp_dir().join(format!("mcc-wide-nodes-{}.mcct", std::process::id()));
+    std::fs::write(&dir, &buf).expect("write trace file");
+    let stream = TraceStream::open(&dir).expect("stream open");
+    let streamed = stream.collect_trace().expect("stream collect");
+    assert_eq!(streamed, trace);
+    let _ = std::fs::remove_file(&dir);
+}
+
+#[test]
+fn workload_generators_scale_past_the_old_node_cap() {
+    use mcc::core::{DirectorySim, DirectorySimConfig, Protocol};
+    use mcc::workloads::{Workload, WorkloadParams};
+
+    // The generators parameterize freely over u16 node counts; a
+    // 256-node Mp3d slice must generate and simulate cleanly now that
+    // the directory spills wide copy sets.
+    let mut params = WorkloadParams::new(256);
+    params.scale = 0.05;
+    let trace = Workload::Mp3d.generate(&params);
+    assert!(
+        trace.stats().nodes > 64,
+        "workload must actually use >64 nodes"
+    );
+    let cfg = DirectorySimConfig {
+        nodes: 256,
+        ..DirectorySimConfig::default()
+    };
+    let result = DirectorySim::new(Protocol::Aggressive, &cfg).try_run(&trace);
+    assert!(result.is_ok(), "{}", result.unwrap_err());
+}
+
+#[test]
 fn hostile_record_counts_do_not_preallocate() {
     // Headers declaring absurd record counts must fail on the evidence
     // of the stream, not trust the count with an allocation.
